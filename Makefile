@@ -1,0 +1,30 @@
+# Convenience targets for the reproduction workflow.
+
+.PHONY: install dev test bench figures experiments api-docs all clean
+
+install:
+	pip install -e . --no-build-isolation
+
+dev:
+	pip install -e '.[dev]' --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+figures:
+	repro-experiments run all
+
+experiments:
+	python scripts/reproduce_all.py
+
+api-docs:
+	python scripts/generate_api_docs.py
+
+all: test bench experiments api-docs
+
+clean:
+	rm -rf build/ dist/ src/repro.egg-info/ .pytest_cache/
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,66 @@
+"""Shared driver for the per-figure benchmarks."""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from repro.experiments.figures import FIGURES
+from repro.experiments.harness import ExperimentResult, run_experiment
+from repro.experiments.report import ascii_chart, format_comparison_summary, format_result
+
+SEED = int(os.environ.get("REPRO_SEED", "0"))
+
+#: Methods must beat/lose by this slack factor for a shape assertion to
+#: count — guards the qualitative checks against trial noise.
+SLACK = 1.0
+
+
+def tail_mean(result: ExperimentResult, method: str, k: int = 3) -> float:
+    """Mean error over the k largest budgets — the stable end of a curve."""
+    budgets = result.series[method].budgets[-k:]
+    return sum(result.series[method].mean(b) for b in budgets) / len(budgets)
+
+
+def cosine_wins(result: ExperimentResult, k: int = 3) -> bool:
+    """The paper's headline shape: cosine under both sketches."""
+    cos = tail_mean(result, "cosine", k)
+    return cos <= tail_mean(result, "skimmed_sketch", k) * SLACK and cos <= tail_mean(
+        result, "basic_sketch", k
+    ) * SLACK
+
+
+def sketches_win(result: ExperimentResult, k: int = 3) -> bool:
+    """The Figure 1 shape: at least one sketch under cosine."""
+    cos = tail_mean(result, "cosine", k)
+    return (
+        tail_mean(result, "skimmed_sketch", k) <= cos * SLACK
+        or tail_mean(result, "basic_sketch", k) <= cos * SLACK
+    )
+
+
+def run_figure(
+    benchmark,
+    capsys,
+    figure_id: str,
+    check: Callable[[ExperimentResult], None],
+) -> ExperimentResult:
+    """Run one figure's sweep under pytest-benchmark and verify its shape."""
+    config = FIGURES[figure_id]
+
+    result_holder: list[ExperimentResult] = []
+
+    def sweep():
+        result_holder.clear()
+        result_holder.append(run_experiment(config, seed=SEED))
+        return result_holder[0]
+
+    benchmark.pedantic(sweep, iterations=1, rounds=1)
+    result = result_holder[0]
+    with capsys.disabled():
+        print()
+        print(format_result(result))
+        print(ascii_chart(result))
+        print(format_comparison_summary(result))
+    check(result)
+    return result

@@ -1,0 +1,118 @@
+"""Extension bench: the surveyed sampling / histogram / wavelet baselines.
+
+Section 2 surveys three further synopsis families and dismisses each for a
+*specific* reason — which this bench reproduces honestly:
+
+* **sampling** (the 1988 statistical-estimator lineage): "the estimation
+  accuracy for join queries is far from satisfactory unless the sample
+  size is very large" — an accuracy claim, asserted below at equal space;
+* **histograms**: fine for low-dimensional data but their space "increases
+  dramatically" with dimensions and bucket maintenance is hard — our
+  equi-width baseline is accordingly single-join-only, asserted below;
+* **wavelets**: accuracy is not the problem on one-dimensional data (the
+  table below shows top-coefficient Haar synopses are competitive there!);
+  the problem is maintenance — Gilbert et al. [12] showed tracking the top
+  coefficients online "could require space as large as the data stream
+  itself".  Our streaming ``HaarSynopsis`` exhibits exactly that: it must
+  keep the full length-n transform live and thresholds only at read time,
+  while the cosine synopsis' live state IS its budget.  Asserted
+  structurally below.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import Domain
+from repro.core.synopsis import CosineSynopsis
+from repro.experiments.figures import FIGURES
+from repro.experiments.harness import ExperimentConfig, run_experiment
+from repro.experiments.methods import (
+    CosineMethod,
+    HistogramMethod,
+    SamplingMethod,
+    WaveletMethod,
+)
+from repro.experiments.report import format_result
+from repro.wavelets.haar import HaarSynopsis
+
+BUDGETS = (50, 100, 200, 400)
+
+
+def test_sampling_histogram_wavelet_baselines(benchmark, capsys):
+    base = FIGURES["fig02"]
+    config = ExperimentConfig(
+        name="baseline-extensions",
+        title="Single-join weak-positive zipf data: cosine vs surveyed baselines",
+        datagen=base.datagen,
+        budgets=BUDGETS,
+        trials=4,
+        methods_factory=lambda: [
+            CosineMethod(),
+            SamplingMethod(),
+            HistogramMethod(),
+            WaveletMethod(),
+        ],
+        expectation=(
+            "sampling clearly worse at equal space (section 2); histogram "
+            "and wavelet competitive on 1-d batch accuracy — their section-2 "
+            "disqualifiers are dimensionality and maintenance, asserted "
+            "separately in this bench"
+        ),
+    )
+    result = benchmark.pedantic(
+        run_experiment, args=(config,), kwargs={"seed": 0}, iterations=1, rounds=1
+    )
+    with capsys.disabled():
+        print()
+        print(format_result(result))
+
+    # The paper's sampling claim: far worse at equal space.
+    for budget in BUDGETS[:3]:
+        assert result.mean_error("sample", budget) > result.mean_error(
+            "cosine", budget
+        )
+
+
+def test_histogram_cannot_serve_multijoin_chains(benchmark):
+    # Section 2's histogram disqualifier, reflected in the implementation:
+    # multi-dimensional histograms explode in space, so the baseline is
+    # single-join only.
+    rng = np.random.default_rng(0)
+    n = 32
+    relations = [
+        rng.integers(0, 4, n).astype(float),
+        rng.integers(0, 3, (n, n)).astype(float),
+        rng.integers(0, 4, n).astype(float),
+    ]
+    domains = [[Domain.of_size(n)], [Domain.of_size(n)] * 2, [Domain.of_size(n)]]
+
+    def attempt():
+        with pytest.raises(ValueError, match="single joins"):
+            HistogramMethod().prepare(relations, domains, 10, rng)
+
+    benchmark.pedantic(attempt, iterations=1, rounds=1)
+
+
+def test_wavelet_live_state_exceeds_budget(benchmark, capsys):
+    # Section 2's wavelet disqualifier (Gilbert et al. [12]): maintaining
+    # the top coefficients online needs the full transform live.  The Haar
+    # synopsis' resident state is Theta(n) floats regardless of budget; the
+    # cosine synopsis' resident state equals its budget.
+    n, budget = 4_096, 32
+    haar, cosine = benchmark.pedantic(
+        lambda: (
+            HaarSynopsis(Domain.of_size(n), budget=budget),
+            CosineSynopsis(Domain.of_size(n), budget=budget),
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    haar_live = haar._coefficients.shape[0]
+    cosine_live = cosine.num_coefficients
+    with capsys.disabled():
+        print(
+            f"\nlive synopsis state at advertised budget {budget} on an "
+            f"n={n} domain: cosine {cosine_live} floats, Haar {haar_live} floats"
+        )
+    assert cosine_live == budget
+    assert haar_live >= n

@@ -1,0 +1,62 @@
+"""Engine overhead: what the system layer costs on top of raw synopses.
+
+The ContinuousQueryEngine routes every stream operation through exact
+state maintenance plus one observer per registered query.  This bench
+measures per-operation cost as queries accumulate (0, 1, 4 cosine queries)
+and asserts the dispatch overhead scales roughly linearly in the number of
+observers — no quadratic surprises — and that a bare relation (exact
+counts only) stays cheap.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import Domain
+from repro.streams.engine import ContinuousQueryEngine
+from repro.streams.queries import JoinQuery
+
+N = 512
+OPS = 400
+BUDGET = 128
+
+
+def _engine_with_queries(num_queries: int) -> ContinuousQueryEngine:
+    eng = ContinuousQueryEngine(seed=1)
+    eng.create_relation("S1", ["A"], [Domain.of_size(N)])
+    eng.create_relation("S2", ["A"], [Domain.of_size(N)])
+    query = JoinQuery.chain(["S1", "S2"], ["A"])
+    for i in range(num_queries):
+        eng.register_query(f"q{i}", query, method="cosine", budget=BUDGET)
+    return eng
+
+
+def _ops_per_second(num_queries: int) -> float:
+    eng = _engine_with_queries(num_queries)
+    values = np.random.default_rng(0).integers(0, N, OPS)
+    start = time.perf_counter()
+    for v in values:
+        eng.insert("S1", (int(v),))
+    return OPS / (time.perf_counter() - start)
+
+
+@pytest.mark.parametrize("num_queries", [0, 1, 4])
+def test_engine_insert_overhead(benchmark, num_queries):
+    benchmark.pedantic(_ops_per_second, args=(num_queries,), iterations=1, rounds=3)
+
+
+def test_overhead_scales_linearly(benchmark, capsys):
+    def sweep():
+        return {q: _ops_per_second(q) for q in (0, 1, 2, 4, 8)}
+
+    throughput = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    with capsys.disabled():
+        print("\nengine insert throughput vs registered cosine queries:")
+        for q, tput in throughput.items():
+            print(f"  {q} queries: {tput:>10,.0f} ops/s")
+    # Per-op cost should grow at most ~linearly with observers: going from
+    # 1 to 8 queries must not cost more than ~8x + generous constant slack.
+    assert throughput[8] > throughput[1] / 16
+    # A bare relation (exact state only) stays in a high-throughput regime.
+    assert throughput[0] > 5_000

@@ -1,0 +1,25 @@
+"""Single-join, strong positive correlation, rough distributions (Figure 1).
+
+The one Type I setting where the paper concedes the sketches win: strong
+positive correlation "is a generalization of the self-join case for which
+the sketch was shown to be most suitable".  The shape to reproduce is the
+inverse of every other figure: at least one sketch below the cosine curve.
+"""
+
+from _figure_bench import run_figure, sketches_win
+
+
+def test_fig01(benchmark, capsys):
+    run_figure(
+        benchmark,
+        capsys,
+        "fig01",
+        check=lambda result: _check(result),
+    )
+
+
+def _check(result):
+    assert sketches_win(result), (
+        "expected at least one sketch to beat the cosine method on the "
+        "strongly positively correlated rough data of Figure 1"
+    )

@@ -1,0 +1,24 @@
+"""Single-join, weak positive correlation (Figure 2).
+
+Regenerates the paper's fig02 series: average relative error per storage
+space for the cosine method vs the skimmed and basic sketches.
+Paper shape: Cosine wins; the paper reports sketch errors 2.7x-8.3x larger at 500 coefficients.
+"""
+
+from _figure_bench import cosine_wins, run_figure
+
+
+def test_fig02(benchmark, capsys):
+    run_figure(
+        benchmark,
+        capsys,
+        "fig02",
+        check=lambda result: _check(result),
+    )
+
+
+def _check(result):
+    assert cosine_wins(result), (
+        "expected the cosine method to beat both sketches at the large-"
+        "budget end of fig02; see the printed table"
+    )

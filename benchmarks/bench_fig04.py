@@ -1,0 +1,39 @@
+"""Single-join, negative correlation (Figure 4).
+
+Paper shape: cosine wins, with sketch errors 3.0x/8.9x larger at 500
+coefficients — i.e. at 0.5% of its 10^5-value domain.  Our sweep reaches
+10% of the (scaled) domain, far beyond the paper's region, and out there
+the skimmed sketch eventually catches the cosine method's irreducible
+error on this rough inverted data.  The assertion therefore judges the
+*paper-comparable* low-budget region (<= 3% of the domain), where the
+paper's ordering reproduces robustly; the printed table shows the whole
+curve including the beyond-paper crossover.
+"""
+
+import numpy as np
+
+from _figure_bench import run_figure
+
+
+def test_fig04(benchmark, capsys):
+    run_figure(
+        benchmark,
+        capsys,
+        "fig04",
+        check=_check,
+    )
+
+
+def _check(result):
+    # paper-comparable region: the smallest four budgets (0.5%-3% of n)
+    head = result.series["cosine"].budgets[:4]
+
+    def head_mean(method):
+        return float(np.mean([result.mean_error(method, b) for b in head]))
+
+    cosine = head_mean("cosine")
+    assert cosine < head_mean("basic_sketch"), (
+        "expected cosine under the basic sketch on negatively correlated "
+        "data in the paper-comparable budget region"
+    )
+    assert cosine < head_mean("skimmed_sketch")

@@ -1,0 +1,57 @@
+"""Single-join, strong positive correlation with SMOOTH distributions (Figure 5).
+
+Figures 1 and 5 share their data except for the frequency-to-value mapping
+(random vs orderly).  The paper's claim: "smoothness plays in DCT's favour"
+— the cosine error drops sharply (96.58% -> 56.24% at 500 coefficients in
+the paper) while the sketches are unchanged, "since sketches do not
+approximate distributions".  This bench runs both figures' cosine series
+and the two sketch series of Figure 5 and asserts both halves of the claim.
+"""
+
+
+from _figure_bench import SEED, run_figure, tail_mean
+from repro.experiments.figures import FIGURES
+from repro.experiments.harness import run_experiment
+from repro.experiments.methods import BasicSketchMethod, CosineMethod
+
+
+def test_fig05(benchmark, capsys):
+    run_figure(
+        benchmark,
+        capsys,
+        "fig05",
+        check=lambda result: _check(result, capsys),
+    )
+
+
+def _check(result, capsys):
+    # Half 1: the cosine error on the smooth data (fig05) is far below the
+    # cosine error on the otherwise identical rough data (fig01).
+    rough = run_experiment(
+        FIGURES["fig01"], seed=SEED, methods=[CosineMethod()]
+    )
+    smooth_err = tail_mean(result, "cosine")
+    rough_err = tail_mean(rough, "cosine")
+    with capsys.disabled():
+        print(
+            f"cosine tail error: rough (fig01) {rough_err * 100:.2f}% vs "
+            f"smooth (fig05) {smooth_err * 100:.2f}%"
+        )
+    assert smooth_err < 0.5 * rough_err, (
+        "smoothness should cut the cosine method's error sharply vs Figure 1"
+    )
+
+    # Half 2: the sketches are insensitive to the mapping — their fig05
+    # errors stay in the same regime as on the rough data.
+    rough_sketch = run_experiment(
+        FIGURES["fig01"], seed=SEED, methods=[BasicSketchMethod()]
+    )
+    smooth_sketch_err = tail_mean(result, "basic_sketch")
+    rough_sketch_err = tail_mean(rough_sketch, "basic_sketch")
+    with capsys.disabled():
+        print(
+            f"basic sketch tail error: rough {rough_sketch_err * 100:.2f}% vs "
+            f"smooth {smooth_sketch_err * 100:.2f}%"
+        )
+    assert smooth_sketch_err < 4 * rough_sketch_err + 0.05
+    assert rough_sketch_err < 4 * smooth_sketch_err + 0.05

@@ -1,0 +1,24 @@
+"""Two-join, clustered data, 10 clusters (Figure 9).
+
+Regenerates the paper's fig09 series: average relative error per storage
+space for the cosine method vs the skimmed and basic sketches.
+Paper shape: Cosine wins; the paper reports 5.4x/5.6x larger sketch errors at 1000 coefficients.
+"""
+
+from _figure_bench import cosine_wins, run_figure
+
+
+def test_fig09(benchmark, capsys):
+    run_figure(
+        benchmark,
+        capsys,
+        "fig09",
+        check=lambda result: _check(result),
+    )
+
+
+def _check(result):
+    assert cosine_wins(result), (
+        "expected the cosine method to beat both sketches at the large-"
+        "budget end of fig09; see the printed table"
+    )

@@ -1,0 +1,24 @@
+"""Three-join, clustered data, 10 clusters (Figure 11).
+
+Regenerates the paper's fig11 series: average relative error per storage
+space for the cosine method vs the skimmed and basic sketches.
+Paper shape: Cosine converges first; sketch errors 'too large to be useful' at small budgets (paper).
+"""
+
+from _figure_bench import cosine_wins, run_figure
+
+
+def test_fig11(benchmark, capsys):
+    run_figure(
+        benchmark,
+        capsys,
+        "fig11",
+        check=lambda result: _check(result),
+    )
+
+
+def _check(result):
+    assert cosine_wins(result), (
+        "expected the cosine method to beat both sketches at the large-"
+        "budget end of fig11; see the printed table"
+    )

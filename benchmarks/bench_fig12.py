@@ -1,0 +1,24 @@
+"""Three-join, clustered data, 50 clusters (Figure 12).
+
+Regenerates the paper's fig12 series: average relative error per storage
+space for the cosine method vs the skimmed and basic sketches.
+Paper shape: Same story as Figure 11 with 50 clusters.
+"""
+
+from _figure_bench import cosine_wins, run_figure
+
+
+def test_fig12(benchmark, capsys):
+    run_figure(
+        benchmark,
+        capsys,
+        "fig12",
+        check=lambda result: _check(result),
+    )
+
+
+def _check(result):
+    assert cosine_wins(result), (
+        "expected the cosine method to beat both sketches at the large-"
+        "budget end of fig12; see the printed table"
+    )

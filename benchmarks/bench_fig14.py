@@ -1,0 +1,24 @@
+"""Two-join, Real data I: CPS Age+Education (Figure 14).
+
+Regenerates the paper's fig14 series: average relative error per storage
+space for the cosine method vs the skimmed and basic sketches.
+Paper shape: Cosine under 15%% with 1500 coefficients while sketches are at 38%%/45%% (paper).
+"""
+
+from _figure_bench import cosine_wins, run_figure
+
+
+def test_fig14(benchmark, capsys):
+    run_figure(
+        benchmark,
+        capsys,
+        "fig14",
+        check=lambda result: _check(result),
+    )
+
+
+def _check(result):
+    assert cosine_wins(result), (
+        "expected the cosine method to beat both sketches at the large-"
+        "budget end of fig14; see the printed table"
+    )

@@ -1,0 +1,24 @@
+"""Single-join, Real data II: SIPP SSUSEQ (Figure 15).
+
+Regenerates the paper's fig15 series: average relative error per storage
+space for the cosine method vs the skimmed and basic sketches.
+Paper shape: The paper's most lopsided win: 0.12%% vs 16.23%%/22.12%% at 100 coefficients.
+"""
+
+from _figure_bench import cosine_wins, run_figure
+
+
+def test_fig15(benchmark, capsys):
+    run_figure(
+        benchmark,
+        capsys,
+        "fig15",
+        check=lambda result: _check(result),
+    )
+
+
+def _check(result):
+    assert cosine_wins(result), (
+        "expected the cosine method to beat both sketches at the large-"
+        "budget end of fig15; see the printed table"
+    )

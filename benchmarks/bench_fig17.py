@@ -1,0 +1,24 @@
+"""Single-join (1), Real data III: TCP source hosts (Figure 17).
+
+Regenerates the paper's fig17 series: average relative error per storage
+space for the cosine method vs the skimmed and basic sketches.
+Paper shape: Cosine wins; the paper reports 10.79%% vs 57.6%%/60.1%% at 100 coefficients.
+"""
+
+from _figure_bench import cosine_wins, run_figure
+
+
+def test_fig17(benchmark, capsys):
+    run_figure(
+        benchmark,
+        capsys,
+        "fig17",
+        check=lambda result: _check(result),
+    )
+
+
+def _check(result):
+    assert cosine_wins(result), (
+        "expected the cosine method to beat both sketches at the large-"
+        "budget end of fig17; see the printed table"
+    )

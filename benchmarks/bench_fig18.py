@@ -1,0 +1,24 @@
+"""Single-join (2), Real data III: TCP destination hosts (Figure 18).
+
+Regenerates the paper's fig18 series: average relative error per storage
+space for the cosine method vs the skimmed and basic sketches.
+Paper shape: Same story as Figure 17 on the destination attribute.
+"""
+
+from _figure_bench import cosine_wins, run_figure
+
+
+def test_fig18(benchmark, capsys):
+    run_figure(
+        benchmark,
+        capsys,
+        "fig18",
+        check=lambda result: _check(result),
+    )
+
+
+def _check(result):
+    assert cosine_wins(result), (
+        "expected the cosine method to beat both sketches at the large-"
+        "budget end of fig18; see the printed table"
+    )

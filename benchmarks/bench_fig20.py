@@ -1,0 +1,24 @@
+"""Two-join (2), Real data III: UDP src,dst (Figure 20).
+
+Regenerates the paper's fig20 series: average relative error per storage
+space for the cosine method vs the skimmed and basic sketches.
+Paper shape: Same story as Figure 19 on the UDP trace.
+"""
+
+from _figure_bench import cosine_wins, run_figure
+
+
+def test_fig20(benchmark, capsys):
+    run_figure(
+        benchmark,
+        capsys,
+        "fig20",
+        check=lambda result: _check(result),
+    )
+
+
+def _check(result):
+    assert cosine_wins(result), (
+        "expected the cosine method to beat both sketches at the large-"
+        "budget end of fig20; see the printed table"
+    )

@@ -1,0 +1,45 @@
+"""Grid-choice ablation: midpoint (DCT-II) vs endpoint (section 3.1) grid.
+
+The paper's section 3.1 normalizes values by ``(x - min)/(max - min)``
+(our ``endpoint`` grid), but its exactness claims rest on the midpoint
+grid ``(2j+1)/(2n)``, where the cosine basis is exactly orthogonal (see
+DESIGN.md).  This bench quantifies the difference on the Figure 3
+workload: the midpoint grid's Parseval-exactness should make it at least
+as accurate at every budget, with the endpoint grid carrying a bias floor.
+"""
+
+from repro.experiments.figures import FIGURES
+from repro.experiments.harness import ExperimentConfig, run_experiment
+from repro.experiments.methods import CosineMethod
+from repro.experiments.report import format_result
+
+BUDGETS = (25, 50, 100, 200, 400)
+
+
+def test_midpoint_vs_endpoint_grid(benchmark, capsys):
+    base = FIGURES["fig03"]
+    config = ExperimentConfig(
+        name="grid-ablation",
+        title="Single-join independent zipf data: midpoint vs endpoint grid",
+        datagen=base.datagen,
+        budgets=BUDGETS,
+        trials=4,
+        methods_factory=lambda: [
+            CosineMethod(name="cosine_midpoint", grid="midpoint"),
+            CosineMethod(name="cosine_endpoint", grid="endpoint"),
+        ],
+        expectation=(
+            "the midpoint grid (exact Parseval) should be at least as "
+            "accurate as the literal section 3.1 endpoint normalization"
+        ),
+    )
+    result = benchmark.pedantic(
+        run_experiment, args=(config,), kwargs={"seed": 0}, iterations=1, rounds=1
+    )
+    with capsys.disabled():
+        print()
+        print(format_result(result, reference="cosine_midpoint"))
+    mid = [result.mean_error("cosine_midpoint", b) for b in BUDGETS]
+    end = [result.mean_error("cosine_endpoint", b) for b in BUDGETS]
+    wins = sum(m <= e * 1.05 + 1e-4 for m, e in zip(mid, end))
+    assert wins >= len(BUDGETS) - 1, (mid, end)

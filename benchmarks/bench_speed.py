@@ -1,0 +1,105 @@
+"""Section 5.4: computation speed of updates and estimation.
+
+The paper reports (1.4 GHz Pentium IV, C++): 0.32 us per coefficient per
+cosine update (3.2 ms for 10,000 coefficients), ~1.0 ms to update 10,000
+atomic sketches, 0.4 ms to estimate from 10,000 cosine coefficients and
+1.6 ms from 10,000 atomic sketches.
+
+Absolute numbers are machine- and implementation-bound (ours is vectorized
+numpy, theirs scalar C++); the relation asserted here is the one the paper
+draws from the estimation side: cosine estimation is faster than the
+sketch's median-of-means estimation at equal synopsis size.  Update timings
+are printed for the record — in a vectorized implementation the two update
+paths cost about the same, unlike the paper's scalar loops where the
+sketch's simpler per-counter work wins.
+"""
+
+import pytest
+
+from repro.core.join import estimate_join_size as cosine_join
+from repro.core.normalization import Domain
+from repro.core.synopsis import CosineSynopsis
+from repro.experiments.speed import measure_speed
+from repro.sketches.basic import AGMSSketch, split_budget
+from repro.sketches.basic import estimate_join_size as sketch_join
+from repro.sketches.hashing import SignFamily
+
+SIZE = 10_000
+DOMAIN = 100_000
+
+
+@pytest.fixture(scope="module")
+def synopsis_pair(rng_seed=0):
+    import numpy as np
+
+    rng = np.random.default_rng(rng_seed)
+    domain = Domain.of_size(DOMAIN)
+    warm = rng.integers(0, DOMAIN, size=(5_000, 1))
+    a = CosineSynopsis(domain, order=SIZE)
+    b = CosineSynopsis(domain, order=SIZE)
+    a.insert_batch(warm)
+    b.insert_batch(warm[::-1])
+    return a, b
+
+
+@pytest.fixture(scope="module")
+def sketch_pair():
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    s1, s2 = split_budget(SIZE)
+    family = SignFamily(DOMAIN, s1 * s2, seed=0)
+    warm = rng.integers(0, DOMAIN, size=5_000)
+    a = AGMSSketch(family, s1, s2)
+    b = AGMSSketch(family, s1, s2)
+    a.update_batch(warm)
+    b.update_batch(warm[::-1])
+    return a, b
+
+
+def test_cosine_update_per_tuple(benchmark, synopsis_pair):
+    a, _ = synopsis_pair
+    benchmark(a.insert, (12_345,))
+
+
+def test_sketch_update_per_tuple(benchmark, sketch_pair):
+    a, _ = sketch_pair
+    benchmark(a.update, [12_345])
+
+
+def test_cosine_estimate(benchmark, synopsis_pair):
+    a, b = synopsis_pair
+    benchmark(cosine_join, a, b)
+
+
+def test_sketch_estimate(benchmark, sketch_pair):
+    a, b = sketch_pair
+    benchmark(sketch_join, a, b)
+
+
+def test_section_54_relations(benchmark, capsys):
+    report = benchmark.pedantic(
+        measure_speed,
+        kwargs=dict(
+            synopsis_size=SIZE,
+            domain_size=DOMAIN,
+            update_repeats=150,
+            estimate_repeats=15,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    with capsys.disabled():
+        print()
+        print(report.summary())
+        print(
+            "paper (1.4 GHz P4, C++): cosine update 3.2 ms, sketch update "
+            "1.0 ms, cosine estimate 0.4 ms, sketch estimate 1.6 ms"
+        )
+    # The paper's estimation-side relation must hold: median-of-means costs
+    # more than a coefficient dot product at equal synopsis size.
+    assert report.cosine_estimate < report.sketch_estimate
+    # Sanity: both per-tuple updates stay in the paper's "no problem coping
+    # with fast streams" regime (single-digit milliseconds at 10k counters).
+    assert report.cosine_update_per_tuple < 0.01
+    assert report.sketch_update_per_tuple < 0.01

@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_figNN.py`` regenerates one figure of the paper: it runs the
+figure's budget sweep (workload generation + synopsis construction + every
+method's estimates), prints the error table the paper plots, and asserts
+the paper's qualitative shape.  Wall-clock is recorded by pytest-benchmark.
+
+Environment knobs:
+
+- ``REPRO_TRIALS``       trials per point (default 5)
+- ``REPRO_SEED``         experiment seed (default 0)
+- ``REPRO_SIZE_FACTOR``  multiplies relation sizes (default 1.0)
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

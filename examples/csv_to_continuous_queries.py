@@ -1,0 +1,87 @@
+"""From files to continuous answers: the adoption path in one script.
+
+Loads two "survey waves" from CSV microdata, registers a SQL-shaped
+continuous join query plus a range query, streams a day of new records in
+(with some corrections, i.e. deletions), and shows the running estimates —
+plus the budget advisor and the sketch's dispersion signal, the two
+self-diagnostics the library offers.
+
+Run:  python examples/csv_to_continuous_queries.py
+"""
+
+import io
+
+import numpy as np
+
+from repro import ContinuousQueryEngine, Domain, JoinQuery, relative_error
+from repro.core.join import choose_budget
+from repro.core.synopsis import CosineSynopsis
+from repro.data.loaders import relation_from_csv
+from repro.sketches.basic import AGMSSketch, estimate_join_size_with_spread
+from repro.sketches.hashing import SignFamily
+
+
+def make_csv(rng: np.random.Generator, rows: int) -> io.StringIO:
+    """Synthesize a survey-wave CSV (age, income bracket)."""
+    ages = np.clip(rng.normal(45, 16, rows), 1, 99).astype(int)
+    incomes = np.clip((ages * 0.4 + rng.normal(10, 6, rows)), 1, 60).astype(int)
+    lines = ["age,income"] + [f"{a},{i}" for a, i in zip(ages, incomes)]
+    return io.StringIO("\n".join(lines) + "\n")
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    domains = [Domain.integer_range(1, 99), Domain.integer_range(1, 60)]
+
+    # 1. Load two waves from "files".
+    wave1 = relation_from_csv("wave1", make_csv(rng, 30_000), ["age", "income"], domains)
+    wave2 = relation_from_csv("wave2", make_csv(rng, 25_000), ["age", "income"], domains)
+    print(f"loaded wave1 ({wave1.count:,} rows), wave2 ({wave2.count:,} rows)")
+
+    # 2. Register continuous queries, SQL-shaped.
+    engine = ContinuousQueryEngine(seed=3)
+    engine.add_relation(wave1)
+    engine.add_relation(wave2)
+    query = JoinQuery.from_sql(
+        "SELECT COUNT(*) FROM wave1, wave2 WHERE wave1.age = wave2.age"
+    )
+    engine.register_query("same-age", query, method="cosine", budget=60)
+    engine.register_range_query("working-age", "wave1", "age", low=18, high=65, budget=60)
+
+    # 3. Stream a day of new wave1 records, with a few corrections.
+    day = np.clip(rng.normal(45, 16, 2_000), 1, 99).astype(int)
+    incomes = np.clip((day * 0.4 + rng.normal(10, 6, day.size)), 1, 60).astype(int)
+    for age, income in zip(day, incomes):
+        engine.insert("wave1", (int(age), int(income)))
+    for age, income in list(zip(day, incomes))[:50]:  # corrections
+        engine.delete("wave1", (int(age), int(income)))
+
+    actual = engine.exact_answer("same-age")
+    estimate = engine.answer("same-age")
+    print(f"\nsame-age join:   est {estimate:>14,.0f}  act {actual:>14,.0f}  "
+          f"err {relative_error(actual, estimate):.2%}")
+    ra, re = engine.exact_answer("working-age"), engine.answer("working-age")
+    print(f"working-age pop: est {re:>14,.0f}  act {ra:>14,.0f}  "
+          f"err {relative_error(ra, re):.2%}")
+
+    # 4. The budget advisor: how many coefficients does this data need?
+    age1 = wave1.counts.sum(axis=1).astype(float)
+    age2 = wave2.counts.sum(axis=1).astype(float)
+    full_a = CosineSynopsis.from_counts(domains[0], age1, order=99)
+    full_b = CosineSynopsis.from_counts(domains[0], age2, order=99)
+    recommended = choose_budget(full_a, full_b, tolerance=0.01)
+    print(f"\nbudget advisor: {recommended} coefficients reach 1% self-consistency "
+          f"on this data (we provisioned 60)")
+
+    # 5. The sketch alternative, with its built-in dispersion signal.
+    family = SignFamily(99, 60, seed=9)
+    sk1 = AGMSSketch.from_counts(family, age1, 20, 3)
+    sk2 = AGMSSketch.from_counts(family, age2, 20, 3)
+    sk_est, spread = estimate_join_size_with_spread(sk1, sk2)
+    print(f"sketch at equal space: est {sk_est:,.0f} "
+          f"(group-mean spread {spread:,.0f} -> "
+          f"{'trustworthy' if spread < 0.2 * abs(sk_est) else 'noisy'})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,249 @@
+"""Run every experiment of the paper and regenerate EXPERIMENTS.md.
+
+Usage:
+    python scripts/reproduce_all.py [--trials N] [--seed S] [--out PATH]
+
+Runs the 20 figure sweeps (section 5), the section 5.4 speed table, and
+the section 4.3 best/worst-case ablation, then writes EXPERIMENTS.md
+recording the paper's reported numbers next to ours for every experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.error import worst_case_coefficients
+from repro.core.join import estimate_join_size as cosine_join
+from repro.core.normalization import Domain
+from repro.core.synopsis import CosineSynopsis
+from repro.experiments.figures import FIGURES
+from repro.experiments.harness import ExperimentResult, run_experiment
+from repro.experiments.paper_claims import claims_for, nearest_budget
+from repro.experiments.speed import measure_speed
+from repro.sketches.basic import AGMSSketch, split_budget
+from repro.sketches.basic import estimate_join_size as sketch_join
+from repro.sketches.hashing import SignFamily
+from repro.streams.exact import relative_error
+
+#: What the paper reports, quoted from the section 5 text, per figure.
+PAPER_NOTES = {
+    "fig01": "sketches win (strong positive correlation = generalized self-join)",
+    "fig02": "cosine wins; skimmed/basic errors 2.7x / 8.3x larger at 500 coefficients",
+    "fig03": "cosine wins; 24.4x / 49.8x larger sketch errors at 500 (9.98% vs 92.40% / 333.09%)",
+    "fig04": "cosine wins; 3.0x / 8.9x larger sketch errors at 500 (0.5% of its domain; at our scale the skimmed sketch crosses over at the largest budgets, ~10% of the domain, beyond the paper's swept region)",
+    "fig05": "cosine improves sharply vs Fig 1 (96.58% -> 56.24% at 500); sketches unchanged",
+    "fig06": "all degrade vs Fig 3 (24.21% vs 158.76% / 837.85% at 500); 7.5x / 39.5x ratios",
+    "fig07": "cosine 0.60% vs 7.98% / 8.24% at 500 (13.2x / 13.6x)",
+    "fig08": "similar to Fig 7 with 50 clusters",
+    "fig09": "cosine 26.27% vs 142.46% / 147.56% at 1000 (5.4x / 5.6x)",
+    "fig10": "cosine 12.65% vs 139.89% / 180.37% at 1000 (11.1x / 14.3x)",
+    "fig11": "cosine 86.26% at 1000 -> 9.03% at 20000; sketches 2.2x / 3.0x larger even at 20000",
+    "fig12": "similar to Fig 11 with 50 clusters",
+    "fig13": "all good: 4.71% / 8.08% / 16.05% at 20 coefficients",
+    "fig14": "cosine <15% at 1500 while sketches at 38.1% / 44.81%",
+    "fig15": "cosine 0.12% vs 16.23% / 22.12% at 100 (136x / 185x)",
+    "fig16": "cosine 6.6% vs 10.5% / 12.3% at 1000",
+    "fig17": "cosine 10.79% vs 57.6% / 60.1% at 100; 6.10% vs 15.3% / 22.6% at 900",
+    "fig18": "similar to Fig 17 on destination hosts",
+    "fig19": "cosine 0.57% vs 66.04% / 93.72% at 1500",
+    "fig20": "similar to Fig 19 on the UDP trace",
+}
+
+
+def render_figure(result: ExperimentResult) -> list[str]:
+    config = result.config
+    lines = [
+        f"### {config.name}: {config.title}",
+        "",
+        f"- paper: {PAPER_NOTES[config.name]}",
+        f"- trials: {len(result.actual_sizes)}, mean actual join size "
+        f"{np.mean(result.actual_sizes):.3e}",
+        f"- bench target: `benchmarks/bench_{config.name}.py`",
+        "",
+        "| space | cosine err% | skimmed err% | basic err% | skimmed/cosine | basic/cosine |",
+        "|---:|---:|---:|---:|---:|---:|",
+    ]
+    for budget in result.series["cosine"].budgets:
+        cos = result.mean_error("cosine", budget)
+        skim = result.mean_error("skimmed_sketch", budget)
+        basic = result.mean_error("basic_sketch", budget)
+        lines.append(
+            f"| {budget} | {cos * 100:.2f} | {skim * 100:.2f} | {basic * 100:.2f} "
+            f"| {result.error_ratio('skimmed_sketch', 'cosine', budget):.1f}x "
+            f"| {result.error_ratio('basic_sketch', 'cosine', budget):.1f}x |"
+        )
+    # Judge on the mean over the three largest budgets (the stable end of
+    # the curve), like the benchmark assertions do.
+    tail = result.series["cosine"].budgets[-3:]
+    tail_means = {
+        m: float(np.mean([result.mean_error(m, b) for b in tail]))
+        for m in result.series
+    }
+    winner = min(tail_means, key=tail_means.get)  # type: ignore[arg-type]
+    lines += ["", f"**Winner over the three largest budgets: `{winner}`.**", ""]
+
+    claims = claims_for(config.name)
+    if claims:
+        domain = _figure_domain_size(result)
+        lines += [
+            "Quoted paper values, matched to our budget at the same fraction "
+            "of the domain.  (The fraction is the scale-free axis for the "
+            "cosine method; sketch variance depends on absolute counter "
+            "counts, so sketch columns at tiny matched budgets read worse "
+            "than the paper's 500+-counter points — compare orderings, not "
+            "magnitudes.)",
+            "",
+            "| method | paper space (of n) | paper err% | our space | our err% |",
+            "|---|---:|---:|---:|---:|",
+        ]
+        budgets = result.series["cosine"].budgets
+        for claim in claims:
+            ours = nearest_budget(claim, budgets, domain)
+            measured = result.mean_error(claim.method, ours)
+            lines.append(
+                f"| {claim.method} | {claim.space} ({claim.space_fraction:.2%}) "
+                f"| {claim.relative_error * 100:.2f} | {ours} "
+                f"| {measured * 100:.2f} |"
+            )
+        lines.append("")
+    return lines
+
+
+def _figure_domain_size(result: ExperimentResult) -> int:
+    """Join-attribute domain size of a figure's generated data."""
+    relations, domains = result.config.datagen(np.random.default_rng(0))
+    return domains[0][-1].size
+
+
+def best_worst_case_section() -> list[str]:
+    n = 2_000
+    d = Domain.of_size(n)
+
+    uniform = np.full(n, 50.0)
+    syn = CosineSynopsis.from_counts(d, uniform, order=1)
+    dct_best = relative_error(float(uniform @ uniform), cosine_join(syn, syn))
+    s1, s2 = split_budget(100)
+    sk_errs = []
+    for seed in range(10):
+        fam = SignFamily(n, s1 * s2, seed=seed)
+        a = AGMSSketch.from_counts(fam, uniform, s1, s2)
+        sk_errs.append(
+            relative_error(float(uniform @ uniform), sketch_join(a, a))
+        )
+
+    single = np.zeros(n)
+    single[777] = 10_000.0
+    fam = SignFamily(n, 10, seed=0)
+    sk = AGMSSketch.from_counts(fam, single, 10, 1)
+    sk_worst = relative_error(float(single @ single), sketch_join(sk, sk))
+    m = worst_case_coefficients(0.4, n)
+    syn_small = CosineSynopsis.from_counts(d, single, budget=50)
+    dct_small = relative_error(
+        float(single @ single), cosine_join(syn_small, syn_small)
+    )
+    syn_412 = CosineSynopsis.from_counts(d, single, order=m)
+    dct_412 = relative_error(float(single @ single), cosine_join(syn_412, syn_412))
+
+    return [
+        "## Section 4.3 best/worst cases (analysis, measured)",
+        "",
+        "| claim (paper) | measured |",
+        "|---|---|",
+        "| §4.3.1 uniform data: DCT exact with 1 coefficient | "
+        f"relative error {dct_best:.1e} with 1 coefficient |",
+        "| §4.3.1 uniform data: sketch needs Ω(n) space | "
+        f"mean error {np.mean(sk_errs) * 100:.2f}% with 100 atomic sketches on n=2000 |",
+        "| §4.3.2 single-value streams: sketch exact with O(1) space | "
+        f"relative error {sk_worst:.1e} with 10 atomic sketches |",
+        "| §4.3.2 single-value streams: DCT needs n−⌊en/2⌋ coefficients (Eq. 4.12) | "
+        f"error {dct_small * 100:.1f}% with 50 coefficients; Eq. 4.12 budget m={m} "
+        f"gives {dct_412 * 100:.1f}% ≤ the 40% target |",
+        "",
+        "Bench target: `benchmarks/bench_best_worst_case.py`.",
+        "",
+    ]
+
+
+def speed_section() -> list[str]:
+    report = measure_speed(update_repeats=200, estimate_repeats=20)
+    return [
+        "## Section 5.4 computation speed",
+        "",
+        "Paper (1.4 GHz Pentium IV, scalar C++) vs this machine (vectorized",
+        "numpy), both at 10,000 coefficients / atomic sketches:",
+        "",
+        "| operation | paper | measured |",
+        "|---|---:|---:|",
+        f"| cosine update, per tuple | 3.2 ms | {report.cosine_update_per_tuple * 1e3:.3f} ms |",
+        f"| cosine update, per coefficient | 0.32 µs | {report.cosine_update_per_coefficient * 1e6:.4f} µs |",
+        f"| sketch update, per tuple | 1.0 ms | {report.sketch_update_per_tuple * 1e3:.3f} ms |",
+        f"| cosine estimate | 0.4 ms | {report.cosine_estimate * 1e3:.3f} ms |",
+        f"| sketch estimate | 1.6 ms | {report.sketch_estimate * 1e3:.3f} ms |",
+        "",
+        "The paper's estimation-side relation (cosine estimation faster than",
+        "the sketch's median-of-means) reproduces: "
+        f"{report.cosine_estimate * 1e3:.3f} ms vs {report.sketch_estimate * 1e3:.3f} ms.",
+        "On the update side the paper's scalar C++ loops favour the sketch's",
+        "simpler per-counter work (1.0 vs 3.2 ms); under vectorized numpy the",
+        "two update paths cost about the same, so that gap does not reproduce",
+        "(documented in DESIGN.md and `benchmarks/bench_speed.py`).",
+        "",
+        "Bench target: `benchmarks/bench_speed.py`.",
+        "",
+    ]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=Path, default=Path("EXPERIMENTS.md"))
+    parser.add_argument(
+        "--figures",
+        help="comma-separated subset (e.g. fig03,fig15); default: all twenty",
+    )
+    args = parser.parse_args()
+    selected = sorted(FIGURES) if not args.figures else args.figures.split(",")
+    for figure_id in selected:
+        if figure_id not in FIGURES:
+            parser.error(f"unknown figure {figure_id!r}")
+
+    lines = [
+        "# EXPERIMENTS — paper vs measured",
+        "",
+        "Regenerate with `python scripts/reproduce_all.py` (or run the",
+        "per-figure benches: `pytest benchmarks/ --benchmark-only`).",
+        "",
+        "Scales differ from the paper's testbed (see DESIGN.md): the paper",
+        "uses 10^7-tuple relations over 10^5-value domains with 200 query",
+        "repetitions; this run uses the reproduction-scale defaults in",
+        "`repro/experiments/figures.py`.  The comparisons below are therefore",
+        "about *shape* — who wins, by roughly what factor, where curves",
+        "saturate — not absolute error values.",
+        "",
+        f"Seed {args.seed}.",
+        "",
+        "## Section 5 figures",
+        "",
+    ]
+    t0 = time.time()
+    for figure_id in selected:
+        config = FIGURES[figure_id]
+        print(f"running {figure_id} ...", flush=True)
+        result = run_experiment(config, seed=args.seed, trials=args.trials)
+        lines.extend(render_figure(result))
+    lines.extend(best_worst_case_section())
+    lines.extend(speed_section())
+    lines.append(f"_Total reproduction wall-clock: {time.time() - t0:.0f} s._")
+    lines.append("")
+
+    args.out.write_text("\n".join(lines))
+    print(f"wrote {args.out} in {time.time() - t0:.0f} s")
+
+
+if __name__ == "__main__":
+    main()

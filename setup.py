@@ -1,0 +1,12 @@
+"""Setup shim for offline editable installs.
+
+The environment ships setuptools 65 without the ``wheel`` package, so PEP
+660 editable installs (``pip install -e .``) cannot build a wheel.  This
+shim lets ``pip install -e . --no-use-pep517`` (or plain ``pip install -e .``
+with newer tooling) fall back to the classic ``setup.py develop`` path.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,113 @@
+"""Analytic error bounds for cosine-series join estimation (section 4.3).
+
+The paper derives, for two streams of equal size ``N`` over a join domain of
+size ``n`` with ``m`` retained coefficients:
+
+* absolute error bound (Eq. 4.7):   ``|J - Est| <= 2 N^2 (n - m) / n``
+* relative error bound (Eq. 4.8):   ``|J - Est| / J <= 2 N^2 (n - m) / (J n)``
+* coefficient budget for error e (Eq. 4.9): ``m = n - floor(e J n / (2 N^2))``
+* worst case, single-valued streams (Eq. 4.12): ``m = n - floor(e n / 2)``
+
+and contrasts them with the sketch space bounds (section 4.3): basic sketch
+best case ``Omega(N^2 / J)``, worst case ``O(N^4 / J^2)``; skimmed sketch
+``Theta(N^2 / J)`` valid above the sanity bound ``J >= N^{3/2}`` (plus its
+hidden ``O(n)`` dense-frequency storage).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def absolute_error_bound(n1: int, n2: int, domain_size: int, num_coefficients: int) -> float:
+    """Deterministic bound on ``|J - Est|`` (generalization of Eq. 4.7).
+
+    Follows from ``|a_k|, |b_k| <= sqrt(2)``: the dropped tail of the
+    coefficient dot product is at most ``2 (n - m)`` terms of magnitude
+    ``N1 N2 / n`` each.
+    """
+    _check_space(domain_size, num_coefficients)
+    return 2.0 * n1 * n2 * (domain_size - num_coefficients) / domain_size
+
+
+def relative_error_bound(
+    join_size: float, n1: int, n2: int, domain_size: int, num_coefficients: int
+) -> float:
+    """Bound on the relative error ``|J - Est| / J`` (Eq. 4.8)."""
+    if join_size <= 0:
+        raise ValueError("the relative error bound assumes J > 0")
+    return absolute_error_bound(n1, n2, domain_size, num_coefficients) / join_size
+
+
+def coefficients_for_relative_error(
+    error: float, join_size: float, stream_size: int, domain_size: int
+) -> int:
+    """Coefficient budget guaranteeing relative error ``<= error`` (Eq. 4.9).
+
+    ``m = n - floor(e J n / (2 N^2))``, clamped to ``[1, n]``.  Note the
+    guarantee is worst-case over all distributions; actual budgets needed
+    are usually far smaller (that is the point of the experiments).
+    """
+    if not 0 < error:
+        raise ValueError("error threshold must be positive")
+    if join_size <= 0:
+        raise ValueError("Eq. 4.9 assumes a positive join size")
+    slack = math.floor(error * join_size * domain_size / (2.0 * stream_size**2))
+    return int(min(max(domain_size - slack, 1), domain_size))
+
+
+def worst_case_coefficients(error: float, domain_size: int) -> int:
+    """Coefficient budget in the DCT worst case (Eq. 4.12).
+
+    Both streams hold a single identical value, so ``J = N^2`` and the
+    budget degenerates to ``m = n - floor(e n / 2)`` — near-linear in the
+    domain size for small ``e``.  (The sketches are exact here with O(1)
+    space; section 4.3.2.)
+    """
+    if not 0 < error:
+        raise ValueError("error threshold must be positive")
+    if domain_size < 1:
+        raise ValueError("domain size must be >= 1")
+    return int(min(max(domain_size - math.floor(error * domain_size / 2.0), 1), domain_size))
+
+
+@dataclass(frozen=True)
+class SketchSpaceBounds:
+    """Sketch space bounds quoted in section 4.3, in atomic-sketch units."""
+
+    basic_best: float
+    basic_worst: float
+    skimmed: float
+    skimmed_sanity_bound: float
+    skimmed_extra_dense_space: int
+
+
+def sketch_space_bounds(stream_size: int, join_size: float, domain_size: int) -> SketchSpaceBounds:
+    """Evaluate the section 4.3 sketch bounds for a concrete instance.
+
+    Returns asymptotic expressions evaluated without hidden constants — they
+    are for *comparative* reasoning (as in the paper), not exact budgets.
+    ``skimmed_sanity_bound`` is ``N^{3/2}``: below that join size the
+    skimmed bound is not valid.  ``skimmed_extra_dense_space`` records the
+    hidden O(n) dense-frequency storage.
+    """
+    if join_size <= 0:
+        raise ValueError("join size must be positive")
+    n_sq = float(stream_size) ** 2
+    return SketchSpaceBounds(
+        basic_best=n_sq / join_size,
+        basic_worst=n_sq**2 / join_size**2,
+        skimmed=n_sq / join_size,
+        skimmed_sanity_bound=float(stream_size) ** 1.5,
+        skimmed_extra_dense_space=domain_size,
+    )
+
+
+def _check_space(domain_size: int, num_coefficients: int) -> None:
+    if domain_size < 1:
+        raise ValueError("domain size must be >= 1")
+    if not 1 <= num_coefficients <= domain_size:
+        raise ValueError(
+            f"coefficient count must be in [1, {domain_size}], got {num_coefficients}"
+        )

@@ -1,0 +1,71 @@
+"""Count-based sliding-window cosine synopses.
+
+Sliding windows are the standard way continuous queries bound unbounded
+streams; the paper's Eq. 3.5 deletion support is exactly what makes them
+cheap for cosine synopses: expire the oldest tuple by deleting it.  This
+module packages that pattern — a synopsis plus the ring buffer of live
+tuples — behind the same estimation surface as a plain synopsis.
+
+Memory honesty: the ring buffer stores the raw tuples of the live window
+(that is unavoidable for exact expiry under count-based semantics), so the
+window's space is O(window) tuples + O(budget) coefficients.  For
+approximate recency without the buffer, use
+:class:`repro.core.decay.DecayedCosineSynopsis` instead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from .basis import GridKind
+from .normalization import Domain
+from .synopsis import CosineSynopsis
+
+
+class SlidingWindowSynopsis:
+    """A cosine synopsis over the last ``window_size`` arrivals."""
+
+    def __init__(
+        self,
+        domains: Sequence[Domain] | Domain,
+        window_size: int,
+        order: int | None = None,
+        budget: int | None = None,
+        truncation: str = "triangular",
+        grid: GridKind = "midpoint",
+    ) -> None:
+        if window_size < 1:
+            raise ValueError(f"window size must be >= 1, got {window_size}")
+        self.window_size = window_size
+        self.synopsis = CosineSynopsis(
+            domains, order=order, budget=budget, truncation=truncation, grid=grid
+        )
+        self._window: deque[tuple] = deque()
+
+    @property
+    def count(self) -> int:
+        """Live tuples in the window (== window_size once warmed up)."""
+        return len(self._window)
+
+    @property
+    def num_coefficients(self) -> int:
+        return self.synopsis.num_coefficients
+
+    def insert(self, values) -> tuple | None:
+        """Add an arrival; returns the expired tuple once the window is full."""
+        values = tuple(values) if not isinstance(values, tuple) else values
+        self.synopsis.insert(values)
+        self._window.append(values)
+        if len(self._window) > self.window_size:
+            expired = self._window.popleft()
+            self.synopsis.delete(expired)
+            return expired
+        return None
+
+    def contents(self) -> list[tuple]:
+        """The live window, oldest first (for inspection/testing)."""
+        return list(self._window)
+
+    def __len__(self) -> int:
+        return len(self._window)

@@ -1,0 +1,57 @@
+"""Workload generators for the section 5 experiments.
+
+- :mod:`repro.data.zipf` — Type I synthetic data (Figures 1-6): Zipfian
+  frequencies with controlled correlation, smoothness, and skew.
+- :mod:`repro.data.clustered` — Type II synthetic data (Figures 7-12): the
+  Vitter-Dobra clustered, correlated generator.
+- :mod:`repro.data.reallike` — real-life-like substitutes (Figures 13-20)
+  for the CPS, SIPP, and DEC-PKT datasets.
+- :mod:`repro.data.streams` — expanding count tensors into tuple streams.
+"""
+
+from .clustered import ClusteredConfig, clustered_counts, make_clustered_chain
+from .loaders import counts_from_csv, iter_csv_rows, relation_from_csv
+from .reallike import (
+    CPS_MONTH_SIZES,
+    SIPP_YEAR_SIZES,
+    RealLikeRelation,
+    cps_like,
+    sipp_ssuseq,
+    sipp_weight_earnings,
+    traffic_hosts,
+    traffic_pairs,
+)
+from .streams import raw_rows_from_counts, rows_from_counts
+from .zipf import (
+    Correlation,
+    TypeIConfig,
+    apportion,
+    make_type1_pair,
+    zipf_counts,
+    zipf_probabilities,
+)
+
+__all__ = [
+    "ClusteredConfig",
+    "counts_from_csv",
+    "iter_csv_rows",
+    "relation_from_csv",
+    "clustered_counts",
+    "make_clustered_chain",
+    "CPS_MONTH_SIZES",
+    "SIPP_YEAR_SIZES",
+    "RealLikeRelation",
+    "cps_like",
+    "sipp_ssuseq",
+    "sipp_weight_earnings",
+    "traffic_hosts",
+    "traffic_pairs",
+    "raw_rows_from_counts",
+    "rows_from_counts",
+    "Correlation",
+    "TypeIConfig",
+    "apportion",
+    "make_type1_pair",
+    "zipf_counts",
+    "zipf_probabilities",
+]

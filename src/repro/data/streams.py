@@ -1,0 +1,53 @@
+"""Turning frequency tensors into simulated tuple streams.
+
+The experiments read "tuples one after another to simulate the arrival of
+items in the data stream" (section 5.1); these helpers expand a joint count
+tensor into a shuffled array of index tuples (and optionally raw-value
+tuples for relations whose domains do not start at zero).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.normalization import Domain
+
+
+def rows_from_counts(
+    counts: np.ndarray, rng: np.random.Generator, shuffle: bool = True
+) -> np.ndarray:
+    """Expand a joint count tensor into an ``(N, ndim)`` array of index rows.
+
+    Each cell ``(j1..jd)`` with count ``c`` contributes ``c`` identical
+    rows; the rows arrive in random order when ``shuffle`` is set (the
+    paper's "no control over the order in which they arrive").
+    """
+    counts = np.asarray(counts)
+    if counts.min() < 0:
+        raise ValueError("counts must be non-negative")
+    flat = counts.ravel()
+    cells = np.repeat(np.arange(flat.shape[0]), flat.astype(np.int64))
+    rows = np.stack(np.unravel_index(cells, counts.shape), axis=1)
+    if shuffle:
+        rng.shuffle(rows, axis=0)
+    return rows
+
+
+def raw_rows_from_counts(
+    counts: np.ndarray,
+    domains: tuple[Domain, ...] | list[Domain],
+    rng: np.random.Generator,
+    shuffle: bool = True,
+) -> np.ndarray:
+    """Like :func:`rows_from_counts` but in raw attribute values.
+
+    Only integer-range domains are supported (indices shift by each
+    domain's lower bound).
+    """
+    rows = rows_from_counts(counts, rng, shuffle=shuffle)
+    offsets = []
+    for d in domains:
+        if d.low is None:
+            raise ValueError("raw rows require integer-range domains")
+        offsets.append(d.low)
+    return rows + np.asarray(offsets, dtype=rows.dtype)[None, :]

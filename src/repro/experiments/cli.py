@@ -1,0 +1,155 @@
+"""Command-line front end for the experiment harness.
+
+Usage (installed as the ``repro-experiments`` console script, or via
+``python -m repro.experiments.cli``):
+
+    repro-experiments list
+    repro-experiments run fig03 [--trials 5] [--seed 0] [--budgets 100,500]
+    repro-experiments run all
+    repro-experiments speed [--size 10000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .figures import FIGURES
+from .harness import run_experiment
+from .report import (
+    ascii_chart,
+    format_comparison_summary,
+    format_result,
+    result_to_dict,
+)
+from .speed import measure_speed
+from .sweeps import (
+    bound_tightness_sweep,
+    correlation_sweep,
+    domain_size_sweep,
+    skew_sweep,
+)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    width = max(len(config.title) for config in FIGURES.values())
+    for figure_id in sorted(FIGURES):
+        config = FIGURES[figure_id]
+        budgets = f"{config.budgets[0]}..{config.budgets[-1]}"
+        print(f"{figure_id}  {config.title:<{width}}  space {budgets}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.figure == "all":
+        figure_ids = sorted(FIGURES)
+    elif args.figure in FIGURES:
+        figure_ids = [args.figure]
+    else:
+        print(
+            f"unknown figure {args.figure!r}; try 'list' for the catalogue",
+            file=sys.stderr,
+        )
+        return 2
+    budgets = None
+    if args.budgets:
+        budgets = tuple(int(b) for b in args.budgets.split(","))
+    exported = []
+    for figure_id in figure_ids:
+        result = run_experiment(
+            FIGURES[figure_id], seed=args.seed, trials=args.trials, budgets=budgets
+        )
+        print(format_result(result))
+        if args.chart:
+            print(ascii_chart(result))
+        print(format_comparison_summary(result))
+        print()
+        exported.append(result_to_dict(result))
+    if args.json:
+        import json
+        from pathlib import Path
+
+        Path(args.json).write_text(json.dumps(exported, indent=1))
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_speed(args: argparse.Namespace) -> int:
+    report = measure_speed(synopsis_size=args.size)
+    print(report.summary())
+    return 0
+
+
+_SWEEPS = {
+    "skew": skew_sweep,
+    "correlation": correlation_sweep,
+    "domain": domain_size_sweep,
+}
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.axis == "bound":
+        points = bound_tightness_sweep(trials=args.trials, seed=args.seed)
+        print(f"{'space':>7}  {'measured':>10}  {'bound':>12}")
+        for p in points:
+            print(
+                f"{p.budget:>7}  {p.measured * 100:>9.3f}%  {p.bound * 100:>11.1f}%"
+            )
+        return 0
+    if args.axis not in _SWEEPS:
+        print(f"unknown sweep axis {args.axis!r}", file=sys.stderr)
+        return 2
+    points = _SWEEPS[args.axis](trials=args.trials, seed=args.seed)
+    methods = list(points[0].errors)
+    print(f"{'param':>9}  " + "  ".join(f"{m:>15}" for m in methods))
+    for point in points:
+        print(
+            f"{point.parameter:>9.3g}  "
+            + "  ".join(f"{point.errors[m] * 100:>14.2f}%" for m in methods)
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the paper's section 5 experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the figure catalogue").set_defaults(
+        func=_cmd_list
+    )
+
+    run = sub.add_parser("run", help="run one figure's sweep (or 'all')")
+    run.add_argument("figure", help="fig01..fig20, or 'all'")
+    run.add_argument("--trials", type=int, default=None)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--budgets", help="comma-separated space budgets")
+    run.add_argument("--chart", action="store_true", help="render an ASCII error chart")
+    run.add_argument("--json", help="also write the raw series to this JSON file")
+    run.set_defaults(func=_cmd_run)
+
+    speed = sub.add_parser("speed", help="measure the section 5.4 timings")
+    speed.add_argument("--size", type=int, default=10_000)
+    speed.set_defaults(func=_cmd_speed)
+
+    sweep = sub.add_parser(
+        "sweep", help="sensitivity sweeps: skew | correlation | domain | bound"
+    )
+    sweep.add_argument("axis", choices=["skew", "correlation", "domain", "bound"])
+    sweep.add_argument("--trials", type=int, default=3)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,130 @@
+"""Text rendering of experiment results, in the paper's figure layout.
+
+Each figure is a table of average relative error (%) per storage space,
+one column per method — the same series the paper plots.
+"""
+
+from __future__ import annotations
+
+from .harness import ExperimentResult
+
+
+def format_result(result: ExperimentResult, reference: str = "cosine") -> str:
+    """Render one experiment as an aligned text table with ratio columns."""
+    config = result.config
+    methods = list(result.series)
+    header = ["space"] + [f"{m} err%" for m in methods]
+    ratio_methods = [m for m in methods if m != reference and reference in result.series]
+    header += [f"{m}/{reference}" for m in ratio_methods]
+
+    rows: list[list[str]] = []
+    for budget in result.series[methods[0]].budgets:
+        row = [str(budget)]
+        for m in methods:
+            row.append(f"{result.mean_error(m, budget) * 100:.2f}")
+        for m in ratio_methods:
+            row.append(f"{result.error_ratio(m, reference, budget):.1f}x")
+        rows.append(row)
+
+    widths = [max(len(h), *(len(r[i]) for r in rows)) for i, h in enumerate(header)]
+    lines = [
+        f"{config.name}: {config.title}",
+        f"trials: {len(result.actual_sizes)}, "
+        f"mean actual join size: {sum(result.actual_sizes) / len(result.actual_sizes):.3e}",
+    ]
+    if config.expectation:
+        lines.append(f"paper expectation: {config.expectation}")
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """Serialize an experiment result to plain JSON-compatible types.
+
+    For piping results into external plotting or archival: figure metadata,
+    every method's per-budget trial errors, and the trial ground truths.
+    """
+    return {
+        "name": result.config.name,
+        "title": result.config.title,
+        "expectation": result.config.expectation,
+        "actual_sizes": [float(a) for a in result.actual_sizes],
+        "budgets": list(result.series[next(iter(result.series))].budgets),
+        "series": {
+            method: {
+                str(budget): [float(e) for e in series.errors[budget]]
+                for budget in series.budgets
+            }
+            for method, series in result.series.items()
+        },
+    }
+
+
+def ascii_chart(
+    result: ExperimentResult,
+    width: int = 64,
+    height: int = 16,
+    log_scale: bool = True,
+) -> str:
+    """Render the error curves as an ASCII chart (error vs space).
+
+    One mark per method (``1``, ``2``, ... in series order; ``*`` where
+    methods overlap), y axis is relative error (log scale by default,
+    matching how the paper's figures are best read), x axis is the space
+    budget.  A plotting-library-free stand-in for the paper's figures.
+    """
+    import math
+
+    methods = list(result.series)
+    budgets = list(result.series[methods[0]].budgets)
+    if len(budgets) < 2:
+        raise ValueError("a chart needs at least two budgets")
+
+    floor = 1e-6  # zero errors clip here on the log scale
+    values = {
+        m: [max(result.mean_error(m, b), floor) for b in budgets] for m in methods
+    }
+    transform = (lambda v: math.log10(v)) if log_scale else (lambda v: v)
+    lo = min(transform(v) for series in values.values() for v in series)
+    hi = max(transform(v) for series in values.values() for v in series)
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    x_lo, x_hi = budgets[0], budgets[-1]
+    for mark, method in enumerate(methods, start=1):
+        for budget, value in zip(budgets, values[method]):
+            x = round((budget - x_lo) / (x_hi - x_lo) * (width - 1))
+            y = round((transform(value) - lo) / (hi - lo) * (height - 1))
+            row, col = height - 1 - y, x
+            grid[row][col] = "*" if grid[row][col] not in (" ", str(mark)) else str(mark)
+
+    def y_label(row: int) -> str:
+        frac = (height - 1 - row) / (height - 1)
+        value = lo + frac * (hi - lo)
+        shown = 10**value if log_scale else value
+        return f"{shown * 100:9.2g}%"
+
+    lines = [f"{result.config.name}: relative error vs space"]
+    for row in range(height):
+        label = y_label(row) if row % 4 == 0 or row == height - 1 else " " * 10
+        lines.append(f"{label} |{''.join(grid[row])}")
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(f"{'':10}  {x_lo}{str(x_hi).rjust(width - len(str(x_lo)) - 1)}")
+    legend = "   ".join(f"{i}={m}" for i, m in enumerate(methods, start=1))
+    lines.append(f"{'':10}  {legend}   (*=overlap)")
+    return "\n".join(lines)
+
+
+def format_comparison_summary(result: ExperimentResult, reference: str = "cosine") -> str:
+    """One-line verdict: who wins at the largest budget and by how much."""
+    budget = result.series[reference].budgets[-1]
+    winner = result.winner(budget)
+    parts = [f"{result.config.name}: winner at space {budget} is {winner}"]
+    for m in result.series:
+        if m == reference:
+            continue
+        parts.append(f"{m} error is {result.error_ratio(m, reference, budget):.1f}x {reference}'s")
+    return "; ".join(parts)

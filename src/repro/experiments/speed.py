@@ -1,0 +1,110 @@
+"""Section 5.4 computation-speed measurements.
+
+The paper reports, on a 1.4 GHz Pentium IV:
+
+* cosine: 0.32 microseconds per coefficient per tuple update; ~0.4 ms to
+  estimate from 10,000 coefficients;
+* sketches: ~1.0 ms to update 10,000 atomic sketches per tuple (faster
+  than the cosine update); ~1.6 ms to estimate from 10,000 atomic sketches
+  (slower, because of the median-of-means pass).
+
+Absolute numbers are hardware-bound; the *relations* the paper draws —
+sketch updates cheaper than cosine updates at equal synopsis size, cosine
+estimation cheaper than sketch estimation — are what
+``benchmarks/bench_speed.py`` checks on this machine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.join import estimate_join_size as cosine_join
+from ..core.normalization import Domain
+from ..core.synopsis import CosineSynopsis
+from ..sketches.basic import AGMSSketch, split_budget
+from ..sketches.basic import estimate_join_size as sketch_join
+from ..sketches.hashing import SignFamily
+
+#: The synopsis size used by the paper's section 5.4 numbers.
+PAPER_SYNOPSIS_SIZE = 10_000
+
+
+@dataclass(frozen=True)
+class SpeedReport:
+    """Per-operation wall-clock timings, in seconds."""
+
+    synopsis_size: int
+    cosine_update_per_tuple: float
+    cosine_update_per_coefficient: float
+    cosine_estimate: float
+    sketch_update_per_tuple: float
+    sketch_update_per_atom: float
+    sketch_estimate: float
+
+    def summary(self) -> str:
+        us = 1e6
+        return "\n".join(
+            [
+                f"synopsis size: {self.synopsis_size} coefficients / atomic sketches",
+                f"cosine  update: {self.cosine_update_per_tuple * 1e3:9.4f} ms/tuple "
+                f"({self.cosine_update_per_coefficient * us:.4f} us/coefficient)",
+                f"sketch  update: {self.sketch_update_per_tuple * 1e3:9.4f} ms/tuple "
+                f"({self.sketch_update_per_atom * us:.4f} us/atomic sketch)",
+                f"cosine estimate: {self.cosine_estimate * 1e3:8.4f} ms",
+                f"sketch estimate: {self.sketch_estimate * 1e3:8.4f} ms",
+            ]
+        )
+
+
+def _time(callable_, repeats: int) -> float:
+    start = time.perf_counter()
+    for _ in range(repeats):
+        callable_()
+    return (time.perf_counter() - start) / repeats
+
+
+def measure_speed(
+    synopsis_size: int = PAPER_SYNOPSIS_SIZE,
+    domain_size: int = 100_000,
+    update_repeats: int = 200,
+    estimate_repeats: int = 20,
+    seed: int = 0,
+) -> SpeedReport:
+    """Measure the section 5.4 operations at a given synopsis size."""
+    rng = np.random.default_rng(seed)
+    domain = Domain.of_size(domain_size)
+
+    synopsis_a = CosineSynopsis(domain, order=synopsis_size)
+    synopsis_b = CosineSynopsis(domain, order=synopsis_size)
+    s1, s2 = split_budget(synopsis_size)
+    family = SignFamily(domain_size, s1 * s2, seed=seed)
+    sketch_a = AGMSSketch(family, s1, s2)
+    sketch_b = AGMSSketch(family, s1, s2)
+
+    warm = rng.integers(0, domain_size, size=(2_000, 1))
+    synopsis_a.insert_batch(warm)
+    synopsis_b.insert_batch(warm[::-1])
+    sketch_a.update_batch(warm[:, 0])
+    sketch_b.update_batch(warm[::-1, 0])
+
+    values = rng.integers(0, domain_size, size=update_repeats)
+    i = iter(values.tolist())
+    cosine_update = _time(lambda: synopsis_a.insert((next(i),)), update_repeats - 1)
+    j = iter(values.tolist())
+    sketch_update = _time(lambda: sketch_a.update([next(j)]), update_repeats - 1)
+
+    cosine_estimate = _time(lambda: cosine_join(synopsis_a, synopsis_b), estimate_repeats)
+    sketch_estimate = _time(lambda: sketch_join(sketch_a, sketch_b), estimate_repeats)
+
+    return SpeedReport(
+        synopsis_size=synopsis_size,
+        cosine_update_per_tuple=cosine_update,
+        cosine_update_per_coefficient=cosine_update / synopsis_size,
+        cosine_estimate=cosine_estimate,
+        sketch_update_per_tuple=sketch_update,
+        sketch_update_per_atom=sketch_update / (s1 * s2),
+        sketch_estimate=sketch_estimate,
+    )

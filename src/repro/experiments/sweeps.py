@@ -1,0 +1,218 @@
+"""Sensitivity sweeps beyond the paper's fixed figure settings.
+
+The paper samples its parameter space at a few points (zipf 0.5/1.0/1.5,
+four correlation regimes, 10%/permutation).  These sweeps trace the full
+curves, answering the questions the figures raise:
+
+* :func:`skew_sweep` — error vs the second relation's zipf parameter
+  (interpolating Figure 3 -> Figure 6 and beyond);
+* :func:`correlation_sweep` — error vs the fraction of displaced head
+  frequencies (interpolating Figure 1 -> Figure 2 -> independence);
+* :func:`domain_size_sweep` — error vs domain size at a fixed coefficient
+  *fraction*, probing how the methods scale toward the paper's n = 10^5;
+* :func:`bound_tightness_sweep` — the measured error against the Eq. 4.8
+  deterministic bound across coefficient budgets (how loose is the
+  worst-case guarantee on real-ish data).
+
+Each returns plain result rows so benches and notebooks can render them;
+``benchmarks/bench_sensitivity.py`` runs all four and asserts their
+expected monotonicities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.error import relative_error_bound
+from ..core.normalization import Domain
+from ..data.zipf import Correlation, TypeIConfig, make_type1_pair
+from .harness import ExperimentConfig, run_experiment
+from .methods import Method, default_methods
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep position: the varied parameter and per-method mean errors."""
+
+    parameter: float
+    errors: dict[str, float]
+
+
+def _mean_errors(
+    datagen, budget: int, trials: int, seed: int, methods: Sequence[Method]
+) -> dict[str, float]:
+    config = ExperimentConfig(
+        name="sweep-point",
+        title="sweep point",
+        datagen=datagen,
+        budgets=(budget,),
+        trials=trials,
+    )
+    result = run_experiment(config, seed=seed, methods=list(methods))
+    return {m: result.mean_error(m, budget) for m in result.series}
+
+
+def skew_sweep(
+    z2_values: Sequence[float] = (0.0, 0.5, 1.0, 1.5, 2.0),
+    domain_size: int = 5_000,
+    relation_size: int = 200_000,
+    budget: int = 250,
+    trials: int = 3,
+    seed: int = 0,
+    methods: Sequence[Method] | None = None,
+) -> list[SweepPoint]:
+    """Error vs skew of R2 on independent Type I data (Figure 3 -> 6 axis)."""
+    methods = list(methods) if methods is not None else default_methods()
+    points = []
+    for z2 in z2_values:
+        config = TypeIConfig(
+            domain_size=domain_size,
+            relation_size=relation_size,
+            z1=0.5,
+            z2=z2,
+            correlation=Correlation.INDEPENDENT,
+        )
+
+        def gen(rng, config=config):
+            c1, c2 = make_type1_pair(config, rng)
+            d = [[Domain.of_size(domain_size)], [Domain.of_size(domain_size)]]
+            return [c1, c2], d
+
+        points.append(SweepPoint(z2, _mean_errors(gen, budget, trials, seed, methods)))
+    return points
+
+
+def correlation_sweep(
+    fractions: Sequence[float] = (0.0, 0.02, 0.05, 0.1, 0.25, 0.5),
+    domain_size: int = 5_000,
+    relation_size: int = 200_000,
+    budget: int = 250,
+    trials: int = 3,
+    seed: int = 0,
+    methods: Sequence[Method] | None = None,
+) -> list[SweepPoint]:
+    """Error vs displaced-head fraction (Figure 1 -> Figure 2 axis).
+
+    Fraction 0 is the paper's strong positive correlation; growing the
+    fraction weakens it toward independence, collapsing the join size and
+    with it the sketches' relative accuracy.
+    """
+    methods = list(methods) if methods is not None else default_methods()
+    points = []
+    for fraction in fractions:
+        correlation = (
+            Correlation.STRONG_POSITIVE if fraction == 0 else Correlation.WEAK_POSITIVE
+        )
+        config = TypeIConfig(
+            domain_size=domain_size,
+            relation_size=relation_size,
+            z1=0.5,
+            z2=1.0,
+            correlation=correlation,
+            permute_fraction=fraction,
+        )
+
+        def gen(rng, config=config):
+            c1, c2 = make_type1_pair(config, rng)
+            d = [[Domain.of_size(domain_size)], [Domain.of_size(domain_size)]]
+            return [c1, c2], d
+
+        points.append(
+            SweepPoint(fraction, _mean_errors(gen, budget, trials, seed, methods))
+        )
+    return points
+
+
+def domain_size_sweep(
+    domain_sizes: Sequence[int] = (1_000, 2_000, 5_000, 10_000),
+    coefficient_fraction: float = 0.05,
+    relation_size: int = 200_000,
+    trials: int = 3,
+    seed: int = 0,
+    methods: Sequence[Method] | None = None,
+) -> list[SweepPoint]:
+    """Error vs domain size at a fixed coefficient fraction of the domain.
+
+    Probes the scaling toward the paper's n = 10^5: if the error at a fixed
+    m/n ratio is roughly stable, reproduction-scale results transfer.
+    """
+    methods = list(methods) if methods is not None else default_methods()
+    points = []
+    for n in domain_sizes:
+        config = TypeIConfig(
+            domain_size=n,
+            relation_size=relation_size,
+            z1=0.5,
+            z2=1.0,
+            correlation=Correlation.INDEPENDENT,
+        )
+        budget = max(8, int(n * coefficient_fraction))
+
+        def gen(rng, config=config, n=n):
+            c1, c2 = make_type1_pair(config, rng)
+            return [c1, c2], [[Domain.of_size(n)], [Domain.of_size(n)]]
+
+        points.append(
+            SweepPoint(float(n), _mean_errors(gen, budget, trials, seed, methods))
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class BoundPoint:
+    """Measured cosine error vs the Eq. 4.8 worst-case bound at one budget."""
+
+    budget: int
+    measured: float
+    bound: float
+
+
+def bound_tightness_sweep(
+    budgets: Sequence[int] = (25, 50, 100, 250, 500, 1000, 2500),
+    domain_size: int = 5_000,
+    relation_size: int = 200_000,
+    trials: int = 3,
+    seed: int = 0,
+) -> list[BoundPoint]:
+    """The Eq. 4.8 guarantee vs reality on independent Type I data.
+
+    The bound must always dominate; the interesting output is *by how
+    much* — typically several orders of magnitude, which is the paper's
+    implicit argument for measuring instead of bounding.
+    """
+    from .methods import CosineMethod
+
+    rng = np.random.default_rng(seed)
+    config = TypeIConfig(
+        domain_size=domain_size,
+        relation_size=relation_size,
+        z1=0.5,
+        z2=1.0,
+        correlation=Correlation.INDEPENDENT,
+    )
+    measured: dict[int, list[float]] = {b: [] for b in budgets}
+    bounds: dict[int, list[float]] = {b: [] for b in budgets}
+    for _ in range(trials):
+        c1, c2 = make_type1_pair(config, rng)
+        actual = float(c1 @ c2)
+        doms = [[Domain.of_size(domain_size)], [Domain.of_size(domain_size)]]
+        prepared = CosineMethod().prepare([c1, c2], doms, max(budgets), rng)
+        for budget in budgets:
+            estimate = prepared.estimate(budget)
+            measured[budget].append(abs(actual - estimate) / actual)
+            bounds[budget].append(
+                relative_error_bound(
+                    actual, int(c1.sum()), int(c2.sum()), domain_size, budget
+                )
+            )
+    return [
+        BoundPoint(
+            budget=b,
+            measured=float(np.mean(measured[b])),
+            bound=float(np.mean(bounds[b])),
+        )
+        for b in budgets
+    ]

@@ -1,0 +1,5 @@
+"""Equi-width histogram baseline (section 2 of the paper)."""
+
+from .equiwidth import EquiWidthHistogram, estimate_join_size, estimate_self_join_size
+
+__all__ = ["EquiWidthHistogram", "estimate_join_size", "estimate_self_join_size"]

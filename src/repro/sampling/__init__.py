@@ -1,0 +1,19 @@
+"""Sampling synopses and join estimators (the 1988 statistical-estimator
+lineage the paper surveys as references [1, 14, 15, 22, 28])."""
+
+from .estimators import (
+    SampleJoinEstimate,
+    estimate_chain_join_size_samples,
+    estimate_join_size_bernoulli,
+    estimate_join_size_reservoir,
+)
+from .reservoir import BernoulliSample, ReservoirSample
+
+__all__ = [
+    "SampleJoinEstimate",
+    "estimate_chain_join_size_samples",
+    "estimate_join_size_bernoulli",
+    "estimate_join_size_reservoir",
+    "BernoulliSample",
+    "ReservoirSample",
+]

@@ -1,0 +1,179 @@
+"""Dobra et al.'s domain-partitioned sketches [9].
+
+The third sketch method the paper discusses (sections 2 and 5): "first
+partition the underlying join attribute domains and then estimate the join
+size of each individual sub-domain using the sketch".  The estimator is a
+sum of independent per-partition AGMS estimates; with a good partition the
+per-partition self-join masses (which drive sketch variance) are far
+smaller than the global ones, so the summed estimate is tighter at equal
+total space.
+
+The paper excludes it from its comparisons because it "requires a priori
+knowledge of the data distributions (to find a good partition)" — exactly
+what this module makes explicit: :func:`equi_mass_partition` derives
+boundaries from a pilot frequency vector, and :class:`PartitionedSketch`
+will not build without boundaries.  The bench
+``benchmarks/bench_partitioned_ablation.py`` quantifies how much that
+prior knowledge buys.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .basic import AGMSSketch, median_of_means, split_budget
+from .hashing import SignFamily
+
+
+def equi_mass_partition(pilot_counts: np.ndarray, num_partitions: int) -> np.ndarray:
+    """Boundaries splitting the domain into ~equal-mass contiguous ranges.
+
+    ``pilot_counts`` is the a-priori distribution knowledge Dobra's method
+    assumes (e.g. yesterday's frequencies).  Returns ``num_partitions + 1``
+    increasing indices ``b_0 = 0 < b_1 < ... = n``; partition ``p`` covers
+    domain indices ``[b_p, b_{p+1})``.
+    """
+    pilot_counts = np.asarray(pilot_counts, dtype=float)
+    if pilot_counts.ndim != 1:
+        raise ValueError("pilot counts must be a 1-d frequency vector")
+    n = pilot_counts.shape[0]
+    if not 1 <= num_partitions <= n:
+        raise ValueError(f"partition count must be in [1, {n}], got {num_partitions}")
+    total = pilot_counts.sum()
+    if total <= 0:
+        # no information: fall back to equi-width
+        return np.linspace(0, n, num_partitions + 1).astype(np.int64)
+    cumulative = np.cumsum(pilot_counts)
+    targets = total * np.arange(1, num_partitions) / num_partitions
+    inner = np.searchsorted(cumulative, targets, side="left") + 1
+    boundaries = np.concatenate([[0], inner, [n]])
+    # enforce strict monotonicity (heavy single values can collapse cuts)
+    for i in range(1, len(boundaries)):
+        boundaries[i] = max(boundaries[i], boundaries[i - 1] + 1)
+    boundaries = np.minimum(boundaries, n)
+    # trailing duplicates mean fewer effective partitions; dedupe keeps the
+    # estimator correct (empty partitions contribute zero)
+    return boundaries.astype(np.int64)
+
+
+class PartitionedSketch:
+    """One AGMS sketch per contiguous sub-domain (Dobra et al. [9]).
+
+    Parameters
+    ----------
+    boundaries:
+        Partition boundaries over the unified join domain, as produced by
+        :func:`equi_mass_partition`.  Joinable sketches must share both the
+        boundaries and the per-partition sign families (build both sides
+        with the same ``seed``).
+    budget:
+        Total atomic sketches across all partitions; split evenly.
+    """
+
+    def __init__(
+        self,
+        boundaries: Sequence[int],
+        budget: int,
+        seed: int,
+        num_medians: int | None = None,
+    ) -> None:
+        self.boundaries = np.asarray(boundaries, dtype=np.int64)
+        if self.boundaries.ndim != 1 or self.boundaries.shape[0] < 2:
+            raise ValueError("at least one partition is required")
+        if self.boundaries[0] != 0 or np.any(np.diff(self.boundaries) <= 0):
+            raise ValueError("boundaries must start at 0 and strictly increase")
+        self.num_partitions = self.boundaries.shape[0] - 1
+        per_partition = budget // self.num_partitions
+        if per_partition < 1:
+            raise ValueError(
+                f"budget {budget} cannot give every one of {self.num_partitions} "
+                "partitions an atomic sketch"
+            )
+        self.seed = seed
+        s1, s2 = split_budget(per_partition, num_medians)
+        self._s1, self._s2 = s1, s2
+        self.sketches: list[AGMSSketch] = []
+        for p in range(self.num_partitions):
+            width = int(self.boundaries[p + 1] - self.boundaries[p])
+            family = SignFamily(width, s1 * s2, seed=seed * 8191 + p)
+            self.sketches.append(AGMSSketch(family, s1, s2))
+
+    @property
+    def domain_size(self) -> int:
+        return int(self.boundaries[-1])
+
+    @property
+    def count(self) -> int:
+        return sum(sk.count for sk in self.sketches)
+
+    @property
+    def num_atomic_sketches(self) -> int:
+        """Space in the paper's units (total across partitions)."""
+        return sum(sk.num_atomic_sketches for sk in self.sketches)
+
+    def partition_of(self, index: int) -> int:
+        """Partition number holding a domain index."""
+        if not 0 <= index < self.domain_size:
+            raise ValueError(f"index {index} outside domain [0, {self.domain_size})")
+        return int(np.searchsorted(self.boundaries, index, side="right") - 1)
+
+    def update(self, index: int, weight: int = 1) -> None:
+        """Route one arrival/deletion to its partition's sketch."""
+        p = self.partition_of(index)
+        self.sketches[p].update(int(index - self.boundaries[p]), weight=weight)
+
+    def update_batch(self, indices: np.ndarray, weight: int = 1) -> None:
+        indices = np.asarray(indices, dtype=np.int64)
+        partitions = np.searchsorted(self.boundaries, indices, side="right") - 1
+        for p in range(self.num_partitions):
+            mask = partitions == p
+            if mask.any():
+                self.sketches[p].update_batch(
+                    indices[mask] - self.boundaries[p], weight=weight
+                )
+
+    @classmethod
+    def from_counts(
+        cls,
+        counts: np.ndarray,
+        boundaries: Sequence[int],
+        budget: int,
+        seed: int,
+        num_medians: int | None = None,
+    ) -> "PartitionedSketch":
+        """Build from a frequency vector in one pass."""
+        counts = np.asarray(counts, dtype=float)
+        sketch = cls(boundaries, budget, seed, num_medians)
+        if counts.shape != (sketch.domain_size,):
+            raise ValueError(
+                f"counts shape {counts.shape} != ({sketch.domain_size},)"
+            )
+        for p in range(sketch.num_partitions):
+            lo, hi = int(sketch.boundaries[p]), int(sketch.boundaries[p + 1])
+            family = sketch.sketches[p].families[0]
+            sketch.sketches[p] = AGMSSketch.from_counts(
+                family, counts[lo:hi], sketch._s1, sketch._s2
+            )
+        return sketch
+
+    def compatible_with(self, other: "PartitionedSketch") -> bool:
+        return (
+            np.array_equal(self.boundaries, other.boundaries)
+            and self.seed == other.seed
+            and self._s1 == other._s1
+            and self._s2 == other._s2
+        )
+
+
+def estimate_join_size(a: PartitionedSketch, b: PartitionedSketch) -> float:
+    """Dobra's estimate: the sum of the per-partition AGMS estimates."""
+    if not a.compatible_with(b):
+        raise ValueError(
+            "partitioned sketches must share boundaries and sign families"
+        )
+    total = 0.0
+    for sk_a, sk_b in zip(a.sketches, b.sketches):
+        total += median_of_means(sk_a.atoms * sk_b.atoms, a._s1, a._s2)
+    return total

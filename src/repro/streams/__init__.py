@@ -1,0 +1,37 @@
+"""Stream substrate: relations, operations, queries, exact ground truth,
+and the continuous query engine (the paper's processing model)."""
+
+from .engine import ContinuousQueryEngine, embed_counts_tensor
+from .io import format_op_line, parse_op_line, read_ops, replay_into, write_ops
+from .exact import (
+    exact_join_size,
+    exact_multijoin_size,
+    exact_self_join_size,
+    relative_error,
+)
+from .queries import AttributeRef, EquiJoinPredicate, JoinQuery
+from .relation import StreamRelation
+from .tuples import OpKind, StreamOp, deletes, inserts, interleave
+
+__all__ = [
+    "ContinuousQueryEngine",
+    "embed_counts_tensor",
+    "format_op_line",
+    "parse_op_line",
+    "read_ops",
+    "replay_into",
+    "write_ops",
+    "exact_join_size",
+    "exact_multijoin_size",
+    "exact_self_join_size",
+    "relative_error",
+    "AttributeRef",
+    "EquiJoinPredicate",
+    "JoinQuery",
+    "StreamRelation",
+    "OpKind",
+    "StreamOp",
+    "deletes",
+    "inserts",
+    "interleave",
+]

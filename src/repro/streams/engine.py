@@ -1,0 +1,741 @@
+"""The continuous query engine: registered queries answered on demand.
+
+This is the paper's processing model (section 1): continuous COUNT queries
+with equi-joins are "issued once and then run continuously" over unbounded
+streams, with estimates available at any moment from small synopses that
+are updated as every tuple arrives.
+
+The engine owns :class:`~repro.streams.relation.StreamRelation` objects and,
+per registered query, builds one synopsis per participating relation over
+the query's *unified* join domains (section 4.1), attaches them as stream
+observers, and exposes ``answer()`` / ``answers()``.  Queries registered
+after data has flowed are *replayed* from the relations' exact counts, so a
+late query starts consistent with history.
+
+Supported estimation methods mirror the paper's experimental cast:
+
+- ``"cosine"``      — the cosine-series synopsis (the paper's method),
+- ``"basic_sketch"``   — Alon et al.'s AGMS sketch,
+- ``"skimmed_sketch"`` — Ganguly et al.'s skimmed sketch,
+- ``"sample"``      — Bernoulli sampling (the 1988 estimator lineage),
+- ``"histogram"``   — equi-width histogram (single-join queries only),
+- ``"wavelet"``     — Haar top-coefficient synopsis (single-join only),
+- ``"partitioned_sketch"`` — Dobra et al.'s domain-partitioned sketch
+  (single-join only; the partition is derived from the relations' state at
+  registration time, making the method's a-priori-knowledge assumption
+  concrete).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.join import estimate_multijoin_size as cosine_multijoin
+from ..core.normalization import Domain, embed_counts
+from ..core.synopsis import CosineSynopsis
+from ..histograms.equiwidth import EquiWidthHistogram
+from ..histograms.equiwidth import estimate_join_size as histogram_join
+from ..sampling.estimators import estimate_chain_join_size_samples
+from ..sampling.reservoir import BernoulliSample
+from ..sketches.basic import AGMSSketch, split_budget
+from ..sketches.basic import estimate_multijoin_size as sketch_multijoin
+from ..sketches.hashing import SignFamily
+from ..sketches.skimmed import estimate_multijoin_size_skimmed
+from .exact import exact_multijoin_size
+from .queries import JoinQuery
+from .relation import StreamRelation
+from .tuples import OpKind, StreamOp
+
+Slot = tuple[int, int]
+
+
+def embed_counts_tensor(
+    tensor: np.ndarray,
+    originals: Sequence[Domain],
+    unifieds: Sequence[Domain],
+) -> np.ndarray:
+    """Embed a joint count tensor into unified per-axis domains (section 4.1)."""
+    out = np.asarray(tensor)
+    for axis, (orig, uni) in enumerate(zip(originals, unifieds)):
+        if orig == uni:
+            continue
+        moved = np.moveaxis(out, axis, 0)
+        flat = moved.reshape(orig.size, -1)
+        embedded = np.stack([embed_counts(col, orig, uni) for col in flat.T], axis=1)
+        out = np.moveaxis(embedded.reshape((uni.size,) + moved.shape[1:]), 0, axis)
+    return out
+
+
+class _QueryState:
+    """Per-registered-query synopsis state and estimation closure."""
+
+    def __init__(
+        self,
+        query: JoinQuery,
+        method: str,
+        estimate: Callable[[], float],
+        space_per_relation: Mapping[str, int],
+    ) -> None:
+        self.query = query
+        self.method = method
+        self.estimate = estimate
+        self.space_per_relation = dict(space_per_relation)
+        #: (relation, observer) pairs attached on behalf of this query,
+        #: recorded so unregistering can detach them.
+        self.attachments: list[tuple[StreamRelation, object]] = []
+
+
+class ContinuousQueryEngine:
+    """Registers stream relations and continuous join-COUNT queries."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.relations: dict[str, StreamRelation] = {}
+        self._queries: dict[str, _QueryState] = {}
+        self._seed = seed
+        self._pending_attachments: list[tuple[StreamRelation, object]] = []
+
+    def _attach(self, relation: StreamRelation, observer) -> None:
+        """Attach an observer and record it for query unregistration."""
+        relation.attach(observer)
+        self._pending_attachments.append((relation, observer))
+
+    # ------------------------------------------------------------------ #
+    # relations
+    # ------------------------------------------------------------------ #
+
+    def create_relation(
+        self, name: str, attributes: Sequence[str], domains: Sequence[Domain]
+    ) -> StreamRelation:
+        """Declare a stream relation and return it."""
+        if name in self.relations:
+            raise ValueError(f"relation {name!r} already exists")
+        relation = StreamRelation(name, attributes, domains)
+        self.relations[name] = relation
+        return relation
+
+    def add_relation(self, relation: StreamRelation) -> None:
+        """Register an existing relation object."""
+        if relation.name in self.relations:
+            raise ValueError(f"relation {relation.name!r} already exists")
+        self.relations[relation.name] = relation
+
+    def process(self, relation_name: str, op: StreamOp) -> None:
+        """Route one stream operation to its relation (and its observers)."""
+        self.relations[relation_name].process(op)
+
+    def insert(self, relation_name: str, values: Sequence) -> None:
+        self.relations[relation_name].insert(values)
+
+    def delete(self, relation_name: str, values: Sequence) -> None:
+        self.relations[relation_name].delete(values)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def register_query(
+        self,
+        name: str,
+        query: JoinQuery,
+        method: str = "cosine",
+        budget: int = 200,
+        **options,
+    ) -> None:
+        """Register a continuous query under a per-relation space budget.
+
+        ``budget`` is the paper's space unit: coefficients / atomic sketches
+        per relation (sample size for ``"sample"``, buckets for
+        ``"histogram"``).  Already-streamed history is replayed into the new
+        synopses from the exact relation state.
+        """
+        if name in self._queries:
+            raise ValueError(f"query {name!r} already registered")
+        builders = {
+            "cosine": self._build_cosine,
+            "basic_sketch": self._build_sketch,
+            "skimmed_sketch": self._build_sketch,
+            "sample": self._build_sample,
+            "histogram": self._build_histogram,
+            "wavelet": self._build_wavelet,
+            "partitioned_sketch": self._build_partitioned,
+        }
+        if method not in builders:
+            raise ValueError(f"unknown method {method!r}; choose from {sorted(builders)}")
+        for rel in query.relations:
+            if rel not in self.relations:
+                raise ValueError(f"query references relation {rel!r} not registered")
+        schemas = {r: self.relations[r].attributes for r in query.relations}
+        query.validate_against(schemas)
+        self._pending_attachments = []
+        try:
+            state = builders[method](query, method, budget, options)
+        except Exception:
+            # roll back partial attachments so a failed registration leaves
+            # no orphan observers slowing the relations down
+            for relation, observer in self._pending_attachments:
+                relation.detach(observer)
+            self._pending_attachments = []
+            raise
+        state.attachments = self._pending_attachments
+        self._pending_attachments = []
+        self._queries[name] = state
+
+    def unregister_query(self, name: str) -> None:
+        """Drop a continuous query and detach its synopsis observers."""
+        state = self._queries.pop(name, None)
+        if state is None:
+            raise KeyError(f"no query named {name!r}")
+        for relation, observer in state.attachments:
+            relation.detach(observer)
+
+    def register_range_query(
+        self,
+        name: str,
+        relation_name: str,
+        attribute: str,
+        low,
+        high,
+        budget: int = 200,
+        **options,
+    ) -> None:
+        """Register a continuous range-COUNT query over one attribute.
+
+        Estimates ``|{t in R : low <= t.attribute <= high}|`` (raw-value
+        bounds, inclusive) from a cosine synopsis of the attribute's
+        marginal — the point/range estimation usage the paper's section 2
+        surveys as the mainstream of approximate query processing.
+        """
+        if name in self._queries:
+            raise ValueError(f"query {name!r} already registered")
+        if relation_name not in self.relations:
+            raise ValueError(f"relation {relation_name!r} not registered")
+        relation = self.relations[relation_name]
+        if attribute not in relation.attributes:
+            raise ValueError(f"{relation_name}.{attribute} does not exist")
+        axis = relation.attributes.index(attribute)
+        domain = relation.domains[axis]
+        lo_index = domain.index_of(low)
+        hi_index = domain.index_of(high)
+        if lo_index > hi_index:
+            raise ValueError(f"empty range [{low}, {high}]")
+
+        from ..core.range_query import estimate_range_count
+
+        marginal = _marginalize(relation.counts, keep_axes=[axis]).astype(float)
+        synopsis = CosineSynopsis(
+            [domain], budget=budget, grid=options.get("grid", "midpoint")
+        )
+        if marginal.sum() > 0:
+            synopsis = CosineSynopsis.from_counts(
+                [domain],
+                marginal,
+                budget=budget,
+                grid=options.get("grid", "midpoint"),
+            )
+        self._pending_attachments = []
+        self._attach(relation, _CosineMarginalObserver(synopsis, axis))
+
+        def estimate() -> float:
+            return estimate_range_count(synopsis, lo_index, hi_index)
+
+        def exact() -> float:
+            live = _marginalize(relation.counts, keep_axes=[axis])
+            return float(live[lo_index : hi_index + 1].sum())
+
+        query = JoinQuery((relation_name,))
+        state = _QueryState(query, "cosine_range", estimate, {relation_name: budget})
+        state.exact = exact  # type: ignore[attr-defined]
+        state.attachments = self._pending_attachments
+        self._pending_attachments = []
+        self._queries[name] = state
+
+    def register_band_query(
+        self,
+        name: str,
+        left: tuple[str, str],
+        right: tuple[str, str],
+        width: int,
+        budget: int = 200,
+        **options,
+    ) -> None:
+        """Register a continuous band-join COUNT query (section 6 extension).
+
+        Estimates ``|{(s, t) : |s.A - t.B| <= width}|`` for
+        ``left = ("R1", "A")`` and ``right = ("R2", "B")``, with the band
+        width in *unified-domain index* units.  Width 0 is the equi-join.
+        """
+        from ..core.theta_join import estimate_band_join_size
+
+        if name in self._queries:
+            raise ValueError(f"query {name!r} already registered")
+        join_query = JoinQuery.parse(
+            [left[0], right[0]], [f"{left[0]}.{left[1]} = {right[0]}.{right[1]}"]
+        )
+        for rel in join_query.relations:
+            if rel not in self.relations:
+                raise ValueError(f"relation {rel!r} not registered")
+        schemas = {r: self.relations[r].attributes for r in join_query.relations}
+        join_query.validate_against(schemas)
+        unified = self._unified(join_query)
+        ((rel_a, ax_a), (rel_b, ax_b)) = join_query.slot_pairs(schemas)[0]
+
+        self._pending_attachments = []
+        synopses: list[CosineSynopsis] = []
+        for rel_pos, axis in ((rel_a, ax_a), (rel_b, ax_b)):
+            rel_name = join_query.relations[rel_pos]
+            relation = self.relations[rel_name]
+            domain = unified[rel_name][axis]
+            embedded = embed_counts_tensor(
+                relation.counts, relation.domains, unified[rel_name]
+            )
+            marginal = _marginalize(embedded, keep_axes=[axis]).astype(float)
+            synopsis = CosineSynopsis.from_counts([domain], marginal, budget=budget)
+            self._attach(relation, _CosineMarginalObserver(synopsis, axis))
+            synopses.append(synopsis)
+
+        def estimate() -> float:
+            return estimate_band_join_size(synopses[0], synopses[1], width)
+
+        def exact() -> float:
+            a = _marginalize(
+                embed_counts_tensor(
+                    self.relations[join_query.relations[rel_a]].counts,
+                    self.relations[join_query.relations[rel_a]].domains,
+                    unified[join_query.relations[rel_a]],
+                ),
+                keep_axes=[ax_a],
+            ).astype(float)
+            b = _marginalize(
+                embed_counts_tensor(
+                    self.relations[join_query.relations[rel_b]].counts,
+                    self.relations[join_query.relations[rel_b]].domains,
+                    unified[join_query.relations[rel_b]],
+                ),
+                keep_axes=[ax_b],
+            ).astype(float)
+            n = a.shape[0]
+            prefix = np.concatenate([[0.0], np.cumsum(b)])
+            hi = np.minimum(np.arange(n) + width + 1, n)
+            lo = np.maximum(np.arange(n) - width, 0)
+            return float(a @ (prefix[hi] - prefix[lo]))
+
+        state = _QueryState(
+            join_query, "cosine_band", estimate,
+            {join_query.relations[rel_a]: budget, join_query.relations[rel_b]: budget},
+        )
+        state.exact = exact  # type: ignore[attr-defined]
+        state.attachments = self._pending_attachments
+        self._pending_attachments = []
+        self._queries[name] = state
+
+    def answer(self, name: str) -> float:
+        """Current estimate of a registered query."""
+        return self._queries[name].estimate()
+
+    def answers(self) -> dict[str, float]:
+        """Current estimates of all registered queries."""
+        return {name: state.estimate() for name, state in self._queries.items()}
+
+    def exact_answer(self, name: str) -> float:
+        """Ground-truth answer of a registered query (for evaluation)."""
+        state = self._queries[name]
+        if state.method in ("cosine_range", "cosine_band"):
+            return state.exact()  # type: ignore[attr-defined]
+        return self.exact_join_size(state.query)
+
+    def exact_join_size(self, query: JoinQuery) -> float:
+        """Ground-truth size of any query over the registered relations."""
+        schemas = {r: self.relations[r].attributes for r in query.relations}
+        unified = query.unified_domains(
+            schemas, {r: self.relations[r].domains for r in query.relations}
+        )
+        tensors = [
+            embed_counts_tensor(
+                self.relations[r].counts, self.relations[r].domains, unified[r]
+            )
+            for r in query.relations
+        ]
+        return exact_multijoin_size(tensors, query.slot_pairs(schemas))
+
+    def space_report(self) -> dict[str, dict[str, int]]:
+        """Per-query, per-relation synopsis space (paper units)."""
+        return {name: dict(s.space_per_relation) for name, s in self._queries.items()}
+
+    # ------------------------------------------------------------------ #
+    # method builders
+    # ------------------------------------------------------------------ #
+
+    def _unified(self, query: JoinQuery) -> dict[str, list[Domain]]:
+        schemas = {r: self.relations[r].attributes for r in query.relations}
+        return query.unified_domains(
+            schemas, {r: self.relations[r].domains for r in query.relations}
+        )
+
+    def _joined_axes(self, query: JoinQuery) -> dict[str, list[int]]:
+        """Axes of each relation that participate in some predicate."""
+        schemas = {r: self.relations[r].attributes for r in query.relations}
+        axes: dict[str, list[int]] = {r: [] for r in query.relations}
+        for (rel_a, ax_a), (rel_b, ax_b) in query.slot_pairs(schemas):
+            axes[query.relations[rel_a]].append(ax_a)
+            axes[query.relations[rel_b]].append(ax_b)
+        return {r: sorted(a) for r, a in axes.items()}
+
+    def _build_cosine(
+        self, query: JoinQuery, method: str, budget: int, options: dict
+    ) -> _QueryState:
+        unified = self._unified(query)
+        schemas = {r: self.relations[r].attributes for r in query.relations}
+        grid = options.get("grid", "midpoint")
+        truncation = options.get("truncation", "triangular")
+        synopses: list[CosineSynopsis] = []
+        for rel_name in query.relations:
+            relation = self.relations[rel_name]
+            embedded = embed_counts_tensor(relation.counts, relation.domains, unified[rel_name])
+            synopsis = CosineSynopsis.from_counts(
+                unified[rel_name], embedded, budget=budget, truncation=truncation, grid=grid
+            )
+            self._attach(relation, _CosineObserver(synopsis))
+            synopses.append(synopsis)
+        slot_pairs = query.slot_pairs(schemas)
+
+        def estimate() -> float:
+            return cosine_multijoin(synopses, slot_pairs)
+
+        space = {r: s.num_coefficients for r, s in zip(query.relations, synopses)}
+        return _QueryState(query, method, estimate, space)
+
+    def _build_sketch(
+        self, query: JoinQuery, method: str, budget: int, options: dict
+    ) -> _QueryState:
+        unified = self._unified(query)
+        schemas = {r: self.relations[r].attributes for r in query.relations}
+        joined = self._joined_axes(query)
+        for rel_name in query.relations:
+            if not joined[rel_name]:
+                raise ValueError(
+                    f"sketch methods need every relation joined; {rel_name} is not"
+                )
+        s1, s2 = split_budget(budget, options.get("num_medians"))
+        size = s1 * s2
+        # One sign family per predicate, shared by both sides.
+        slot_pairs = query.slot_pairs(schemas)
+        slot_family: dict[Slot, SignFamily] = {}
+        for pred_idx, (slot_a, slot_b) in enumerate(slot_pairs):
+            rel_a = query.relations[slot_a[0]]
+            domain = unified[rel_a][slot_a[1]]
+            family = SignFamily(domain.size, size, seed=self._seed * 7919 + pred_idx)
+            slot_family[slot_a] = family
+            slot_family[slot_b] = family
+
+        sketches: list[AGMSSketch] = []
+        for rel_pos, rel_name in enumerate(query.relations):
+            relation = self.relations[rel_name]
+            axes = joined[rel_name]
+            families = [slot_family[(rel_pos, ax)] for ax in axes]
+            sketch = AGMSSketch(families, s1, s2)
+            embedded = embed_counts_tensor(relation.counts, relation.domains, unified[rel_name])
+            marginal = _marginalize(embedded, keep_axes=axes)
+            if marginal.sum() > 0:
+                sketch = AGMSSketch.from_counts(families, marginal, s1, s2)
+            self._attach(
+                relation,
+                _SketchObserver(sketch, [unified[rel_name][ax] for ax in axes], axes),
+            )
+            sketches.append(sketch)
+
+        if method == "skimmed_sketch":
+
+            def estimate() -> float:
+                return estimate_multijoin_size_skimmed(
+                    sketches, threshold_factor=options.get("threshold_factor", 2.0)
+                )
+
+        else:
+
+            def estimate() -> float:
+                return sketch_multijoin(sketches)
+
+        space = {r: size for r in query.relations}
+        return _QueryState(query, method, estimate, space)
+
+    def _build_sample(
+        self, query: JoinQuery, method: str, budget: int, options: dict
+    ) -> _QueryState:
+        _require_chain(query, self.relations)
+        joined = self._joined_axes(query)
+        rng = np.random.default_rng(options.get("seed", self._seed))
+        samples: list[BernoulliSample] = []
+        tuple_counts: list[Counter] = []
+        for rel_name in query.relations:
+            relation = self.relations[rel_name]
+            # Budget = expected sample size; derive the Bernoulli rate from
+            # the relation's current size.  For queries registered before
+            # data arrives the relation is empty and the rate degenerates to
+            # 1.0 — pass probability= explicitly for that (streaming) case.
+            probability = options.get(
+                "probability", min(1.0, budget / max(relation.count, budget))
+            )
+            sample = BernoulliSample(probability, seed=int(rng.integers(1 << 31)))
+            counter: Counter = Counter()
+            axes = joined[rel_name]
+            # Replay history distributionally: binomial thinning per cell.
+            marginal = _marginalize(relation.counts, keep_axes=axes)
+            nz = np.argwhere(marginal > 0)
+            for cell in nz:
+                kept = int(rng.binomial(int(marginal[tuple(cell)]), probability))
+                if kept:
+                    key = tuple(int(c) for c in cell)
+                    counter[key if len(key) > 1 else key[0]] += kept
+                    sample.sampled_size += kept
+            sample.stream_size = relation.count
+            self._attach(relation, _SampleObserver(sample, counter, relation, axes))
+            samples.append(sample)
+            tuple_counts.append(counter)
+
+        def estimate() -> float:
+            return estimate_chain_join_size_samples(samples, tuple_counts)
+
+        space = {r: budget for r in query.relations}
+        return _QueryState(query, method, estimate, space)
+
+    def _build_histogram(
+        self, query: JoinQuery, method: str, budget: int, options: dict
+    ) -> _QueryState:
+        if query.num_joins != 1:
+            raise ValueError("the histogram baseline supports single-join queries only")
+        unified = self._unified(query)
+        schemas = {r: self.relations[r].attributes for r in query.relations}
+        ((rel_a, ax_a), (rel_b, ax_b)) = query.slot_pairs(schemas)[0]
+        hists: list[EquiWidthHistogram] = []
+        for rel_pos, axis in ((rel_a, ax_a), (rel_b, ax_b)):
+            rel_name = query.relations[rel_pos]
+            relation = self.relations[rel_name]
+            domain = unified[rel_name][axis]
+            hist = EquiWidthHistogram(domain, budget)
+            embedded = embed_counts_tensor(relation.counts, relation.domains, unified[rel_name])
+            marginal = _marginalize(embedded, keep_axes=[axis])
+            hist.counts = np.add.reduceat(marginal.astype(float), hist.boundaries[:-1])
+            hist._count = int(marginal.sum())
+            self._attach(relation, _HistogramObserver(hist, axis))
+            hists.append(hist)
+
+        def estimate() -> float:
+            return histogram_join(hists[0], hists[1])
+
+        space = {query.relations[rel_a]: budget, query.relations[rel_b]: budget}
+        return _QueryState(query, method, estimate, space)
+
+    def _build_wavelet(
+        self, query: JoinQuery, method: str, budget: int, options: dict
+    ) -> _QueryState:
+        from ..wavelets.haar import HaarSynopsis
+        from ..wavelets.haar import estimate_join_size as haar_join
+
+        if query.num_joins != 1:
+            raise ValueError("the wavelet baseline supports single-join queries only")
+        unified = self._unified(query)
+        schemas = {r: self.relations[r].attributes for r in query.relations}
+        ((rel_a, ax_a), (rel_b, ax_b)) = query.slot_pairs(schemas)[0]
+        synopses: list = []
+        for rel_pos, axis in ((rel_a, ax_a), (rel_b, ax_b)):
+            rel_name = query.relations[rel_pos]
+            relation = self.relations[rel_name]
+            domain = unified[rel_name][axis]
+            embedded = embed_counts_tensor(relation.counts, relation.domains, unified[rel_name])
+            marginal = _marginalize(embedded, keep_axes=[axis]).astype(float)
+            synopsis = HaarSynopsis.from_counts(domain, marginal, budget)
+            self._attach(relation, _WaveletObserver(synopsis, axis))
+            synopses.append(synopsis)
+
+        def estimate() -> float:
+            return haar_join(synopses[0], synopses[1])
+
+        space = {query.relations[rel_a]: budget, query.relations[rel_b]: budget}
+        return _QueryState(query, method, estimate, space)
+
+    def _build_partitioned(
+        self, query: JoinQuery, method: str, budget: int, options: dict
+    ) -> _QueryState:
+        from ..sketches.partitioned import (
+            PartitionedSketch,
+            equi_mass_partition,
+        )
+        from ..sketches.partitioned import estimate_join_size as partitioned_join
+
+        if query.num_joins != 1:
+            raise ValueError(
+                "the partitioned sketch supports single-join queries only"
+            )
+        unified = self._unified(query)
+        schemas = {r: self.relations[r].attributes for r in query.relations}
+        ((rel_a, ax_a), (rel_b, ax_b)) = query.slot_pairs(schemas)[0]
+
+        # Dobra's a-priori distribution knowledge, made concrete: the pilot
+        # is the combined marginal of both relations at registration time
+        # (pass partitions= to tune the granularity).
+        marginals = []
+        for rel_pos, axis in ((rel_a, ax_a), (rel_b, ax_b)):
+            rel_name = query.relations[rel_pos]
+            relation = self.relations[rel_name]
+            embedded = embed_counts_tensor(
+                relation.counts, relation.domains, unified[rel_name]
+            )
+            marginals.append(_marginalize(embedded, keep_axes=[axis]).astype(float))
+        pilot = marginals[0] + marginals[1]
+        num_partitions = options.get("partitions", 8)
+        boundaries = equi_mass_partition(pilot, num_partitions)
+
+        sketches = []
+        for (rel_pos, axis), marginal in zip(((rel_a, ax_a), (rel_b, ax_b)), marginals):
+            rel_name = query.relations[rel_pos]
+            relation = self.relations[rel_name]
+            sketch = PartitionedSketch.from_counts(
+                marginal, boundaries, budget, seed=self._seed
+            )
+            self._attach(relation, _PartitionedObserver(sketch, unified[rel_name][axis], axis))
+            sketches.append(sketch)
+
+        def estimate() -> float:
+            return partitioned_join(sketches[0], sketches[1])
+
+        space = {
+            query.relations[rel_a]: sketches[0].num_atomic_sketches,
+            query.relations[rel_b]: sketches[1].num_atomic_sketches,
+        }
+        return _QueryState(query, method, estimate, space)
+
+
+# ---------------------------------------------------------------------- #
+# observers
+# ---------------------------------------------------------------------- #
+
+
+class _CosineMarginalObserver:
+    """Feeds one attribute's raw values into a 1-d cosine synopsis."""
+
+    def __init__(self, synopsis: CosineSynopsis, axis: int) -> None:
+        self.synopsis = synopsis
+        self.axis = axis
+
+    def on_op(self, relation: StreamRelation, op: StreamOp) -> None:
+        value = (op.values[self.axis],)
+        if op.kind is OpKind.INSERT:
+            self.synopsis.insert(value)
+        else:
+            self.synopsis.delete(value)
+
+
+class _CosineObserver:
+    """Feeds raw tuples into a cosine synopsis (Eqs. 3.4 / 3.5)."""
+
+    def __init__(self, synopsis: CosineSynopsis) -> None:
+        self.synopsis = synopsis
+
+    def on_op(self, relation: StreamRelation, op: StreamOp) -> None:
+        if op.kind is OpKind.INSERT:
+            self.synopsis.insert(op.values)
+        else:
+            self.synopsis.delete(op.values)
+
+
+class _SketchObserver:
+    """Feeds joined-attribute indices into an AGMS sketch."""
+
+    def __init__(
+        self, sketch: AGMSSketch, domains: Sequence[Domain], axes: Sequence[int]
+    ) -> None:
+        self.sketch = sketch
+        self.domains = list(domains)
+        self.axes = list(axes)
+
+    def on_op(self, relation: StreamRelation, op: StreamOp) -> None:
+        indices = [d.index_of(op.values[ax]) for d, ax in zip(self.domains, self.axes)]
+        self.sketch.update(indices, weight=op.weight)
+
+
+class _SampleObserver:
+    """Feeds joined-attribute index tuples into a Bernoulli sample."""
+
+    def __init__(
+        self,
+        sample: BernoulliSample,
+        counter: Counter,
+        relation: StreamRelation,
+        axes: Sequence[int],
+    ) -> None:
+        self.sample = sample
+        self.counter = counter
+        self.axes = list(axes)
+
+    def on_op(self, relation: StreamRelation, op: StreamOp) -> None:
+        if op.kind is OpKind.DELETE:
+            self.sample.delete(op.values)  # raises: documented sampling limitation
+            return
+        idx = relation.indices_of(op.values)
+        key = tuple(idx[ax] for ax in self.axes)
+        before = self.sample.sampled_size
+        self.sample.insert(key)
+        if self.sample.sampled_size > before:
+            self.counter[key if len(key) > 1 else key[0]] += 1
+
+
+class _PartitionedObserver:
+    """Feeds one attribute's domain indices into a partitioned sketch."""
+
+    def __init__(self, sketch, domain: Domain, axis: int) -> None:
+        self.sketch = sketch
+        self.domain = domain
+        self.axis = axis
+
+    def on_op(self, relation: StreamRelation, op: StreamOp) -> None:
+        index = self.domain.index_of(op.values[self.axis])
+        self.sketch.update(index, weight=op.weight)
+
+
+class _WaveletObserver:
+    """Feeds one attribute's raw values into a Haar wavelet synopsis."""
+
+    def __init__(self, synopsis, axis: int) -> None:
+        self.synopsis = synopsis
+        self.axis = axis
+
+    def on_op(self, relation: StreamRelation, op: StreamOp) -> None:
+        self.synopsis.update(op.values[self.axis], weight=op.weight)
+
+
+class _HistogramObserver:
+    """Feeds one attribute's raw values into an equi-width histogram."""
+
+    def __init__(self, histogram: EquiWidthHistogram, axis: int) -> None:
+        self.histogram = histogram
+        self.axis = axis
+
+    def on_op(self, relation: StreamRelation, op: StreamOp) -> None:
+        self.histogram.update(op.values[self.axis], weight=op.weight)
+
+
+# ---------------------------------------------------------------------- #
+# helpers
+# ---------------------------------------------------------------------- #
+
+
+def _marginalize(tensor: np.ndarray, keep_axes: Sequence[int]) -> np.ndarray:
+    """Sum out all axes except ``keep_axes`` (order preserved)."""
+    tensor = np.asarray(tensor)
+    drop = tuple(ax for ax in range(tensor.ndim) if ax not in set(keep_axes))
+    return tensor.sum(axis=drop) if drop else tensor
+
+
+def _require_chain(query: JoinQuery, relations: Mapping[str, StreamRelation]) -> None:
+    """The sampling estimator's DP requires the paper's chain shape."""
+    schemas = {r: relations[r].attributes for r in query.relations}
+    pairs = query.slot_pairs(schemas)
+    for i, (slot_a, slot_b) in enumerate(pairs):
+        if slot_a[0] != i or slot_b[0] != i + 1:
+            raise ValueError(
+                "the sampling method supports chain queries (relation i joined "
+                "to relation i+1, in FROM order) only"
+            )

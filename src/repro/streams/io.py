@@ -1,0 +1,90 @@
+"""Reading and writing stream operation logs.
+
+Lets a deployment replay recorded streams (or persist simulated ones) in a
+plain line-oriented format: comma-separated raw attribute values, with an
+optional leading ``+``/``-`` marker for insertion/deletion (no marker
+means insertion).  Blank lines and ``#`` comments are skipped.
+
+    # relation R2(A, B)
+    +7,123
+    9,40
+    -7,123
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from .tuples import OpKind, StreamOp
+
+
+def _parse_value(token: str):
+    """Integers stay integers; anything else is kept as a string."""
+    token = token.strip()
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def parse_op_line(line: str) -> StreamOp | None:
+    """Parse one log line into a :class:`StreamOp` (``None`` for blanks)."""
+    text = line.strip()
+    if not text or text.startswith("#"):
+        return None
+    kind = OpKind.INSERT
+    if text[0] in "+-":
+        kind = OpKind.INSERT if text[0] == "+" else OpKind.DELETE
+        text = text[1:]
+    if not text:
+        raise ValueError(f"operation line has a marker but no values: {line!r}")
+    values = tuple(_parse_value(tok) for tok in text.split(","))
+    return StreamOp(values, kind)
+
+
+def read_ops(source: Path | str | TextIO) -> Iterator[StreamOp]:
+    """Iterate the operations of a stream log file (or open text handle)."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            yield from read_ops(handle)
+        return
+    for lineno, line in enumerate(source, start=1):
+        try:
+            op = parse_op_line(line)
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: {exc}") from exc
+        if op is not None:
+            yield op
+
+
+def format_op_line(op: StreamOp) -> str:
+    """Render one operation in the log format (inverse of parse_op_line)."""
+    marker = "+" if op.kind is OpKind.INSERT else "-"
+    return marker + ",".join(str(v) for v in op.values)
+
+
+def write_ops(destination: Path | str | TextIO, ops: Iterable[StreamOp]) -> int:
+    """Write operations to a stream log; returns the number written."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            return write_ops(handle, ops)
+    written = 0
+    for op in ops:
+        destination.write(format_op_line(op) + "\n")
+        written += 1
+    return written
+
+
+def replay_into(relation, source: Path | str | TextIO) -> int:
+    """Feed a log file's operations into a stream relation (or engine proxy).
+
+    ``relation`` needs a ``process(op)`` method —
+    :class:`~repro.streams.relation.StreamRelation` qualifies.  Returns the
+    number of operations applied.
+    """
+    applied = 0
+    for op in read_ops(source):
+        relation.process(op)
+        applied += 1
+    return applied

@@ -1,0 +1,211 @@
+"""The multi-equi-join COUNT query model (section 4 of the paper).
+
+A query of the paper's shape
+
+    SELECT COUNT(*) FROM R1, R2, ..., Rk
+    WHERE Ri.A = Rj.B AND Rk.C = Rl.D AND ...
+
+is represented by a :class:`JoinQuery`: an ordered list of relation names
+plus equi-join predicates between attribute references.  Each attribute
+slot may appear in at most one predicate (the chain/star shapes of the
+paper's experiments satisfy this); unreferenced attributes are implicitly
+marginalized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..core.normalization import Domain, unify_domains
+
+
+@dataclass(frozen=True, order=True)
+class AttributeRef:
+    """A reference to ``relation.attribute``."""
+
+    relation: str
+    attribute: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.relation}.{self.attribute}"
+
+
+@dataclass(frozen=True)
+class EquiJoinPredicate:
+    """An equi-join condition between two attribute references."""
+
+    left: AttributeRef
+    right: AttributeRef
+
+    def __post_init__(self) -> None:
+        if self.left == self.right:
+            raise ValueError(f"predicate joins {self.left} with itself")
+
+    def refs(self) -> tuple[AttributeRef, AttributeRef]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class JoinQuery:
+    """``SELECT COUNT(*)`` over equi-joined stream relations."""
+
+    relations: tuple[str, ...]
+    predicates: tuple[EquiJoinPredicate, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if len(set(self.relations)) != len(self.relations):
+            raise ValueError("relation names in a query must be distinct")
+        if len(self.relations) < 1:
+            raise ValueError("a query needs at least one relation")
+        names = set(self.relations)
+        seen: set[AttributeRef] = set()
+        for pred in self.predicates:
+            for ref in pred.refs():
+                if ref.relation not in names:
+                    raise ValueError(f"{ref} references a relation not in the FROM list")
+                if ref in seen:
+                    raise ValueError(f"attribute {ref} appears in more than one predicate")
+                seen.add(ref)
+
+    @classmethod
+    def parse(cls, relations: Sequence[str], conditions: Sequence[str]) -> "JoinQuery":
+        """Build a query from ``"R1.A = R2.B"``-style condition strings."""
+        predicates = []
+        for cond in conditions:
+            try:
+                left_s, right_s = (side.strip() for side in cond.split("="))
+                lrel, lattr = left_s.split(".")
+                rrel, rattr = right_s.split(".")
+            except ValueError as exc:
+                raise ValueError(f"cannot parse join condition {cond!r}") from exc
+            predicates.append(
+                EquiJoinPredicate(AttributeRef(lrel, lattr), AttributeRef(rrel, rattr))
+            )
+        return cls(tuple(relations), tuple(predicates))
+
+    @classmethod
+    def from_sql(cls, sql: str) -> "JoinQuery":
+        """Parse the paper's query shape from SQL text (section 4.1).
+
+        Accepts exactly the form the paper works with::
+
+            SELECT COUNT(*) FROM R1, R2, R3
+            WHERE R1.A = R2.A AND R2.B = R3.B
+
+        Keywords are case-insensitive; relation/attribute names are
+        case-sensitive.  A query without a WHERE clause is the plain cross
+        product (zero predicates).  Anything outside this shape (other
+        select lists, non-equi predicates, subqueries) is rejected with a
+        pointer to the richer programmatic API.
+        """
+        import re
+
+        text = " ".join(sql.split())
+        pattern = re.compile(
+            r"^\s*select\s+count\s*\(\s*\*\s*\)\s+from\s+(?P<from>.+?)"
+            r"(?:\s+where\s+(?P<where>.+?))?\s*;?\s*$",
+            re.IGNORECASE,
+        )
+        match = pattern.match(text)
+        if not match:
+            raise ValueError(
+                "only 'SELECT COUNT(*) FROM ... [WHERE ...]' queries are "
+                "supported (the paper's query shape); build a JoinQuery "
+                "directly for anything else"
+            )
+        relations = [name.strip() for name in match.group("from").split(",")]
+        if any(not re.fullmatch(r"\w+", name) for name in relations):
+            raise ValueError(f"malformed FROM list: {match.group('from')!r}")
+        where = match.group("where")
+        conditions: list[str] = []
+        if where:
+            conditions = re.split(r"\s+and\s+", where, flags=re.IGNORECASE)
+            for cond in conditions:
+                if not re.fullmatch(r"\s*\w+\.\w+\s*=\s*\w+\.\w+\s*", cond):
+                    raise ValueError(
+                        f"unsupported predicate {cond.strip()!r}: only "
+                        "equi-joins 'R.A = S.B' are supported"
+                    )
+        return cls.parse(relations, conditions)
+
+    @classmethod
+    def chain(cls, relation_names: Sequence[str], attribute_names: Sequence[str]) -> "JoinQuery":
+        """The paper's chain query over k relations and k-1 join attributes.
+
+        Relation ``i`` joins attribute ``attribute_names[i]`` with relation
+        ``i+1`` — e.g. ``chain(["R1","R2","R3","R4"], ["A","B","C"])`` is the
+        section 5.1 three-join query.
+        """
+        if len(attribute_names) != len(relation_names) - 1:
+            raise ValueError("a chain of k relations needs k-1 join attributes")
+        predicates = tuple(
+            EquiJoinPredicate(
+                AttributeRef(relation_names[i], attribute_names[i]),
+                AttributeRef(relation_names[i + 1], attribute_names[i]),
+            )
+            for i in range(len(relation_names) - 1)
+        )
+        return cls(tuple(relation_names), predicates)
+
+    @property
+    def num_joins(self) -> int:
+        """Number of equi-join predicates (the paper's "k-join query")."""
+        return len(self.predicates)
+
+    def validate_against(self, schemas: Mapping[str, Sequence[str]]) -> None:
+        """Check every referenced relation/attribute exists in the schemas."""
+        for name in self.relations:
+            if name not in schemas:
+                raise ValueError(f"relation {name!r} is not registered")
+        for pred in self.predicates:
+            for ref in pred.refs():
+                if ref.attribute not in schemas[ref.relation]:
+                    raise ValueError(f"{ref} does not exist")
+
+    def slot_pairs(
+        self, schemas: Mapping[str, Sequence[str]]
+    ) -> list[tuple[tuple[int, int], tuple[int, int]]]:
+        """Predicates as ``((relation_pos, axis), (relation_pos, axis))`` pairs.
+
+        This is the low-level form consumed by
+        :func:`repro.core.join.estimate_multijoin_size` and the exact
+        evaluator; relation positions follow the query's FROM order.
+        """
+        self.validate_against(schemas)
+        rel_pos = {name: i for i, name in enumerate(self.relations)}
+        pairs = []
+        for pred in self.predicates:
+            slots = []
+            for ref in pred.refs():
+                axis = list(schemas[ref.relation]).index(ref.attribute)
+                slots.append((rel_pos[ref.relation], axis))
+            pairs.append((slots[0], slots[1]))
+        return pairs
+
+    def unified_domains(
+        self,
+        schemas: Mapping[str, Sequence[str]],
+        domains: Mapping[str, Sequence[Domain]],
+    ) -> dict[str, list[Domain]]:
+        """Per-relation attribute domains after section 4.1 unification.
+
+        Joined attribute pairs are widened to their common domain; other
+        attributes keep their original domains.
+        """
+        unified: dict[str, list[Domain]] = {
+            name: list(domains[name]) for name in self.relations
+        }
+        for (rel_a, ax_a), (rel_b, ax_b) in self.slot_pairs(schemas):
+            name_a, name_b = self.relations[rel_a], self.relations[rel_b]
+            common = unify_domains(unified[name_a][ax_a], unified[name_b][ax_b])
+            unified[name_a][ax_a] = common
+            unified[name_b][ax_b] = common
+        return unified
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        conditions = " and ".join(str(p) for p in self.predicates) or "true"
+        return f"SELECT COUNT(*) FROM {', '.join(self.relations)} WHERE {conditions}"

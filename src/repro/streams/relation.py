@@ -1,0 +1,133 @@
+"""Stream relations: exact state, schemas, and synopsis observers.
+
+A :class:`StreamRelation` models one stream of the paper's setting: a named
+relation whose tuples arrive (and possibly depart) one at a time.  It keeps
+
+* the exact joint frequency tensor — the ground truth the experiments
+  measure relative error against (feasible because reproduction-scale
+  domains are bounded; guarded by ``MAX_EXACT_CELLS``), and
+* a list of attached *observers* — synopses that see every operation as it
+  happens, exactly as the paper updates cosine coefficients and atomic
+  sketches "whenever a tuple arrives" (section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from ..core.normalization import Domain
+from .tuples import OpKind, StreamOp
+
+#: Refuse to materialize exact count tensors above this many cells.
+MAX_EXACT_CELLS = 200_000_000
+
+
+class StreamObserver(Protocol):
+    """Anything that wants to see a relation's operations live."""
+
+    def on_op(self, relation: "StreamRelation", op: StreamOp) -> None:
+        """Called once per stream operation, after exact state is updated."""
+        ...  # pragma: no cover - protocol
+
+
+class StreamRelation:
+    """A named stream with a fixed schema of attribute domains."""
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        domains: Sequence[Domain],
+    ) -> None:
+        if not attributes:
+            raise ValueError("a relation needs at least one attribute")
+        if len(attributes) != len(domains):
+            raise ValueError("one domain per attribute is required")
+        if len(set(attributes)) != len(attributes):
+            raise ValueError("attribute names must be distinct")
+        cells = int(np.prod([d.size for d in domains]))
+        if cells > MAX_EXACT_CELLS:
+            raise ValueError(
+                f"exact tracking of {cells} cells exceeds MAX_EXACT_CELLS; "
+                "use smaller domains for ground-truth experiments"
+            )
+        self.name = name
+        self.attributes = tuple(attributes)
+        self.domains = tuple(domains)
+        self.counts = np.zeros(tuple(d.size for d in domains), dtype=np.int64)
+        self._count = 0
+        self._observers: list[StreamObserver] = []
+
+    @property
+    def ndim(self) -> int:
+        return len(self.attributes)
+
+    @property
+    def count(self) -> int:
+        """Live tuple count ``N``."""
+        return self._count
+
+    def attach(self, observer: StreamObserver) -> None:
+        """Subscribe a synopsis observer to future operations."""
+        self._observers.append(observer)
+
+    def detach(self, observer: StreamObserver) -> None:
+        self._observers.remove(observer)
+
+    # ------------------------------------------------------------------ #
+
+    def indices_of(self, values: Sequence) -> tuple[int, ...]:
+        """Map one raw tuple to per-attribute domain indices."""
+        if len(values) != self.ndim:
+            raise ValueError(
+                f"{self.name} has {self.ndim} attributes, tuple has {len(values)}"
+            )
+        return tuple(d.index_of(v) for d, v in zip(self.domains, values))
+
+    def process(self, op: StreamOp) -> None:
+        """Apply one stream operation and notify observers."""
+        idx = self.indices_of(op.values)
+        if op.kind is OpKind.DELETE and self.counts[idx] == 0:
+            raise ValueError(f"deleting tuple {op.values} that {self.name} does not hold")
+        self.counts[idx] += op.weight
+        self._count += op.weight
+        for observer in self._observers:
+            observer.on_op(self, op)
+
+    def insert(self, values: Sequence) -> None:
+        """Convenience: process an insertion of one raw tuple."""
+        self.process(StreamOp(tuple(values), OpKind.INSERT))
+
+    def delete(self, values: Sequence) -> None:
+        """Convenience: process a deletion of one raw tuple."""
+        self.process(StreamOp(tuple(values), OpKind.DELETE))
+
+    def insert_rows(self, rows: Sequence[Sequence] | np.ndarray) -> None:
+        """Process a batch of insertions, one operation per row."""
+        for row in rows:
+            if np.isscalar(row):
+                row = (row,)
+            self.insert(tuple(row))
+
+    def load_counts(self, counts: np.ndarray) -> None:
+        """Bulk-load an initial frequency tensor (no observer notification).
+
+        Meant for experiment setup *before* observers are attached; attached
+        synopses would silently miss the loaded tuples, so this raises if
+        any observer is present.
+        """
+        if self._observers:
+            raise ValueError("cannot bulk-load after observers are attached")
+        counts = np.asarray(counts)
+        if counts.shape != self.counts.shape:
+            raise ValueError(f"counts shape {counts.shape} != {self.counts.shape}")
+        if counts.min() < 0:
+            raise ValueError("counts must be non-negative")
+        self.counts = counts.astype(np.int64).copy()
+        self._count = int(counts.sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        schema = ", ".join(self.attributes)
+        return f"StreamRelation({self.name}({schema}), N={self._count})"

@@ -1,0 +1,74 @@
+"""Stream elements: timestamped tuple arrivals and deletions.
+
+A data stream (section 1) is an unbounded, one-pass sequence of operations;
+everything downstream of this module consumes :class:`StreamOp` values so
+insertion-only and insert/delete workloads share one code path.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+
+class OpKind(enum.Enum):
+    """Whether a stream element adds or removes a tuple."""
+
+    INSERT = 1
+    DELETE = -1
+
+
+@dataclass(frozen=True)
+class StreamOp:
+    """One stream element: a tuple of raw attribute values plus its kind."""
+
+    values: tuple
+    kind: OpKind = OpKind.INSERT
+
+    @property
+    def weight(self) -> int:
+        """+1 for insertions, -1 for deletions (linear-synopsis convention)."""
+        return self.kind.value
+
+
+def inserts(rows: Iterable[Sequence] | np.ndarray) -> Iterator[StreamOp]:
+    """Wrap raw tuples as insertion operations."""
+    for row in rows:
+        if np.isscalar(row):
+            yield StreamOp((row,), OpKind.INSERT)
+        else:
+            yield StreamOp(tuple(row), OpKind.INSERT)
+
+
+def deletes(rows: Iterable[Sequence] | np.ndarray) -> Iterator[StreamOp]:
+    """Wrap raw tuples as deletion operations."""
+    for row in rows:
+        if np.isscalar(row):
+            yield StreamOp((row,), OpKind.DELETE)
+        else:
+            yield StreamOp(tuple(row), OpKind.DELETE)
+
+
+def interleave(streams: Sequence[Iterable[StreamOp]], seed: int | None = None) -> Iterator[
+    tuple[int, StreamOp]
+]:
+    """Randomly interleave several streams, yielding ``(stream_id, op)``.
+
+    Models the paper's setting of several concurrent flows with "no control
+    over the order in which they arrive".  Exhausted streams drop out; the
+    interleaving is uniform over the remaining ones.
+    """
+    rng = np.random.default_rng(seed)
+    iterators: list[tuple[int, Iterator[StreamOp]]] = [
+        (i, iter(s)) for i, s in enumerate(streams)
+    ]
+    while iterators:
+        pick = int(rng.integers(0, len(iterators)))
+        stream_id, it = iterators[pick]
+        try:
+            yield stream_id, next(it)
+        except StopIteration:
+            iterators.pop(pick)

@@ -1,0 +1,15 @@
+"""Haar wavelet synopsis baseline (the section 2 wavelet family)."""
+
+from .haar import (
+    HaarSynopsis,
+    estimate_join_size,
+    haar_transform,
+    inverse_haar_transform,
+)
+
+__all__ = [
+    "HaarSynopsis",
+    "estimate_join_size",
+    "haar_transform",
+    "inverse_haar_transform",
+]

@@ -1,0 +1,16 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def rng2() -> np.random.Generator:
+    """A second, independent deterministic generator."""
+    return np.random.default_rng(67890)

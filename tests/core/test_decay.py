@@ -1,0 +1,137 @@
+"""Tests for exponentially time-decayed cosine synopses."""
+
+import numpy as np
+import pytest
+
+from repro.core.decay import DecayedCosineSynopsis, estimate_decayed_join_size
+from repro.core.join import estimate_join_size
+from repro.core.normalization import Domain
+from repro.core.synopsis import CosineSynopsis
+
+
+def decayed_counts(events, n, gamma, read_time):
+    """Ground-truth decayed frequency vector for (value, time) events."""
+    counts = np.zeros(n)
+    for value, t in events:
+        counts[value] += np.exp(-gamma * (read_time - t))
+    return counts
+
+
+def random_events(rng, n, size, horizon=10.0):
+    times = np.sort(rng.uniform(0, horizon, size))
+    values = rng.integers(0, n, size)
+    return list(zip(values.tolist(), times.tolist()))
+
+
+class TestConstruction:
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            DecayedCosineSynopsis(Domain.of_size(10), gamma=-0.1, order=5)
+
+    def test_empty_synopsis_has_no_coefficients(self):
+        syn = DecayedCosineSynopsis(Domain.of_size(10), gamma=0.5, order=5)
+        with pytest.raises(ValueError, match="mass"):
+            syn.coefficients()
+
+
+class TestClock:
+    def test_clock_advances_with_inserts(self):
+        syn = DecayedCosineSynopsis(Domain.of_size(10), gamma=0.5, order=5)
+        syn.insert((3,), timestamp=1.0)
+        syn.insert((4,), timestamp=2.5)
+        assert syn.clock == 2.5
+
+    def test_time_cannot_rewind(self):
+        syn = DecayedCosineSynopsis(Domain.of_size(10), gamma=0.5, order=5)
+        syn.insert((3,), timestamp=2.0)
+        with pytest.raises(ValueError, match="forward"):
+            syn.insert((4,), timestamp=1.0)
+
+    def test_weighted_count_decays(self):
+        syn = DecayedCosineSynopsis(Domain.of_size(10), gamma=1.0, order=5)
+        syn.insert((3,), timestamp=0.0)
+        syn.advance_to(1.0)
+        assert syn.weighted_count == pytest.approx(np.exp(-1.0))
+
+    def test_gamma_zero_is_undecayed(self, rng):
+        n = 20
+        decayed = DecayedCosineSynopsis(Domain.of_size(n), gamma=0.0, order=n)
+        plain = CosineSynopsis(Domain.of_size(n), order=n)
+        for value, t in random_events(rng, n, 100):
+            decayed.insert((value,), timestamp=t)
+            plain.insert((value,))
+        np.testing.assert_allclose(
+            decayed.coefficients(), plain.coefficients, atol=1e-12
+        )
+        assert decayed.weighted_count == pytest.approx(100)
+
+
+class TestDecayedEstimation:
+    def test_join_exact_at_full_order(self, rng):
+        n, gamma = 25, 0.3
+        events_a = random_events(rng, n, 200)
+        events_b = random_events(rng, n, 150)
+        a = DecayedCosineSynopsis(Domain.of_size(n), gamma=gamma, order=n)
+        b = DecayedCosineSynopsis(Domain.of_size(n), gamma=gamma, order=n)
+        for value, t in events_a:
+            a.insert((value,), timestamp=t)
+        for value, t in events_b:
+            b.insert((value,), timestamp=t)
+        read_time = 12.0
+        estimate = estimate_decayed_join_size(a, b, timestamp=read_time)
+        actual = float(
+            decayed_counts(events_a, n, gamma, read_time)
+            @ decayed_counts(events_b, n, gamma, read_time)
+        )
+        assert estimate == pytest.approx(actual, rel=1e-9)
+
+    def test_default_read_time_is_later_clock(self, rng):
+        n = 10
+        a = DecayedCosineSynopsis(Domain.of_size(n), gamma=0.2, order=n)
+        b = DecayedCosineSynopsis(Domain.of_size(n), gamma=0.2, order=n)
+        a.insert((1,), timestamp=1.0)
+        b.insert((1,), timestamp=5.0)
+        estimate_decayed_join_size(a, b)
+        assert a.clock == b.clock == 5.0
+
+    def test_old_tuples_fade_from_the_join(self):
+        n = 10
+        a = DecayedCosineSynopsis(Domain.of_size(n), gamma=2.0, order=n)
+        b = DecayedCosineSynopsis(Domain.of_size(n), gamma=2.0, order=n)
+        a.insert((3,), timestamp=0.0)
+        b.insert((3,), timestamp=0.0)
+        early = estimate_decayed_join_size(a, b, timestamp=0.0)
+        late = estimate_decayed_join_size(a, b, timestamp=5.0)
+        assert early == pytest.approx(1.0, rel=1e-9)
+        assert late < 1e-6
+
+    def test_reconstruction_matches_ground_truth(self, rng):
+        n, gamma = 16, 0.4
+        events = random_events(rng, n, 120)
+        syn = DecayedCosineSynopsis(Domain.of_size(n), gamma=gamma, order=n)
+        for value, t in events:
+            syn.insert((value,), timestamp=t)
+        syn.advance_to(11.0)
+        np.testing.assert_allclose(
+            syn.reconstruct_decayed_counts(),
+            decayed_counts(events, n, gamma, 11.0),
+            atol=1e-8,
+        )
+
+    def test_mismatched_grids_rejected(self):
+        a = DecayedCosineSynopsis(Domain.of_size(8), gamma=0.1, order=4)
+        b = DecayedCosineSynopsis(Domain.of_size(8), gamma=0.1, order=4, grid="endpoint")
+        a.insert((0,), 0.0)
+        b.insert((0,), 0.0)
+        with pytest.raises(ValueError, match="grids"):
+            estimate_decayed_join_size(a, b)
+
+    def test_different_gammas_supported(self, rng):
+        # Nothing requires both sides to age at the same rate.
+        n = 12
+        a = DecayedCosineSynopsis(Domain.of_size(n), gamma=0.1, order=n)
+        b = DecayedCosineSynopsis(Domain.of_size(n), gamma=1.0, order=n)
+        a.insert((4,), timestamp=0.0)
+        b.insert((4,), timestamp=0.0)
+        est = estimate_decayed_join_size(a, b, timestamp=1.0)
+        assert est == pytest.approx(np.exp(-0.1) * np.exp(-1.0), rel=1e-9)

@@ -1,0 +1,149 @@
+"""Tests for the section 4.3 analytic error bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.error import (
+    absolute_error_bound,
+    coefficients_for_relative_error,
+    relative_error_bound,
+    sketch_space_bounds,
+    worst_case_coefficients,
+)
+from repro.core.join import estimate_join_size
+from repro.core.normalization import Domain
+from repro.core.synopsis import CosineSynopsis
+
+
+class TestAbsoluteBound:
+    def test_formula(self):
+        # Eq. 4.7 with equal sizes: 2 N^2 (n - m) / n.
+        assert absolute_error_bound(100, 100, 50, 10) == pytest.approx(
+            2 * 100 * 100 * 40 / 50
+        )
+
+    def test_zero_at_full_coefficients(self):
+        assert absolute_error_bound(100, 100, 50, 50) == 0.0
+
+    def test_monotone_in_coefficients(self):
+        bounds = [absolute_error_bound(10, 10, 100, m) for m in (1, 10, 50, 100)]
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_invalid_space_rejected(self):
+        with pytest.raises(ValueError):
+            absolute_error_bound(10, 10, 5, 6)
+        with pytest.raises(ValueError):
+            absolute_error_bound(10, 10, 5, 0)
+        with pytest.raises(ValueError):
+            absolute_error_bound(10, 10, 0, 1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(2, 40),
+        m=st.integers(1, 40),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_bound_actually_holds(self, n, m, seed):
+        # The deterministic Eq. 4.7 bound must dominate the observed error
+        # for every distribution pair.
+        m = min(m, n)
+        r = np.random.default_rng(seed)
+        c1 = r.integers(0, 10, n).astype(float)
+        c2 = r.integers(0, 10, n).astype(float)
+        if c1.sum() == 0:
+            c1[0] = 1
+        if c2.sum() == 0:
+            c2[0] = 1
+        d = Domain.of_size(n)
+        est = estimate_join_size(
+            CosineSynopsis.from_counts(d, c1, order=m),
+            CosineSynopsis.from_counts(d, c2, order=m),
+        )
+        actual = float(c1 @ c2)
+        bound = absolute_error_bound(int(c1.sum()), int(c2.sum()), n, m)
+        assert abs(actual - est) <= bound + 1e-6
+
+
+class TestRelativeBoundAndInversion:
+    def test_relative_bound_formula(self):
+        assert relative_error_bound(1000.0, 100, 100, 50, 10) == pytest.approx(
+            absolute_error_bound(100, 100, 50, 10) / 1000.0
+        )
+
+    def test_relative_bound_needs_positive_join(self):
+        with pytest.raises(ValueError, match="J > 0"):
+            relative_error_bound(0.0, 10, 10, 5, 2)
+
+    def test_eq_4_9_inverts_eq_4_8(self):
+        # m from Eq. 4.9 must guarantee the Eq. 4.8 bound <= e.
+        n, stream, join = 1000, 5000, 2.0e5
+        for e in (0.05, 0.2, 0.9):
+            m = coefficients_for_relative_error(e, join, stream, n)
+            assert relative_error_bound(join, stream, stream, n, m) <= e + 1e-9
+
+    def test_eq_4_9_clamps_to_valid_range(self):
+        assert coefficients_for_relative_error(10.0, 1e12, 10, 100) == 1
+        assert coefficients_for_relative_error(1e-9, 10.0, 1000, 100) == 100
+
+    def test_eq_4_9_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            coefficients_for_relative_error(0.0, 10.0, 10, 10)
+        with pytest.raises(ValueError):
+            coefficients_for_relative_error(0.1, -1.0, 10, 10)
+
+
+class TestWorstCase:
+    def test_eq_4_12_formula(self):
+        # m = n - floor(e n / 2).
+        assert worst_case_coefficients(0.1, 1000) == 1000 - 50
+        assert worst_case_coefficients(1.0, 100) == 50
+
+    def test_worst_case_scenario_error_matches_bound_shape(self):
+        # Both streams hold one identical value; J = N^2.  The truncated
+        # estimate's relative error must be within the Eq. 4.8 bound.
+        n, big = 64, 500
+        counts = np.zeros(n)
+        counts[n // 2] = big
+        d = Domain.of_size(n)
+        e = 0.5
+        m = worst_case_coefficients(e, n)
+        syn = CosineSynopsis.from_counts(d, counts, order=m)
+        est = estimate_join_size(syn, syn)
+        actual = float(big) ** 2
+        assert abs(actual - est) / actual <= e + 1e-9
+
+    def test_single_value_stream_is_the_hard_case(self):
+        # With few coefficients the single-value stream's join is badly
+        # underestimated (the DCT worst case of section 4.3.2).
+        n, big = 256, 1000
+        counts = np.zeros(n)
+        counts[3] = big
+        d = Domain.of_size(n)
+        syn = CosineSynopsis.from_counts(d, counts, order=8)
+        est = estimate_join_size(syn, syn)
+        actual = float(big) ** 2
+        assert abs(actual - est) / actual > 0.5
+
+
+class TestSketchBounds:
+    def test_values(self):
+        b = sketch_space_bounds(stream_size=1000, join_size=1.0e4, domain_size=500)
+        assert b.basic_best == pytest.approx(100.0)
+        assert b.basic_worst == pytest.approx(10_000.0)
+        assert b.skimmed == pytest.approx(100.0)
+        assert b.skimmed_sanity_bound == pytest.approx(1000.0**1.5)
+        assert b.skimmed_extra_dense_space == 500
+
+    def test_uniform_data_is_sketch_worst_case(self):
+        # Section 4.3.1: for uniform data J = N^2 / n, so the sketch's best
+        # bound Omega(N^2 / J) evaluates to Omega(n) — brute force.
+        n, stream = 1000, 100_000
+        join = stream**2 / n
+        b = sketch_space_bounds(stream, join, n)
+        assert b.basic_best == pytest.approx(n)
+
+    def test_positive_join_required(self):
+        with pytest.raises(ValueError):
+            sketch_space_bounds(10, 0.0, 5)

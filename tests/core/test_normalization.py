@@ -1,0 +1,148 @@
+"""Tests for attribute domains and section 4.1 domain unification."""
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import Domain, embed_counts, unify_domains
+
+
+class TestDomainConstruction:
+    def test_integer_range_size(self):
+        assert Domain.integer_range(10, 19).size == 10
+
+    def test_of_size(self):
+        d = Domain.of_size(7)
+        assert (d.low, d.high, d.size) == (0, 6, 7)
+
+    def test_empty_integer_range_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Domain.integer_range(5, 4)
+
+    def test_categorical_basics(self):
+        d = Domain.categorical(["red", "green", "blue"])
+        assert d.size == 3 and d.is_categorical
+        assert d.high is None
+
+    def test_categorical_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            Domain.categorical(["a", "a"])
+
+    def test_categorical_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Domain.categorical([])
+
+
+class TestIndexing:
+    def test_integer_indices(self):
+        d = Domain.integer_range(100, 109)
+        np.testing.assert_array_equal(d.indices_of([100, 105, 109]), [0, 5, 9])
+
+    def test_index_of_single(self):
+        assert Domain.integer_range(-5, 5).index_of(0) == 5
+
+    def test_out_of_range_rejected(self):
+        d = Domain.of_size(10)
+        with pytest.raises(ValueError, match="outside"):
+            d.indices_of([3, 10])
+        with pytest.raises(ValueError, match="outside"):
+            d.indices_of([-1])
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ValueError, match="non-integer"):
+            Domain.of_size(10).indices_of([1.5])
+
+    def test_categorical_indices(self):
+        d = Domain.categorical(["x", "y", "z"])
+        np.testing.assert_array_equal(d.indices_of(["z", "x"]), [2, 0])
+
+    def test_categorical_unknown_value_rejected(self):
+        with pytest.raises(ValueError, match="not in categorical"):
+            Domain.categorical(["x"]).indices_of(["w"])
+
+
+class TestPositions:
+    def test_midpoint_positions(self):
+        d = Domain.of_size(5)
+        np.testing.assert_allclose(d.positions_of([0, 4]), [0.1, 0.9])
+
+    def test_endpoint_positions_match_paper_normalization(self):
+        # Section 3.1: x_z = (x - min) / (max - min).
+        d = Domain.integer_range(0, 4)
+        np.testing.assert_allclose(
+            d.positions_of([0, 1, 2, 3, 4], kind="endpoint"), [0, 0.25, 0.5, 0.75, 1]
+        )
+
+    def test_positions_of_size_one_domain(self):
+        d = Domain.integer_range(7, 7)
+        np.testing.assert_allclose(d.positions_of([7], kind="endpoint"), [0.5])
+        np.testing.assert_allclose(d.positions_of([7], kind="midpoint"), [0.5])
+
+    def test_grid_matches_positions(self):
+        d = Domain.integer_range(3, 12)
+        np.testing.assert_allclose(
+            d.grid("midpoint"), d.positions_of(np.arange(3, 13), "midpoint")
+        )
+
+
+class TestUnification:
+    def test_integer_union(self):
+        a = Domain.integer_range(0, 10)
+        b = Domain.integer_range(5, 20)
+        u = unify_domains(a, b)
+        assert (u.low, u.high) == (0, 20)
+
+    def test_disjoint_ranges_unify_to_the_hull(self):
+        u = unify_domains(Domain.integer_range(0, 3), Domain.integer_range(10, 12))
+        assert (u.low, u.high, u.size) == (0, 12, 13)
+
+    def test_unify_is_commutative_in_extent(self):
+        a = Domain.integer_range(-3, 7)
+        b = Domain.integer_range(2, 15)
+        assert unify_domains(a, b) == unify_domains(b, a)
+
+    def test_categorical_union_keeps_left_order(self):
+        a = Domain.categorical(["x", "y"])
+        b = Domain.categorical(["y", "z"])
+        u = unify_domains(a, b)
+        np.testing.assert_array_equal(u.indices_of(["x", "y", "z"]), [0, 1, 2])
+
+    def test_mixed_kinds_rejected(self):
+        with pytest.raises(ValueError, match="cannot unify"):
+            unify_domains(Domain.of_size(3), Domain.categorical(["a"]))
+
+
+class TestEmbedCounts:
+    def test_embedding_pads_with_zeros(self):
+        orig = Domain.integer_range(5, 7)
+        uni = Domain.integer_range(0, 9)
+        out = embed_counts(np.array([1, 2, 3]), orig, uni)
+        np.testing.assert_array_equal(out, [0, 0, 0, 0, 0, 1, 2, 3, 0, 0])
+
+    def test_embedding_preserves_total(self, rng):
+        orig = Domain.integer_range(10, 29)
+        uni = unify_domains(orig, Domain.integer_range(0, 49))
+        counts = rng.integers(0, 9, size=20)
+        assert embed_counts(counts, orig, uni).sum() == counts.sum()
+
+    def test_identity_embedding(self):
+        d = Domain.of_size(4)
+        np.testing.assert_array_equal(
+            embed_counts(np.array([1, 2, 3, 4]), d, d), [1, 2, 3, 4]
+        )
+
+    def test_categorical_embedding(self):
+        orig = Domain.categorical(["b", "c"])
+        uni = Domain.categorical(["a", "b", "c"])
+        np.testing.assert_array_equal(embed_counts(np.array([5, 7]), orig, uni), [0, 5, 7])
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError, match="does not match"):
+            embed_counts(np.array([1, 2]), Domain.of_size(3), Domain.of_size(5))
+
+    def test_non_containing_unified_domain_rejected(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            embed_counts(
+                np.array([1, 2, 3]),
+                Domain.integer_range(0, 2),
+                Domain.integer_range(1, 5),
+            )

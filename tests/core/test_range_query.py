@@ -1,0 +1,204 @@
+"""Tests for point/range estimation from cosine synopses."""
+
+import numpy as np
+import pytest
+
+from repro.core.basis import basis_matrix, midpoint_grid
+from repro.core.normalization import Domain
+from repro.core.range_query import (
+    basis_range_sums,
+    estimate_box_count,
+    estimate_cdf,
+    estimate_quantile,
+    estimate_point_count,
+    estimate_range_count,
+    estimate_range_selectivity,
+)
+from repro.core.synopsis import CosineSynopsis
+
+
+class TestClosedForm:
+    @pytest.mark.parametrize("n,lo,hi", [(10, 0, 9), (10, 3, 7), (33, 5, 5), (7, 0, 0)])
+    def test_matches_direct_summation(self, n, lo, hi):
+        sums = basis_range_sums(n, n, lo, hi)
+        direct = basis_matrix(np.arange(n), midpoint_grid(n))[:, lo : hi + 1].sum(axis=1)
+        np.testing.assert_allclose(sums, direct, atol=1e-10)
+
+    def test_order_zero_term_is_range_width(self):
+        assert basis_range_sums(5, 100, 10, 19)[0] == 10
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            basis_range_sums(5, 10, 5, 3)
+        with pytest.raises(ValueError):
+            basis_range_sums(5, 10, 0, 10)
+
+
+class TestRangeEstimation:
+    def test_exact_with_full_coefficients(self, rng):
+        n = 60
+        counts = rng.integers(0, 30, n).astype(float)
+        syn = CosineSynopsis.from_counts(Domain.of_size(n), counts, order=n)
+        for lo, hi in [(0, n - 1), (10, 20), (5, 5)]:
+            est = estimate_range_count(syn, lo, hi)
+            assert est == pytest.approx(counts[lo : hi + 1].sum(), abs=1e-6)
+
+    def test_point_count_exact_with_full_coefficients(self, rng):
+        n = 40
+        counts = rng.integers(0, 30, n).astype(float)
+        syn = CosineSynopsis.from_counts(Domain.of_size(n), counts, order=n)
+        assert estimate_point_count(syn, 7) == pytest.approx(counts[7], abs=1e-6)
+
+    def test_truncated_estimate_close_on_smooth_data(self):
+        n = 200
+        x = np.arange(n)
+        counts = 100 * np.exp(-((x - 90) / 25.0) ** 2) + 10
+        syn = CosineSynopsis.from_counts(Domain.of_size(n), counts, order=20)
+        actual = counts[60:120].sum()
+        est = estimate_range_count(syn, 60, 119)
+        assert est == pytest.approx(actual, rel=0.05)
+
+    def test_endpoint_grid_supported(self, rng):
+        n = 30
+        counts = rng.integers(1, 10, n).astype(float)
+        syn = CosineSynopsis.from_counts(
+            Domain.of_size(n), counts, order=n, grid="endpoint"
+        )
+        # On the endpoint grid the inversion is approximate; only sanity.
+        est = estimate_range_count(syn, 0, n - 1)
+        assert est == pytest.approx(counts.sum(), rel=0.25)
+
+    def test_selectivity_normalizes_by_stream_size(self, rng):
+        n = 50
+        counts = rng.integers(1, 10, n).astype(float)
+        syn = CosineSynopsis.from_counts(Domain.of_size(n), counts, order=n)
+        sel = estimate_range_selectivity(syn, 0, 24)
+        assert sel == pytest.approx(counts[:25].sum() / counts.sum(), abs=1e-9)
+
+    def test_multiattribute_rejected(self, rng):
+        syn = CosineSynopsis.from_counts(
+            [Domain.of_size(5)] * 2, rng.integers(0, 5, (5, 5)).astype(float), order=3
+        )
+        with pytest.raises(ValueError, match="single-attribute"):
+            estimate_range_count(syn, 0, 2)
+
+    def test_bad_range_rejected(self, rng):
+        syn = CosineSynopsis.from_counts(
+            Domain.of_size(5), rng.integers(1, 5, 5).astype(float), order=5
+        )
+        with pytest.raises(ValueError):
+            estimate_range_count(syn, 3, 1)
+        with pytest.raises(ValueError):
+            estimate_range_count(syn, 0, 5)
+
+
+class TestBoxCount:
+    def test_exact_with_full_coefficients(self, rng):
+        counts = rng.integers(0, 9, (12, 9)).astype(float)
+        doms = [Domain.of_size(12), Domain.of_size(9)]
+        syn = CosineSynopsis.from_counts(doms, counts, order=12, truncation="full")
+        est = estimate_box_count(syn, [(3, 8), (2, 5)])
+        assert est == pytest.approx(counts[3:9, 2:6].sum(), abs=1e-8)
+
+    def test_open_axis(self, rng):
+        counts = rng.integers(0, 9, (10, 10)).astype(float)
+        doms = [Domain.of_size(10)] * 2
+        syn = CosineSynopsis.from_counts(doms, counts, order=10, truncation="full")
+        est = estimate_box_count(syn, [None, (4, 7)])
+        assert est == pytest.approx(counts[:, 4:8].sum(), abs=1e-8)
+
+    def test_whole_box_is_stream_size(self, rng):
+        counts = rng.integers(0, 9, (8, 8)).astype(float)
+        doms = [Domain.of_size(8)] * 2
+        syn = CosineSynopsis.from_counts(doms, counts, order=8, truncation="full")
+        est = estimate_box_count(syn, [None, None])
+        assert est == pytest.approx(counts.sum(), abs=1e-8)
+
+    def test_one_dimensional_matches_range_count(self, rng):
+        counts = rng.integers(0, 9, 30).astype(float)
+        syn = CosineSynopsis.from_counts(Domain.of_size(30), counts, order=15)
+        assert estimate_box_count(syn, [(5, 20)]) == pytest.approx(
+            estimate_range_count(syn, 5, 20), rel=1e-10
+        )
+
+    def test_wrong_arity_rejected(self, rng):
+        counts = rng.integers(0, 9, (8, 8)).astype(float)
+        syn = CosineSynopsis.from_counts(
+            [Domain.of_size(8)] * 2, counts, order=4
+        )
+        with pytest.raises(ValueError, match="one range per"):
+            estimate_box_count(syn, [(0, 3)])
+
+    def test_bad_range_rejected(self, rng):
+        counts = rng.integers(0, 9, (8, 8)).astype(float)
+        syn = CosineSynopsis.from_counts([Domain.of_size(8)] * 2, counts, order=4)
+        with pytest.raises(ValueError, match="not inside"):
+            estimate_box_count(syn, [(0, 8), None])
+
+    def test_triangular_truncation_smooth_data(self):
+        n = 64
+        x = np.arange(n)
+        joint = np.exp(
+            -0.5 * (((x[:, None] - 30) / 10.0) ** 2 + ((x[None, :] - 20) / 8.0) ** 2)
+        ) * 500 + 1
+        doms = [Domain.of_size(n)] * 2
+        syn = CosineSynopsis.from_counts(doms, joint, budget=300)
+        est = estimate_box_count(syn, [(20, 45), (10, 35)])
+        actual = joint[20:46, 10:36].sum()
+        assert est == pytest.approx(actual, rel=0.05)
+
+
+class TestCdfAndQuantiles:
+    def test_cdf_exact_at_full_order(self, rng):
+        n = 40
+        counts = rng.integers(0, 10, n).astype(float) + 1
+        syn = CosineSynopsis.from_counts(Domain.of_size(n), counts, order=n)
+        np.testing.assert_allclose(
+            estimate_cdf(syn), np.cumsum(counts) / counts.sum(), atol=1e-9
+        )
+
+    def test_cdf_monotone_under_truncation(self, rng):
+        n = 100
+        counts = rng.integers(0, 10, n).astype(float)
+        counts[0] = 1
+        syn = CosineSynopsis.from_counts(Domain.of_size(n), counts, order=10)
+        cdf = estimate_cdf(syn)
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_median_of_symmetric_distribution(self):
+        n = 101
+        x = np.arange(n)
+        counts = np.exp(-0.5 * ((x - 50) / 12.0) ** 2) * 100 + 1
+        syn = CosineSynopsis.from_counts(Domain.of_size(n), counts, order=25)
+        assert abs(estimate_quantile(syn, 0.5) - 50) <= 2
+
+    def test_quantiles_exact_at_full_order(self, rng):
+        n = 60
+        counts = rng.integers(1, 10, n).astype(float)
+        syn = CosineSynopsis.from_counts(Domain.of_size(n), counts, order=n)
+        cdf = np.cumsum(counts) / counts.sum()
+        for q in (0.1, 0.25, 0.5, 0.9):
+            expected = int(np.searchsorted(cdf, q, side="left"))
+            assert estimate_quantile(syn, q) == expected
+
+    def test_extreme_quantiles(self, rng):
+        n = 30
+        counts = rng.integers(1, 5, n).astype(float)
+        syn = CosineSynopsis.from_counts(Domain.of_size(n), counts, order=n)
+        assert estimate_quantile(syn, 0.0) == 0
+        assert estimate_quantile(syn, 1.0) == n - 1
+
+    def test_invalid_quantile_rejected(self, rng):
+        syn = CosineSynopsis.from_counts(
+            Domain.of_size(5), rng.integers(1, 5, 5).astype(float), order=5
+        )
+        with pytest.raises(ValueError, match="quantile"):
+            estimate_quantile(syn, 1.5)
+
+    def test_multiattribute_rejected(self, rng):
+        syn = CosineSynopsis.from_counts(
+            [Domain.of_size(5)] * 2, rng.integers(1, 5, (5, 5)).astype(float), order=3
+        )
+        with pytest.raises(ValueError, match="single-attribute"):
+            estimate_cdf(syn)

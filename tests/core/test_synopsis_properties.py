@@ -1,0 +1,124 @@
+"""Hypothesis property tests on the cosine synopsis invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.join import estimate_join_size
+from repro.core.normalization import Domain
+from repro.core.synopsis import CosineSynopsis
+from repro.streams.exact import exact_join_size
+
+
+@st.composite
+def counts_vector(draw, max_n=40, max_count=15):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    values = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=max_count), min_size=n, max_size=n
+        )
+    )
+    counts = np.array(values, dtype=float)
+    # keep at least one tuple so coefficients are defined
+    if counts.sum() == 0:
+        counts[draw(st.integers(0, n - 1))] = 1
+    return counts
+
+
+class TestStreamOrderInvariance:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        size=st.integers(min_value=1, max_value=120),
+    )
+    def test_coefficients_independent_of_arrival_order(self, seed, size):
+        # The synopsis is a pure function of the multiset of tuples: any
+        # arrival permutation yields the same coefficients.
+        r = np.random.default_rng(seed)
+        d = Domain.of_size(17)
+        rows = r.integers(0, 17, size=(size, 1))
+        a = CosineSynopsis(d, order=9)
+        a.insert_batch(rows)
+        b = CosineSynopsis(d, order=9)
+        b.insert_batch(rows[r.permutation(size)])
+        np.testing.assert_allclose(a.coefficients, b.coefficients, atol=1e-10)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_insert_delete_commute(self, seed):
+        # Inserting X then deleting Y equals deleting Y then inserting X
+        # (whenever both orders are legal): the synopsis is linear.
+        r = np.random.default_rng(seed)
+        d = Domain.of_size(11)
+        base = r.integers(0, 11, size=(50, 1))
+        extra = r.integers(0, 11, size=(10, 1))
+        doomed = base[:10]
+
+        one = CosineSynopsis(d, order=6)
+        one.insert_batch(base)
+        one.insert_batch(extra)
+        one.delete_batch(doomed)
+
+        two = CosineSynopsis(d, order=6)
+        two.insert_batch(base)
+        two.delete_batch(doomed)
+        two.insert_batch(extra)
+
+        np.testing.assert_allclose(one.coefficients, two.coefficients, atol=1e-10)
+
+
+class TestExactRecovery:
+    @settings(max_examples=30, deadline=None)
+    @given(counts_a=counts_vector(), counts_b=counts_vector())
+    def test_full_order_join_estimate_is_exact(self, counts_a, counts_b):
+        # Eq. 4.3: with all n coefficients the estimate IS the join size.
+        n = max(len(counts_a), len(counts_b))
+        a = np.pad(counts_a, (0, n - len(counts_a)))
+        b = np.pad(counts_b, (0, n - len(counts_b)))
+        d = Domain.of_size(n)
+        sa = CosineSynopsis.from_counts(d, a, order=n)
+        sb = CosineSynopsis.from_counts(d, b, order=n)
+        estimate = estimate_join_size(sa, sb)
+        actual = exact_join_size(a, b)
+        assert estimate == pytest.approx(actual, rel=1e-9, abs=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(counts=counts_vector(max_n=24))
+    def test_full_order_reconstruction_is_exact(self, counts):
+        d = Domain.of_size(len(counts))
+        syn = CosineSynopsis.from_counts(d, counts, order=len(counts))
+        np.testing.assert_allclose(syn.reconstruct_counts(), counts, atol=1e-7)
+
+
+class TestBoundsAndInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(counts=counts_vector())
+    def test_coefficients_bounded_by_sqrt2(self, counts):
+        syn = CosineSynopsis.from_counts(Domain.of_size(len(counts)), counts, order=len(counts))
+        assert np.all(np.abs(syn.coefficients) <= np.sqrt(2) + 1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(counts=counts_vector(), seed=st.integers(0, 2**31 - 1))
+    def test_merge_is_commutative(self, counts, seed):
+        r = np.random.default_rng(seed)
+        other = r.permutation(counts)
+        d = Domain.of_size(len(counts))
+        a = CosineSynopsis.from_counts(d, counts, order=5)
+        b = CosineSynopsis.from_counts(d, other, order=5)
+        np.testing.assert_allclose(
+            (a + b).coefficients, (b + a).coefficients, atol=1e-12
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(counts=counts_vector(max_n=30), m=st.integers(2, 10))
+    def test_truncation_tower(self, counts, m):
+        # truncating twice equals truncating once to the smaller order.
+        n = len(counts)
+        order = min(m, n)
+        syn = CosineSynopsis.from_counts(Domain.of_size(n), counts, order=n)
+        via_middle = syn.truncated(order=min(n, order + 3)).truncated(order=order)
+        direct = syn.truncated(order=order)
+        np.testing.assert_allclose(
+            via_middle.coefficients, direct.coefficients, atol=1e-12
+        )

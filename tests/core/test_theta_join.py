@@ -1,0 +1,182 @@
+"""Tests for non-equi (theta) join estimation — the section 6 extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import Domain
+from repro.core.synopsis import CosineSynopsis
+from repro.core.theta_join import (
+    estimate_band_join_size,
+    estimate_inequality_join_size,
+    estimate_selected_join_size,
+    estimate_theta_join_size,
+)
+
+
+def syn(counts, order=None, **kw):
+    counts = np.asarray(counts, dtype=float)
+    d = Domain.of_size(len(counts))
+    return CosineSynopsis.from_counts(d, counts, order=order or len(counts), **kw)
+
+
+def brute_force(c1, c2, predicate):
+    n = len(c1)
+    return float(
+        sum(
+            c1[x] * c2[y]
+            for x in range(n)
+            for y in range(n)
+            if predicate(x, y)
+        )
+    )
+
+
+@pytest.fixture
+def pair(rng):
+    c1 = rng.integers(0, 9, 40).astype(float)
+    c2 = rng.integers(0, 9, 40).astype(float)
+    return c1, c2
+
+
+class TestInequalityJoins:
+    @pytest.mark.parametrize(
+        "op,pred",
+        [
+            ("<", lambda x, y: x < y),
+            ("<=", lambda x, y: x <= y),
+            (">", lambda x, y: x > y),
+            (">=", lambda x, y: x >= y),
+        ],
+    )
+    def test_exact_with_full_coefficients(self, pair, op, pred):
+        c1, c2 = pair
+        est = estimate_inequality_join_size(syn(c1), syn(c2), op)
+        assert est == pytest.approx(brute_force(c1, c2, pred), rel=1e-8)
+
+    def test_complementary_ops_partition_cross_product(self, pair):
+        c1, c2 = pair
+        a, b = syn(c1), syn(c2)
+        less = estimate_inequality_join_size(a, b, "<")
+        geq = estimate_inequality_join_size(a, b, ">=")
+        assert less + geq == pytest.approx(float(c1.sum() * c2.sum()), rel=1e-8)
+
+    def test_unknown_operator_rejected(self, pair):
+        c1, c2 = pair
+        with pytest.raises(ValueError, match="unsupported"):
+            estimate_inequality_join_size(syn(c1), syn(c2), "!=")
+
+    def test_truncated_estimate_close_on_smooth_data(self):
+        n = 200
+        x = np.arange(n)
+        c1 = 100 * np.exp(-((x - 60) / 30.0) ** 2) + 5
+        c2 = 100 * np.exp(-((x - 120) / 25.0) ** 2) + 5
+        est = estimate_inequality_join_size(syn(c1, order=24), syn(c2, order=24), "<")
+        actual = brute_force(c1, c2, lambda a, b: a < b)
+        assert est == pytest.approx(actual, rel=0.05)
+
+
+class TestBandJoins:
+    def test_exact_with_full_coefficients(self, pair):
+        c1, c2 = pair
+        for width in (0, 1, 3, 10):
+            est = estimate_band_join_size(syn(c1), syn(c2), width)
+            actual = brute_force(c1, c2, lambda x, y, w=width: abs(x - y) <= w)
+            assert est == pytest.approx(actual, rel=1e-8)
+
+    def test_width_zero_is_equi_join(self, pair):
+        c1, c2 = pair
+        est = estimate_band_join_size(syn(c1), syn(c2), 0)
+        assert est == pytest.approx(float(c1 @ c2), rel=1e-8)
+
+    def test_huge_width_is_cross_product(self, pair):
+        c1, c2 = pair
+        est = estimate_band_join_size(syn(c1), syn(c2), 10_000)
+        assert est == pytest.approx(float(c1.sum() * c2.sum()), rel=1e-8)
+
+    def test_negative_width_rejected(self, pair):
+        c1, c2 = pair
+        with pytest.raises(ValueError, match=">= 0"):
+            estimate_band_join_size(syn(c1), syn(c2), -1)
+
+    def test_monotone_in_width(self, pair):
+        c1, c2 = pair
+        a, b = syn(c1), syn(c2)
+        sizes = [estimate_band_join_size(a, b, w) for w in (0, 2, 5, 20)]
+        assert sizes == sorted(sizes)
+
+
+class TestSelectedJoins:
+    def test_exact_with_full_coefficients(self, pair):
+        c1, c2 = pair
+        est = estimate_selected_join_size(syn(c1), syn(c2), (5, 20), (10, 30))
+        actual = float(c1[10:21] @ c2[10:21])
+        assert est == pytest.approx(actual, rel=1e-8)
+
+    def test_no_selection_is_plain_equi_join(self, pair):
+        c1, c2 = pair
+        est = estimate_selected_join_size(syn(c1), syn(c2))
+        assert est == pytest.approx(float(c1 @ c2), rel=1e-8)
+
+    def test_one_sided_selection(self, pair):
+        c1, c2 = pair
+        est = estimate_selected_join_size(syn(c1), syn(c2), range_a=(0, 9))
+        assert est == pytest.approx(float(c1[:10] @ c2[:10]), rel=1e-8)
+
+    def test_disjoint_selections_give_zero(self, pair):
+        c1, c2 = pair
+        est = estimate_selected_join_size(syn(c1), syn(c2), (0, 5), (10, 20))
+        assert est == 0.0
+
+    def test_invalid_range_rejected(self, pair):
+        c1, c2 = pair
+        with pytest.raises(ValueError, match="selection range"):
+            estimate_selected_join_size(syn(c1), syn(c2), (5, 100))
+        with pytest.raises(ValueError, match="selection range"):
+            estimate_selected_join_size(syn(c1), syn(c2), (6, 5))
+
+
+class TestGeneralTheta:
+    def test_matches_brute_force(self, pair):
+        c1, c2 = pair
+        predicate = lambda x, y: (x + y) % 3 == 0
+        est = estimate_theta_join_size(syn(c1), syn(c2), predicate, chunk=7)
+        assert est == pytest.approx(brute_force(c1, c2, predicate), rel=1e-8)
+
+    def test_chunking_invariant(self, pair):
+        c1, c2 = pair
+        predicate = lambda x, y: x * 2 < y
+        a, b = syn(c1), syn(c2)
+        est_small = estimate_theta_join_size(a, b, predicate, chunk=3)
+        est_big = estimate_theta_join_size(a, b, predicate, chunk=1_000)
+        assert est_small == pytest.approx(est_big, rel=1e-10)
+
+    def test_bad_predicate_shape_rejected(self, pair):
+        c1, c2 = pair
+        with pytest.raises(ValueError, match="broadcast"):
+            estimate_theta_join_size(
+                syn(c1), syn(c2), lambda x, y: np.array([True])
+            )
+
+
+class TestValidation:
+    def test_mismatched_domains_rejected(self, rng):
+        a = syn(rng.integers(0, 5, 10).astype(float))
+        b = syn(rng.integers(0, 5, 12).astype(float))
+        with pytest.raises(ValueError, match="unified"):
+            estimate_inequality_join_size(a, b)
+
+    def test_multiattribute_rejected(self, rng):
+        counts = rng.integers(0, 5, (6, 6)).astype(float)
+        two_d = CosineSynopsis.from_counts(
+            [Domain.of_size(6)] * 2, counts, order=6, truncation="full"
+        )
+        one_d = syn(rng.integers(0, 5, 6).astype(float))
+        with pytest.raises(ValueError, match="single-attribute"):
+            estimate_band_join_size(two_d, one_d, 1)
+
+    def test_mismatched_grids_rejected(self, rng):
+        c = rng.integers(0, 5, 10).astype(float)
+        a = syn(c)
+        b = CosineSynopsis.from_counts(Domain.of_size(10), c, order=10, grid="endpoint")
+        with pytest.raises(ValueError, match="grids"):
+            estimate_inequality_join_size(a, b)

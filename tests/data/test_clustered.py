@@ -1,0 +1,99 @@
+"""Tests for the Vitter-Dobra clustered correlated generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.clustered import (
+    ClusteredConfig,
+    clustered_counts,
+    make_clustered_chain,
+)
+
+
+def small_config(**kw):
+    defaults = dict(
+        domain_size=128, num_clusters=8, relation_size=20_000, z_intra=0.3
+    )
+    defaults.update(kw)
+    return ClusteredConfig(**defaults)
+
+
+class TestChainGeneration:
+    def test_chain_shapes(self, rng):
+        relations = make_clustered_chain(small_config(), 2, rng)
+        assert [r.ndim for r in relations] == [1, 2, 1]
+        assert all(r.shape == (128,) * r.ndim for r in relations)
+
+    def test_three_join_chain_shapes(self, rng):
+        relations = make_clustered_chain(small_config(), 3, rng)
+        assert [r.ndim for r in relations] == [1, 2, 2, 1]
+
+    def test_single_join_chain(self, rng):
+        relations = make_clustered_chain(small_config(), 1, rng)
+        assert [r.ndim for r in relations] == [1, 1]
+
+    def test_relation_sizes_exact(self, rng):
+        for r in make_clustered_chain(small_config(), 2, rng):
+            assert r.sum() == 20_000
+
+    def test_zero_joins_rejected(self, rng):
+        with pytest.raises(ValueError, match="at least one"):
+            make_clustered_chain(small_config(), 0, rng)
+
+    def test_counts_non_negative(self, rng):
+        for r in make_clustered_chain(small_config(), 2, rng):
+            assert r.min() >= 0
+
+    def test_deterministic_given_rng_state(self):
+        a = make_clustered_chain(small_config(), 2, np.random.default_rng(3))
+        b = make_clustered_chain(small_config(), 2, np.random.default_rng(3))
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+
+class TestClusterStructure:
+    def test_two_dimensional_data_is_sparse(self, rng):
+        relations = make_clustered_chain(small_config(), 2, rng)
+        inner = relations[1]
+        # clustered data occupies a small fraction of the 2-d space
+        assert (inner > 0).mean() < 0.6
+
+    def test_mass_concentrated_in_clusters(self, rng):
+        relations = make_clustered_chain(small_config(num_clusters=4), 2, rng)
+        inner = relations[1]
+        # the busiest 10% of cells should hold the bulk of the mass
+        flat = np.sort(inner.ravel())[::-1]
+        top = flat[: flat.size // 10].sum()
+        assert top / flat.sum() > 0.5
+
+    def test_adjacent_relations_positively_correlated(self, rng):
+        # shared anchors on the join attribute induce marginal correlation
+        correlations = []
+        for seed in range(5):
+            r = np.random.default_rng(seed)
+            rel = make_clustered_chain(small_config(), 1, r)
+            correlations.append(np.corrcoef(rel[0], rel[1])[0, 1])
+        assert np.mean(correlations) > 0.2
+
+    def test_join_nonempty(self, rng):
+        relations = make_clustered_chain(small_config(), 2, rng)
+        j = np.einsum("a,ab,b->", *[r.astype(float) for r in relations])
+        assert j > 0
+
+
+class TestRegionInternals:
+    def test_clustered_counts_respects_total(self, rng):
+        config = small_config()
+        centers = rng.uniform(0, 128, size=(8, 1))
+        sides = np.full((8, 1), 20.0)
+        counts = clustered_counts(config, 1, centers, rng, sides)
+        assert counts.sum() == config.relation_size
+
+    def test_regions_clamped_to_domain(self, rng):
+        config = small_config()
+        # centers at the very edge must not write out of bounds
+        centers = np.array([[0.0], [127.9]] * 4)
+        sides = np.full((8, 1), 30.0)
+        counts = clustered_counts(config, 1, centers, rng, sides)
+        assert counts.shape == (128,)
+        assert counts.sum() == config.relation_size

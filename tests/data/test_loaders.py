@@ -1,0 +1,123 @@
+"""Tests for CSV loading of stream relations."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import Domain
+from repro.data.loaders import counts_from_csv, iter_csv_rows, relation_from_csv
+
+CSV = """age,education,city
+25,12,portland
+25,12,portland
+40,16,austin
+99,8,austin
+"""
+
+
+class TestIterRows:
+    def test_selected_columns_parsed(self):
+        rows = list(iter_csv_rows(io.StringIO(CSV), ["age", "city"]))
+        assert rows[0] == (25, "portland")
+        assert rows[3] == (99, "austin")
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(ValueError, match="not in CSV header"):
+            list(iter_csv_rows(io.StringIO(CSV), ["salary"]))
+
+    def test_headerless_file_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            list(iter_csv_rows(io.StringIO(""), ["age"]))
+
+    def test_file_path_source(self, tmp_path):
+        path = tmp_path / "people.csv"
+        path.write_text(CSV)
+        rows = list(iter_csv_rows(path, ["education"]))
+        assert [r[0] for r in rows] == [12, 12, 16, 8]
+
+
+class TestCountsFromCsv:
+    def test_joint_counts(self):
+        counts = counts_from_csv(
+            io.StringIO(CSV),
+            ["age", "education"],
+            [Domain.integer_range(1, 99), Domain.integer_range(1, 46)],
+        )
+        assert counts.sum() == 4
+        assert counts[24, 11] == 2  # age 25, education 12
+
+    def test_categorical_column(self):
+        counts = counts_from_csv(
+            io.StringIO(CSV),
+            ["city"],
+            [Domain.categorical(["portland", "austin"])],
+        )
+        np.testing.assert_array_equal(counts, [2, 2])
+
+    def test_out_of_domain_error(self):
+        with pytest.raises(ValueError, match="outside"):
+            counts_from_csv(
+                io.StringIO(CSV), ["age"], [Domain.integer_range(1, 50)]
+            )
+
+    def test_out_of_domain_skip(self):
+        counts = counts_from_csv(
+            io.StringIO(CSV),
+            ["age"],
+            [Domain.integer_range(1, 50)],
+            out_of_domain="skip",
+        )
+        assert counts.sum() == 3  # the age-99 row dropped
+
+    def test_out_of_domain_clip(self):
+        counts = counts_from_csv(
+            io.StringIO(CSV),
+            ["age"],
+            [Domain.integer_range(1, 50)],
+            out_of_domain="clip",
+        )
+        assert counts.sum() == 4
+        assert counts[49] == 1  # 99 clamped to 50
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            counts_from_csv(
+                io.StringIO(CSV), ["age"], [Domain.integer_range(1, 99)],
+                out_of_domain="ignore",
+            )
+
+    def test_domain_arity_mismatch(self):
+        with pytest.raises(ValueError, match="one domain per"):
+            counts_from_csv(io.StringIO(CSV), ["age"], [])
+
+
+class TestRelationFromCsv:
+    def test_end_to_end_with_engine(self, tmp_path):
+        path = tmp_path / "survey.csv"
+        path.write_text(CSV)
+        relation = relation_from_csv(
+            "survey",
+            path,
+            ["age"],
+            [Domain.integer_range(1, 99)],
+        )
+        assert relation.count == 4
+
+        from repro.streams.engine import ContinuousQueryEngine
+        from repro.streams.queries import JoinQuery
+
+        other = relation_from_csv(
+            "survey2",
+            io.StringIO(CSV),
+            ["age"],
+            [Domain.integer_range(1, 99)],
+        )
+        eng = ContinuousQueryEngine()
+        eng.add_relation(relation)
+        eng.add_relation(other)
+        q = JoinQuery.parse(["survey", "survey2"], ["survey.age = survey2.age"])
+        eng.register_query("j", q, method="cosine", budget=99)
+        # age matches: the two 25s pair both ways (4), 40-40 (1), 99-99 (1)
+        assert eng.exact_answer("j") == pytest.approx(6.0)
+        assert eng.answer("j") == pytest.approx(6.0, rel=1e-6)

@@ -1,0 +1,141 @@
+"""Tests for the real-life-like dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.reallike import (
+    CPS_MONTH_SIZES,
+    SIPP_YEAR_SIZES,
+    cps_like,
+    sipp_ssuseq,
+    sipp_weight_earnings,
+    traffic_hosts,
+    traffic_pairs,
+)
+
+
+class TestCPS:
+    def test_schema_and_domains(self, rng):
+        rel = cps_like(1, rng)
+        assert rel.attributes == ("Age", "Education")
+        assert rel.counts.shape == (99, 46)
+        assert rel.domains[0].low == 1 and rel.domains[0].high == 99
+
+    def test_paper_month_sizes(self, rng):
+        for month, size in CPS_MONTH_SIZES.items():
+            assert cps_like(month, np.random.default_rng(month)).size == size
+
+    def test_scale_parameter(self, rng):
+        rel = cps_like(1, rng, scale=0.1)
+        assert rel.size == pytest.approx(13_369, abs=1)
+
+    def test_invalid_month_rejected(self, rng):
+        with pytest.raises(ValueError):
+            cps_like(4, rng)
+
+    def test_months_strongly_positively_correlated(self):
+        a = cps_like(1, np.random.default_rng(1)).counts.sum(axis=1)
+        b = cps_like(2, np.random.default_rng(2)).counts.sum(axis=1)
+        assert np.corrcoef(a, b)[0, 1] > 0.95
+
+    def test_education_correlates_with_age(self, rng):
+        rel = cps_like(1, rng)
+        ages = np.arange(1, 100)
+        mean_edu = (rel.counts * np.arange(1, 47)[None, :]).sum(axis=1) / np.maximum(
+            rel.counts.sum(axis=1), 1
+        )
+        young = mean_edu[(ages >= 5) & (ages <= 15)].mean()
+        adult = mean_edu[(ages >= 35) & (ages <= 55)].mean()
+        assert adult > young
+
+
+class TestSIPP:
+    def test_paper_year_sizes_scaled(self):
+        for year, size in SIPP_YEAR_SIZES.items():
+            rel = sipp_ssuseq(year, np.random.default_rng(year), scale=0.1)
+            assert rel.size == int(size * 0.1)
+
+    def test_invalid_year_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sipp_ssuseq(1999, rng)
+        with pytest.raises(ValueError):
+            sipp_weight_earnings(1999, rng)
+
+    def test_ssuseq_is_smooth_and_near_uniform(self, rng):
+        rel = sipp_ssuseq(2001, rng)
+        counts = rel.counts.astype(float)
+        # no value holds more than a few times the mean: near-uniform
+        assert counts.max() < 5 * counts.mean()
+        # smoothness: block-averaged curve has tiny relative variation
+        blocks = counts.reshape(100, -1).mean(axis=1)
+        assert blocks.std() / blocks.mean() < 0.1
+
+    def test_weight_earnings_schema(self, rng):
+        rel = sipp_weight_earnings(2001, rng)
+        assert rel.attributes == ("WHFNWGT", "THEARN")
+        assert rel.counts.ndim == 2
+
+    def test_weight_earnings_no_point_mass(self, rng):
+        rel = sipp_weight_earnings(2004, rng)
+        marginal = rel.counts.sum(axis=0).astype(float)
+        assert marginal.max() / marginal.sum() < 0.12
+
+    def test_years_positively_correlated(self):
+        # per-value Poisson noise dominates raw counts; the shared linear
+        # attrition structure shows at block granularity
+        a = sipp_ssuseq(2001, np.random.default_rng(1)).counts
+        b = sipp_ssuseq(2004, np.random.default_rng(2)).counts
+        blocks_a = a.reshape(100, -1).mean(axis=1)
+        blocks_b = b.reshape(100, -1).mean(axis=1)
+        assert np.corrcoef(blocks_a, blocks_b)[0, 1] > 0.3
+
+
+class TestTraffic:
+    def test_pair_schema(self, rng):
+        rel = traffic_pairs(1, rng, scale=0.1)
+        assert rel.attributes == ("src", "dst")
+        assert rel.counts.shape[0] == rel.counts.shape[1]
+
+    def test_udp_domain_larger_than_tcp(self, rng):
+        tcp = traffic_pairs(1, rng, scale=0.1)
+        udp = traffic_pairs(1, np.random.default_rng(0), udp=True, scale=0.1)
+        assert udp.counts.shape[0] > tcp.counts.shape[0]
+
+    def test_hour_weights_order_sizes(self):
+        sizes = [
+            traffic_pairs(h, np.random.default_rng(h), scale=0.1).size
+            for h in (1, 2, 3)
+        ]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_invalid_hour_rejected(self, rng):
+        with pytest.raises(ValueError):
+            traffic_pairs(4, rng)
+
+    def test_hosts_projection_consistent(self):
+        # with identical rng state and structure seed, the host projection
+        # must equal the pair tensor's marginal
+        pairs = traffic_pairs(1, np.random.default_rng(5), scale=0.1, structure_seed=9)
+        hosts = traffic_hosts(1, np.random.default_rng(5), "src", scale=0.1, structure_seed=9)
+        np.testing.assert_array_equal(hosts.counts, pairs.counts.sum(axis=1))
+
+    def test_invalid_field_rejected(self, rng):
+        with pytest.raises(ValueError, match="src.*dst|'src' or 'dst'"):
+            traffic_hosts(1, rng, field="port")
+
+    def test_shared_structure_correlates_hours(self):
+        a = traffic_hosts(1, np.random.default_rng(1), "src", scale=0.1, structure_seed=3)
+        b = traffic_hosts(2, np.random.default_rng(2), "src", scale=0.1, structure_seed=3)
+        assert np.corrcoef(a.counts, b.counts)[0, 1] > 0.15
+
+    def test_different_structure_seeds_decorrelate(self):
+        a = traffic_hosts(1, np.random.default_rng(1), "src", scale=0.1, structure_seed=3)
+        b = traffic_hosts(2, np.random.default_rng(2), "src", scale=0.1, structure_seed=4)
+        assert np.corrcoef(a.counts, b.counts)[0, 1] < 0.15
+
+    def test_flows_are_transient_across_hours(self):
+        # per-hour flow sets differ: the top pair of hour 1 is generally not
+        # the top pair of hour 2 (same structure seed)
+        a = traffic_pairs(1, np.random.default_rng(10), scale=0.1, structure_seed=3)
+        b = traffic_pairs(2, np.random.default_rng(20), scale=0.1, structure_seed=3)
+        assert np.argmax(a.counts) != np.argmax(b.counts)

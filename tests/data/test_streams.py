@@ -1,0 +1,50 @@
+"""Tests for count-tensor-to-stream expansion."""
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import Domain
+from repro.data.streams import raw_rows_from_counts, rows_from_counts
+
+
+class TestRowsFromCounts:
+    def test_multiset_preserved(self, rng):
+        counts = np.array([[2, 0], [1, 3]])
+        rows = rows_from_counts(counts, rng)
+        assert rows.shape == (6, 2)
+        rebuilt = np.zeros_like(counts)
+        np.add.at(rebuilt, (rows[:, 0], rows[:, 1]), 1)
+        np.testing.assert_array_equal(rebuilt, counts)
+
+    def test_one_dimensional(self, rng):
+        rows = rows_from_counts(np.array([1, 0, 2]), rng)
+        assert rows.shape == (3, 1)
+        assert sorted(rows[:, 0]) == [0, 2, 2]
+
+    def test_shuffle_changes_order_not_content(self):
+        counts = np.arange(20).reshape(4, 5)
+        a = rows_from_counts(counts, np.random.default_rng(1), shuffle=False)
+        b = rows_from_counts(counts, np.random.default_rng(1), shuffle=True)
+        assert not np.array_equal(a, b)
+        assert sorted(map(tuple, a)) == sorted(map(tuple, b))
+
+    def test_negative_counts_rejected(self, rng):
+        with pytest.raises(ValueError):
+            rows_from_counts(np.array([-1, 2]), rng)
+
+    def test_empty_counts(self, rng):
+        rows = rows_from_counts(np.zeros((3, 3), dtype=int), rng)
+        assert rows.shape == (0, 2)
+
+
+class TestRawRows:
+    def test_offsets_applied(self, rng):
+        counts = np.array([1, 1])
+        rows = raw_rows_from_counts(
+            counts, [Domain.integer_range(100, 101)], rng, shuffle=False
+        )
+        assert sorted(rows[:, 0]) == [100, 101]
+
+    def test_categorical_rejected(self, rng):
+        with pytest.raises(ValueError, match="integer-range"):
+            raw_rows_from_counts(np.array([1]), [Domain.categorical(["x"])], rng)

@@ -1,0 +1,130 @@
+"""Tests for Type I Zipfian workload generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.zipf import (
+    Correlation,
+    TypeIConfig,
+    apportion,
+    make_type1_pair,
+    zipf_counts,
+    zipf_probabilities,
+)
+
+
+class TestZipfProbabilities:
+    def test_normalized(self):
+        assert zipf_probabilities(100, 1.0).sum() == pytest.approx(1.0)
+
+    def test_zero_skew_is_uniform(self):
+        np.testing.assert_allclose(zipf_probabilities(10, 0.0), np.full(10, 0.1))
+
+    def test_monotone_decreasing(self):
+        p = zipf_probabilities(50, 1.2)
+        assert np.all(np.diff(p) <= 0)
+
+    def test_formula(self):
+        p = zipf_probabilities(3, 1.0)
+        h = 1 + 0.5 + 1 / 3
+        np.testing.assert_allclose(p, [1 / h, 0.5 / h, (1 / 3) / h])
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_probabilities(10, -0.5)
+
+
+class TestApportion:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(1, 60),
+        z=st.floats(0.0, 2.0, allow_nan=False),
+        total=st.integers(0, 100_000),
+    )
+    def test_sums_exactly_to_total(self, n, z, total):
+        counts = zipf_counts(n, z, total)
+        assert counts.sum() == total
+        assert counts.min() >= 0
+
+    def test_largest_remainder_favours_largest_fractions(self):
+        counts = apportion(np.array([0.5, 0.3, 0.2]), 4)
+        # raw = [2.0, 1.2, 0.8]; the leftover unit goes to the 0.8 cell.
+        assert counts.tolist() == [2, 1, 1]
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            apportion(np.array([1.0]), -1)
+
+
+class TestTypeIPairs:
+    def config(self, correlation, smooth=False):
+        return TypeIConfig(
+            domain_size=500,
+            relation_size=20_000,
+            z1=0.5,
+            z2=1.0,
+            correlation=correlation,
+            smooth=smooth,
+        )
+
+    def test_sizes_exact(self, rng):
+        c1, c2 = make_type1_pair(self.config(Correlation.INDEPENDENT), rng)
+        assert c1.sum() == 20_000 and c2.sum() == 20_000
+        assert len(c1) == len(c2) == 500
+
+    def test_strong_positive_aligns_ranks(self, rng):
+        c1, c2 = make_type1_pair(self.config(Correlation.STRONG_POSITIVE), rng)
+        # rank orders coincide: the largest cells sit at the same positions
+        assert np.argmax(c1) == np.argmax(c2)
+        # Spearman-like agreement on the top decile
+        top1 = set(np.argsort(c1)[-50:])
+        top2 = set(np.argsort(c2)[-50:])
+        assert len(top1 & top2) > 40
+
+    def test_negative_correlation_inverts_ranks(self, rng):
+        c1, c2 = make_type1_pair(self.config(Correlation.NEGATIVE), rng)
+        assert c2[np.argmax(c1)] == c2.min() or c2[np.argmax(c1)] <= np.median(c2)
+        # the top of one is the bottom of the other
+        assert np.argmax(c1) != np.argmax(c2)
+
+    def test_weak_positive_displaces_head(self, rng):
+        strong_join = []
+        weak_join = []
+        for seed in range(5):
+            r = np.random.default_rng(seed)
+            s1, s2 = make_type1_pair(self.config(Correlation.STRONG_POSITIVE), r)
+            strong_join.append(float(s1 @ s2))
+            r = np.random.default_rng(seed)
+            w1, w2 = make_type1_pair(self.config(Correlation.WEAK_POSITIVE), r)
+            weak_join.append(float(w1 @ w2))
+        # weak-positive joins are much smaller than strong-positive ones but
+        # larger than the independent level N^2/n
+        independent = 20_000**2 / 500
+        assert np.mean(weak_join) < 0.5 * np.mean(strong_join)
+        assert np.mean(weak_join) > 0.5 * independent
+
+    def test_smooth_mapping_is_monotone(self, rng):
+        c1, c2 = make_type1_pair(
+            self.config(Correlation.STRONG_POSITIVE, smooth=True), rng
+        )
+        assert np.all(np.diff(c1) <= 0)
+        assert np.all(np.diff(c2) <= 0)
+
+    def test_smooth_independent_contradiction_rejected(self, rng):
+        with pytest.raises(ValueError, match="contradictory"):
+            make_type1_pair(self.config(Correlation.INDEPENDENT, smooth=True), rng)
+
+    def test_rough_mapping_not_monotone(self, rng):
+        c1, _ = make_type1_pair(self.config(Correlation.INDEPENDENT), rng)
+        assert not np.all(np.diff(c1) <= 0)
+
+    def test_counts_are_permutations_of_each_regime(self, rng):
+        # correlation only re-maps values; the multisets of frequencies match
+        base1, base2 = make_type1_pair(self.config(Correlation.STRONG_POSITIVE), rng)
+        ind1, ind2 = make_type1_pair(self.config(Correlation.INDEPENDENT), rng)
+        assert sorted(base1) == sorted(ind1)
+        assert sorted(base2) == sorted(ind2)

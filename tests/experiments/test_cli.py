@@ -1,0 +1,71 @@
+"""Tests for the repro-experiments command line."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestList:
+    def test_lists_all_figures(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for i in range(1, 21):
+            assert f"fig{i:02d}" in out
+
+
+class TestRun:
+    def test_run_one_figure(self, capsys):
+        code = main(["run", "fig13", "--trials", "1", "--budgets", "10,20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out and "winner" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_chart_flag(self, capsys):
+        main(["run", "fig13", "--trials", "1", "--budgets", "10,20", "--chart"])
+        out = capsys.readouterr().out
+        assert "relative error vs space" in out
+
+    def test_budget_parsing(self, capsys):
+        main(["run", "fig13", "--trials", "1", "--budgets", "15"])
+        out = capsys.readouterr().out
+        assert "15" in out
+
+
+class TestSpeed:
+    def test_speed_smoke(self, capsys):
+        assert main(["speed", "--size", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "cosine" in out and "sketch" in out
+
+
+class TestJsonExport:
+    def test_json_file_written(self, capsys, tmp_path):
+        out = tmp_path / "series.json"
+        main(["run", "fig13", "--trials", "1", "--budgets", "10,20",
+              "--json", str(out)])
+        import json
+
+        payload = json.loads(out.read_text())
+        assert payload[0]["name"] == "fig13"
+        assert payload[0]["budgets"] == [10, 20]
+
+
+class TestSweep:
+    def test_bound_sweep(self, capsys):
+        assert main(["sweep", "bound", "--trials", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "bound" in out and "%" in out
+
+    def test_axis_validated_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "altitude"])
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

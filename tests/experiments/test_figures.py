@@ -1,0 +1,107 @@
+"""Tests for the figure configurations (structure; shapes are in benches)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import FIGURES, FigureScales, make_figures
+from repro.experiments.harness import exact_chain_join_size
+
+
+class TestCatalogue:
+    def test_all_twenty_figures_present(self):
+        assert sorted(FIGURES) == [f"fig{i:02d}" for i in range(1, 21)]
+
+    def test_names_match_keys(self):
+        for key, config in FIGURES.items():
+            assert config.name == key
+
+    def test_every_figure_has_expectation_and_title(self):
+        for config in FIGURES.values():
+            assert config.title
+            assert config.expectation
+
+    def test_budgets_are_increasing(self):
+        for config in FIGURES.values():
+            budgets = config.budgets
+            assert all(b1 < b2 for b1, b2 in zip(budgets, budgets[1:]))
+
+
+@pytest.mark.parametrize("figure_id", sorted(FIGURES))
+class TestDataGenerators:
+    def test_generates_valid_chain(self, figure_id):
+        config = FIGURES[figure_id]
+        rng = np.random.default_rng(0)
+        relations, domains = config.datagen(rng)
+        assert len(relations) == len(domains) >= 2
+        for tensor, doms in zip(relations, domains):
+            tensor = np.asarray(tensor)
+            assert tensor.ndim == len(doms)
+            assert tensor.min() >= 0
+            assert tensor.shape == tuple(d.size for d in doms)
+        # chain domains line up
+        for i in range(len(relations) - 1):
+            assert domains[i][-1].size == domains[i + 1][0].size
+        # the join must be non-empty for relative errors to exist
+        assert exact_chain_join_size(relations) > 0
+
+
+class TestFigureShapes:
+    def test_single_join_figures_have_two_relations(self):
+        for fid in ("fig01", "fig07", "fig13", "fig15", "fig17", "fig18"):
+            relations, _ = FIGURES[fid].datagen(np.random.default_rng(1))
+            assert len(relations) == 2
+
+    def test_two_join_figures_have_three_relations(self):
+        for fid in ("fig09", "fig14", "fig16", "fig19", "fig20"):
+            relations, _ = FIGURES[fid].datagen(np.random.default_rng(1))
+            assert [np.asarray(r).ndim for r in relations] == [1, 2, 1]
+
+    def test_three_join_figures_have_four_relations(self):
+        for fid in ("fig11", "fig12"):
+            relations, _ = FIGURES[fid].datagen(np.random.default_rng(1))
+            assert [np.asarray(r).ndim for r in relations] == [1, 2, 2, 1]
+
+
+class TestFigureScales:
+    def test_default_catalogue_matches_module_figures(self):
+        rebuilt = make_figures(FigureScales())
+        assert sorted(rebuilt) == sorted(FIGURES)
+        for key in rebuilt:
+            assert rebuilt[key].budgets == FIGURES[key].budgets
+
+    def test_paper_scales_are_larger(self):
+        paper = FigureScales.paper()
+        default = FigureScales()
+        assert paper.type1_domain > default.type1_domain
+        assert paper.type1_size > default.type1_size
+        assert paper.trials == 200
+
+    def test_custom_scales_flow_into_datagens(self):
+        tiny = FigureScales(
+            trials=2,
+            type1_domain=100,
+            type1_size=1_000,
+            type1_budgets=(5, 10),
+            cluster_size=500,
+            cluster_1j_domain=64,
+            cluster_2j_domain=32,
+            cluster_3j_domain=32,
+            cps_scale=0.05,
+            sipp_scale=0.02,
+            traffic_scale=0.05,
+            traffic_single_scale=0.05,
+            udp_scale=0.02,
+        )
+        figures = make_figures(tiny)
+        relations, domains = figures["fig01"].datagen(np.random.default_rng(0))
+        assert domains[0][0].size == 100
+        assert int(np.asarray(relations[0]).sum()) == 1_000
+        assert figures["fig01"].trials == 2
+        relations, domains = figures["fig09"].datagen(np.random.default_rng(0))
+        assert domains[1][0].size == 32
+
+    def test_paper_catalogue_builds(self):
+        # only the configuration objects; running them is hours of compute
+        figures = make_figures(FigureScales.paper(trials=1))
+        assert figures["fig01"].budgets[-1] == 1000
+        assert figures["fig01"].trials == 1

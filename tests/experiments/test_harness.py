@@ -1,0 +1,119 @@
+"""Tests for the experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import Domain
+from repro.experiments.harness import (
+    ExperimentConfig,
+    chain_slot_pairs,
+    exact_chain_join_size,
+    run_experiment,
+)
+from repro.experiments.methods import CosineMethod
+
+
+def trivial_gen(rng):
+    n = 30
+    c1 = rng.integers(1, 10, n).astype(float)
+    c2 = rng.integers(1, 10, n).astype(float)
+    return [c1, c2], [[Domain.of_size(n)], [Domain.of_size(n)]]
+
+
+def config(**kw):
+    defaults = dict(
+        name="test",
+        title="test experiment",
+        datagen=trivial_gen,
+        budgets=(5, 10, 30),
+        trials=3,
+    )
+    defaults.update(kw)
+    return ExperimentConfig(**defaults)
+
+
+class TestChainHelpers:
+    def test_chain_slot_pairs(self):
+        assert chain_slot_pairs([1, 2, 1]) == [((0, 0), (1, 0)), ((1, 1), (2, 0))]
+
+    def test_exact_chain_join_size(self, rng):
+        c1 = rng.integers(0, 5, 10).astype(float)
+        c2 = rng.integers(0, 5, 10).astype(float)
+        assert exact_chain_join_size([c1, c2]) == pytest.approx(float(c1 @ c2))
+
+
+class TestRunExperiment:
+    def test_series_structure(self, rng):
+        result = run_experiment(config(), seed=1)
+        assert set(result.series) == {"cosine", "skimmed_sketch", "basic_sketch"}
+        for series in result.series.values():
+            assert series.budgets == (5, 10, 30)
+            for budget in series.budgets:
+                assert len(series.errors[budget]) == 3
+
+    def test_full_budget_cosine_error_is_zero(self):
+        result = run_experiment(config(), seed=1, methods=[CosineMethod()])
+        assert result.mean_error("cosine", 30) == pytest.approx(0.0, abs=1e-9)
+
+    def test_winner_and_ratio(self):
+        result = run_experiment(config(), seed=2)
+        assert result.winner(30) == "cosine"
+        assert result.error_ratio("basic_sketch", "cosine", 5) >= 0.0
+
+    def test_overrides(self):
+        result = run_experiment(config(), seed=1, trials=1, budgets=(7,))
+        series = result.series["cosine"]
+        assert series.budgets == (7,)
+        assert len(series.errors[7]) == 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="trial"):
+            run_experiment(config(), trials=0)
+        with pytest.raises(ValueError, match="budget"):
+            run_experiment(config(), budgets=())
+
+    def test_degenerate_instances_skipped(self):
+        calls = {"n": 0}
+
+        def sometimes_empty(rng):
+            calls["n"] += 1
+            n = 10
+            if calls["n"] % 2 == 1:
+                # disjoint supports -> empty join, must be skipped
+                c1 = np.zeros(n)
+                c1[0] = 5
+                c2 = np.zeros(n)
+                c2[9] = 5
+            else:
+                c1 = np.full(n, 2.0)
+                c2 = np.full(n, 2.0)
+            return [c1, c2], [[Domain.of_size(n)], [Domain.of_size(n)]]
+
+        result = run_experiment(
+            config(datagen=sometimes_empty), seed=1, trials=4, budgets=(5,)
+        )
+        assert len(result.actual_sizes) == 2
+
+    def test_all_degenerate_raises(self):
+        def always_empty(rng):
+            n = 4
+            c1 = np.array([1.0, 0, 0, 0])
+            c2 = np.array([0, 0, 0, 1.0])
+            return [c1, c2], [[Domain.of_size(n)], [Domain.of_size(n)]]
+
+        with pytest.raises(RuntimeError, match="empty join"):
+            run_experiment(config(datagen=always_empty), seed=1)
+
+    def test_reproducible_given_seed(self):
+        a = run_experiment(config(), seed=9)
+        b = run_experiment(config(), seed=9)
+        for m in a.series:
+            for budget in a.series[m].budgets:
+                assert a.series[m].errors[budget] == b.series[m].errors[budget]
+
+    def test_mean_and_std(self):
+        result = run_experiment(config(), seed=4, trials=3, budgets=(5,))
+        s = result.series["basic_sketch"]
+        assert s.mean(5) == pytest.approx(np.mean(s.errors[5]))
+        assert s.std(5) == pytest.approx(np.std(s.errors[5]))
+        assert s.means() == [s.mean(5)]

@@ -1,0 +1,110 @@
+"""Tests for the text report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import Domain
+from repro.experiments.harness import ExperimentConfig, run_experiment
+from repro.experiments.report import (
+    ascii_chart,
+    format_comparison_summary,
+    format_result,
+    result_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    def gen(rng):
+        n = 20
+        c1 = rng.integers(1, 10, n).astype(float)
+        c2 = rng.integers(1, 10, n).astype(float)
+        return [c1, c2], [[Domain.of_size(n)], [Domain.of_size(n)]]
+
+    config = ExperimentConfig(
+        name="figXX",
+        title="demo",
+        datagen=gen,
+        budgets=(5, 20),
+        trials=2,
+        expectation="cosine should reach zero error at full budget",
+    )
+    return run_experiment(config, seed=3)
+
+
+class TestFormatResult:
+    def test_contains_header_and_rows(self, result):
+        text = format_result(result)
+        assert "figXX: demo" in text
+        assert "paper expectation" in text
+        assert "cosine err%" in text
+        # one row per budget
+        assert text.count("\n") >= 5
+
+    def test_ratio_columns_present(self, result):
+        text = format_result(result)
+        assert "basic_sketch/cosine" in text
+        assert "skimmed_sketch/cosine" in text
+
+    def test_reference_can_change(self, result):
+        text = format_result(result, reference="basic_sketch")
+        assert "cosine/basic_sketch" in text
+
+
+class TestSummary:
+    def test_one_liner(self, result):
+        line = format_comparison_summary(result)
+        assert line.startswith("figXX: winner at space 20 is ")
+        assert "x cosine's" in line
+
+
+class TestAsciiChart:
+    def test_renders_every_method_mark(self, result):
+        chart = ascii_chart(result)
+        assert "1=cosine" in chart
+        assert "2=skimmed_sketch" in chart
+        assert "3=basic_sketch" in chart
+        assert "1" in chart.splitlines()[3] or any(
+            "1" in line for line in chart.splitlines()[1:-3]
+        )
+
+    def test_dimensions(self, result):
+        chart = ascii_chart(result, width=40, height=8)
+        body = [line for line in chart.splitlines() if "|" in line]
+        assert len(body) == 8
+        assert all(len(line.split("|")[1]) == 40 for line in body)
+
+    def test_linear_scale(self, result):
+        chart = ascii_chart(result, log_scale=False)
+        assert "relative error vs space" in chart
+
+    def test_needs_two_budgets(self, result):
+        import copy
+
+        single = copy.deepcopy(result)
+        for series in single.series.values():
+            series.budgets = series.budgets[:1]
+        with pytest.raises(ValueError, match="two budgets"):
+            ascii_chart(single)
+
+
+class TestResultToDict:
+    def test_json_roundtrip(self, result):
+        import json
+
+        payload = result_to_dict(result)
+        text = json.dumps(payload)  # must be JSON-serializable
+        restored = json.loads(text)
+        assert restored["name"] == "figXX"
+        assert restored["budgets"] == [5, 20]
+        assert set(restored["series"]) == {
+            "cosine", "skimmed_sketch", "basic_sketch"
+        }
+        for errors in restored["series"]["cosine"].values():
+            assert len(errors) == 2  # trials
+
+    def test_values_match_series(self, result):
+        payload = result_to_dict(result)
+        assert payload["series"]["cosine"]["20"] == [
+            float(e) for e in result.series["cosine"].errors[20]
+        ]

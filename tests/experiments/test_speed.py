@@ -1,0 +1,43 @@
+"""Tests for the section 5.4 speed measurement harness."""
+
+import pytest
+
+from repro.experiments.speed import SpeedReport, measure_speed
+
+
+class TestMeasureSpeed:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # tiny sizes: this is a smoke test of the harness, not a benchmark
+        return measure_speed(
+            synopsis_size=200,
+            domain_size=2_000,
+            update_repeats=20,
+            estimate_repeats=3,
+        )
+
+    def test_all_timings_positive(self, report):
+        assert report.cosine_update_per_tuple > 0
+        assert report.cosine_estimate > 0
+        assert report.sketch_update_per_tuple > 0
+        assert report.sketch_estimate > 0
+
+    def test_per_unit_rates_consistent(self, report):
+        assert report.cosine_update_per_coefficient == pytest.approx(
+            report.cosine_update_per_tuple / 200
+        )
+        assert report.sketch_update_per_atom == pytest.approx(
+            report.sketch_update_per_tuple / 200
+        )
+
+    def test_summary_renders(self, report):
+        text = report.summary()
+        assert "cosine" in text and "sketch" in text
+        assert str(report.synopsis_size) in text
+
+    def test_report_is_frozen(self, report):
+        with pytest.raises(Exception):
+            report.synopsis_size = 1  # type: ignore[misc]
+
+    def test_report_type(self, report):
+        assert isinstance(report, SpeedReport)

@@ -1,0 +1,51 @@
+"""Tests for the sensitivity sweep helpers (tiny parameters)."""
+
+import pytest
+
+from repro.experiments.methods import CosineMethod
+from repro.experiments.sweeps import (
+    bound_tightness_sweep,
+    correlation_sweep,
+    domain_size_sweep,
+    skew_sweep,
+)
+
+TINY = dict(domain_size=200, relation_size=5_000, budget=20, trials=1, seed=1)
+
+
+class TestSweepStructure:
+    def test_skew_sweep_points(self):
+        points = skew_sweep(z2_values=(0.0, 1.0), methods=[CosineMethod()], **TINY)
+        assert [p.parameter for p in points] == [0.0, 1.0]
+        assert all("cosine" in p.errors for p in points)
+
+    def test_correlation_sweep_points(self):
+        points = correlation_sweep(
+            fractions=(0.0, 0.2), methods=[CosineMethod()], **TINY
+        )
+        assert [p.parameter for p in points] == [0.0, 0.2]
+        assert all(p.errors["cosine"] >= 0 for p in points)
+
+    def test_domain_size_sweep_points(self):
+        points = domain_size_sweep(
+            domain_sizes=(100, 200),
+            coefficient_fraction=0.1,
+            relation_size=5_000,
+            trials=1,
+            seed=1,
+            methods=[CosineMethod()],
+        )
+        assert [p.parameter for p in points] == [100.0, 200.0]
+
+    def test_bound_sweep_guarantee_holds(self):
+        points = bound_tightness_sweep(
+            budgets=(10, 50), domain_size=200, relation_size=5_000, trials=2, seed=1
+        )
+        for p in points:
+            assert p.measured <= p.bound + 1e-9
+        assert points[0].bound >= points[1].bound  # bound shrinks with budget
+
+    def test_zero_skew_point_is_near_exact(self):
+        # z2 = 0 makes R2 uniform -> cosine nearly exact with any budget
+        points = skew_sweep(z2_values=(0.0,), methods=[CosineMethod()], **TINY)
+        assert points[0].errors["cosine"] < 0.05

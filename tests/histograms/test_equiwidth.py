@@ -1,0 +1,112 @@
+"""Tests for the equi-width histogram baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import Domain
+from repro.histograms.equiwidth import (
+    EquiWidthHistogram,
+    estimate_join_size,
+    estimate_self_join_size,
+)
+
+
+class TestConstruction:
+    def test_bucket_count_clamped_to_domain(self):
+        h = EquiWidthHistogram(Domain.of_size(5), 20)
+        assert h.num_buckets == 5
+
+    def test_invalid_bucket_count_rejected(self):
+        with pytest.raises(ValueError):
+            EquiWidthHistogram(Domain.of_size(5), 0)
+
+    def test_widths_cover_domain(self):
+        h = EquiWidthHistogram(Domain.of_size(103), 10)
+        assert h.widths.sum() == 103
+        assert h.widths.min() >= 1
+        assert h.widths.max() - h.widths.min() <= 1
+
+    def test_bucket_of_boundaries(self):
+        h = EquiWidthHistogram(Domain.of_size(10), 3)
+        buckets = [h.bucket_of(i) for i in range(10)]
+        assert buckets == sorted(buckets)
+        assert buckets[0] == 0 and buckets[-1] == h.num_buckets - 1
+
+    def test_bucket_of_out_of_range(self):
+        h = EquiWidthHistogram(Domain.of_size(10), 3)
+        with pytest.raises(ValueError):
+            h.bucket_of(10)
+
+
+class TestMaintenance:
+    def test_update_and_delete(self):
+        h = EquiWidthHistogram(Domain.integer_range(10, 19), 5)
+        h.update(10)
+        h.update(19)
+        h.update(10, weight=-1)
+        assert h.count == 1
+        assert h.counts.sum() == 1
+
+    def test_update_batch_matches_loop(self, rng):
+        d = Domain.of_size(50)
+        values = rng.integers(0, 50, 200)
+        a = EquiWidthHistogram(d, 7)
+        a.update_batch(values)
+        b = EquiWidthHistogram(d, 7)
+        for v in values:
+            b.update(int(v))
+        np.testing.assert_array_equal(a.counts, b.counts)
+
+    def test_from_counts_matches_stream(self, rng):
+        d = Domain.of_size(40)
+        values = rng.integers(0, 40, 300)
+        streamed = EquiWidthHistogram(d, 8)
+        streamed.update_batch(values)
+        batch = EquiWidthHistogram.from_counts(d, np.bincount(values, minlength=40), 8)
+        np.testing.assert_array_equal(streamed.counts, batch.counts)
+        assert streamed.count == batch.count
+
+    def test_from_counts_shape_checked(self):
+        with pytest.raises(ValueError):
+            EquiWidthHistogram.from_counts(Domain.of_size(5), np.ones(6), 2)
+
+
+class TestEstimation:
+    def test_exact_when_buckets_equal_domain(self, rng):
+        d = Domain.of_size(30)
+        c1 = rng.integers(0, 9, 30)
+        c2 = rng.integers(0, 9, 30)
+        h1 = EquiWidthHistogram.from_counts(d, c1, 30)
+        h2 = EquiWidthHistogram.from_counts(d, c2, 30)
+        assert estimate_join_size(h1, h2) == pytest.approx(float(c1 @ c2))
+
+    def test_exact_on_uniform_within_bucket_data(self):
+        d = Domain.of_size(20)
+        c1 = np.repeat([4.0, 8.0], 10)
+        c2 = np.repeat([2.0, 6.0], 10)
+        h1 = EquiWidthHistogram.from_counts(d, c1, 2)
+        h2 = EquiWidthHistogram.from_counts(d, c2, 2)
+        assert estimate_join_size(h1, h2) == pytest.approx(float(c1 @ c2))
+
+    def test_self_join_estimate(self):
+        d = Domain.of_size(10)
+        c = np.full(10, 3.0)
+        h = EquiWidthHistogram.from_counts(d, c, 2)
+        assert estimate_self_join_size(h) == pytest.approx(float(c @ c))
+
+    def test_mismatched_histograms_rejected(self):
+        h1 = EquiWidthHistogram(Domain.of_size(10), 2)
+        h2 = EquiWidthHistogram(Domain.of_size(10), 5)
+        with pytest.raises(ValueError, match="share"):
+            estimate_join_size(h1, h2)
+
+    def test_skew_within_bucket_causes_error(self):
+        # The uniformity assumption fails on skewed buckets; the estimate
+        # should underestimate a perfectly aligned spiky join.
+        d = Domain.of_size(100)
+        c = np.zeros(100)
+        c[0] = 1000.0
+        h1 = EquiWidthHistogram.from_counts(d, c, 10)
+        h2 = EquiWidthHistogram.from_counts(d, c, 10)
+        actual = float(c @ c)
+        assert estimate_join_size(h1, h2) < actual * 0.2

@@ -1,0 +1,80 @@
+"""Hypothesis property tests on the equi-width histogram baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.normalization import Domain
+from repro.histograms.equiwidth import (
+    EquiWidthHistogram,
+    estimate_join_size,
+    estimate_self_join_size,
+)
+
+
+@st.composite
+def histogram_case(draw):
+    n = draw(st.integers(min_value=2, max_value=60))
+    buckets = draw(st.integers(min_value=1, max_value=n))
+    counts = np.array(
+        draw(st.lists(st.integers(0, 15), min_size=n, max_size=n)), dtype=float
+    )
+    return n, buckets, counts
+
+
+class TestBucketInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(case=histogram_case())
+    def test_total_mass_preserved(self, case):
+        n, buckets, counts = case
+        hist = EquiWidthHistogram.from_counts(Domain.of_size(n), counts, buckets)
+        assert hist.counts.sum() == pytest.approx(counts.sum())
+        assert hist.count == int(counts.sum())
+
+    @settings(max_examples=40, deadline=None)
+    @given(case=histogram_case())
+    def test_widths_partition_domain(self, case):
+        n, buckets, _ = case
+        hist = EquiWidthHistogram(Domain.of_size(n), buckets)
+        assert hist.widths.sum() == n
+        assert hist.widths.min() >= 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(case=histogram_case(), seed=st.integers(0, 2**31 - 1))
+    def test_linearity_of_counters(self, case, seed):
+        n, buckets, counts = case
+        other = np.random.default_rng(seed).integers(0, 15, n).astype(float)
+        d = Domain.of_size(n)
+        merged = EquiWidthHistogram.from_counts(d, counts + other, buckets)
+        a = EquiWidthHistogram.from_counts(d, counts, buckets)
+        b = EquiWidthHistogram.from_counts(d, other, buckets)
+        np.testing.assert_allclose(merged.counts, a.counts + b.counts)
+
+
+class TestEstimatorInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(case=histogram_case(), seed=st.integers(0, 2**31 - 1))
+    def test_join_symmetry(self, case, seed):
+        n, buckets, counts = case
+        other = np.random.default_rng(seed).integers(0, 15, n).astype(float)
+        d = Domain.of_size(n)
+        a = EquiWidthHistogram.from_counts(d, counts, buckets)
+        b = EquiWidthHistogram.from_counts(d, other, buckets)
+        assert estimate_join_size(a, b) == pytest.approx(estimate_join_size(b, a))
+
+    @settings(max_examples=30, deadline=None)
+    @given(case=histogram_case())
+    def test_self_join_lower_bounds_truth(self, case):
+        # Cauchy-Schwarz within each bucket: the uniform-within-bucket
+        # estimate never exceeds the true second moment.
+        n, buckets, counts = case
+        hist = EquiWidthHistogram.from_counts(Domain.of_size(n), counts, buckets)
+        assert estimate_self_join_size(hist) <= float(counts @ counts) + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(case=histogram_case())
+    def test_full_buckets_exact(self, case):
+        n, _, counts = case
+        hist = EquiWidthHistogram.from_counts(Domain.of_size(n), counts, n)
+        assert estimate_self_join_size(hist) == pytest.approx(float(counts @ counts))

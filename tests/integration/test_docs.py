@@ -1,0 +1,68 @@
+"""Consistency checks between the documentation and the code."""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+class TestApiDocsGenerator:
+    def test_generator_runs_and_is_fresh(self, tmp_path):
+        out = tmp_path / "API.md"
+        result = subprocess.run(
+            [sys.executable, str(REPO / "scripts" / "generate_api_docs.py"),
+             "--out", str(out)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        generated = out.read_text()
+        committed = (REPO / "docs" / "API.md").read_text()
+        assert generated == committed, (
+            "docs/API.md is stale; regenerate with "
+            "`python scripts/generate_api_docs.py`"
+        )
+
+    def test_api_doc_covers_key_surface(self):
+        text = (REPO / "docs" / "API.md").read_text()
+        for symbol in (
+            "CosineSynopsis",
+            "estimate_join_size",
+            "estimate_multijoin_size",
+            "AGMSSketch",
+            "ContinuousQueryEngine",
+            "make_figures",
+        ):
+            assert symbol in text
+
+
+class TestReadmeAndDesign:
+    def test_readme_mentions_every_example(self):
+        readme = (REPO / "README.md").read_text()
+        for example in (REPO / "examples").glob("*.py"):
+            assert example.name in readme, f"{example.name} missing from README"
+
+    def test_design_lists_every_figure_bench(self):
+        design = (REPO / "DESIGN.md").read_text()
+        for i in range(1, 21):
+            assert f"bench_fig{i:02d}.py" in design
+
+    def test_benches_named_in_design_exist(self):
+        design = (REPO / "DESIGN.md").read_text()
+        for name in set(re.findall(r"bench_\w+\.py", design)):
+            assert (REPO / "benchmarks" / name).exists(), f"{name} missing"
+
+    def test_experiments_md_has_all_figures(self):
+        experiments = (REPO / "EXPERIMENTS.md").read_text()
+        for i in range(1, 21):
+            assert f"fig{i:02d}" in experiments
+
+    def test_theory_doc_sections(self):
+        theory = (REPO / "docs" / "THEORY.md").read_text()
+        for heading in ("Parseval", "Error analysis", "Sketches", "Space accounting"):
+            assert heading in theory

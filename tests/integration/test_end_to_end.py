@@ -1,0 +1,114 @@
+"""Cross-module integration tests: generators -> streams -> engine -> answers."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ContinuousQueryEngine,
+    CosineSynopsis,
+    Domain,
+    JoinQuery,
+    estimate_join_size,
+    relative_error,
+)
+from repro.data.clustered import ClusteredConfig, make_clustered_chain
+from repro.data.reallike import cps_like
+from repro.data.streams import raw_rows_from_counts, rows_from_counts
+from repro.data.zipf import Correlation, TypeIConfig, make_type1_pair
+from repro.streams.tuples import inserts, interleave
+
+
+class TestGeneratorsThroughEngine:
+    def test_type1_data_streamed_through_engine(self, rng):
+        config = TypeIConfig(
+            domain_size=200,
+            relation_size=3_000,
+            correlation=Correlation.INDEPENDENT,
+        )
+        c1, c2 = make_type1_pair(config, rng)
+        eng = ContinuousQueryEngine(seed=1)
+        eng.create_relation("R1", ["A"], [Domain.of_size(200)])
+        eng.create_relation("R2", ["A"], [Domain.of_size(200)])
+        q = JoinQuery.chain(["R1", "R2"], ["A"])
+        eng.register_query("q", q, method="cosine", budget=60)
+        eng.register_query("q_sketch", q, method="basic_sketch", budget=60)
+
+        for row in rows_from_counts(c1, rng):
+            eng.insert("R1", (int(row[0]),))
+        for row in rows_from_counts(c2, rng):
+            eng.insert("R2", (int(row[0]),))
+
+        actual = float(c1 @ c2)
+        assert eng.exact_answer("q") == pytest.approx(actual)
+        assert relative_error(actual, eng.answer("q")) < 0.5
+
+    def test_clustered_chain_streamed_through_engine(self, rng):
+        config = ClusteredConfig(domain_size=64, num_clusters=5, relation_size=4_000)
+        relations = make_clustered_chain(config, 2, rng)
+        eng = ContinuousQueryEngine(seed=2)
+        eng.create_relation("R1", ["A"], [Domain.of_size(64)])
+        eng.create_relation("R2", ["A", "B"], [Domain.of_size(64)] * 2)
+        eng.create_relation("R3", ["B"], [Domain.of_size(64)])
+        for name, counts in zip(("R1", "R2", "R3"), relations):
+            eng.relations[name].load_counts(counts)
+        q = JoinQuery.chain(["R1", "R2", "R3"], ["A", "B"])
+        eng.register_query("q", q, method="cosine", budget=300)
+        actual = eng.exact_answer("q")
+        assert actual > 0
+        assert relative_error(actual, eng.answer("q")) < 0.3
+
+    def test_cps_age_join_small_error(self, rng):
+        jan = cps_like(1, rng, scale=0.2)
+        feb = cps_like(2, rng, scale=0.2)
+        d = jan.domains[0]
+        a = CosineSynopsis.from_counts(d, jan.counts.sum(axis=1), budget=25)
+        b = CosineSynopsis.from_counts(d, feb.counts.sum(axis=1), budget=25)
+        actual = float(jan.counts.sum(axis=1) @ feb.counts.sum(axis=1))
+        assert relative_error(actual, estimate_join_size(a, b)) < 0.1
+
+
+class TestInterleavedStreams:
+    def test_interleaved_arrival_order_does_not_matter(self, rng):
+        n = 50
+        c1 = rng.integers(0, 8, n)
+        c2 = rng.integers(0, 8, n)
+        rows1 = raw_rows_from_counts(c1, [Domain.of_size(n)], rng)
+        rows2 = raw_rows_from_counts(c2, [Domain.of_size(n)], rng)
+
+        eng = ContinuousQueryEngine(seed=4)
+        eng.create_relation("S1", ["A"], [Domain.of_size(n)])
+        eng.create_relation("S2", ["A"], [Domain.of_size(n)])
+        q = JoinQuery.chain(["S1", "S2"], ["A"])
+        eng.register_query("q", q, method="cosine", budget=n)
+
+        names = ["S1", "S2"]
+        for sid, op in interleave([inserts(rows1), inserts(rows2)], seed=11):
+            eng.process(names[sid], op)
+
+        assert eng.answer("q") == pytest.approx(float(c1 @ c2), rel=1e-9)
+
+
+class TestSlidingWindowPattern:
+    def test_deletions_implement_a_sliding_window(self, rng):
+        # A windowed stream: insert new tuples, delete expired ones; the
+        # synopsis must track the window contents exactly.
+        n = 30
+        d = Domain.of_size(n)
+        eng = ContinuousQueryEngine()
+        eng.create_relation("W", ["A"], [d])
+        eng.create_relation("REF", ["A"], [d])
+        q = JoinQuery.chain(["W", "REF"], ["A"])
+        eng.register_query("q", q, method="cosine", budget=n)
+        for v in range(n):
+            eng.insert("REF", (v,))
+
+        stream = rng.integers(0, n, size=200)
+        window = 50
+        for i, v in enumerate(stream):
+            eng.insert("W", (int(v),))
+            if i >= window:
+                eng.delete("W", (int(stream[i - window]),))
+        # final window holds the last `window` elements
+        tail = stream[-window:]
+        expected = float(np.bincount(tail, minlength=n) @ np.ones(n))
+        assert eng.answer("q") == pytest.approx(expected, rel=1e-9)

@@ -1,0 +1,61 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least import cleanly and expose a ``main``; the two
+fastest are executed end-to-end so a broken public API surfaces here
+rather than in a user's terminal.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExampleStructure:
+    def test_expected_examples_present(self):
+        names = {p.stem for p in ALL_EXAMPLES}
+        assert names == {
+            "quickstart",
+            "network_monitoring",
+            "census_join_analysis",
+            "method_comparison",
+            "deletions_and_windows",
+            "beyond_equi_joins",
+            "csv_to_continuous_queries",
+        }
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.stem)
+    def test_importable_with_main(self, path):
+        module = _load(path)
+        assert callable(getattr(module, "main", None))
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.stem)
+    def test_has_module_docstring(self, path):
+        module = _load(path)
+        assert module.__doc__ and "Run:" in module.__doc__
+
+
+class TestExampleExecution:
+    @pytest.mark.parametrize("name", ["quickstart.py", "csv_to_continuous_queries.py"])
+    def test_runs_end_to_end(self, name):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / name)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "err" in result.stdout

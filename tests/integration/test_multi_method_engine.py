@@ -1,0 +1,71 @@
+"""Stress test: one engine, many methods, shared relations, live updates.
+
+The paper's processing model has many continuous queries running over the
+same streams; this test registers every applicable method over one pair of
+relations, drives a mixed insert/delete stream, and checks all estimators
+stay coherent with the exact answer throughout.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import Domain
+from repro.streams.engine import ContinuousQueryEngine
+from repro.streams.queries import JoinQuery
+
+METHODS = ("cosine", "basic_sketch", "skimmed_sketch", "histogram", "wavelet",
+           "partitioned_sketch")
+
+
+class TestManyQueriesOneStream:
+    @pytest.fixture
+    def engine(self, rng):
+        n = 64
+        eng = ContinuousQueryEngine(seed=5)
+        eng.create_relation("S1", ["A"], [Domain.of_size(n)])
+        eng.create_relation("S2", ["A"], [Domain.of_size(n)])
+        # warm history so partitioned pilots and replays are non-trivial
+        for v in (rng.zipf(1.2, 1_500) - 1) % n:
+            eng.insert("S1", (int(v),))
+        for v in (rng.zipf(1.2, 1_500) - 1) % n:
+            eng.insert("S2", (int(v),))
+        query = JoinQuery.chain(["S1", "S2"], ["A"])
+        for method in METHODS:
+            eng.register_query(f"q_{method}", query, method=method, budget=64)
+        eng.register_range_query("q_range", "S1", "A", low=0, high=31, budget=64)
+        return eng
+
+    def test_all_methods_answer_after_mixed_updates(self, engine, rng):
+        n = 64
+        inserted: list[int] = []
+        for i in range(600):
+            v = int((rng.zipf(1.2) - 1) % n)
+            engine.insert("S1", (v,))
+            inserted.append(v)
+            if i % 3 == 2:
+                victim = inserted.pop(rng.integers(0, len(inserted)))
+                engine.delete("S1", (victim,))
+        actual = engine.exact_answer("q_cosine")
+        answers = engine.answers()
+        assert set(answers) == {f"q_{m}" for m in METHODS} | {"q_range"}
+        # the deterministic synopses at full-ish budget stay tight;
+        # randomized sketches stay within a loose sanity envelope
+        assert abs(answers["q_cosine"] - actual) / actual < 0.05
+        assert abs(answers["q_histogram"] - actual) / actual < 0.5
+        assert abs(answers["q_wavelet"] - actual) / actual < 0.5
+        for method in ("basic_sketch", "skimmed_sketch", "partitioned_sketch"):
+            assert abs(answers[f"q_{method}"] - actual) / actual < 2.0
+        # the range query tracks its own exact answer closely
+        assert answers["q_range"] == pytest.approx(
+            engine.exact_answer("q_range"), rel=0.02
+        )
+
+    def test_unregistering_one_query_leaves_others_working(self, engine, rng):
+        engine.unregister_query("q_basic_sketch")
+        engine.insert("S1", (3,))
+        answers = engine.answers()
+        assert "q_basic_sketch" not in answers
+        assert "q_cosine" in answers
+        # observer count: each remaining join query contributes one observer
+        # per relation it touches; S2 lost exactly one (the basic sketch's)
+        assert len(engine.relations["S2"]._observers) == len(METHODS) - 1

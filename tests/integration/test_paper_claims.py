@@ -1,0 +1,133 @@
+"""Integration tests of the paper's analytic claims (sections 3-4).
+
+These pin down the *mathematical* statements of the paper, as opposed to
+the experimental shapes which the benchmark suite reproduces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.error import coefficients_for_relative_error
+from repro.core.join import estimate_join_size, estimate_self_join_size
+from repro.core.normalization import Domain
+from repro.core.synopsis import CosineSynopsis
+from repro.sketches.basic import AGMSSketch
+from repro.sketches.basic import estimate_join_size as sketch_join
+from repro.sketches.hashing import SignFamily
+from repro.streams.exact import relative_error
+
+
+class TestSection431BestCase:
+    """Uniform data: DCT exact with one coefficient, sketches noisy."""
+
+    def test_dct_exact_with_single_coefficient(self):
+        n, per_value = 500, 20
+        counts = np.full(n, float(per_value))
+        d = Domain.of_size(n)
+        a = CosineSynopsis.from_counts(d, counts, order=1)
+        b = CosineSynopsis.from_counts(d, counts, order=1)
+        actual = float(counts @ counts)
+        assert a.num_coefficients == 1
+        assert estimate_join_size(a, b) == pytest.approx(actual, rel=1e-12)
+
+    def test_higher_coefficients_vanish_on_uniform_data(self):
+        counts = np.full(128, 3.0)
+        syn = CosineSynopsis.from_counts(Domain.of_size(128), counts, order=128)
+        np.testing.assert_allclose(syn.coefficients[1:], 0.0, atol=1e-12)
+
+    def test_sketch_noisy_on_uniform_data_at_small_space(self):
+        # The sketch needs Omega(n) space here; with far less it has
+        # noticeable error where the DCT has none.
+        n, per_value = 2_000, 10
+        counts = np.full(n, float(per_value))
+        actual = float(counts @ counts)
+        errors = []
+        for seed in range(10):
+            fam = SignFamily(n, 60, seed=seed)
+            s1 = AGMSSketch.from_counts(fam, counts, 20, 3)
+            s2 = AGMSSketch.from_counts(fam, counts, 20, 3)
+            errors.append(relative_error(actual, sketch_join(s1, s2)))
+        assert np.mean(errors) > 0.01
+
+
+class TestSection432WorstCase:
+    """Single-value streams: sketches exact, DCT needs ~n coefficients."""
+
+    def test_sketch_exact_on_single_value_streams(self):
+        n, big = 1_000, 5_000
+        counts = np.zeros(n)
+        counts[123] = big
+        for seed in range(5):
+            fam = SignFamily(n, 30, seed=seed)
+            s1 = AGMSSketch.from_counts(fam, counts, 10, 3)
+            s2 = AGMSSketch.from_counts(fam, counts, 10, 3)
+            assert sketch_join(s1, s2) == pytest.approx(float(big) ** 2)
+
+    def test_dct_needs_near_linear_coefficients(self):
+        n, big = 256, 1_000
+        counts = np.zeros(n)
+        counts[99] = big
+        d = Domain.of_size(n)
+        actual = float(big) ** 2
+
+        def error_at(m):
+            syn = CosineSynopsis.from_counts(d, counts, order=m)
+            return relative_error(actual, estimate_join_size(syn, syn))
+
+        # Eq. 4.12: error <= e requires about n(1 - e/2) coefficients.
+        assert error_at(16) > 0.8
+        assert error_at(n // 2) > 0.3
+        assert error_at(n) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestEq49SpaceGuarantee:
+    def test_budget_from_eq_4_9_meets_target_error(self, rng):
+        # For arbitrary data, using the Eq. 4.9 coefficient budget must
+        # bring the observed relative error under the target.
+        n = 300
+        c1 = rng.integers(0, 20, n).astype(float)
+        c2 = rng.integers(0, 20, n).astype(float)
+        actual = float(c1 @ c2)
+        stream = int(max(c1.sum(), c2.sum()))
+        d = Domain.of_size(n)
+        for target in (0.5, 0.1):
+            m = coefficients_for_relative_error(target, actual, stream, n)
+            a = CosineSynopsis.from_counts(d, c1, order=m)
+            b = CosineSynopsis.from_counts(d, c2, order=m)
+            assert relative_error(actual, estimate_join_size(a, b)) <= target
+
+
+class TestSelfJoinAgreement:
+    def test_dct_and_sketch_agree_on_self_join_moment(self, rng):
+        # Both estimate F2; at generous space they should land close to the
+        # truth and hence to each other.
+        n = 400
+        counts = rng.integers(0, 15, n).astype(float)
+        actual = float(counts @ counts)
+        syn = CosineSynopsis.from_counts(Domain.of_size(n), counts, order=n)
+        dct_est = estimate_self_join_size(syn)
+        assert dct_est == pytest.approx(actual, rel=1e-9)
+
+        fam = SignFamily(n, 1000, seed=5)
+        sk = AGMSSketch.from_counts(fam, counts, 200, 5)
+        from repro.sketches.basic import estimate_self_join_size as sketch_self
+
+        assert sketch_self(sk) == pytest.approx(actual, rel=0.25)
+
+
+class TestBatchUpdateClaim:
+    def test_batch_and_per_tuple_updates_identical(self, rng):
+        # Section 3.2: "the set of coefficients derived by the incremental
+        # update scheme is exactly the same as if we had derived in batch".
+        n = 100
+        d = Domain.of_size(n)
+        rows = rng.integers(0, n, size=(500, 1))
+        per_tuple = CosineSynopsis(d, order=30)
+        for row in rows:
+            per_tuple.insert(row)
+        batched = CosineSynopsis(d, order=30)
+        for start in range(0, 500, 97):  # uneven batches on purpose
+            batched.insert_batch(rows[start : start + 97])
+        np.testing.assert_allclose(
+            per_tuple.coefficients, batched.coefficients, atol=1e-12
+        )

@@ -1,0 +1,56 @@
+"""Subprocess tests for the repository's scripts."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+class TestReproduceAll:
+    def test_subset_run_produces_valid_markdown(self, tmp_path):
+        out = tmp_path / "EXP.md"
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(REPO / "scripts" / "reproduce_all.py"),
+                "--figures", "fig13",
+                "--trials", "1",
+                "--out", str(out),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        text = out.read_text()
+        assert "fig13" in text
+        assert "Quoted paper values" in text  # fig13 has structured claims
+        assert "Section 5.4 computation speed" in text
+        assert "Winner over the three largest budgets" in text
+
+    def test_unknown_figure_rejected(self):
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(REPO / "scripts" / "reproduce_all.py"),
+                "--figures", "fig99",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode != 0
+        assert "unknown figure" in result.stderr
+
+
+class TestCliEntryPoint:
+    def test_module_invocation(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.experiments.cli", "list"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+        assert "fig20" in result.stdout

@@ -1,0 +1,87 @@
+"""Stateful property test: the engine under arbitrary operation sequences.
+
+Drives a :class:`ContinuousQueryEngine` with random interleavings of
+insertions and deletions on two stream relations and checks, after every
+step, that a full-budget cosine query equals the exact join size and that
+every synopsis' live tuple count matches the relation's.  This is the
+strongest form of the paper's maintenance claim (Eqs. 3.4/3.5): the
+synopsis is a pure function of the live multiset, whatever path led there.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.normalization import Domain
+from repro.streams.engine import ContinuousQueryEngine
+from repro.streams.queries import JoinQuery
+
+DOMAIN_SIZE = 12
+
+
+class EngineMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.engine = ContinuousQueryEngine(seed=0)
+        self.engine.create_relation("S1", ["A"], [Domain.of_size(DOMAIN_SIZE)])
+        self.engine.create_relation("S2", ["A"], [Domain.of_size(DOMAIN_SIZE)])
+        query = JoinQuery.chain(["S1", "S2"], ["A"])
+        # Full budget: the estimate must equal the exact answer throughout.
+        self.engine.register_query("q", query, method="cosine", budget=DOMAIN_SIZE)
+        self.shadow = {
+            "S1": np.zeros(DOMAIN_SIZE, dtype=np.int64),
+            "S2": np.zeros(DOMAIN_SIZE, dtype=np.int64),
+        }
+
+    @rule(
+        relation=st.sampled_from(["S1", "S2"]),
+        value=st.integers(min_value=0, max_value=DOMAIN_SIZE - 1),
+    )
+    def insert(self, relation, value):
+        self.engine.insert(relation, (value,))
+        self.shadow[relation][value] += 1
+
+    @precondition(lambda self: any(c.sum() > 0 for c in self.shadow.values()))
+    @rule(
+        relation=st.sampled_from(["S1", "S2"]),
+        pick=st.integers(min_value=0, max_value=10**6),
+    )
+    def delete_existing(self, relation, pick):
+        counts = self.shadow[relation]
+        if counts.sum() == 0:
+            return
+        live = np.flatnonzero(counts)
+        value = int(live[pick % len(live)])
+        self.engine.delete(relation, (value,))
+        counts[value] -= 1
+
+    @invariant()
+    def estimate_equals_exact(self):
+        if not hasattr(self, "engine"):
+            return
+        if self.shadow["S1"].sum() == 0 or self.shadow["S2"].sum() == 0:
+            return  # coefficients undefined on an empty stream
+        expected = float(self.shadow["S1"] @ self.shadow["S2"])
+        assert abs(self.engine.answer("q") - expected) < 1e-6
+
+    @invariant()
+    def exact_state_matches_shadow(self):
+        if not hasattr(self, "engine"):
+            return
+        for name, counts in self.shadow.items():
+            np.testing.assert_array_equal(
+                self.engine.relations[name].counts, counts
+            )
+
+
+EngineMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)
+TestEngineStateful = EngineMachine.TestCase

@@ -1,0 +1,77 @@
+"""Tests for Bernoulli and reservoir stream samples."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.reservoir import BernoulliSample, ReservoirSample
+
+
+class TestBernoulli:
+    def test_invalid_probability_rejected(self):
+        for p in (0.0, -0.1, 1.1):
+            with pytest.raises(ValueError):
+                BernoulliSample(p)
+
+    def test_p_one_keeps_everything(self):
+        s = BernoulliSample(1.0, seed=1)
+        s.insert_many(range(100))
+        assert s.sampled_size == 100
+        assert s.stream_size == 100
+        assert sum(s.counts.values()) == 100
+
+    def test_sample_size_concentrates_around_p_n(self):
+        s = BernoulliSample(0.3, seed=2)
+        s.insert_many(range(20_000))
+        assert s.sampled_size == pytest.approx(6000, rel=0.1)
+
+    def test_counts_track_multiplicity(self):
+        s = BernoulliSample(1.0, seed=3)
+        s.insert_many([7, 7, 7, 9])
+        assert s.counts[7] == 3 and s.counts[9] == 1
+
+    def test_deterministic_given_seed(self):
+        a = BernoulliSample(0.5, seed=4)
+        b = BernoulliSample(0.5, seed=4)
+        a.insert_many(range(100))
+        b.insert_many(range(100))
+        assert a.counts == b.counts
+
+    def test_deletion_unsupported(self):
+        s = BernoulliSample(0.5, seed=5)
+        s.insert(1)
+        with pytest.raises(NotImplementedError, match="deletions"):
+            s.delete(1)
+
+
+class TestReservoir:
+    def test_capacity_enforced(self):
+        r = ReservoirSample(10, seed=1)
+        r.insert_many(range(1000))
+        assert r.sampled_size == 10
+        assert r.stream_size == 1000
+
+    def test_short_stream_fully_kept(self):
+        r = ReservoirSample(10, seed=2)
+        r.insert_many(range(4))
+        assert sorted(r.items) == [0, 1, 2, 3]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ReservoirSample(0)
+
+    def test_uniform_inclusion_probability(self):
+        # Every element of a length-50 stream should appear in a k=10
+        # reservoir with probability 1/5; check the first element's rate.
+        hits = 0
+        runs = 2000
+        for seed in range(runs):
+            r = ReservoirSample(10, seed=seed)
+            r.insert_many(range(50))
+            hits += 0 in r.items
+        assert hits / runs == pytest.approx(0.2, abs=0.03)
+
+    def test_value_counts(self):
+        r = ReservoirSample(5, seed=3)
+        r.insert_many([1, 1, 2])
+        counts = r.value_counts()
+        assert counts[1] == 2 and counts[2] == 1

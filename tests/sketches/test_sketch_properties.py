@@ -1,0 +1,111 @@
+"""Hypothesis property tests on sketch invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.basic import AGMSSketch, median_of_means, slice_sketch
+from repro.sketches.hashing import SignFamily
+from repro.sketches.partitioned import equi_mass_partition
+
+
+@st.composite
+def counts_vector(draw, n_max=60):
+    n = draw(st.integers(min_value=2, max_value=n_max))
+    values = draw(st.lists(st.integers(0, 12), min_size=n, max_size=n))
+    return np.array(values, dtype=float)
+
+
+class TestSketchLinearity:
+    @settings(max_examples=25, deadline=None)
+    @given(counts=counts_vector(), seed=st.integers(0, 2**31 - 1))
+    def test_atoms_are_linear_in_counts(self, counts, seed):
+        # sketch(a + b) == sketch(a) + sketch(b), coordinatewise: the
+        # foundation of both deletion support and mergeability.
+        n = len(counts)
+        fam = SignFamily(n, 12, seed=seed)
+        r = np.random.default_rng(seed)
+        other = r.integers(0, 12, n).astype(float)
+        s_sum = AGMSSketch.from_counts(fam, counts + other, 4, 3)
+        s_a = AGMSSketch.from_counts(fam, counts, 4, 3)
+        s_b = AGMSSketch.from_counts(fam, other, 4, 3)
+        np.testing.assert_allclose(s_sum.atoms, s_a.atoms + s_b.atoms, atol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(counts=counts_vector(), seed=st.integers(0, 2**31 - 1))
+    def test_order_invariance(self, counts, seed):
+        n = len(counts)
+        fam = SignFamily(n, 12, seed=seed)
+        values = np.repeat(np.arange(n), counts.astype(int))
+        if values.size == 0:
+            return
+        r = np.random.default_rng(seed)
+        a = AGMSSketch(fam, 4, 3)
+        a.update_batch(values)
+        b = AGMSSketch(fam, 4, 3)
+        b.update_batch(r.permutation(values))
+        np.testing.assert_allclose(a.atoms, b.atoms, atol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        counts=counts_vector(),
+        seed=st.integers(0, 2**31 - 1),
+        s1=st.integers(1, 6),
+        s2=st.sampled_from([1, 3, 5]),
+    )
+    def test_slicing_tower(self, counts, seed, s1, s2):
+        # any slice of a slice equals the direct slice
+        n = len(counts)
+        fam = SignFamily(n, 60, seed=seed)
+        big = AGMSSketch.from_counts(fam, counts, 20, 3)
+        if s1 * s2 > 60:
+            return
+        direct = slice_sketch(big, s1, s2)
+        mid_size = max(s1 * s2, 30)
+        via = slice_sketch(slice_sketch(big, mid_size, 1), s1, s2)
+        np.testing.assert_allclose(direct.atoms, via.atoms, atol=1e-12)
+
+
+class TestMedianOfMeansProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        s1=st.integers(1, 8),
+        s2=st.sampled_from([1, 3, 5]),
+        scale=st.floats(0.1, 100.0),
+    )
+    def test_scale_equivariance(self, seed, s1, s2, scale):
+        r = np.random.default_rng(seed)
+        products = r.normal(size=s1 * s2)
+        assert median_of_means(products * scale, s1, s2) == pytest.approx(
+            median_of_means(products, s1, s2) * scale, rel=1e-9, abs=1e-12
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), s1=st.integers(1, 8))
+    def test_single_group_is_plain_mean(self, seed, s1):
+        r = np.random.default_rng(seed)
+        products = r.normal(size=s1)
+        assert median_of_means(products, s1, 1) == pytest.approx(products.mean())
+
+
+class TestPartitionProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(counts=counts_vector(), k=st.integers(1, 8))
+    def test_boundaries_well_formed(self, counts, k):
+        k = min(k, len(counts))
+        boundaries = equi_mass_partition(counts, k)
+        assert boundaries[0] == 0
+        assert boundaries[-1] == len(counts)
+        assert np.all(np.diff(boundaries) >= 1) or boundaries[-1] == len(counts)
+
+    @settings(max_examples=40, deadline=None)
+    @given(counts=counts_vector(), k=st.integers(1, 6))
+    def test_partitions_cover_domain_disjointly(self, counts, k):
+        k = min(k, len(counts))
+        boundaries = equi_mass_partition(counts, k)
+        covered = []
+        for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+            covered.extend(range(lo, hi))
+        assert covered == list(range(len(counts)))

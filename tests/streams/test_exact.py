@@ -1,0 +1,87 @@
+"""Tests for exact join evaluation and the relative-error measure."""
+
+import numpy as np
+import pytest
+
+from repro.streams.exact import (
+    exact_join_size,
+    exact_multijoin_size,
+    exact_self_join_size,
+    relative_error,
+)
+
+
+class TestSingleJoin:
+    def test_matches_brute_force(self, rng):
+        c1 = rng.integers(0, 9, 25).astype(float)
+        c2 = rng.integers(0, 9, 25).astype(float)
+        brute = sum(c1[v] * c2[v] for v in range(25))
+        assert exact_join_size(c1, c2) == pytest.approx(brute)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="unified"):
+            exact_join_size(np.ones(3), np.ones(4))
+
+    def test_multidim_rejected(self):
+        with pytest.raises(ValueError, match="1-d"):
+            exact_join_size(np.ones((2, 2)), np.ones((2, 2)))
+
+    def test_self_join(self, rng):
+        c = rng.integers(0, 9, (4, 5)).astype(float)
+        assert exact_self_join_size(c) == pytest.approx(float((c**2).sum()))
+
+
+class TestMultiJoin:
+    def test_chain_matches_brute_force(self, rng):
+        n = 6
+        t1 = rng.integers(0, 4, n).astype(float)
+        t2 = rng.integers(0, 4, (n, n)).astype(float)
+        t3 = rng.integers(0, 4, n).astype(float)
+        brute = sum(
+            t1[a] * t2[a, b] * t3[b] for a in range(n) for b in range(n)
+        )
+        est = exact_multijoin_size([t1, t2, t3], [((0, 0), (1, 0)), ((1, 1), (2, 0))])
+        assert est == pytest.approx(brute)
+
+    def test_unjoined_axes_marginalized(self, rng):
+        t1 = rng.integers(0, 4, (5, 7)).astype(float)
+        t2 = rng.integers(0, 4, 5).astype(float)
+        est = exact_multijoin_size([t1, t2], [((0, 0), (1, 0))])
+        assert est == pytest.approx(float(t1.sum(axis=1) @ t2))
+
+    def test_mismatched_join_axes_rejected(self, rng):
+        t1 = rng.integers(0, 4, 5).astype(float)
+        t2 = rng.integers(0, 4, 6).astype(float)
+        with pytest.raises(ValueError, match="different"):
+            exact_multijoin_size([t1, t2], [((0, 0), (1, 0))])
+
+    def test_duplicate_slot_rejected(self, rng):
+        t = rng.integers(0, 4, 5).astype(float)
+        with pytest.raises(ValueError, match="two predicates"):
+            exact_multijoin_size(
+                [t, t, t], [((0, 0), (1, 0)), ((0, 0), (2, 0))]
+            )
+
+    def test_out_of_range_rejected(self, rng):
+        t = rng.integers(0, 4, 5).astype(float)
+        with pytest.raises(ValueError, match="relation"):
+            exact_multijoin_size([t], [((0, 0), (1, 0))])
+        with pytest.raises(ValueError, match="axis"):
+            exact_multijoin_size([t, t], [((0, 1), (1, 0))])
+
+    def test_empty_relations_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            exact_multijoin_size([], [])
+
+
+class TestRelativeError:
+    def test_definition(self):
+        assert relative_error(100.0, 80.0) == pytest.approx(0.2)
+        assert relative_error(100.0, 130.0) == pytest.approx(0.3)
+
+    def test_zero_error(self):
+        assert relative_error(5.0, 5.0) == 0.0
+
+    def test_nonpositive_actual_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error(0.0, 1.0)

@@ -1,0 +1,84 @@
+"""Tests for stream operation log I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import Domain
+from repro.streams.io import (
+    format_op_line,
+    parse_op_line,
+    read_ops,
+    replay_into,
+    write_ops,
+)
+from repro.streams.relation import StreamRelation
+from repro.streams.tuples import OpKind, StreamOp
+
+
+class TestParsing:
+    def test_plain_line_is_insert(self):
+        op = parse_op_line("7,123")
+        assert op == StreamOp((7, 123), OpKind.INSERT)
+
+    def test_markers(self):
+        assert parse_op_line("+5").kind is OpKind.INSERT
+        assert parse_op_line("-5").kind is OpKind.DELETE
+
+    def test_blank_and_comment_lines_skipped(self):
+        assert parse_op_line("") is None
+        assert parse_op_line("   ") is None
+        assert parse_op_line("# header") is None
+
+    def test_strings_preserved(self):
+        op = parse_op_line("+red,3")
+        assert op.values == ("red", 3)
+
+    def test_marker_without_values_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            parse_op_line("+")
+
+    def test_roundtrip_format(self):
+        for op in (StreamOp((1, 2)), StreamOp((9,), OpKind.DELETE)):
+            assert parse_op_line(format_op_line(op)) == op
+
+
+class TestFileRoundtrip:
+    def test_write_then_read(self, tmp_path, rng):
+        ops = [
+            StreamOp((int(a), int(b)), OpKind.INSERT)
+            for a, b in rng.integers(0, 10, size=(25, 2))
+        ] + [StreamOp((3, 4), OpKind.DELETE)]
+        path = tmp_path / "stream.log"
+        assert write_ops(path, ops) == 26
+        assert list(read_ops(path)) == ops
+
+    def test_read_from_handle_with_comments(self):
+        handle = io.StringIO("# my stream\n+1,2\n\n-1,2\n")
+        ops = list(read_ops(handle))
+        assert len(ops) == 2
+        assert ops[1].kind is OpKind.DELETE
+
+    def test_error_reports_line_number(self):
+        handle = io.StringIO("+1\n-\n")
+        with pytest.raises(ValueError, match="line 2"):
+            list(read_ops(handle))
+
+
+class TestReplay:
+    def test_replay_into_relation(self, tmp_path, rng):
+        relation = StreamRelation("R", ["A", "B"], [Domain.of_size(10)] * 2)
+        rows = rng.integers(0, 10, size=(40, 2))
+        ops = [StreamOp((int(a), int(b))) for a, b in rows]
+        ops.append(StreamOp(tuple(int(v) for v in rows[0]), OpKind.DELETE))
+        path = tmp_path / "r.log"
+        write_ops(path, ops)
+
+        applied = replay_into(relation, path)
+        assert applied == 41
+        assert relation.count == 39
+        expected = np.zeros((10, 10), dtype=np.int64)
+        np.add.at(expected, (rows[:, 0], rows[:, 1]), 1)
+        expected[rows[0, 0], rows[0, 1]] -= 1
+        np.testing.assert_array_equal(relation.counts, expected)

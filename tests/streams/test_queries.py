@@ -1,0 +1,153 @@
+"""Tests for the join query model."""
+
+import pytest
+
+from repro.core.normalization import Domain
+from repro.streams.queries import AttributeRef, EquiJoinPredicate, JoinQuery
+
+
+def schemas():
+    return {"R1": ["A"], "R2": ["A", "B"], "R3": ["B"]}
+
+
+def domains():
+    return {
+        "R1": [Domain.integer_range(0, 9)],
+        "R2": [Domain.integer_range(5, 14), Domain.of_size(20)],
+        "R3": [Domain.of_size(20)],
+    }
+
+
+class TestConstruction:
+    def test_chain_builder(self):
+        q = JoinQuery.chain(["R1", "R2", "R3"], ["A", "B"])
+        assert q.num_joins == 2
+        assert q.predicates[0] == EquiJoinPredicate(
+            AttributeRef("R1", "A"), AttributeRef("R2", "A")
+        )
+
+    def test_chain_arity_checked(self):
+        with pytest.raises(ValueError, match="k-1"):
+            JoinQuery.chain(["R1", "R2"], ["A", "B"])
+
+    def test_parse(self):
+        q = JoinQuery.parse(["R1", "R2"], ["R1.A = R2.A"])
+        assert q.predicates[0].left == AttributeRef("R1", "A")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError, match="cannot parse"):
+            JoinQuery.parse(["R1"], ["R1.A == R1.B = R1.C"])
+
+    def test_duplicate_relations_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            JoinQuery(("R1", "R1"))
+
+    def test_self_predicate_rejected(self):
+        ref = AttributeRef("R1", "A")
+        with pytest.raises(ValueError, match="itself"):
+            EquiJoinPredicate(ref, ref)
+
+    def test_slot_reuse_rejected(self):
+        a = AttributeRef("R1", "A")
+        with pytest.raises(ValueError, match="more than one"):
+            JoinQuery(
+                ("R1", "R2", "R3"),
+                (
+                    EquiJoinPredicate(a, AttributeRef("R2", "A")),
+                    EquiJoinPredicate(a, AttributeRef("R3", "B")),
+                ),
+            )
+
+    def test_unknown_relation_in_predicate_rejected(self):
+        with pytest.raises(ValueError, match="not in the FROM"):
+            JoinQuery(
+                ("R1",),
+                (
+                    EquiJoinPredicate(
+                        AttributeRef("R1", "A"), AttributeRef("R9", "A")
+                    ),
+                ),
+            )
+
+    def test_str_rendering(self):
+        q = JoinQuery.chain(["R1", "R2"], ["A"])
+        assert "SELECT COUNT(*)" in str(q)
+        assert "R1.A = R2.A" in str(q)
+
+
+class TestFromSql:
+    def test_paper_query_shape(self):
+        q = JoinQuery.from_sql(
+            "Select COUNT(*) from R1, R2, R3, R4 "
+            "Where R1.A = R2.A and R2.B = R3.B and R3.C = R4.C"
+        )
+        assert q.relations == ("R1", "R2", "R3", "R4")
+        assert q.num_joins == 3
+        assert q.predicates[1] == EquiJoinPredicate(
+            AttributeRef("R2", "B"), AttributeRef("R3", "B")
+        )
+
+    def test_case_insensitive_keywords(self):
+        q = JoinQuery.from_sql("select count( * ) FROM R1, R2 WHERE R1.x = R2.y;")
+        assert q.predicates[0].right == AttributeRef("R2", "y")
+
+    def test_no_where_clause_is_cross_product(self):
+        q = JoinQuery.from_sql("SELECT COUNT(*) FROM A, B")
+        assert q.num_joins == 0
+
+    def test_whitespace_and_newlines_tolerated(self):
+        q = JoinQuery.from_sql(
+            """SELECT COUNT(*)
+               FROM  R1 ,  R2
+               WHERE R1.A   =   R2.A"""
+        )
+        assert q.relations == ("R1", "R2")
+
+    def test_non_count_select_rejected(self):
+        with pytest.raises(ValueError, match="COUNT"):
+            JoinQuery.from_sql("SELECT * FROM R1")
+
+    def test_non_equi_predicate_rejected(self):
+        with pytest.raises(ValueError, match="equi-joins"):
+            JoinQuery.from_sql("SELECT COUNT(*) FROM R1, R2 WHERE R1.A < R2.B")
+
+    def test_literal_comparison_rejected(self):
+        with pytest.raises(ValueError, match="equi-joins"):
+            JoinQuery.from_sql("SELECT COUNT(*) FROM R1, R2 WHERE R1.A = 5")
+
+    def test_malformed_from_rejected(self):
+        with pytest.raises(ValueError, match="FROM"):
+            JoinQuery.from_sql("SELECT COUNT(*) FROM R1 R2")
+
+
+class TestValidation:
+    def test_validate_against_schemas(self):
+        q = JoinQuery.chain(["R1", "R2", "R3"], ["A", "B"])
+        q.validate_against(schemas())
+
+    def test_missing_relation_detected(self):
+        q = JoinQuery.chain(["R1", "RX"], ["A"])
+        with pytest.raises(ValueError, match="not registered"):
+            q.validate_against(schemas())
+
+    def test_missing_attribute_detected(self):
+        q = JoinQuery.chain(["R1", "R3"], ["A"])
+        with pytest.raises(ValueError, match="does not exist"):
+            q.validate_against(schemas())
+
+
+class TestSlotPairsAndDomains:
+    def test_slot_pairs(self):
+        q = JoinQuery.chain(["R1", "R2", "R3"], ["A", "B"])
+        pairs = q.slot_pairs(schemas())
+        assert pairs == [(((0, 0)), ((1, 0))), (((1, 1)), ((2, 0)))]
+
+    def test_unified_domains(self):
+        q = JoinQuery.chain(["R1", "R2", "R3"], ["A", "B"])
+        unified = q.unified_domains(schemas(), domains())
+        # R1.A [0,9] unified with R2.A [5,14] -> [0,14]
+        assert unified["R1"][0] == Domain.integer_range(0, 14)
+        assert unified["R2"][0] == Domain.integer_range(0, 14)
+        # B domains already equal
+        assert unified["R2"][1] == Domain.of_size(20)
+        assert unified["R3"][0] == Domain.of_size(20)

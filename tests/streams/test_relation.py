@@ -1,0 +1,126 @@
+"""Tests for StreamRelation: exact state and observer notification."""
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import Domain
+from repro.streams.relation import StreamRelation
+from repro.streams.tuples import OpKind, StreamOp
+
+
+def make_relation():
+    return StreamRelation(
+        "R", ["A", "B"], [Domain.integer_range(0, 4), Domain.integer_range(10, 14)]
+    )
+
+
+class Recorder:
+    def __init__(self):
+        self.ops = []
+
+    def on_op(self, relation, op):
+        self.ops.append(op)
+
+
+class TestConstruction:
+    def test_schema_checks(self):
+        with pytest.raises(ValueError, match="at least one"):
+            StreamRelation("R", [], [])
+        with pytest.raises(ValueError, match="one domain per"):
+            StreamRelation("R", ["A"], [])
+        with pytest.raises(ValueError, match="distinct"):
+            StreamRelation("R", ["A", "A"], [Domain.of_size(2)] * 2)
+
+    def test_exact_cell_guard(self):
+        with pytest.raises(ValueError, match="MAX_EXACT_CELLS"):
+            StreamRelation("R", ["A", "B"], [Domain.of_size(100_000)] * 2)
+
+
+class TestProcessing:
+    def test_insert_updates_counts(self):
+        r = make_relation()
+        r.insert((2, 12))
+        r.insert((2, 12))
+        assert r.counts[2, 2] == 2
+        assert r.count == 2
+
+    def test_delete_updates_counts(self):
+        r = make_relation()
+        r.insert((0, 10))
+        r.delete((0, 10))
+        assert r.count == 0
+        assert r.counts.sum() == 0
+
+    def test_delete_of_absent_tuple_rejected(self):
+        r = make_relation()
+        with pytest.raises(ValueError, match="does not hold"):
+            r.delete((0, 10))
+
+    def test_out_of_domain_rejected(self):
+        r = make_relation()
+        with pytest.raises(ValueError, match="outside"):
+            r.insert((9, 10))
+
+    def test_wrong_arity_rejected(self):
+        r = make_relation()
+        with pytest.raises(ValueError, match="attributes"):
+            r.insert((1,))
+
+    def test_insert_rows(self):
+        r = make_relation()
+        r.insert_rows([(0, 10), (1, 11)])
+        assert r.count == 2
+
+
+class TestObservers:
+    def test_observers_see_every_op(self):
+        r = make_relation()
+        rec = Recorder()
+        r.attach(rec)
+        r.insert((1, 11))
+        r.delete((1, 11))
+        assert [op.kind for op in rec.ops] == [OpKind.INSERT, OpKind.DELETE]
+
+    def test_detach(self):
+        r = make_relation()
+        rec = Recorder()
+        r.attach(rec)
+        r.detach(rec)
+        r.insert((1, 11))
+        assert rec.ops == []
+
+    def test_observer_notified_after_state_update(self):
+        r = make_relation()
+        seen = []
+
+        class Checker:
+            def on_op(self, relation, op):
+                seen.append(relation.counts[1, 1])
+
+        r.attach(Checker())
+        r.process(StreamOp((1, 11), OpKind.INSERT))
+        assert seen == [1]
+
+
+class TestBulkLoad:
+    def test_load_counts(self, rng):
+        r = make_relation()
+        counts = rng.integers(0, 5, size=(5, 5))
+        r.load_counts(counts)
+        assert r.count == counts.sum()
+
+    def test_load_counts_after_attach_rejected(self):
+        r = make_relation()
+        r.attach(Recorder())
+        with pytest.raises(ValueError, match="observers"):
+            r.load_counts(np.zeros((5, 5)))
+
+    def test_load_counts_shape_checked(self):
+        r = make_relation()
+        with pytest.raises(ValueError, match="shape"):
+            r.load_counts(np.zeros((4, 5)))
+
+    def test_load_counts_negative_rejected(self):
+        r = make_relation()
+        with pytest.raises(ValueError, match="non-negative"):
+            r.load_counts(np.full((5, 5), -1))

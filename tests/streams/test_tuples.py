@@ -1,0 +1,55 @@
+"""Tests for stream operations and interleaving."""
+
+import numpy as np
+import pytest
+
+from repro.streams.tuples import OpKind, StreamOp, deletes, inserts, interleave
+
+
+class TestStreamOp:
+    def test_weights(self):
+        assert StreamOp((1,), OpKind.INSERT).weight == 1
+        assert StreamOp((1,), OpKind.DELETE).weight == -1
+
+    def test_default_kind_is_insert(self):
+        assert StreamOp((1, 2)).kind is OpKind.INSERT
+
+
+class TestWrappers:
+    def test_inserts_from_rows(self):
+        ops = list(inserts([(1, 2), (3, 4)]))
+        assert all(op.kind is OpKind.INSERT for op in ops)
+        assert ops[0].values == (1, 2)
+
+    def test_inserts_from_scalars(self):
+        ops = list(inserts([5, 6]))
+        assert ops[0].values == (5,)
+
+    def test_inserts_from_ndarray(self):
+        ops = list(inserts(np.array([[1, 2], [3, 4]])))
+        assert ops[1].values == (3, 4)
+
+    def test_deletes(self):
+        ops = list(deletes([(9,)]))
+        assert ops[0].kind is OpKind.DELETE and ops[0].values == (9,)
+
+
+class TestInterleave:
+    def test_yields_everything_with_stream_ids(self):
+        s1 = list(inserts([1, 2, 3]))
+        s2 = list(inserts([10, 20]))
+        out = list(interleave([s1, s2], seed=0))
+        assert len(out) == 5
+        from_s1 = [op.values[0] for sid, op in out if sid == 0]
+        from_s2 = [op.values[0] for sid, op in out if sid == 1]
+        assert from_s1 == [1, 2, 3]  # per-stream order preserved
+        assert from_s2 == [10, 20]
+
+    def test_deterministic_given_seed(self):
+        make = lambda: [list(inserts(range(10))), list(inserts(range(10, 20)))]
+        a = [(sid, op.values) for sid, op in interleave(make(), seed=42)]
+        b = [(sid, op.values) for sid, op in interleave(make(), seed=42)]
+        assert a == b
+
+    def test_empty_streams(self):
+        assert list(interleave([[], []], seed=1)) == []
