@@ -1,6 +1,9 @@
 # Convenience targets for the reproduction workflow.
+# PYTHONPATH=src lets test/bench/lint run without an editable install.
 
-.PHONY: install dev test bench figures experiments api-docs all clean
+PY_ENV = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: install dev lint test bench figures experiments api-docs all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -8,11 +11,14 @@ install:
 dev:
 	pip install -e '.[dev]' --no-build-isolation
 
+lint:
+	ruff check .
+
 test:
-	pytest tests/
+	$(PY_ENV) python -m pytest tests/
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	$(PY_ENV) python -m pytest benchmarks/ --benchmark-only
 
 figures:
 	repro-experiments run all

@@ -2,7 +2,8 @@
 
 Regenerates the paper's fig03 series: average relative error per storage
 space for the cosine method vs the skimmed and basic sketches.
-Paper shape: Cosine wins big; the paper reports 24.4x/49.8x larger sketch errors at 500 coefficients.
+Paper shape: Cosine wins big; the paper reports 24.4x/49.8x larger sketch
+errors at 500 coefficients.
 """
 
 from _figure_bench import cosine_wins, run_figure

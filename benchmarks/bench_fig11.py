@@ -2,7 +2,8 @@
 
 Regenerates the paper's fig11 series: average relative error per storage
 space for the cosine method vs the skimmed and basic sketches.
-Paper shape: Cosine converges first; sketch errors 'too large to be useful' at small budgets (paper).
+Paper shape: Cosine converges first; sketch errors 'too large to be useful'
+at small budgets (paper).
 """
 
 from _figure_bench import cosine_wins, run_figure

@@ -7,6 +7,16 @@ per-tuple update throughput (tuples/second) of the cosine synopsis and the
 AGMS sketch as the synopsis grows from 100 to 10,000 counters, both in
 per-tuple and batch mode, and asserts the linear-in-size scaling the O(m)
 update analysis predicts (no superlinear cliffs).
+
+It also measures the *engine-level* ingest path: ``StreamEngine.insert``
+(one Python round-trip per tuple through every observer) against
+``StreamEngine.ingest_batch`` (one vectorized scatter-add plus one
+``on_ops`` notification per observer per batch), asserting the batched
+path is at least 5x faster at batch size 1024 for the cosine method.
+
+Runnable standalone for CI smoke checks::
+
+    python benchmarks/bench_throughput.py --smoke [--json out.json]
 """
 
 import time
@@ -18,10 +28,15 @@ from repro.core.normalization import Domain
 from repro.core.synopsis import CosineSynopsis
 from repro.sketches.basic import AGMSSketch, split_budget
 from repro.sketches.hashing import SignFamily
+from repro.streams import JoinQuery, StreamEngine
 
 DOMAIN = 50_000
 SIZES = (100, 1_000, 10_000)
 TUPLES = 300
+
+ENGINE_DOMAIN = 2_000
+ENGINE_BATCH = 1024
+ENGINE_SPEEDUP_FLOOR = 5.0
 
 
 def _stream_values(rng) -> np.ndarray:
@@ -54,6 +69,40 @@ def _sketch_tput(size: int, batch: int) -> float:
         for lo in range(0, TUPLES, batch):
             sk.update_batch(values[lo : lo + batch])
     return TUPLES / (time.perf_counter() - start)
+
+
+def _engine_tput(method: str, batch: int, tuples: int, budget: int = 200) -> float:
+    """Sustained engine ingest throughput (tuples/second) for one method."""
+    engine = StreamEngine(seed=0)
+    domain = Domain.of_size(ENGINE_DOMAIN)
+    engine.create_relation("R1", ["A"], [domain])
+    engine.create_relation("R2", ["A"], [domain])
+    query = JoinQuery.parse(["R1", "R2"], ["R1.A = R2.A"])
+    options = {"probability": 0.1} if method == "sample" else {}
+    engine.register_query("q", query, method=method, budget=budget, **options)
+    rows = ((np.random.default_rng(0).zipf(1.3, size=tuples) - 1) % ENGINE_DOMAIN)[:, None]
+    start = time.perf_counter()
+    if batch == 1:
+        for value in rows[:, 0]:
+            engine.insert("R1", (int(value),))
+    else:
+        for lo in range(0, tuples, batch):
+            engine.ingest_batch("R1", rows[lo : lo + batch])
+    return tuples / (time.perf_counter() - start)
+
+
+def engine_speedup_table(methods=("cosine",), tuples: int = 8192) -> dict:
+    """Per-method engine throughput: per-tuple vs batch-1024, with speedup."""
+    table = {}
+    for method in methods:
+        per_tuple = _engine_tput(method, 1, tuples)
+        batched = _engine_tput(method, ENGINE_BATCH, tuples)
+        table[method] = {
+            "per_tuple_tps": per_tuple,
+            "batched_tps": batched,
+            "speedup": batched / per_tuple,
+        }
+    return table
 
 
 @pytest.mark.parametrize("size", SIZES)
@@ -94,3 +143,63 @@ def test_throughput_scaling_report(benchmark, capsys):
     # ~100x throughput (allow 4x slack for fixed per-call overheads).
     ratio = table[SIZES[0]]["cosine/tuple"] / table[SIZES[-1]]["cosine/tuple"]
     assert ratio < (SIZES[-1] / SIZES[0]) * 4
+
+
+def test_engine_batched_ingest_speedup(benchmark, capsys):
+    """ingest_batch(1024) must beat per-tuple engine ingest by >= 5x (cosine)."""
+    table = benchmark.pedantic(
+        lambda: engine_speedup_table(("cosine", "basic_sketch")),
+        iterations=1,
+        rounds=1,
+    )
+    with capsys.disabled():
+        print("\nengine ingest throughput (tuples/second):")
+        for method, row in table.items():
+            print(
+                f"  {method:<14} per-tuple {row['per_tuple_tps']:>12,.0f}"
+                f"  batch-{ENGINE_BATCH} {row['batched_tps']:>12,.0f}"
+                f"  speedup {row['speedup']:>6.1f}x"
+            )
+    assert table["cosine"]["speedup"] >= ENGINE_SPEEDUP_FLOOR
+
+
+def main(argv=None) -> int:
+    """Standalone entry point: engine ingest smoke benchmark for CI."""
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="small, CI-sized workload"
+    )
+    parser.add_argument("--tuples", type=int, default=None, help="tuples per run")
+    parser.add_argument(
+        "--methods", default="cosine,basic_sketch", help="comma-separated methods"
+    )
+    parser.add_argument("--json", help="write results to this JSON file")
+    args = parser.parse_args(argv)
+
+    tuples = args.tuples or (2048 if args.smoke else 8192)
+    methods = tuple(m.strip() for m in args.methods.split(",") if m.strip())
+    table = engine_speedup_table(methods, tuples=tuples)
+    print(f"engine ingest throughput over {tuples:,} tuples (tuples/second):")
+    for method, row in table.items():
+        print(
+            f"  {method:<14} per-tuple {row['per_tuple_tps']:>12,.0f}"
+            f"  batch-{ENGINE_BATCH} {row['batched_tps']:>12,.0f}"
+            f"  speedup {row['speedup']:>6.1f}x"
+        )
+    if args.json:
+        payload = {"tuples": tuples, "batch": ENGINE_BATCH, "results": table}
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=1)
+        print(f"wrote {args.json}")
+    floor = ENGINE_SPEEDUP_FLOOR
+    if table.get("cosine", {}).get("speedup", floor) < floor:
+        print(f"FAIL: cosine batched ingest speedup below {floor}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

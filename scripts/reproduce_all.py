@@ -34,7 +34,9 @@ PAPER_NOTES = {
     "fig01": "sketches win (strong positive correlation = generalized self-join)",
     "fig02": "cosine wins; skimmed/basic errors 2.7x / 8.3x larger at 500 coefficients",
     "fig03": "cosine wins; 24.4x / 49.8x larger sketch errors at 500 (9.98% vs 92.40% / 333.09%)",
-    "fig04": "cosine wins; 3.0x / 8.9x larger sketch errors at 500 (0.5% of its domain; at our scale the skimmed sketch crosses over at the largest budgets, ~10% of the domain, beyond the paper's swept region)",
+    "fig04": "cosine wins; 3.0x / 8.9x larger sketch errors at 500 (0.5% of its domain; "
+    "at our scale the skimmed sketch crosses over at the largest budgets, ~10% of the "
+    "domain, beyond the paper's swept region)",
     "fig05": "cosine improves sharply vs Fig 1 (96.58% -> 56.24% at 500); sketches unchanged",
     "fig06": "all degrade vs Fig 3 (24.21% vs 158.76% / 837.85% at 500); 7.5x / 39.5x ratios",
     "fig07": "cosine 0.60% vs 7.98% / 8.24% at 500 (13.2x / 13.6x)",
@@ -179,7 +181,8 @@ def speed_section() -> list[str]:
         "| operation | paper | measured |",
         "|---|---:|---:|",
         f"| cosine update, per tuple | 3.2 ms | {report.cosine_update_per_tuple * 1e3:.3f} ms |",
-        f"| cosine update, per coefficient | 0.32 µs | {report.cosine_update_per_coefficient * 1e6:.4f} µs |",
+        "| cosine update, per coefficient | 0.32 µs | "
+        f"{report.cosine_update_per_coefficient * 1e6:.4f} µs |",
         f"| sketch update, per tuple | 1.0 ms | {report.sketch_update_per_tuple * 1e3:.3f} ms |",
         f"| cosine estimate | 0.4 ms | {report.cosine_estimate * 1e3:.3f} ms |",
         f"| sketch estimate | 1.6 ms | {report.sketch_estimate * 1e3:.3f} ms |",

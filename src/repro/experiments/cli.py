@@ -7,6 +7,7 @@ Usage (installed as the ``repro-experiments`` console script, or via
     repro-experiments run fig03 [--trials 5] [--seed 0] [--budgets 100,500]
     repro-experiments run all
     repro-experiments speed [--size 10000]
+    repro-experiments stats [--tuples 20000] [--batch 1024] [--methods cosine,...]
 """
 
 from __future__ import annotations
@@ -81,6 +82,42 @@ def _cmd_speed(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Demo ingest/answer cycle printing the engine's instrumentation."""
+    import numpy as np
+
+    from ..core.normalization import Domain
+    from ..streams import JoinQuery, StreamEngine
+
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    engine = StreamEngine(seed=args.seed)
+    domain = Domain.of_size(args.domain)
+    engine.create_relation("R1", ["A"], [domain])
+    engine.create_relation("R2", ["A"], [domain])
+    query = JoinQuery.parse(["R1", "R2"], ["R1.A = R2.A"])
+    for method in methods:
+        options = {"probability": 0.1} if method == "sample" else {}
+        engine.register_query(f"q_{method}", query, method=method, budget=args.budget, **options)
+
+    rng = np.random.default_rng(args.seed)
+    for name in ("R1", "R2"):
+        rows = ((rng.zipf(1.3, size=args.tuples) - 1) % args.domain)[:, None]
+        if args.batch <= 1:
+            for value in rows[:, 0]:
+                engine.insert(name, (int(value),))
+        else:
+            for lo in range(0, args.tuples, args.batch):
+                engine.ingest_batch(name, rows[lo : lo + args.batch])
+
+    print(f"estimates after {2 * args.tuples:,} tuples (batch size {args.batch}):")
+    exact = engine.exact_join_size(query)
+    for name, estimate in engine.answers().items():
+        print(f"  {name:<24} {estimate:>14,.1f}   (exact {exact:,.0f})")
+    print()
+    print(engine.stats().summary())
+    return 0
+
+
 _SWEEPS = {
     "skew": skew_sweep,
     "correlation": correlation_sweep,
@@ -134,6 +171,21 @@ def build_parser() -> argparse.ArgumentParser:
     speed = sub.add_parser("speed", help="measure the section 5.4 timings")
     speed.add_argument("--size", type=int, default=10_000)
     speed.set_defaults(func=_cmd_speed)
+
+    stats = sub.add_parser(
+        "stats", help="run a demo ingest/answer cycle and print engine counters"
+    )
+    stats.add_argument("--tuples", type=int, default=20_000, help="tuples per relation")
+    stats.add_argument("--batch", type=int, default=1024, help="ingest batch size (1 = per-tuple)")
+    stats.add_argument("--domain", type=int, default=10_000)
+    stats.add_argument("--budget", type=int, default=200)
+    stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument(
+        "--methods",
+        default="cosine,basic_sketch,sample,histogram,wavelet",
+        help="comma-separated estimation methods to register",
+    )
+    stats.set_defaults(func=_cmd_stats)
 
     sweep = sub.add_parser(
         "sweep", help="sensitivity sweeps: skew | correlation | domain | bound"

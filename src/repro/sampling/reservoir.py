@@ -11,7 +11,7 @@ top of them.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Hashable, Iterable
+from typing import Hashable, Iterable, Sequence
 
 import numpy as np
 
@@ -44,6 +44,26 @@ class BernoulliSample:
     def insert_many(self, values: Iterable[Hashable]) -> None:
         for value in values:
             self.insert(value)
+
+    def insert_batch(self, values: Sequence[Hashable]) -> np.ndarray:
+        """Offer a batch of tuples; returns the boolean acceptance mask.
+
+        Draws all coins in one vectorized call.  Because numpy generators
+        produce the same double stream whether drawn one at a time or in
+        blocks, the kept set is *bit-identical* to offering each value via
+        :meth:`insert` in order — batch and sequential ingestion agree
+        exactly, not just in distribution.
+        """
+        values = list(values)
+        if not values:
+            return np.zeros(0, dtype=bool)
+        mask = self._rng.random(len(values)) < self.probability
+        self.stream_size += len(values)
+        for value, keep in zip(values, mask):
+            if keep:
+                self.counts[value] += 1
+        self.sampled_size += int(mask.sum())
+        return mask
 
     def delete(self, value: Hashable) -> None:
         """Deletion is not supported by Bernoulli samples.

@@ -1,8 +1,9 @@
 """Stream substrate: relations, operations, queries, exact ground truth,
 and the continuous query engine (the paper's processing model)."""
 
-from .engine import ContinuousQueryEngine, embed_counts_tensor
+from .engine import ContinuousQueryEngine, StreamEngine, embed_counts_tensor
 from .io import format_op_line, parse_op_line, read_ops, replay_into, write_ops
+from .stats import EngineStats
 from .exact import (
     exact_join_size,
     exact_multijoin_size,
@@ -10,11 +11,13 @@ from .exact import (
     relative_error,
 )
 from .queries import AttributeRef, EquiJoinPredicate, JoinQuery
-from .relation import StreamRelation
+from .relation import StreamObserver, StreamRelation
 from .tuples import OpKind, StreamOp, deletes, inserts, interleave
 
 __all__ = [
     "ContinuousQueryEngine",
+    "StreamEngine",
+    "EngineStats",
     "embed_counts_tensor",
     "format_op_line",
     "parse_op_line",
@@ -28,6 +31,7 @@ __all__ = [
     "AttributeRef",
     "EquiJoinPredicate",
     "JoinQuery",
+    "StreamObserver",
     "StreamRelation",
     "OpKind",
     "StreamOp",

@@ -29,6 +29,7 @@ Supported estimation methods mirror the paper's experimental cast:
 from __future__ import annotations
 
 from collections import Counter
+from time import perf_counter
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
@@ -46,7 +47,8 @@ from ..sketches.hashing import SignFamily
 from ..sketches.skimmed import estimate_multijoin_size_skimmed
 from .exact import exact_multijoin_size
 from .queries import JoinQuery
-from .relation import StreamRelation
+from .relation import StreamObserver, StreamRelation
+from .stats import EngineStats
 from .tuples import OpKind, StreamOp
 
 Slot = tuple[int, int]
@@ -96,11 +98,20 @@ class ContinuousQueryEngine:
         self._queries: dict[str, _QueryState] = {}
         self._seed = seed
         self._pending_attachments: list[tuple[StreamRelation, object]] = []
+        self._stats = EngineStats()
 
     def _attach(self, relation: StreamRelation, observer) -> None:
         """Attach an observer and record it for query unregistration."""
         relation.attach(observer)
         self._pending_attachments.append((relation, observer))
+
+    def stats(self) -> EngineStats:
+        """Live ingest/estimation counters (see :class:`EngineStats`).
+
+        Observer update time is attributed to the owning query's estimation
+        method.  Call ``stats().reset()`` to zero the counters in place.
+        """
+        return self._stats
 
     # ------------------------------------------------------------------ #
     # relations
@@ -113,6 +124,7 @@ class ContinuousQueryEngine:
         if name in self.relations:
             raise ValueError(f"relation {name!r} already exists")
         relation = StreamRelation(name, attributes, domains)
+        relation.stats = self._stats
         self.relations[name] = relation
         return relation
 
@@ -120,6 +132,7 @@ class ContinuousQueryEngine:
         """Register an existing relation object."""
         if relation.name in self.relations:
             raise ValueError(f"relation {relation.name!r} already exists")
+        relation.stats = self._stats
         self.relations[relation.name] = relation
 
     def process(self, relation_name: str, op: StreamOp) -> None:
@@ -131,6 +144,32 @@ class ContinuousQueryEngine:
 
     def delete(self, relation_name: str, values: Sequence) -> None:
         self.relations[relation_name].delete(values)
+
+    def ingest_batch(
+        self,
+        relation_name: str,
+        rows: Sequence[Sequence] | np.ndarray,
+        kind: OpKind = OpKind.INSERT,
+    ) -> None:
+        """Ingest a same-kind batch of raw tuples through the fast path.
+
+        The relation's exact tensor is updated with one vectorized
+        scatter-add and every attached observer is notified once with the
+        whole batch, hitting the synopses' ``insert_batch`` /
+        ``update_batch`` kernels instead of per-tuple Python round-trips.
+        The final state is identical to ingesting the rows one at a time
+        (bit-identical for the count/sketch/sample state, up to float
+        summation order for transform coefficients).
+        """
+        relation = self.relations[relation_name]
+        if kind is OpKind.INSERT:
+            relation.insert_rows(rows)
+        else:
+            relation.delete_rows(rows)
+
+    def process_batch(self, relation_name: str, ops: Sequence[StreamOp]) -> None:
+        """Route a mixed insert/delete operation sequence, batching runs."""
+        self.relations[relation_name].process_batch(ops)
 
     # ------------------------------------------------------------------ #
     # queries
@@ -181,6 +220,8 @@ class ContinuousQueryEngine:
             raise
         state.attachments = self._pending_attachments
         self._pending_attachments = []
+        for _, observer in state.attachments:
+            observer.stats_key = method  # per-method time attribution
         self._queries[name] = state
 
     def unregister_query(self, name: str) -> None:
@@ -250,6 +291,8 @@ class ContinuousQueryEngine:
         state.exact = exact  # type: ignore[attr-defined]
         state.attachments = self._pending_attachments
         self._pending_attachments = []
+        for _, observer in state.attachments:
+            observer.stats_key = "cosine_range"
         self._queries[name] = state
 
     def register_band_query(
@@ -329,15 +372,20 @@ class ContinuousQueryEngine:
         state.exact = exact  # type: ignore[attr-defined]
         state.attachments = self._pending_attachments
         self._pending_attachments = []
+        for _, observer in state.attachments:
+            observer.stats_key = "cosine_band"
         self._queries[name] = state
 
     def answer(self, name: str) -> float:
         """Current estimate of a registered query."""
-        return self._queries[name].estimate()
+        start = perf_counter()
+        value = self._queries[name].estimate()
+        self._stats.record_estimate(perf_counter() - start)
+        return value
 
     def answers(self) -> dict[str, float]:
         """Current estimates of all registered queries."""
-        return {name: state.estimate() for name, state in self._queries.items()}
+        return {name: self.answer(name) for name in self._queries}
 
     def exact_answer(self, name: str) -> float:
         """Ground-truth answer of a registered query (for evaluation)."""
@@ -608,12 +656,16 @@ class ContinuousQueryEngine:
         return _QueryState(query, method, estimate, space)
 
 
+#: Short alias for deployments that think of it as *the* stream engine.
+StreamEngine = ContinuousQueryEngine
+
+
 # ---------------------------------------------------------------------- #
 # observers
 # ---------------------------------------------------------------------- #
 
 
-class _CosineMarginalObserver:
+class _CosineMarginalObserver(StreamObserver):
     """Feeds one attribute's raw values into a 1-d cosine synopsis."""
 
     def __init__(self, synopsis: CosineSynopsis, axis: int) -> None:
@@ -627,8 +679,15 @@ class _CosineMarginalObserver:
         else:
             self.synopsis.delete(value)
 
+    def on_ops(self, relation: StreamRelation, rows: np.ndarray, kind: OpKind) -> None:
+        column = rows[:, self.axis][:, None]
+        if kind is OpKind.INSERT:
+            self.synopsis.insert_batch(column)
+        else:
+            self.synopsis.delete_batch(column)
 
-class _CosineObserver:
+
+class _CosineObserver(StreamObserver):
     """Feeds raw tuples into a cosine synopsis (Eqs. 3.4 / 3.5)."""
 
     def __init__(self, synopsis: CosineSynopsis) -> None:
@@ -640,8 +699,14 @@ class _CosineObserver:
         else:
             self.synopsis.delete(op.values)
 
+    def on_ops(self, relation: StreamRelation, rows: np.ndarray, kind: OpKind) -> None:
+        if kind is OpKind.INSERT:
+            self.synopsis.insert_batch(rows)
+        else:
+            self.synopsis.delete_batch(rows)
 
-class _SketchObserver:
+
+class _SketchObserver(StreamObserver):
     """Feeds joined-attribute indices into an AGMS sketch."""
 
     def __init__(
@@ -655,8 +720,15 @@ class _SketchObserver:
         indices = [d.index_of(op.values[ax]) for d, ax in zip(self.domains, self.axes)]
         self.sketch.update(indices, weight=op.weight)
 
+    def on_ops(self, relation: StreamRelation, rows: np.ndarray, kind: OpKind) -> None:
+        indices = np.stack(
+            [d.indices_of(rows[:, ax]) for d, ax in zip(self.domains, self.axes)],
+            axis=1,
+        )
+        self.sketch.update_batch(indices, weight=kind.value)
 
-class _SampleObserver:
+
+class _SampleObserver(StreamObserver):
     """Feeds joined-attribute index tuples into a Bernoulli sample."""
 
     def __init__(
@@ -681,8 +753,19 @@ class _SampleObserver:
         if self.sample.sampled_size > before:
             self.counter[key if len(key) > 1 else key[0]] += 1
 
+    def on_ops(self, relation: StreamRelation, rows: np.ndarray, kind: OpKind) -> None:
+        if kind is OpKind.DELETE:
+            self.sample.delete(tuple(rows[0]))  # raises: documented limitation
+            return
+        idx = relation.indices_of_rows(rows)[:, self.axes]
+        keys = [tuple(int(v) for v in row) for row in idx]
+        mask = self.sample.insert_batch(keys)
+        for key, kept in zip(keys, mask):
+            if kept:
+                self.counter[key if len(key) > 1 else key[0]] += 1
 
-class _PartitionedObserver:
+
+class _PartitionedObserver(StreamObserver):
     """Feeds one attribute's domain indices into a partitioned sketch."""
 
     def __init__(self, sketch, domain: Domain, axis: int) -> None:
@@ -694,8 +777,12 @@ class _PartitionedObserver:
         index = self.domain.index_of(op.values[self.axis])
         self.sketch.update(index, weight=op.weight)
 
+    def on_ops(self, relation: StreamRelation, rows: np.ndarray, kind: OpKind) -> None:
+        indices = self.domain.indices_of(rows[:, self.axis])
+        self.sketch.update_batch(indices, weight=kind.value)
 
-class _WaveletObserver:
+
+class _WaveletObserver(StreamObserver):
     """Feeds one attribute's raw values into a Haar wavelet synopsis."""
 
     def __init__(self, synopsis, axis: int) -> None:
@@ -705,8 +792,11 @@ class _WaveletObserver:
     def on_op(self, relation: StreamRelation, op: StreamOp) -> None:
         self.synopsis.update(op.values[self.axis], weight=op.weight)
 
+    def on_ops(self, relation: StreamRelation, rows: np.ndarray, kind: OpKind) -> None:
+        self.synopsis.update_batch(rows[:, self.axis], weight=kind.value)
 
-class _HistogramObserver:
+
+class _HistogramObserver(StreamObserver):
     """Feeds one attribute's raw values into an equi-width histogram."""
 
     def __init__(self, histogram: EquiWidthHistogram, axis: int) -> None:
@@ -715,6 +805,9 @@ class _HistogramObserver:
 
     def on_op(self, relation: StreamRelation, op: StreamOp) -> None:
         self.histogram.update(op.values[self.axis], weight=op.weight)
+
+    def on_ops(self, relation: StreamRelation, rows: np.ndarray, kind: OpKind) -> None:
+        self.histogram.update_batch(rows[:, self.axis], weight=kind.value)
 
 
 # ---------------------------------------------------------------------- #

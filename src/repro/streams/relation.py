@@ -9,27 +9,60 @@ relation whose tuples arrive (and possibly depart) one at a time.  It keeps
 * a list of attached *observers* — synopses that see every operation as it
   happens, exactly as the paper updates cosine coefficients and atomic
   sketches "whenever a tuple arrives" (section 5.1).
+
+Beyond the paper's per-tuple model, relations also accept *batches*:
+:meth:`StreamRelation.insert_rows` / :meth:`StreamRelation.delete_rows`
+update the exact tensor with one vectorized scatter-add and notify each
+observer once per batch.  Observers that implement ``on_ops(relation, rows,
+kind)`` get the whole batch (and can use their synopsis' vectorized
+kernels); anything exposing only ``on_op`` is fed tuple-by-tuple, so the
+two protocols coexist on one relation.
 """
 
 from __future__ import annotations
 
-from typing import Protocol, Sequence
+from time import perf_counter
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
 from ..core.normalization import Domain
 from .tuples import OpKind, StreamOp
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .stats import EngineStats
+
 #: Refuse to materialize exact count tensors above this many cells.
 MAX_EXACT_CELLS = 200_000_000
 
 
-class StreamObserver(Protocol):
-    """Anything that wants to see a relation's operations live."""
+class StreamObserver:
+    """Base class for synopses that watch a relation's operations live.
+
+    Subclasses must implement :meth:`on_op`; batch-aware subclasses
+    additionally override :meth:`on_ops`, whose default simply replays the
+    batch tuple-by-tuple so per-op observers stay correct under batched
+    ingestion.  Attachment is duck-typed — any object with an ``on_op``
+    method works — but inheriting picks up the batch fallback for free.
+    """
 
     def on_op(self, relation: "StreamRelation", op: StreamOp) -> None:
         """Called once per stream operation, after exact state is updated."""
-        ...  # pragma: no cover - protocol
+        raise NotImplementedError
+
+    def on_ops(self, relation: "StreamRelation", rows: np.ndarray, kind: OpKind) -> None:
+        """Called once per same-kind batch, after exact state is updated.
+
+        ``rows`` is a ``(B, ndim)`` array of raw tuples.  The default
+        falls back to one :meth:`on_op` call per row.
+        """
+        for row in rows:
+            self.on_op(relation, StreamOp(tuple(row), kind))
+
+
+def _stats_key(observer: object) -> str:
+    """Stats attribution key: the owning query's method, or the class name."""
+    return getattr(observer, "stats_key", type(observer).__name__)
 
 
 class StreamRelation:
@@ -59,6 +92,10 @@ class StreamRelation:
         self.counts = np.zeros(tuple(d.size for d in domains), dtype=np.int64)
         self._count = 0
         self._observers: list[StreamObserver] = []
+        #: Optional counters shared with an owning engine (see
+        #: :class:`repro.streams.stats.EngineStats`); ``None`` disables
+        #: instrumentation entirely.
+        self.stats: "EngineStats | None" = None
 
     @property
     def ndim(self) -> int:
@@ -86,6 +123,37 @@ class StreamRelation:
             )
         return tuple(d.index_of(v) for d, v in zip(self.domains, values))
 
+    def rows_array(self, rows: Sequence[Sequence] | np.ndarray) -> np.ndarray:
+        """Coerce a batch of raw tuples into a ``(B, ndim)`` array.
+
+        A 1-d input is accepted for single-attribute relations (a batch of
+        scalars); multi-attribute relations require one row per tuple.
+        """
+        arr = np.asarray(rows)
+        if arr.ndim == 1:
+            if self.ndim == 1:
+                arr = arr[:, None]
+            else:
+                raise ValueError(
+                    f"{self.name} has {self.ndim} attributes; "
+                    "pass rows as a (B, ndim) sequence of tuples"
+                )
+        if arr.ndim != 2 or arr.shape[1] != self.ndim:
+            raise ValueError(
+                f"rows must have shape (B, {self.ndim}), got {arr.shape}"
+            )
+        return arr
+
+    def indices_of_rows(self, rows: Sequence[Sequence] | np.ndarray) -> np.ndarray:
+        """Map a batch of raw tuples to a ``(B, ndim)`` index array."""
+        arr = self.rows_array(rows)
+        columns = [d.indices_of(arr[:, j]) for j, d in enumerate(self.domains)]
+        return np.stack(columns, axis=1)
+
+    # ------------------------------------------------------------------ #
+    # per-tuple path
+    # ------------------------------------------------------------------ #
+
     def process(self, op: StreamOp) -> None:
         """Apply one stream operation and notify observers."""
         idx = self.indices_of(op.values)
@@ -93,8 +161,16 @@ class StreamRelation:
             raise ValueError(f"deleting tuple {op.values} that {self.name} does not hold")
         self.counts[idx] += op.weight
         self._count += op.weight
-        for observer in self._observers:
-            observer.on_op(self, op)
+        stats = self.stats
+        if stats is None:
+            for observer in self._observers:
+                observer.on_op(self, op)
+        else:
+            stats.record_ops(1, op.kind, batched=False)
+            for observer in self._observers:
+                start = perf_counter()
+                observer.on_op(self, op)
+                stats.record_observer(_stats_key(observer), perf_counter() - start, 1)
 
     def insert(self, values: Sequence) -> None:
         """Convenience: process an insertion of one raw tuple."""
@@ -104,12 +180,85 @@ class StreamRelation:
         """Convenience: process a deletion of one raw tuple."""
         self.process(StreamOp(tuple(values), OpKind.DELETE))
 
+    # ------------------------------------------------------------------ #
+    # batch path
+    # ------------------------------------------------------------------ #
+
     def insert_rows(self, rows: Sequence[Sequence] | np.ndarray) -> None:
-        """Process a batch of insertions, one operation per row."""
-        for row in rows:
-            if np.isscalar(row):
-                row = (row,)
-            self.insert(tuple(row))
+        """Process a batch of insertions with one scatter-add and one notify.
+
+        The final state is identical to inserting each row individually;
+        observers implementing ``on_ops`` see the whole batch at once.
+        """
+        arr = self.rows_array(rows)
+        if arr.shape[0]:
+            self._apply_rows(arr, OpKind.INSERT)
+
+    def delete_rows(self, rows: Sequence[Sequence] | np.ndarray) -> None:
+        """Process a batch of deletions (validated before any state change)."""
+        arr = self.rows_array(rows)
+        if arr.shape[0]:
+            self._apply_rows(arr, OpKind.DELETE)
+
+    def process_batch(self, ops: Iterable[StreamOp]) -> None:
+        """Apply a sequence of operations, batching runs of the same kind.
+
+        Consecutive same-kind operations are grouped into one vectorized
+        application each, so a mixed insert/delete stream preserves its
+        relative order while still amortizing observer updates.
+        """
+        run: list[tuple] = []
+        run_kind: OpKind | None = None
+        for op in ops:
+            if run_kind is not None and op.kind is not run_kind:
+                self._apply_rows(self.rows_array(run), run_kind)
+                run = []
+            run_kind = op.kind
+            run.append(op.values)
+        if run:
+            assert run_kind is not None
+            self._apply_rows(self.rows_array(run), run_kind)
+
+    def _apply_rows(self, arr: np.ndarray, kind: OpKind) -> None:
+        """Vectorized core: update exact counts, then notify once."""
+        idx = self.indices_of_rows(arr)
+        cells = tuple(idx[:, j] for j in range(self.ndim))
+        if kind is OpKind.DELETE:
+            # A sequential replay would raise on the first tuple exceeding
+            # its live multiplicity; check up front so a rejected batch
+            # leaves the exact state untouched.
+            unique, multiplicity = np.unique(idx, axis=0, return_counts=True)
+            held = self.counts[tuple(unique[:, j] for j in range(self.ndim))]
+            short = multiplicity > held
+            if short.any():
+                bad_idx = unique[np.argmax(short)]
+                where = np.argmax(np.all(idx == bad_idx, axis=1))
+                bad = tuple(v.item() for v in arr[where])
+                raise ValueError(
+                    f"deleting tuple {bad} that {self.name} does not hold"
+                )
+            np.subtract.at(self.counts, cells, 1)
+            self._count -= idx.shape[0]
+        else:
+            np.add.at(self.counts, cells, 1)
+            self._count += idx.shape[0]
+        stats = self.stats
+        if stats is not None:
+            stats.record_ops(idx.shape[0], kind, batched=True)
+        for observer in self._observers:
+            start = perf_counter() if stats is not None else 0.0
+            handler = getattr(observer, "on_ops", None)
+            if handler is not None:
+                handler(self, arr, kind)
+            else:
+                for row in arr:
+                    observer.on_op(self, StreamOp(tuple(row), kind))
+            if stats is not None:
+                stats.record_observer(
+                    _stats_key(observer), perf_counter() - start, arr.shape[0]
+                )
+
+    # ------------------------------------------------------------------ #
 
     def load_counts(self, counts: np.ndarray) -> None:
         """Bulk-load an initial frequency tensor (no observer notification).

@@ -1,0 +1,126 @@
+"""Lightweight engine instrumentation: ingest and estimation counters.
+
+The ROADMAP north-star is throughput, and a throughput claim needs an
+in-repo measurement surface: :class:`EngineStats` is a plain counters
+object shared between a :class:`~repro.streams.engine.ContinuousQueryEngine`
+and its relations.  It tracks how many tuples flowed (and through which
+path — per-tuple or batched), how much wall-clock time each estimation
+method's observers spent digesting them, and how many ``answer()`` calls
+were served at what latency.  ``repro-experiments stats`` prints it after
+a demo ingest/answer cycle; ``StreamEngine.stats()`` exposes it live.
+
+All counters are monotonic between :meth:`EngineStats.reset` calls; timing
+uses ``time.perf_counter`` and is attributed per *stats key* — the owning
+query's estimation method for engine-attached observers, the observer's
+class name otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .tuples import OpKind
+
+
+@dataclass
+class EngineStats:
+    """Counters for one engine's ingest and estimation activity."""
+
+    #: Total operations applied (insertions + deletions, any path).
+    tuples_ingested: int = 0
+    #: Deletions among :attr:`tuples_ingested`.
+    tuples_deleted: int = 0
+    #: Operations that went through the per-tuple ``process`` path.
+    per_tuple_ops: int = 0
+    #: Vectorized batch applications (one per same-kind run).
+    batches: int = 0
+    #: Operations that arrived inside batches.
+    batched_ops: int = 0
+    #: Seconds spent inside observer updates, per stats key.
+    observer_time: dict[str, float] = field(default_factory=dict)
+    #: Operations seen by observers, per stats key.
+    observer_ops: dict[str, int] = field(default_factory=dict)
+    #: ``answer()`` / ``answers()`` estimate evaluations.
+    estimate_calls: int = 0
+    #: Seconds spent evaluating estimates.
+    estimate_time: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # recording (called from the relation / engine hot paths)
+    # ------------------------------------------------------------------ #
+
+    def record_ops(self, count: int, kind: OpKind, batched: bool) -> None:
+        """Record ``count`` same-kind operations entering a relation."""
+        self.tuples_ingested += count
+        if kind is OpKind.DELETE:
+            self.tuples_deleted += count
+        if batched:
+            self.batches += 1
+            self.batched_ops += count
+        else:
+            self.per_tuple_ops += count
+
+    def record_observer(self, key: str, seconds: float, count: int) -> None:
+        """Record one observer update covering ``count`` operations."""
+        self.observer_time[key] = self.observer_time.get(key, 0.0) + seconds
+        self.observer_ops[key] = self.observer_ops.get(key, 0) + count
+
+    def record_estimate(self, seconds: float) -> None:
+        """Record one estimate evaluation."""
+        self.estimate_calls += 1
+        self.estimate_time += seconds
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+
+    def as_dict(self) -> dict:
+        """Snapshot as plain Python types (JSON-compatible)."""
+        return {
+            "tuples_ingested": self.tuples_ingested,
+            "tuples_deleted": self.tuples_deleted,
+            "per_tuple_ops": self.per_tuple_ops,
+            "batches": self.batches,
+            "batched_ops": self.batched_ops,
+            "observer_time": dict(self.observer_time),
+            "observer_ops": dict(self.observer_ops),
+            "estimate_calls": self.estimate_calls,
+            "estimate_time": self.estimate_time,
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            "engine stats:",
+            f"  tuples ingested   {self.tuples_ingested:>12,}"
+            f"  (deletions {self.tuples_deleted:,})",
+            f"  per-tuple ops     {self.per_tuple_ops:>12,}",
+            f"  batched ops       {self.batched_ops:>12,}"
+            f"  in {self.batches:,} batches",
+            f"  estimate calls    {self.estimate_calls:>12,}"
+            f"  totalling {self.estimate_time * 1e3:,.2f} ms",
+        ]
+        if self.observer_time:
+            lines.append("  observer update time by method:")
+            width = max(len(k) for k in self.observer_time)
+            for key in sorted(self.observer_time):
+                seconds = self.observer_time[key]
+                ops = self.observer_ops.get(key, 0)
+                rate = f"{ops / seconds:>14,.0f} ops/s" if seconds > 0 else " " * 20
+                lines.append(
+                    f"    {key:<{width}}  {seconds * 1e3:>10,.2f} ms"
+                    f"  over {ops:>10,} ops {rate}"
+                )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Zero every counter (the object identity is preserved)."""
+        self.tuples_ingested = 0
+        self.tuples_deleted = 0
+        self.per_tuple_ops = 0
+        self.batches = 0
+        self.batched_ops = 0
+        self.observer_time.clear()
+        self.observer_ops.clear()
+        self.estimate_calls = 0
+        self.estimate_time = 0.0

@@ -147,6 +147,35 @@ class HaarSynopsis:
             length = half
         self._count += weight
 
+    def update_batch(self, values, weight: int = 1) -> None:
+        """Process a batch of insertions (``weight=1``) or deletions (-1).
+
+        Identical final state to calling :meth:`update` per value (up to
+        float summation order): duplicates are aggregated first, then each
+        resolution level's touched coefficients get one scatter-add, so the
+        work is O(distinct values x log n) instead of O(values x log n).
+        """
+        indices = self.domain.indices_of(values)
+        if indices.size == 0:
+            return
+        unique, multiplicity = np.unique(indices, return_counts=True)
+        mass = weight * multiplicity.astype(float)
+        size = self._size
+        self._coefficients[0] += mass.sum() / np.sqrt(size)
+        length = size
+        position = unique.copy()
+        while length > 1:
+            half = length // 2
+            sign = np.where(position % 2 == 0, 1.0, -1.0)
+            np.add.at(
+                self._coefficients,
+                half + position // 2,
+                mass * sign / np.sqrt(size / half),
+            )
+            position //= 2
+            length = half
+        self._count += weight * int(indices.shape[0])
+
     def top_coefficients(self) -> tuple[np.ndarray, np.ndarray]:
         """(indices, values) of the ``budget`` largest-|.| coefficients."""
         order = np.argsort(np.abs(self._coefficients))[::-1][: self.budget]

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.decay import DecayedCosineSynopsis, estimate_decayed_join_size
-from repro.core.join import estimate_join_size
 from repro.core.normalization import Domain
 from repro.core.synopsis import CosineSynopsis
 

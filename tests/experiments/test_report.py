@@ -1,6 +1,5 @@
 """Tests for the text report rendering."""
 
-import numpy as np
 import pytest
 
 from repro.core.normalization import Domain

@@ -1,7 +1,5 @@
 """Tests for the sensitivity sweep helpers (tiny parameters)."""
 
-import pytest
-
 from repro.experiments.methods import CosineMethod
 from repro.experiments.sweeps import (
     bound_tightness_sweep,

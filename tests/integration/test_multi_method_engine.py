@@ -6,7 +6,6 @@ relations, drives a mixed insert/delete stream, and checks all estimators
 stay coherent with the exact answer throughout.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.normalization import Domain

@@ -1,6 +1,5 @@
 """Tests for Bernoulli and reservoir stream samples."""
 
-import numpy as np
 import pytest
 
 from repro.sampling.reservoir import BernoulliSample, ReservoirSample

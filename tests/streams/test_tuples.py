@@ -1,7 +1,6 @@
 """Tests for stream operations and interleaving."""
 
 import numpy as np
-import pytest
 
 from repro.streams.tuples import OpKind, StreamOp, deletes, inserts, interleave
 
