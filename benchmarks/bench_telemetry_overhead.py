@@ -1,0 +1,150 @@
+"""Telemetry overhead: instrumentation must be near-free on the ingest path.
+
+The observability layer (``repro.obs``) promises near-zero cost when
+disabled and bounded cost when enabled: the engine's batched ingest with
+the default telemetry (metrics + tracing + stats facade) must stay
+within 10% of the same ingest with ``Telemetry.disabled()`` — where the
+relations carry ``stats = tracer = None`` and the hot path is the
+uninstrumented one.
+
+Timing noise on shared CI runners is real, so the assertion takes the
+*best* overhead across several interleaved rounds: the claim is about
+the code, not about one noisy measurement.
+
+Runnable standalone for CI smoke checks::
+
+    python benchmarks/bench_telemetry_overhead.py --smoke [--json out.json]
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import Domain
+from repro.obs import Telemetry
+from repro.streams import JoinQuery, StreamEngine
+
+DOMAIN = 2_000
+BATCH = 1_024
+BUDGET = 200
+OVERHEAD_CEILING = 0.10  # enabled ingest may cost at most 10% over disabled
+ROUNDS = 5
+
+
+def _ingest_seconds(telemetry: Telemetry, tuples: int, batch: int = BATCH) -> float:
+    """Wall-clock seconds to batch-ingest ``tuples`` rows per relation."""
+    engine = StreamEngine(seed=0, telemetry=telemetry)
+    domain = Domain.of_size(DOMAIN)
+    engine.create_relation("R1", ["A"], [domain])
+    engine.create_relation("R2", ["A"], [domain])
+    query = JoinQuery.parse(["R1", "R2"], ["R1.A = R2.A"])
+    engine.register_query("q", query, method="cosine", budget=BUDGET)
+    rows = ((np.random.default_rng(0).zipf(1.3, size=tuples) - 1) % DOMAIN)[:, None]
+    start = time.perf_counter()
+    for name in ("R1", "R2"):
+        for lo in range(0, tuples, batch):
+            engine.ingest_batch(name, rows[lo : lo + batch])
+    return time.perf_counter() - start
+
+
+def overhead_table(tuples: int = 32_768, rounds: int = ROUNDS) -> dict:
+    """Enabled-vs-disabled ingest timings, interleaved; best-round overhead."""
+    enabled_times, disabled_times, overheads = [], [], []
+    for _ in range(rounds):
+        disabled = _ingest_seconds(Telemetry.disabled(), tuples)
+        enabled = _ingest_seconds(Telemetry(), tuples)
+        disabled_times.append(disabled)
+        enabled_times.append(enabled)
+        overheads.append(enabled / disabled - 1.0)
+    return {
+        "tuples_per_relation": tuples,
+        "batch": BATCH,
+        "rounds": rounds,
+        "enabled_seconds": enabled_times,
+        "disabled_seconds": disabled_times,
+        "enabled_tps_best": 2 * tuples / min(enabled_times),
+        "disabled_tps_best": 2 * tuples / min(disabled_times),
+        "overhead_per_round": overheads,
+        "overhead_best": min(overheads),
+        "overhead_ceiling": OVERHEAD_CEILING,
+    }
+
+
+def _print_table(table: dict) -> None:
+    tuples = table["tuples_per_relation"]
+    print(
+        f"batched ingest of 2 x {tuples:,} tuples (batch {table['batch']}),"
+        f" {table['rounds']} interleaved rounds:"
+    )
+    print(f"  telemetry disabled  {table['disabled_tps_best']:>12,.0f} tuples/s (best)")
+    print(f"  telemetry enabled   {table['enabled_tps_best']:>12,.0f} tuples/s (best)")
+    rounds = ", ".join(f"{o * 100:+.1f}%" for o in table["overhead_per_round"])
+    print(f"  overhead per round  {rounds}")
+    print(
+        f"  best-round overhead {table['overhead_best'] * 100:+.2f}%"
+        f"  (ceiling {table['overhead_ceiling'] * 100:.0f}%)"
+    )
+
+
+def test_enabled_telemetry_overhead_under_ceiling(benchmark, capsys):
+    """Default telemetry must cost < 10% over Telemetry.disabled() ingest."""
+    table = benchmark.pedantic(
+        lambda: overhead_table(tuples=16_384, rounds=3), iterations=1, rounds=1
+    )
+    with capsys.disabled():
+        print()
+        _print_table(table)
+    assert table["overhead_best"] < OVERHEAD_CEILING
+
+
+def test_disabled_telemetry_records_nothing():
+    """The disabled baseline must leave every counter untouched."""
+    engine = StreamEngine(seed=0, telemetry=Telemetry.disabled())
+    engine.create_relation("R1", ["A"], [Domain.of_size(64)])
+    engine.create_relation("R2", ["A"], [Domain.of_size(64)])
+    engine.register_query(
+        "q", JoinQuery.parse(["R1", "R2"], ["R1.A = R2.A"]), method="cosine", budget=16
+    )
+    engine.ingest_batch("R1", np.zeros((100, 1), dtype=np.int64))
+    engine.insert("R1", (1,))
+    engine.answer("q")
+    stats = engine.stats()
+    assert stats.tuples_ingested == 0
+    assert stats.estimate_calls == 0
+    assert engine.telemetry.tracer is None
+    with pytest.raises(ValueError, match="telemetry"):
+        engine.track_accuracy()
+
+
+def main(argv=None) -> int:
+    """Standalone entry point: telemetry overhead smoke benchmark for CI."""
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small, CI-sized workload")
+    parser.add_argument("--tuples", type=int, default=None, help="tuples per relation")
+    parser.add_argument("--rounds", type=int, default=ROUNDS)
+    parser.add_argument("--json", help="write results to this JSON file")
+    args = parser.parse_args(argv)
+
+    tuples = args.tuples or (8_192 if args.smoke else 32_768)
+    table = overhead_table(tuples=tuples, rounds=args.rounds)
+    _print_table(table)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(table, handle, indent=1)
+        print(f"wrote {args.json}")
+    if table["overhead_best"] >= OVERHEAD_CEILING:
+        print(
+            f"FAIL: enabled-telemetry ingest overhead"
+            f" {table['overhead_best'] * 100:.1f}% exceeds"
+            f" {OVERHEAD_CEILING * 100:.0f}% in every round"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,9 +40,11 @@ from .core import (
     synopses_for_budget,
     unify_domains,
 )
+from .obs import Telemetry
 from .streams import (
     ContinuousQueryEngine,
     JoinQuery,
+    StreamEngine,
     StreamRelation,
     exact_join_size,
     exact_multijoin_size,
@@ -72,7 +74,9 @@ __all__ = [
     "unify_domains",
     "ContinuousQueryEngine",
     "JoinQuery",
+    "StreamEngine",
     "StreamRelation",
+    "Telemetry",
     "exact_join_size",
     "exact_multijoin_size",
     "relative_error",

@@ -8,6 +8,7 @@ Usage (installed as the ``repro-experiments`` console script, or via
     repro-experiments run all
     repro-experiments speed [--size 10000]
     repro-experiments stats [--tuples 20000] [--batch 1024] [--methods cosine,...]
+    repro-experiments monitor [--tuples 30000] [--jsonl snap.jsonl] [--prom out.prom]
 """
 
 from __future__ import annotations
@@ -118,6 +119,91 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    """Ingest a synthetic stream and render a live-refreshing stats table.
+
+    The full telemetry loop in one command: a
+    :class:`~repro.streams.engine.StreamEngine` with queries registered
+    per requested method, online accuracy tracking at a configurable
+    cadence, and a dashboard (counters, estimate-latency percentiles,
+    per-query streaming relative error, recent spans) re-rendered every
+    ``--refresh-every`` ingested tuples.  Optional sinks: ``--jsonl``
+    appends a snapshot per refresh, ``--prom`` writes the final registry
+    in Prometheus text exposition format.
+    """
+    import sys as _sys
+    from time import perf_counter
+
+    import numpy as np
+
+    from ..core.normalization import Domain
+    from ..obs import JsonlSnapshotWriter, prometheus_text, render_dashboard
+    from ..streams import JoinQuery, StreamEngine
+
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    engine = StreamEngine(seed=args.seed)
+    domain = Domain.of_size(args.domain)
+    engine.create_relation("R1", ["A"], [domain])
+    engine.create_relation("R2", ["A"], [domain])
+    query = JoinQuery.parse(["R1", "R2"], ["R1.A = R2.A"])
+    for method in methods:
+        options = {"probability": 0.1} if method == "sample" else {}
+        engine.register_query(
+            f"q_{method}", query, method=method, budget=args.budget, **options
+        )
+    tracker = engine.track_accuracy(every_ops=args.accuracy_every)
+    writer = JsonlSnapshotWriter(args.jsonl) if args.jsonl else None
+
+    def snapshot() -> dict:
+        return {"stats": engine.stats().as_dict(), "accuracy": tracker.as_dict()}
+
+    clear_screen = _sys.stdout.isatty() and not args.no_clear
+    start = perf_counter()
+
+    def render() -> None:
+        if clear_screen:
+            print("\x1b[2J\x1b[H", end="")
+        print(
+            render_dashboard(
+                engine.stats(),
+                accuracy=tracker,
+                tracer=engine.telemetry.tracer,
+                elapsed_s=perf_counter() - start,
+            )
+        )
+        if not clear_screen:
+            print("-" * 72)
+
+    rng = np.random.default_rng(args.seed)
+    rows = {
+        name: ((rng.zipf(1.3, size=args.tuples) - 1) % args.domain)[:, None]
+        for name in ("R1", "R2")
+    }
+    batch = max(1, args.batch)
+    since_refresh = 0
+    for lo in range(0, args.tuples, batch):
+        for name in ("R1", "R2"):
+            chunk = rows[name][lo : lo + batch]
+            engine.ingest_batch(name, chunk)
+            since_refresh += chunk.shape[0]
+        if since_refresh >= args.refresh_every:
+            since_refresh = 0
+            render()
+            if writer is not None:
+                writer.write(snapshot())
+    engine.answers()  # leave final estimate latencies in the histogram
+    render()
+    if writer is not None:
+        writer.write(snapshot())
+        print(f"wrote {writer.snapshots_written} snapshots to {args.jsonl}")
+    if args.prom:
+        from pathlib import Path
+
+        Path(args.prom).write_text(prometheus_text(engine.telemetry.registry))
+        print(f"wrote Prometheus exposition to {args.prom}")
+    return 0
+
+
 _SWEEPS = {
     "skew": skew_sweep,
     "correlation": correlation_sweep,
@@ -186,6 +272,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated estimation methods to register",
     )
     stats.set_defaults(func=_cmd_stats)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="ingest a synthetic stream with live telemetry dashboard refreshes",
+    )
+    monitor.add_argument("--tuples", type=int, default=30_000, help="tuples per relation")
+    monitor.add_argument("--batch", type=int, default=1024, help="ingest batch size")
+    monitor.add_argument("--domain", type=int, default=10_000)
+    monitor.add_argument("--budget", type=int, default=200)
+    monitor.add_argument("--seed", type=int, default=0)
+    monitor.add_argument(
+        "--methods",
+        default="cosine,basic_sketch",
+        help="comma-separated estimation methods to register",
+    )
+    monitor.add_argument(
+        "--refresh-every",
+        type=int,
+        default=8192,
+        help="re-render the dashboard every this many ingested tuples",
+    )
+    monitor.add_argument(
+        "--accuracy-every",
+        type=int,
+        default=4096,
+        help="sample estimate-vs-exact relative error every this many tuples",
+    )
+    monitor.add_argument("--jsonl", help="append a JSONL telemetry snapshot per refresh")
+    monitor.add_argument(
+        "--prom", help="write the final registry in Prometheus text format here"
+    )
+    monitor.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="never clear the screen between refreshes (e.g. when piping)",
+    )
+    monitor.set_defaults(func=_cmd_monitor)
 
     sweep = sub.add_parser(
         "sweep", help="sensitivity sweeps: skew | correlation | domain | bound"

@@ -1,0 +1,389 @@
+"""Metric primitives and the registry that owns them.
+
+The observability layer's storage model is deliberately small: three
+primitive kinds — monotonic :class:`Counter`, free-moving :class:`Gauge`,
+and fixed-bucket :class:`LatencyHistogram` — owned by one
+:class:`MetricsRegistry` per telemetry domain (one per engine in
+practice).  Each metric may carry *labels* (relation / query / method
+names), in which case the registry hands out a :class:`MetricFamily`
+whose ``labels(...)`` method returns per-label-value children.
+
+The primitives are plain Python attribute arithmetic — no locks, no
+callbacks — so recording from the engine's ingest hot path costs about
+as much as the ad-hoc dict updates they replaced.  Snapshots
+(:meth:`MetricsRegistry.snapshot`) are JSON-compatible; the Prometheus
+text rendering lives in :mod:`repro.obs.exporters`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "RELATIVE_ERROR_BUCKETS",
+]
+
+#: Fixed latency buckets (seconds), a 1-2.5-5 ladder from 1µs to 10s.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-6, 2.5e-6, 5e-6,
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Fixed relative-error buckets, a 1-2.5-5 ladder from 0.01% to 1000%.
+RELATIVE_ERROR_BUCKETS: tuple[float, ...] = (
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing value (ops, seconds, bytes...)."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative; counters only go up)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self._value += amount
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+    def snapshot(self):
+        value = self._value
+        return int(value) if value == int(value) else value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name}={self._value})"
+
+
+class Gauge:
+    """A value that can go up and down (live queries, buffer fill...)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+    def snapshot(self):
+        value = self._value
+        return int(value) if value == int(value) else value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Gauge({self.name}={self._value})"
+
+
+class LatencyHistogram:
+    """Fixed-bucket histogram with streaming count/sum/percentiles.
+
+    Buckets are cumulative-style upper bounds (Prometheus convention) with
+    an implicit ``+Inf`` overflow bucket, so two histograms with the same
+    bounds can be merged by adding their bucket counts.  ``percentile``
+    interpolates linearly inside the winning bucket and clamps to the
+    observed min/max, which keeps p50/p95 readable even when all mass
+    lands in one bucket.  Despite the name, any non-negative quantity can
+    be observed — the accuracy tracker reuses it for relative errors with
+    :data:`RELATIVE_ERROR_BUCKETS`.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "bounds", "bucket_counts", "_sum", "_count", "_min", "_max")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("buckets must be a non-empty increasing sequence")
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # +1: the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation (binary search into the fixed buckets)."""
+        self._sum += value
+        self._count += 1
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.bucket_counts[lo] += 1
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0..100), interpolated within its bucket."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if self._count == 0:
+            return math.nan
+        target = p / 100.0 * self._count
+        cumulative = 0
+        lower = 0.0
+        for i, bucket_count in enumerate(self.bucket_counts):
+            upper = self.bounds[i] if i < len(self.bounds) else self._max
+            if bucket_count:
+                cumulative += bucket_count
+                if cumulative >= target:
+                    hi = min(upper, self._max)
+                    lo = max(lower, self._min)
+                    if hi <= lo or bucket_count == 0:
+                        return lo
+                    fraction = (target - (cumulative - bucket_count)) / bucket_count
+                    return lo + fraction * (hi - lo)
+            lower = upper if i < len(self.bounds) else lower
+        return self._max  # pragma: no cover - target <= count always hits
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def snapshot(self) -> dict:
+        out = {
+            "count": self._count,
+            "sum": self._sum,
+            "mean": self.mean,
+        }
+        if self._count:
+            out["p50"] = self.percentile(50)
+            out["p95"] = self.percentile(95)
+            out["p99"] = self.percentile(99)
+            out["min"] = self._min
+            out["max"] = self._max
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LatencyHistogram({self.name}, n={self._count})"
+
+
+class MetricFamily:
+    """A labelled metric: one child primitive per label-value combination.
+
+    ``family.labels(method="cosine")`` (or positionally,
+    ``family.labels("cosine")``) returns the child metric for that label
+    combination, creating it on first use.  Children are cached forever —
+    label cardinality is expected to be small (relations, queries,
+    methods), matching the Prometheus data model.
+    """
+
+    __slots__ = ("name", "help", "kind", "labelnames", "_factory", "_children")
+
+    def __init__(self, factory, name: str, help: str, labelnames: Sequence[str]) -> None:
+        if not labelnames:
+            raise ValueError("a MetricFamily needs at least one label name")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._factory = factory
+        self._children: dict[tuple[str, ...], object] = {}
+        self.kind = factory("_probe").kind
+
+    def labels(self, *values, **kwvalues):
+        """The child metric for one label-value combination (created lazily)."""
+        if kwvalues:
+            if values:
+                raise ValueError("pass label values positionally or by name, not both")
+            try:
+                values = tuple(str(kwvalues.pop(name)) for name in self.labelnames)
+            except KeyError as exc:
+                raise ValueError(f"missing label {exc.args[0]!r} for {self.name!r}") from None
+            if kwvalues:
+                raise ValueError(f"unknown labels {sorted(kwvalues)} for {self.name!r}")
+        else:
+            values = tuple(str(v) for v in values)
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name!r} takes labels {self.labelnames}, got {len(values)} values"
+            )
+        child = self._children.get(values)
+        if child is None:
+            child = self._factory(self.name)
+            self._children[values] = child
+        return child
+
+    def items(self) -> Iterator[tuple[tuple[str, ...], object]]:
+        """Iterate ``(label_values, child_metric)`` pairs (sorted)."""
+        return iter(sorted(self._children.items()))
+
+    def as_value_dict(self) -> dict:
+        """``{label_values: snapshot}`` with single-label keys flattened."""
+        out = {}
+        for values, child in self.items():
+            key = values[0] if len(values) == 1 else ",".join(values)
+            out[key] = child.snapshot()
+        return out
+
+    def reset(self) -> None:
+        """Forget every child (label combinations re-materialize on use).
+
+        Matches dict-clear semantics: holders of child references must
+        re-resolve through :meth:`labels` after a reset.
+        """
+        self._children.clear()
+
+    def snapshot(self) -> dict:
+        return self.as_value_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MetricFamily({self.name}, labels={self.labelnames}, n={len(self._children)})"
+
+
+class MetricsRegistry:
+    """Owns a flat namespace of metrics; get-or-create by name.
+
+    Re-requesting a name returns the existing object, so independent
+    components (the :class:`~repro.streams.stats.EngineStats` facade, the
+    accuracy tracker, user code) can share one registry without
+    coordinating creation order.  Requesting an existing name with a
+    different kind or label set is an error.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Counter | MetricFamily:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge | MetricFamily:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> LatencyHistogram | MetricFamily:
+        def factory(metric_name: str, _buckets=tuple(buckets)) -> LatencyHistogram:
+            return LatencyHistogram(metric_name, buckets=_buckets)
+
+        return self._get_or_create(LatencyHistogram, name, help, labelnames, factory)
+
+    def _get_or_create(self, cls, name, help, labelnames, factory=None):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            want_labels = tuple(labelnames)
+            if isinstance(existing, MetricFamily):
+                if existing.kind != cls.kind or existing.labelnames != want_labels:
+                    raise ValueError(f"metric {name!r} already registered differently")
+            elif not isinstance(existing, cls) or want_labels:
+                raise ValueError(f"metric {name!r} already registered differently")
+            return existing
+        make = factory if factory is not None else (lambda n: cls(n))
+        if labelnames:
+            metric: object = MetricFamily(make, name, help, labelnames)
+        else:
+            metric = make(name)
+            metric.help = help
+        self._metrics[name] = metric
+        return metric
+
+    def get(self, name: str):
+        """The metric registered under ``name``, or ``None``."""
+        return self._metrics.get(name)
+
+    def collect(self) -> Iterator[tuple[str, object]]:
+        """Iterate ``(name, metric_or_family)`` sorted by name."""
+        return iter(sorted(self._metrics.items()))
+
+    def reset(self) -> None:
+        """Zero every registered metric (identities are preserved)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def snapshot(self) -> dict:
+        """One JSON-compatible dict for the whole registry."""
+        out: dict[str, dict] = {}
+        for name, metric in self.collect():
+            entry: dict = {"type": metric.kind}
+            if isinstance(metric, MetricFamily):
+                entry["labels"] = list(metric.labelnames)
+                entry["values"] = metric.snapshot()
+            elif isinstance(metric, LatencyHistogram):
+                entry.update(metric.snapshot())
+            else:
+                entry["value"] = metric.snapshot()
+            out[name] = entry
+        return out
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+
+def as_labels(mapping: Mapping[str, object]) -> dict[str, str]:
+    """Coerce attribute values to strings (exporter-friendly)."""
+    return {k: str(v) for k, v in mapping.items()}

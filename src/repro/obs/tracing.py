@@ -1,0 +1,160 @@
+"""Structured span events over a bounded in-memory ring buffer.
+
+The tracing layer answers "what just happened, in order, and how long did
+it take" — the question counters cannot.  A :class:`Tracer` records
+:class:`SpanEvent` objects (name, monotonic start, duration, op count,
+free-form attributes) into a ``deque(maxlen=capacity)`` ring: constant
+memory, oldest events dropped first, with a drop counter so consumers
+know the window is partial.
+
+Two recording styles serve the two hot-path shapes:
+
+* ``with tracer.span("ingest_batch", relation="R1", count=1024): ...``
+  wraps a region and measures it (used around the relation's vectorized
+  batch apply), and
+* ``tracer.emit("observer_update", seconds, ...)`` records a duration the
+  caller already measured (used where the stats layer has timed the work
+  anyway, so tracing adds no second clock read).
+
+A disabled tracer records nothing; the engine goes one step further and
+hands relations ``tracer = None`` so the hot path pays a single ``is
+None`` check.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Iterator
+
+__all__ = ["SpanEvent", "Tracer", "DEFAULT_TRACE_CAPACITY"]
+
+#: Default ring-buffer capacity (events).
+DEFAULT_TRACE_CAPACITY = 4096
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One finished span: what ran, when it started, how long it took."""
+
+    #: Span name, e.g. ``"ingest_batch"`` / ``"observer_update"`` / ``"estimate"``.
+    name: str
+    #: ``time.perf_counter()`` at span start (monotonic; comparable within a process).
+    start: float
+    #: Wall-clock duration in seconds.
+    duration: float
+    #: Operations covered by the span (tuples in the batch, 1 for an estimate).
+    count: int = 1
+    #: Free-form string attributes (relation / method / query / kind ...).
+    attrs: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON-compatible form (attrs flattened in)."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "count": self.count,
+            **self.attrs,
+        }
+
+
+class Tracer:
+    """Bounded recorder of span events.
+
+    ``capacity`` bounds memory; ``enabled=False`` turns every call into a
+    no-op (the span context manager still runs, recording nothing).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY, enabled: bool = True) -> None:
+        if capacity < 1:
+            raise ValueError("trace capacity must be >= 1")
+        self.capacity = capacity
+        self.enabled = enabled
+        self._events: deque[SpanEvent] = deque(maxlen=capacity)
+        self._emitted = 0
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def span(self, name: str, count: int = 1, **attrs) -> Iterator[None]:
+        """Measure the wrapped region and record it as one event.
+
+        The event is recorded even if the region raises, so failed batch
+        applies still show up in the trace.
+        """
+        if not self.enabled:
+            yield
+            return
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            self.emit(name, perf_counter() - start, count=count, start=start, **attrs)
+
+    def emit(
+        self,
+        name: str,
+        duration: float,
+        count: int = 1,
+        start: float | None = None,
+        **attrs,
+    ) -> None:
+        """Record a span whose duration the caller measured already."""
+        if not self.enabled:
+            return
+        if start is None:
+            start = perf_counter() - duration
+        self._emitted += 1
+        self._events.append(
+            SpanEvent(name, start, duration, count, {k: str(v) for k, v in attrs.items()})
+        )
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+
+    @property
+    def emitted(self) -> int:
+        """Total events ever recorded (including ones since evicted)."""
+        return self._emitted
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring to make room for newer ones."""
+        return self._emitted - len(self._events)
+
+    def events(self, name: str | None = None) -> list[SpanEvent]:
+        """Buffered events oldest-first, optionally filtered by span name."""
+        if name is None:
+            return list(self._events)
+        return [event for event in self._events if event.name == name]
+
+    def tail(self, n: int = 10, name: str | None = None) -> list[SpanEvent]:
+        """The most recent ``n`` (matching) events, oldest-first."""
+        return self.events(name)[-n:]
+
+    def clear(self) -> None:
+        """Drop buffered events and zero the emitted/dropped accounting."""
+        self._events.clear()
+        self._emitted = 0
+
+    def snapshot(self) -> dict:
+        """Summary counts plus the most recent few events (JSON-compatible)."""
+        return {
+            "capacity": self.capacity,
+            "buffered": len(self._events),
+            "emitted": self._emitted,
+            "dropped": self.dropped,
+            "recent": [event.as_dict() for event in self.tail(5)],
+        }
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tracer(buffered={len(self._events)}, emitted={self._emitted})"

@@ -35,6 +35,8 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from ..core.join import estimate_multijoin_size as cosine_multijoin
+from ..obs.accuracy import AccuracyTracker
+from ..obs.telemetry import Telemetry
 from ..core.normalization import Domain, embed_counts
 from ..core.synopsis import CosineSynopsis
 from ..histograms.equiwidth import EquiWidthHistogram
@@ -93,12 +95,17 @@ class _QueryState:
 class ContinuousQueryEngine:
     """Registers stream relations and continuous join-COUNT queries."""
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, telemetry: Telemetry | None = None) -> None:
         self.relations: dict[str, StreamRelation] = {}
         self._queries: dict[str, _QueryState] = {}
         self._seed = seed
         self._pending_attachments: list[tuple[StreamRelation, object]] = []
-        self._stats = EngineStats()
+        #: The engine's telemetry hub (metrics registry + span tracer).
+        #: Pass ``Telemetry.disabled()`` for a zero-overhead engine, or a
+        #: shared hub to aggregate several engines into one registry.
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._stats = EngineStats(registry=self.telemetry.registry)
+        self._accuracy: AccuracyTracker | None = None
 
     def _attach(self, relation: StreamRelation, observer) -> None:
         """Attach an observer and record it for query unregistration."""
@@ -110,8 +117,35 @@ class ContinuousQueryEngine:
 
         Observer update time is attributed to the owning query's estimation
         method.  Call ``stats().reset()`` to zero the counters in place.
+        The same numbers live in ``self.telemetry.registry`` for the
+        :mod:`repro.obs.exporters` export paths.
         """
         return self._stats
+
+    def track_accuracy(
+        self, every_ops: int = 1000, queries: Sequence[str] | None = None
+    ) -> AccuracyTracker:
+        """Start online estimate-vs-exact tracking at an ingest cadence.
+
+        Every ``every_ops`` ingested operations, each tracked query's
+        ``answer()`` is compared against ``exact_answer()`` and the
+        relative error folded into streaming aggregates (see
+        :class:`repro.obs.accuracy.AccuracyTracker`, returned here and
+        also available as :attr:`accuracy`).  Requires enabled telemetry —
+        the cadence is driven by the ingest counters.
+        """
+        if not self.telemetry.enabled:
+            raise ValueError("accuracy tracking requires enabled telemetry")
+        self._accuracy = AccuracyTracker(
+            self, every_ops=every_ops, queries=queries,
+            registry=self.telemetry.registry,
+        )
+        return self._accuracy
+
+    @property
+    def accuracy(self) -> AccuracyTracker | None:
+        """The active accuracy tracker, if :meth:`track_accuracy` was called."""
+        return self._accuracy
 
     # ------------------------------------------------------------------ #
     # relations
@@ -124,7 +158,7 @@ class ContinuousQueryEngine:
         if name in self.relations:
             raise ValueError(f"relation {name!r} already exists")
         relation = StreamRelation(name, attributes, domains)
-        relation.stats = self._stats
+        self._instrument(relation)
         self.relations[name] = relation
         return relation
 
@@ -132,18 +166,34 @@ class ContinuousQueryEngine:
         """Register an existing relation object."""
         if relation.name in self.relations:
             raise ValueError(f"relation {relation.name!r} already exists")
-        relation.stats = self._stats
+        self._instrument(relation)
         self.relations[relation.name] = relation
+
+    def _instrument(self, relation: StreamRelation) -> None:
+        """Hand the relation the engine's stats/tracer (or nothing at all).
+
+        A disabled hub leaves both hooks ``None``, so the relation hot
+        path is exactly the uninstrumented one.
+        """
+        if self.telemetry.enabled:
+            relation.stats = self._stats
+            relation.tracer = self.telemetry.tracer
 
     def process(self, relation_name: str, op: StreamOp) -> None:
         """Route one stream operation to its relation (and its observers)."""
         self.relations[relation_name].process(op)
+        if self._accuracy is not None:
+            self._accuracy.maybe_sample()
 
     def insert(self, relation_name: str, values: Sequence) -> None:
         self.relations[relation_name].insert(values)
+        if self._accuracy is not None:
+            self._accuracy.maybe_sample()
 
     def delete(self, relation_name: str, values: Sequence) -> None:
         self.relations[relation_name].delete(values)
+        if self._accuracy is not None:
+            self._accuracy.maybe_sample()
 
     def ingest_batch(
         self,
@@ -166,10 +216,14 @@ class ContinuousQueryEngine:
             relation.insert_rows(rows)
         else:
             relation.delete_rows(rows)
+        if self._accuracy is not None:
+            self._accuracy.maybe_sample()
 
     def process_batch(self, relation_name: str, ops: Sequence[StreamOp]) -> None:
         """Route a mixed insert/delete operation sequence, batching runs."""
         self.relations[relation_name].process_batch(ops)
+        if self._accuracy is not None:
+            self._accuracy.maybe_sample()
 
     # ------------------------------------------------------------------ #
     # queries
@@ -378,9 +432,18 @@ class ContinuousQueryEngine:
 
     def answer(self, name: str) -> float:
         """Current estimate of a registered query."""
+        state = self._queries[name]
+        if not self.telemetry.enabled:
+            return state.estimate()
         start = perf_counter()
-        value = self._queries[name].estimate()
-        self._stats.record_estimate(perf_counter() - start)
+        value = state.estimate()
+        seconds = perf_counter() - start
+        self._stats.record_estimate(seconds, query=name)
+        tracer = self.telemetry.tracer
+        if tracer is not None:
+            tracer.emit(
+                "estimate", seconds, start=start, query=name, method=state.method
+            )
         return value
 
     def answers(self) -> dict[str, float]:

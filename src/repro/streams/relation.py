@@ -30,6 +30,7 @@ from ..core.normalization import Domain
 from .tuples import OpKind, StreamOp
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..obs.tracing import Tracer
     from .stats import EngineStats
 
 #: Refuse to materialize exact count tensors above this many cells.
@@ -96,6 +97,9 @@ class StreamRelation:
         #: :class:`repro.streams.stats.EngineStats`); ``None`` disables
         #: instrumentation entirely.
         self.stats: "EngineStats | None" = None
+        #: Optional span recorder (see :class:`repro.obs.tracing.Tracer`);
+        #: ``None`` disables tracing of batch applies and observer updates.
+        self.tracer: "Tracer | None" = None
 
     @property
     def ndim(self) -> int:
@@ -166,7 +170,7 @@ class StreamRelation:
             for observer in self._observers:
                 observer.on_op(self, op)
         else:
-            stats.record_ops(1, op.kind, batched=False)
+            stats.record_ops(1, op.kind, batched=False, relation=self.name)
             for observer in self._observers:
                 start = perf_counter()
                 observer.on_op(self, op)
@@ -220,7 +224,26 @@ class StreamRelation:
             self._apply_rows(self.rows_array(run), run_kind)
 
     def _apply_rows(self, arr: np.ndarray, kind: OpKind) -> None:
-        """Vectorized core: update exact counts, then notify once."""
+        """Vectorized core: update exact counts, then notify once.
+
+        With a :attr:`tracer` attached, the whole apply is wrapped in an
+        ``ingest_batch`` span and each observer update is emitted as an
+        ``observer_update`` event (reusing the duration the stats layer
+        measured, so tracing adds no extra clock reads per observer).
+        """
+        tracer = self.tracer
+        if tracer is None:
+            self._apply_rows_inner(arr, kind)
+        else:
+            with tracer.span(
+                "ingest_batch",
+                count=arr.shape[0],
+                relation=self.name,
+                kind=kind.name.lower(),
+            ):
+                self._apply_rows_inner(arr, kind)
+
+    def _apply_rows_inner(self, arr: np.ndarray, kind: OpKind) -> None:
         idx = self.indices_of_rows(arr)
         cells = tuple(idx[:, j] for j in range(self.ndim))
         if kind is OpKind.DELETE:
@@ -243,20 +266,32 @@ class StreamRelation:
             np.add.at(self.counts, cells, 1)
             self._count += idx.shape[0]
         stats = self.stats
+        tracer = self.tracer
         if stats is not None:
-            stats.record_ops(idx.shape[0], kind, batched=True)
+            stats.record_ops(idx.shape[0], kind, batched=True, relation=self.name)
+        timed = stats is not None or tracer is not None
         for observer in self._observers:
-            start = perf_counter() if stats is not None else 0.0
+            start = perf_counter() if timed else 0.0
             handler = getattr(observer, "on_ops", None)
             if handler is not None:
                 handler(self, arr, kind)
             else:
                 for row in arr:
                     observer.on_op(self, StreamOp(tuple(row), kind))
-            if stats is not None:
-                stats.record_observer(
-                    _stats_key(observer), perf_counter() - start, arr.shape[0]
-                )
+            if timed:
+                seconds = perf_counter() - start
+                key = _stats_key(observer)
+                if stats is not None:
+                    stats.record_observer(key, seconds, arr.shape[0])
+                if tracer is not None:
+                    tracer.emit(
+                        "observer_update",
+                        seconds,
+                        count=arr.shape[0],
+                        start=start,
+                        relation=self.name,
+                        method=key,
+                    )
 
     # ------------------------------------------------------------------ #
 

@@ -1,95 +1,236 @@
-"""Lightweight engine instrumentation: ingest and estimation counters.
+"""Engine instrumentation: a compatibility facade over the metrics registry.
 
-The ROADMAP north-star is throughput, and a throughput claim needs an
-in-repo measurement surface: :class:`EngineStats` is a plain counters
-object shared between a :class:`~repro.streams.engine.ContinuousQueryEngine`
-and its relations.  It tracks how many tuples flowed (and through which
-path — per-tuple or batched), how much wall-clock time each estimation
-method's observers spent digesting them, and how many ``answer()`` calls
-were served at what latency.  ``repro-experiments stats`` prints it after
-a demo ingest/answer cycle; ``StreamEngine.stats()`` exposes it live.
+:class:`EngineStats` keeps the PR-1 reading surface — ``tuples_ingested``,
+``observer_time`` and friends, ``as_dict()`` / ``summary()`` / ``reset()``
+— but no longer stores anything itself: every quantity lives in a
+:class:`repro.obs.metrics.MetricsRegistry` as a ``Counter`` /
+``LatencyHistogram``, labelled by relation, estimation method, and query.
+The same numbers are therefore visible three ways at once: through this
+facade (as before), through ``registry.snapshot()`` (JSON), and through
+:func:`repro.obs.exporters.prometheus_text` (a ``/metrics`` payload).
 
-All counters are monotonic between :meth:`EngineStats.reset` calls; timing
-uses ``time.perf_counter`` and is attributed per *stats key* — the owning
-query's estimation method for engine-attached observers, the observer's
-class name otherwise.
+Recording methods are called from the relation / engine hot paths; they
+go through pre-resolved metric handles (label children cached per key),
+so recording costs about what the previous ad-hoc dict updates did.
+Timing uses ``time.perf_counter`` and is attributed per *stats key* — the
+owning query's estimation method for engine-attached observers, the
+observer's class name otherwise.  All counters are monotonic between
+:meth:`EngineStats.reset` calls.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
+from ..obs.metrics import Counter, LatencyHistogram, MetricsRegistry
 from .tuples import OpKind
 
+__all__ = ["EngineStats"]
 
-@dataclass
+
 class EngineStats:
-    """Counters for one engine's ingest and estimation activity."""
+    """Counters for one engine's ingest and estimation activity.
 
-    #: Total operations applied (insertions + deletions, any path).
-    tuples_ingested: int = 0
-    #: Deletions among :attr:`tuples_ingested`.
-    tuples_deleted: int = 0
-    #: Operations that went through the per-tuple ``process`` path.
-    per_tuple_ops: int = 0
-    #: Vectorized batch applications (one per same-kind run).
-    batches: int = 0
-    #: Operations that arrived inside batches.
-    batched_ops: int = 0
-    #: Seconds spent inside observer updates, per stats key.
-    observer_time: dict[str, float] = field(default_factory=dict)
-    #: Operations seen by observers, per stats key.
-    observer_ops: dict[str, int] = field(default_factory=dict)
-    #: ``answer()`` / ``answers()`` estimate evaluations.
-    estimate_calls: int = 0
-    #: Seconds spent evaluating estimates.
-    estimate_time: float = 0.0
+    Constructed over an optional shared ``registry`` (a fresh private one
+    by default, so standalone ``EngineStats()`` keeps working).  Metric
+    names are stable public API: ``repro_ingest_*``, ``repro_relation_*``,
+    ``repro_observer_*``, ``repro_estimate_*``, ``repro_query_*``.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self._ingested = r.counter(
+            "repro_ingest_ops_total",
+            "Total operations applied (insertions + deletions, any path).",
+        )
+        self._deleted = r.counter(
+            "repro_ingest_deletes_total", "Deletions among the ingested operations."
+        )
+        self._per_tuple = r.counter(
+            "repro_ingest_per_tuple_ops_total",
+            "Operations that went through the per-tuple process path.",
+        )
+        self._batches = r.counter(
+            "repro_ingest_batches_total",
+            "Vectorized batch applications (one per same-kind run).",
+        )
+        self._batched = r.counter(
+            "repro_ingest_batched_ops_total", "Operations that arrived inside batches."
+        )
+        self._relation_ops = r.counter(
+            "repro_relation_ops_total",
+            "Operations applied, per relation.",
+            labelnames=("relation",),
+        )
+        self._obs_time = r.counter(
+            "repro_observer_seconds_total",
+            "Seconds spent inside observer updates, per stats key.",
+            labelnames=("method",),
+        )
+        self._obs_ops = r.counter(
+            "repro_observer_ops_total",
+            "Operations seen by observers, per stats key.",
+            labelnames=("method",),
+        )
+        self._estimate_hist = r.histogram(
+            "repro_estimate_latency_seconds",
+            "Latency of answer() / answers() estimate evaluations.",
+        )
+        self._query_estimates = r.counter(
+            "repro_query_estimates_total",
+            "Estimate evaluations served, per query.",
+            labelnames=("query",),
+        )
+        self._query_seconds = r.counter(
+            "repro_query_estimate_seconds_total",
+            "Seconds spent evaluating estimates, per query.",
+            labelnames=("query",),
+        )
+        # Label children resolved once per key, then hit as plain attributes.
+        self._observer_cache: dict[str, tuple[Counter, Counter]] = {}
+        self._relation_cache: dict[str, Counter] = {}
+        self._query_cache: dict[str, tuple[Counter, Counter]] = {}
 
     # ------------------------------------------------------------------ #
     # recording (called from the relation / engine hot paths)
     # ------------------------------------------------------------------ #
 
-    def record_ops(self, count: int, kind: OpKind, batched: bool) -> None:
+    def record_ops(
+        self, count: int, kind: OpKind, batched: bool, relation: str = ""
+    ) -> None:
         """Record ``count`` same-kind operations entering a relation."""
-        self.tuples_ingested += count
+        self._ingested.inc(count)
         if kind is OpKind.DELETE:
-            self.tuples_deleted += count
+            self._deleted.inc(count)
         if batched:
-            self.batches += 1
-            self.batched_ops += count
+            self._batches.inc()
+            self._batched.inc(count)
         else:
-            self.per_tuple_ops += count
+            self._per_tuple.inc(count)
+        if relation:
+            child = self._relation_cache.get(relation)
+            if child is None:
+                child = self._relation_ops.labels(relation)
+                self._relation_cache[relation] = child
+            child.inc(count)
 
     def record_observer(self, key: str, seconds: float, count: int) -> None:
         """Record one observer update covering ``count`` operations."""
-        self.observer_time[key] = self.observer_time.get(key, 0.0) + seconds
-        self.observer_ops[key] = self.observer_ops.get(key, 0) + count
+        pair = self._observer_cache.get(key)
+        if pair is None:
+            pair = (self._obs_time.labels(key), self._obs_ops.labels(key))
+            self._observer_cache[key] = pair
+        pair[0].inc(seconds)
+        pair[1].inc(count)
 
-    def record_estimate(self, seconds: float) -> None:
-        """Record one estimate evaluation."""
-        self.estimate_calls += 1
-        self.estimate_time += seconds
+    def record_estimate(self, seconds: float, query: str = "") -> None:
+        """Record one estimate evaluation (optionally attributed to a query)."""
+        self._estimate_hist.observe(seconds)
+        if query:
+            pair = self._query_cache.get(query)
+            if pair is None:
+                pair = (
+                    self._query_estimates.labels(query),
+                    self._query_seconds.labels(query),
+                )
+                self._query_cache[query] = pair
+            pair[0].inc()
+            pair[1].inc(seconds)
 
     # ------------------------------------------------------------------ #
-    # reading
+    # reading (the PR-1 compatibility surface)
     # ------------------------------------------------------------------ #
+
+    @property
+    def tuples_ingested(self) -> int:
+        """Total operations applied (insertions + deletions, any path)."""
+        return int(self._ingested.value)
+
+    @property
+    def tuples_deleted(self) -> int:
+        """Deletions among :attr:`tuples_ingested`."""
+        return int(self._deleted.value)
+
+    @property
+    def per_tuple_ops(self) -> int:
+        """Operations that went through the per-tuple ``process`` path."""
+        return int(self._per_tuple.value)
+
+    @property
+    def batches(self) -> int:
+        """Vectorized batch applications (one per same-kind run)."""
+        return int(self._batches.value)
+
+    @property
+    def batched_ops(self) -> int:
+        """Operations that arrived inside batches."""
+        return int(self._batched.value)
+
+    @property
+    def observer_time(self) -> dict[str, float]:
+        """Seconds spent inside observer updates, per stats key."""
+        return {key[0]: child.value for key, child in self._obs_time.items()}
+
+    @property
+    def observer_ops(self) -> dict[str, int]:
+        """Operations seen by observers, per stats key."""
+        return {key[0]: int(child.value) for key, child in self._obs_ops.items()}
+
+    @property
+    def relation_ops(self) -> dict[str, int]:
+        """Operations applied, per relation name."""
+        return {key[0]: int(child.value) for key, child in self._relation_ops.items()}
+
+    @property
+    def estimate_calls(self) -> int:
+        """``answer()`` / ``answers()`` estimate evaluations."""
+        return self._estimate_hist.count
+
+    @property
+    def estimate_time(self) -> float:
+        """Seconds spent evaluating estimates."""
+        return self._estimate_hist.sum
+
+    @property
+    def estimate_latency_histogram(self) -> LatencyHistogram:
+        """The estimate-latency distribution (count/sum/percentiles)."""
+        return self._estimate_hist
+
+    @property
+    def query_estimates(self) -> dict[str, int]:
+        """Estimate evaluations served, per query name."""
+        return {key[0]: int(child.value) for key, child in self._query_estimates.items()}
 
     def as_dict(self) -> dict:
         """Snapshot as plain Python types (JSON-compatible)."""
-        return {
+        observer_time = self.observer_time
+        observer_ops = self.observer_ops
+        estimate_calls = self.estimate_calls
+        out = {
             "tuples_ingested": self.tuples_ingested,
             "tuples_deleted": self.tuples_deleted,
             "per_tuple_ops": self.per_tuple_ops,
             "batches": self.batches,
             "batched_ops": self.batched_ops,
-            "observer_time": dict(self.observer_time),
-            "observer_ops": dict(self.observer_ops),
-            "estimate_calls": self.estimate_calls,
+            "observer_time": observer_time,
+            "observer_ops": observer_ops,
+            "estimate_calls": estimate_calls,
             "estimate_time": self.estimate_time,
+            "mean_estimate_latency": (
+                self.estimate_time / estimate_calls if estimate_calls else None
+            ),
+            "ops_per_sec": {
+                key: (observer_ops.get(key, 0) / seconds if seconds > 0 else None)
+                for key, seconds in observer_time.items()
+            },
         }
+        if self.relation_ops:
+            out["relation_ops"] = self.relation_ops
+        return out
 
     def summary(self) -> str:
         """Human-readable multi-line report."""
+        observer_time = self.observer_time
+        observer_ops = self.observer_ops
         lines = [
             "engine stats:",
             f"  tuples ingested   {self.tuples_ingested:>12,}"
@@ -100,13 +241,17 @@ class EngineStats:
             f"  estimate calls    {self.estimate_calls:>12,}"
             f"  totalling {self.estimate_time * 1e3:,.2f} ms",
         ]
-        if self.observer_time:
+        if observer_time:
             lines.append("  observer update time by method:")
-            width = max(len(k) for k in self.observer_time)
-            for key in sorted(self.observer_time):
-                seconds = self.observer_time[key]
-                ops = self.observer_ops.get(key, 0)
-                rate = f"{ops / seconds:>14,.0f} ops/s" if seconds > 0 else " " * 20
+            width = max(len(k) for k in observer_time)
+            for key in sorted(observer_time):
+                seconds = observer_time[key]
+                ops = observer_ops.get(key, 0)
+                rate = (
+                    f"{ops / seconds:>14,.0f} ops/s"
+                    if seconds > 0
+                    else f"{'n/a':>14} ops/s"
+                )
                 lines.append(
                     f"    {key:<{width}}  {seconds * 1e3:>10,.2f} ms"
                     f"  over {ops:>10,} ops {rate}"
@@ -114,13 +259,26 @@ class EngineStats:
         return "\n".join(lines)
 
     def reset(self) -> None:
-        """Zero every counter (the object identity is preserved)."""
-        self.tuples_ingested = 0
-        self.tuples_deleted = 0
-        self.per_tuple_ops = 0
-        self.batches = 0
-        self.batched_ops = 0
-        self.observer_time.clear()
-        self.observer_ops.clear()
-        self.estimate_calls = 0
-        self.estimate_time = 0.0
+        """Zero every counter (object and metric identities are preserved).
+
+        Only the metrics this facade owns are reset — other users of a
+        shared registry (e.g. an accuracy tracker) keep their state.
+        """
+        for metric in (
+            self._ingested,
+            self._deleted,
+            self._per_tuple,
+            self._batches,
+            self._batched,
+            self._relation_ops,
+            self._obs_time,
+            self._obs_ops,
+            self._estimate_hist,
+            self._query_estimates,
+            self._query_seconds,
+        ):
+            metric.reset()
+        # Family resets drop their children; the cached handles went with them.
+        self._observer_cache.clear()
+        self._relation_cache.clear()
+        self._query_cache.clear()

@@ -54,6 +54,63 @@ class TestJsonExport:
         assert payload[0]["budgets"] == [10, 20]
 
 
+class TestStats:
+    METHODS = ("cosine", "basic_sketch", "sample", "histogram", "wavelet")
+
+    def test_stats_smoke_reports_every_method(self, capsys):
+        code = main(
+            ["stats", "--tuples", "400", "--batch", "64", "--domain", "200",
+             "--budget", "32"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine stats:" in out
+        assert "observer update time by method:" in out
+        for method in self.METHODS:  # the default --methods registration set
+            assert method in out
+
+    def test_stats_per_tuple_mode(self, capsys):
+        code = main(
+            ["stats", "--tuples", "50", "--batch", "1", "--domain", "50",
+             "--budget", "16", "--methods", "cosine"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-tuple ops" in out and "cosine" in out
+
+
+class TestMonitor:
+    ARGS = ["monitor", "--tuples", "600", "--batch", "128", "--domain", "100",
+            "--budget", "32", "--refresh-every", "400", "--accuracy-every", "200",
+            "--no-clear"]
+
+    def test_monitor_end_to_end(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "telemetry dashboard" in out
+        assert "tuples ingested" in out
+        assert "estimate latency:" in out and "p95" in out
+        assert "streaming relative error" in out
+        assert "q_cosine" in out and "q_basic_sketch" in out
+        assert "recent spans" in out
+
+    def test_monitor_sinks(self, capsys, tmp_path):
+        import json
+
+        jsonl = tmp_path / "snap.jsonl"
+        prom = tmp_path / "metrics.prom"
+        code = main(self.ARGS + ["--jsonl", str(jsonl), "--prom", str(prom)])
+        assert code == 0
+        lines = jsonl.read_text().splitlines()
+        assert lines, "expected at least one JSONL snapshot"
+        snapshot = json.loads(lines[-1])
+        assert snapshot["stats"]["tuples_ingested"] == 1200
+        assert "q_cosine" in snapshot["accuracy"]["queries"]
+        prom_text = prom.read_text()
+        assert "# TYPE repro_ingest_ops_total counter" in prom_text
+        assert "repro_accuracy_relative_error_bucket" in prom_text
+
+
 class TestSweep:
     def test_bound_sweep(self, capsys):
         assert main(["sweep", "bound", "--trials", "1"]) == 0

@@ -1,0 +1,160 @@
+"""Online accuracy tracking: cadence, aggregates, registry integration."""
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import Domain
+from repro.obs import Telemetry
+from repro.obs.accuracy import relative_error_of
+from repro.streams import JoinQuery, StreamEngine
+
+DOMAIN_SIZE = 32
+
+
+def make_engine(methods=("cosine",)) -> StreamEngine:
+    engine = StreamEngine(seed=0)
+    domain = Domain.of_size(DOMAIN_SIZE)
+    engine.create_relation("R1", ["A"], [domain])
+    engine.create_relation("R2", ["A"], [domain])
+    query = JoinQuery.parse(["R1", "R2"], ["R1.A = R2.A"])
+    for method in methods:
+        engine.register_query(f"q_{method}", query, method=method, budget=DOMAIN_SIZE)
+    return engine
+
+
+def rows(n: int, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).integers(0, DOMAIN_SIZE, size=(n, 1))
+
+
+class TestRelativeError:
+    def test_plain(self):
+        assert relative_error_of(110.0, 100.0) == pytest.approx(0.1)
+
+    def test_exact_zero_does_not_divide_by_zero(self):
+        assert relative_error_of(3.0, 0.0) == 3.0
+
+
+class TestSampling:
+    def test_sample_now_records_all_queries(self):
+        engine = make_engine(methods=("cosine", "basic_sketch"))
+        engine.ingest_batch("R1", rows(100))
+        engine.ingest_batch("R2", rows(100, seed=1))
+        tracker = engine.track_accuracy(every_ops=10_000)
+        errors = tracker.sample_now()
+        assert set(errors) == {"q_cosine", "q_basic_sketch"}
+        report = tracker.report()
+        for row in report.values():
+            assert row["samples"] == 1
+            assert row["last"] == row["mean"] == pytest.approx(row["p50"])
+
+    def test_cosine_at_full_budget_is_near_exact(self):
+        """At budget = domain size the cosine estimate is exact — error ~ 0."""
+        engine = make_engine()
+        engine.ingest_batch("R1", rows(200))
+        engine.ingest_batch("R2", rows(200, seed=1))
+        tracker = engine.track_accuracy()
+        error = tracker.sample_now()["q_cosine"]
+        assert error == pytest.approx(0.0, abs=1e-6)
+
+    def test_cadence_respected(self):
+        engine = make_engine()
+        tracker = engine.track_accuracy(every_ops=100)
+        engine.ingest_batch("R1", rows(40))
+        assert tracker.report() == {}  # below cadence: no sample yet
+        engine.ingest_batch("R2", rows(60, seed=1))
+        assert tracker.report()["q_cosine"]["samples"] == 1
+        engine.ingest_batch("R1", rows(40, seed=2))
+        assert tracker.report()["q_cosine"]["samples"] == 1  # cadence resets
+        engine.ingest_batch("R1", rows(60, seed=3))
+        assert tracker.report()["q_cosine"]["samples"] == 2
+
+    def test_per_tuple_inserts_trigger_sampling_too(self):
+        engine = make_engine()
+        engine.ingest_batch("R2", rows(50))  # both sides non-empty for answer()
+        tracker = engine.track_accuracy(every_ops=5)
+        engine.insert("R1", (3,))  # 51 ops since the tracker's baseline of 0
+        assert tracker.report()["q_cosine"]["samples"] == 1
+
+    def test_pinned_query_subset(self):
+        engine = make_engine(methods=("cosine", "basic_sketch"))
+        engine.ingest_batch("R2", rows(20, seed=1))
+        tracker = engine.track_accuracy(every_ops=10, queries=("q_cosine",))
+        engine.ingest_batch("R1", rows(20))
+        assert set(tracker.report()) == {"q_cosine"}
+
+    def test_unanswerable_query_skipped_not_raised(self):
+        """A join whose other side is still empty must not crash ingest."""
+        engine = make_engine()
+        tracker = engine.track_accuracy(every_ops=10)
+        engine.ingest_batch("R1", rows(50))  # R2 empty: q_cosine unanswerable
+        assert tracker.report() == {}
+        engine.ingest_batch("R2", rows(50, seed=1))  # now answerable
+        assert tracker.report()["q_cosine"]["samples"] == 1
+
+    def test_queries_registered_later_are_picked_up(self):
+        engine = make_engine()
+        engine.ingest_batch("R1", rows(30))
+        engine.ingest_batch("R2", rows(30, seed=1))
+        tracker = engine.track_accuracy(every_ops=10_000)
+        query = JoinQuery.parse(["R1", "R2"], ["R1.A = R2.A"])
+        engine.register_query("late", query, method="basic_sketch", budget=16)
+        assert set(tracker.sample_now()) == {"q_cosine", "late"}
+
+
+class TestAggregates:
+    def test_report_statistics_consistent(self):
+        engine = make_engine(methods=("basic_sketch",))
+        tracker = engine.track_accuracy(every_ops=10_000)
+        for seed in range(6):
+            engine.ingest_batch("R1", rows(50, seed=seed))
+            engine.ingest_batch("R2", rows(50, seed=seed + 100))
+            tracker.sample_now()
+        row = tracker.report()["q_basic_sketch"]
+        assert row["samples"] == 6
+        assert 0 <= row["p50"] <= row["p95"]
+        assert row["mean"] >= 0
+
+    def test_metrics_live_in_engine_registry(self):
+        engine = make_engine()
+        engine.ingest_batch("R1", rows(10))
+        engine.ingest_batch("R2", rows(10, seed=1))
+        tracker = engine.track_accuracy()
+        tracker.sample_now()
+        snapshot = engine.telemetry.registry.snapshot()
+        assert snapshot["repro_accuracy_relative_error"]["values"]["q_cosine"]["count"] == 1
+        assert engine.accuracy is tracker
+
+    def test_summary_and_as_dict(self):
+        import json
+
+        engine = make_engine()
+        engine.ingest_batch("R1", rows(30))
+        engine.ingest_batch("R2", rows(30, seed=1))
+        tracker = engine.track_accuracy()
+        assert "no samples" in tracker.summary()
+        tracker.sample_now()
+        text = tracker.summary()
+        assert "q_cosine" in text and "p95" in text and "%" in text
+        payload = json.loads(json.dumps(tracker.as_dict()))
+        assert payload["queries"]["q_cosine"]["samples"] == 1
+
+    def test_reset(self):
+        engine = make_engine()
+        engine.ingest_batch("R1", rows(10))
+        engine.ingest_batch("R2", rows(10, seed=1))
+        tracker = engine.track_accuracy()
+        tracker.sample_now()
+        tracker.reset()
+        assert tracker.report() == {}
+
+
+class TestGuards:
+    def test_every_ops_validated(self):
+        engine = make_engine()
+        with pytest.raises(ValueError, match="every_ops"):
+            engine.track_accuracy(every_ops=0)
+
+    def test_disabled_telemetry_rejected(self):
+        engine = StreamEngine(seed=0, telemetry=Telemetry.disabled())
+        with pytest.raises(ValueError, match="telemetry"):
+            engine.track_accuracy()

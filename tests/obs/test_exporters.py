@@ -1,0 +1,134 @@
+"""Exporters: Prometheus text format, JSONL snapshots, dashboard rendering."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import Domain
+from repro.obs import (
+    JsonlSnapshotWriter,
+    MetricsRegistry,
+    prometheus_text,
+    render_dashboard,
+)
+from repro.streams import JoinQuery, StreamEngine
+
+
+def make_engine() -> StreamEngine:
+    engine = StreamEngine(seed=0)
+    domain = Domain.of_size(32)
+    engine.create_relation("R1", ["A"], [domain])
+    engine.create_relation("R2", ["A"], [domain])
+    query = JoinQuery.parse(["R1", "R2"], ["R1.A = R2.A"])
+    engine.register_query("q", query, method="cosine", budget=32)
+    return engine
+
+
+class TestPrometheusText:
+    def test_plain_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_ops_total", "Total ops.").inc(5)
+        registry.gauge("repro_fill").set(0.25)
+        text = prometheus_text(registry)
+        assert "# HELP repro_ops_total Total ops." in text
+        assert "# TYPE repro_ops_total counter" in text
+        assert "\nrepro_ops_total 5\n" in text
+        assert "# TYPE repro_fill gauge" in text
+        assert "\nrepro_fill 0.25\n" in text
+
+    def test_labeled_counter(self):
+        registry = MetricsRegistry()
+        family = registry.counter("ops", labelnames=("method",))
+        family.labels("cosine").inc(2)
+        assert 'ops{method="cosine"} 2' in prometheus_text(registry)
+
+    def test_histogram_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        text = prometheus_text(registry)
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_count 3" in text
+        assert "lat_sum 5.55" in text
+
+    def test_labeled_histogram_merges_label_and_le(self):
+        registry = MetricsRegistry()
+        family = registry.histogram("lat", labelnames=("query",), buckets=(1.0,))
+        family.labels("q").observe(0.5)
+        text = prometheus_text(registry)
+        assert 'lat_bucket{query="q",le="1"} 1' in text
+        assert 'lat_count{query="q"} 1' in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("ops", labelnames=("name",)).labels('a"b\\c').inc()
+        assert 'name="a\\"b\\\\c"' in prometheus_text(registry)
+
+    def test_engine_registry_renders(self):
+        engine = make_engine()
+        engine.ingest_batch("R1", np.zeros((10, 1), dtype=np.int64))
+        engine.ingest_batch("R2", np.zeros((10, 1), dtype=np.int64))
+        engine.answer("q")
+        text = prometheus_text(engine.telemetry.registry)
+        assert "repro_ingest_ops_total 20" in text
+        assert 'repro_relation_ops_total{relation="R1"} 10' in text
+        assert 'repro_observer_ops_total{method="cosine"} 20' in text
+        assert "repro_estimate_latency_seconds_count 1" in text
+
+
+class TestJsonlSnapshotWriter:
+    def test_writes_parseable_timestamped_lines(self, tmp_path):
+        writer = JsonlSnapshotWriter(tmp_path / "snap.jsonl")
+        writer.write({"a": 1})
+        writer.write({"a": 2})
+        lines = (tmp_path / "snap.jsonl").read_text().splitlines()
+        assert len(lines) == 2 and writer.snapshots_written == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["a"] == 1 and second["a"] == 2
+        assert "ts" in first and second["ts"] >= first["ts"]
+
+    def test_maybe_write_rate_limited(self, tmp_path):
+        writer = JsonlSnapshotWriter(tmp_path / "snap.jsonl", every_s=3600)
+        assert writer.maybe_write(lambda: {"n": 1}) is True
+        assert writer.maybe_write(lambda: {"n": 2}) is False  # interval not elapsed
+        assert writer.snapshots_written == 1
+
+    def test_maybe_write_unlimited_without_interval(self, tmp_path):
+        writer = JsonlSnapshotWriter(tmp_path / "snap.jsonl")
+        assert writer.maybe_write(lambda: {}) is True
+        assert writer.maybe_write(lambda: {}) is True
+
+    def test_interval_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="every_s"):
+            JsonlSnapshotWriter(tmp_path / "x.jsonl", every_s=0)
+
+
+class TestRenderDashboard:
+    def test_contains_all_sections(self):
+        engine = make_engine()
+        engine.ingest_batch("R1", np.zeros((50, 1), dtype=np.int64))
+        engine.ingest_batch("R2", np.zeros((50, 1), dtype=np.int64))
+        tracker = engine.track_accuracy()
+        tracker.sample_now()
+        text = render_dashboard(
+            engine.stats(),
+            accuracy=tracker,
+            tracer=engine.telemetry.tracer,
+            elapsed_s=1.0,
+        )
+        assert "tuples ingested" in text
+        assert "estimate latency:" in text and "p95" in text
+        assert "streaming relative error" in text and "q" in text
+        assert "recent spans" in text and "ingest_batch" in text
+        assert "tuples/s overall" in text
+
+    def test_minimal_stats_only(self):
+        engine = make_engine()
+        text = render_dashboard(engine.stats())
+        assert "engine stats:" in text
+        assert "estimate latency" not in text  # no calls yet

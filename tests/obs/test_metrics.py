@@ -1,0 +1,179 @@
+"""Metric primitives and the registry: counters, gauges, histograms, labels."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        c = Counter("ops")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_monotonic(self):
+        c = Counter("ops")
+        with pytest.raises(ValueError, match="decrease"):
+            c.inc(-1)
+
+    def test_reset(self):
+        c = Counter("ops")
+        c.inc(7)
+        c.reset()
+        assert c.value == 0
+
+    def test_snapshot_integers_stay_integers(self):
+        c = Counter("ops")
+        c.inc(3)
+        assert c.snapshot() == 3 and isinstance(c.snapshot(), int)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("fill")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 13
+
+    def test_can_go_negative(self):
+        g = Gauge("delta")
+        g.dec(4)
+        assert g.value == -4
+
+
+class TestLatencyHistogram:
+    def test_count_sum_mean(self):
+        h = LatencyHistogram("lat")
+        for v in (0.001, 0.002, 0.003):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(0.006)
+        assert h.mean == pytest.approx(0.002)
+
+    def test_empty_percentile_is_nan(self):
+        assert math.isnan(LatencyHistogram("lat").percentile(50))
+
+    def test_percentiles_ordered_and_bounded(self):
+        h = LatencyHistogram("lat")
+        values = [i / 1000 for i in range(1, 101)]  # 1ms..100ms
+        for v in values:
+            h.observe(v)
+        p50, p95 = h.percentile(50), h.percentile(95)
+        assert min(values) <= p50 <= p95 <= max(values)
+        assert p50 == pytest.approx(0.05, rel=0.3)
+        assert p95 == pytest.approx(0.095, rel=0.3)
+
+    def test_percentile_clamped_to_observed_extremes(self):
+        h = LatencyHistogram("lat")
+        h.observe(0.0123)  # single observation: every percentile is it
+        assert h.percentile(0) == pytest.approx(0.0123)
+        assert h.percentile(100) == pytest.approx(0.0123)
+
+    def test_overflow_bucket(self):
+        h = LatencyHistogram("lat", buckets=(0.1, 1.0))
+        h.observe(50.0)
+        assert h.bucket_counts[-1] == 1
+        assert h.percentile(50) == pytest.approx(50.0)
+
+    def test_percentile_range_validated(self):
+        with pytest.raises(ValueError, match="0, 100"):
+            LatencyHistogram("lat").percentile(101)
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(ValueError, match="increasing"):
+            LatencyHistogram("lat", buckets=(1.0, 1.0))
+
+    def test_default_buckets_span_microseconds_to_seconds(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 1e-6
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 10.0
+
+
+class TestLabels:
+    def test_children_cached_by_label_values(self):
+        registry = MetricsRegistry()
+        family = registry.counter("ops", labelnames=("method",))
+        assert family.labels(method="cosine") is family.labels("cosine")
+        family.labels("cosine").inc(3)
+        family.labels("sketch").inc(1)
+        assert family.as_value_dict() == {"cosine": 3, "sketch": 1}
+
+    def test_multi_label(self):
+        registry = MetricsRegistry()
+        family = registry.counter("ops", labelnames=("relation", "method"))
+        family.labels(relation="R1", method="cosine").inc()
+        assert family.as_value_dict() == {"R1,cosine": 1}
+
+    def test_label_validation(self):
+        registry = MetricsRegistry()
+        family = registry.counter("ops", labelnames=("method",))
+        with pytest.raises(ValueError, match="missing label"):
+            family.labels(relation="R1")
+        with pytest.raises(ValueError, match="unknown labels"):
+            family.labels(method="x", extra="y")
+        with pytest.raises(ValueError, match="takes labels"):
+            family.labels("a", "b")
+
+    def test_reset_forgets_children(self):
+        registry = MetricsRegistry()
+        family = registry.counter("ops", labelnames=("method",))
+        family.labels("cosine").inc(5)
+        family.reset()
+        assert family.as_value_dict() == {}
+
+
+class TestRegistry:
+    def test_get_or_create_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("a")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("a", labelnames=("method",))
+
+    def test_label_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a", labelnames=("method",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("a", labelnames=("relation",))
+
+    def test_reset_preserves_identity(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a")
+        counter.inc(9)
+        registry.reset()
+        assert registry.counter("a") is counter
+        assert counter.value == 0
+
+    def test_snapshot_json_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("ops").inc(4)
+        registry.gauge("fill").set(0.5)
+        registry.histogram("lat").observe(0.002)
+        registry.counter("by_method", labelnames=("method",)).labels("cosine").inc()
+        payload = json.loads(json.dumps(registry.snapshot()))
+        assert payload["ops"] == {"type": "counter", "value": 4}
+        assert payload["fill"]["value"] == 0.5
+        assert payload["lat"]["count"] == 1
+        assert payload["lat"]["p50"] == pytest.approx(0.002)
+        assert payload["by_method"]["values"] == {"cosine": 1}
+
+    def test_len_and_contains(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        assert len(registry) == 1 and "a" in registry and "b" not in registry

@@ -1,0 +1,136 @@
+"""Tracing: span recording, ring-buffer bounds, and engine integration."""
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import Domain
+from repro.obs import Telemetry, Tracer
+from repro.streams import JoinQuery, StreamEngine
+
+
+def make_engine(**telemetry_kwargs) -> StreamEngine:
+    engine = StreamEngine(seed=0, telemetry=Telemetry(**telemetry_kwargs))
+    domain = Domain.of_size(32)
+    engine.create_relation("R1", ["A"], [domain])
+    engine.create_relation("R2", ["A"], [domain])
+    query = JoinQuery.parse(["R1", "R2"], ["R1.A = R2.A"])
+    engine.register_query("q", query, method="cosine", budget=16)
+    return engine
+
+
+class TestTracer:
+    def test_span_records_duration_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("work", count=7, relation="R1"):
+            pass
+        (event,) = tracer.events()
+        assert event.name == "work"
+        assert event.count == 7
+        assert event.attrs == {"relation": "R1"}
+        assert event.duration >= 0
+        assert event.start > 0
+
+    def test_span_records_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert [e.name for e in tracer.events()] == ["boom"]
+
+    def test_emit_uses_caller_duration(self):
+        tracer = Tracer()
+        tracer.emit("observer_update", 0.125, count=3, method="cosine")
+        (event,) = tracer.events()
+        assert event.duration == 0.125
+        assert event.attrs["method"] == "cosine"
+
+    def test_ring_buffer_bounded_with_drop_accounting(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            tracer.emit(f"e{i}", 0.0)
+        assert len(tracer) == 4
+        assert tracer.emitted == 10
+        assert tracer.dropped == 6
+        assert [e.name for e in tracer.events()] == ["e6", "e7", "e8", "e9"]
+
+    def test_filter_and_tail(self):
+        tracer = Tracer()
+        for name in ("a", "b", "a", "b", "a"):
+            tracer.emit(name, 0.0)
+        assert len(tracer.events("a")) == 3
+        assert [e.name for e in tracer.tail(2)] == ["b", "a"]
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("work"):
+            pass
+        tracer.emit("work", 0.1)
+        assert tracer.events() == [] and tracer.emitted == 0
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit("a", 0.0)
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.emitted == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Tracer(capacity=0)
+
+    def test_event_as_dict_flattens_attrs(self):
+        tracer = Tracer()
+        tracer.emit("x", 0.5, count=2, relation="R1")
+        d = tracer.events()[0].as_dict()
+        assert d["name"] == "x" and d["relation"] == "R1" and d["count"] == 2
+
+    def test_snapshot_is_json_compatible(self):
+        import json
+
+        tracer = Tracer(capacity=8)
+        tracer.emit("x", 0.5)
+        payload = json.loads(json.dumps(tracer.snapshot()))
+        assert payload["buffered"] == 1 and payload["recent"][0]["name"] == "x"
+
+
+class TestEngineTracing:
+    def test_batch_ingest_emits_spans(self):
+        engine = make_engine()
+        engine.ingest_batch("R1", np.arange(10, dtype=np.int64)[:, None] % 32)
+        tracer = engine.telemetry.tracer
+        (batch_event,) = tracer.events("ingest_batch")
+        assert batch_event.count == 10
+        assert batch_event.attrs == {"relation": "R1", "kind": "insert"}
+        (observer_event,) = tracer.events("observer_update")
+        assert observer_event.attrs["method"] == "cosine"
+        assert observer_event.count == 10
+
+    def test_answer_emits_estimate_span(self):
+        engine = make_engine()
+        engine.ingest_batch("R1", np.zeros((5, 1), dtype=np.int64))
+        engine.ingest_batch("R2", np.zeros((5, 1), dtype=np.int64))
+        engine.answer("q")
+        (event,) = engine.telemetry.tracer.events("estimate")
+        assert event.attrs == {"query": "q", "method": "cosine"}
+
+    def test_tracing_off_keeps_metrics_on(self):
+        engine = make_engine(tracing=False)
+        engine.ingest_batch("R1", np.zeros((5, 1), dtype=np.int64))
+        assert engine.telemetry.tracer is None
+        assert engine.stats().tuples_ingested == 5
+
+    def test_disabled_telemetry_hands_relations_nothing(self):
+        engine = make_engine(enabled=False)
+        relation = engine.relations["R1"]
+        assert relation.stats is None and relation.tracer is None
+        engine.ingest_batch("R1", np.zeros((5, 1), dtype=np.int64))
+        engine.ingest_batch("R2", np.zeros((5, 1), dtype=np.int64))
+        engine.answer("q")
+        assert engine.stats().tuples_ingested == 0
+        assert engine.stats().estimate_calls == 0
+
+    def test_per_tuple_path_counts_but_does_not_trace(self):
+        """Per-tuple process stays span-free by design (too hot to trace)."""
+        engine = make_engine()
+        engine.insert("R1", (3,))
+        assert engine.stats().per_tuple_ops == 1
+        assert engine.telemetry.tracer.events() == []

@@ -1,0 +1,129 @@
+"""EngineStats: the registry-backed facade, summary formatting, as_dict."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import Domain
+from repro.obs import MetricsRegistry
+from repro.streams import EngineStats, JoinQuery, OpKind, StreamEngine
+
+
+def make_engine() -> StreamEngine:
+    engine = StreamEngine(seed=0)
+    domain = Domain.of_size(16)
+    engine.create_relation("R1", ["A"], [domain])
+    engine.create_relation("R2", ["A"], [domain])
+    query = JoinQuery.parse(["R1", "R2"], ["R1.A = R2.A"])
+    engine.register_query("q", query, method="cosine", budget=16)
+    return engine
+
+
+class TestSummaryFormatting:
+    def test_zero_seconds_rate_prints_na(self):
+        """The ops/s column must say n/a, not emit bare padding spaces."""
+        stats = EngineStats()
+        stats.record_observer("cosine", 0.0, 42)
+        summary = stats.summary()
+        (line,) = [ln for ln in summary.splitlines() if "cosine" in ln]
+        assert "n/a ops/s" in line
+
+    def test_na_column_stays_aligned_with_real_rates(self):
+        stats = EngineStats()
+        stats.record_observer("fast", 0.0, 10)
+        stats.record_observer("slow", 0.5, 10)
+        lines = [ln for ln in stats.summary().splitlines() if "ops/s" in ln]
+        assert len(lines) == 2
+        assert len(lines[0]) == len(lines[1])  # same width -> not ragged
+        assert all(ln.endswith(" ops/s") for ln in lines)
+
+    def test_positive_rate_still_printed(self):
+        stats = EngineStats()
+        stats.record_observer("cosine", 0.5, 1000)
+        assert "2,000 ops/s" in stats.summary()
+
+
+class TestAsDict:
+    def test_derived_quantities_present(self):
+        stats = EngineStats()
+        stats.record_ops(8, OpKind.INSERT, batched=True)
+        stats.record_observer("cosine", 0.5, 1000)
+        stats.record_observer("stuck", 0.0, 5)
+        stats.record_estimate(0.25)
+        stats.record_estimate(0.75)
+        payload = stats.as_dict()
+        assert payload["mean_estimate_latency"] == pytest.approx(0.5)
+        assert payload["ops_per_sec"]["cosine"] == pytest.approx(2000.0)
+        assert payload["ops_per_sec"]["stuck"] is None  # zero time: no rate
+
+    def test_mean_latency_none_without_estimates(self):
+        assert EngineStats().as_dict()["mean_estimate_latency"] is None
+
+    def test_json_round_trip_does_not_raise(self):
+        engine = make_engine()
+        engine.ingest_batch("R1", np.zeros((4, 1), dtype=np.int64))
+        engine.insert("R2", (3,))
+        engine.answer("q")
+        payload = json.loads(json.dumps(engine.stats().as_dict()))
+        assert payload["tuples_ingested"] == 5
+        assert payload["relation_ops"] == {"R1": 4, "R2": 1}
+        assert payload["mean_estimate_latency"] > 0
+        assert payload["ops_per_sec"]["cosine"] is None or isinstance(
+            payload["ops_per_sec"]["cosine"], float
+        )
+
+
+class TestRegistryFacade:
+    def test_counters_visible_through_registry(self):
+        engine = make_engine()
+        engine.ingest_batch("R1", np.zeros((7, 1), dtype=np.int64))
+        registry = engine.telemetry.registry
+        assert registry.get("repro_ingest_ops_total").value == 7
+        assert (
+            registry.get("repro_relation_ops_total").labels("R1").value == 7
+        )
+        assert engine.stats().registry is registry
+
+    def test_standalone_stats_gets_private_registry(self):
+        a, b = EngineStats(), EngineStats()
+        a.record_ops(3, OpKind.INSERT, batched=False)
+        assert a.tuples_ingested == 3 and b.tuples_ingested == 0
+
+    def test_shared_registry_shares_counters(self):
+        registry = MetricsRegistry()
+        a = EngineStats(registry=registry)
+        b = EngineStats(registry=registry)
+        a.record_ops(3, OpKind.INSERT, batched=False)
+        assert b.tuples_ingested == 3
+
+    def test_per_query_estimate_attribution(self):
+        stats = EngineStats()
+        stats.record_estimate(0.1, query="q1")
+        stats.record_estimate(0.2, query="q1")
+        stats.record_estimate(0.3, query="q2")
+        assert stats.query_estimates == {"q1": 2, "q2": 1}
+        assert stats.estimate_calls == 3
+
+    def test_estimate_latency_histogram_percentiles(self):
+        stats = EngineStats()
+        for v in (0.001, 0.002, 0.004, 0.008):
+            stats.record_estimate(v)
+        hist = stats.estimate_latency_histogram
+        assert hist.count == 4
+        assert 0.001 <= hist.percentile(50) <= hist.percentile(95) <= 0.008
+
+    def test_reset_clears_everything_and_keeps_recording(self):
+        stats = EngineStats()
+        stats.record_ops(5, OpKind.DELETE, batched=True, relation="R1")
+        stats.record_observer("cosine", 0.1, 5)
+        stats.record_estimate(0.1, query="q")
+        stats.reset()
+        assert stats.tuples_ingested == 0
+        assert stats.observer_time == {}
+        assert stats.relation_ops == {}
+        assert stats.query_estimates == {}
+        assert stats.estimate_calls == 0
+        # the facade must keep working after reset (fresh label children)
+        stats.record_observer("cosine", 0.2, 7)
+        assert stats.observer_ops == {"cosine": 7}
