@@ -101,6 +101,45 @@ class Domain:
         """Map a single raw value to its domain index."""
         return int(self.indices_of([value])[0])
 
+    def contains(self, values: np.ndarray | Sequence[Hashable]) -> np.ndarray:
+        """Boolean membership mask for a batch of raw values.
+
+        The non-raising counterpart of :meth:`indices_of`, used by the
+        dead-letter ingest validation: out-of-range, non-integer,
+        non-finite, and unknown-category values all simply map to
+        ``False``.
+        """
+        if self._categories is not None:
+            known = set(self._categories)
+
+            def member(v) -> bool:
+                try:
+                    return v in known
+                except TypeError:  # unhashable values are never members
+                    return False
+
+            return np.array([member(v) for v in values], dtype=bool)
+        arr = np.asarray(values)
+        assert self.low is not None
+        if arr.dtype == object or not np.issubdtype(arr.dtype, np.number):
+            out = np.zeros(len(arr), dtype=bool)
+            for i, v in enumerate(arr):
+                if isinstance(v, (int, np.integer)) or (
+                    isinstance(v, (float, np.floating)) and float(v).is_integer()
+                ):
+                    out[i] = self.low <= int(v) <= self.high
+            return out
+        if np.issubdtype(arr.dtype, np.complexfloating):
+            return np.zeros(arr.shape[0], dtype=bool)
+        mask = np.ones(arr.shape, dtype=bool)
+        if np.issubdtype(arr.dtype, np.floating):
+            mask &= np.isfinite(arr)
+            safe = np.where(mask, arr, self.low)
+            mask &= safe == np.floor(safe)
+        values_int = np.where(mask, arr, self.low).astype(np.int64)
+        mask &= (values_int >= self.low) & (values_int <= self.high)
+        return mask
+
     def grid(self, kind: GridKind = "midpoint") -> np.ndarray:
         """Normalized positions of all domain values on the given grid."""
         return make_grid(self.size, kind)

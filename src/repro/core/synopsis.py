@@ -344,6 +344,27 @@ class CosineSynopsis:
             tensor = tensor / domain.size
         return tensor * self._count
 
+    def state_dict(self) -> dict:
+        """Mutable state only (sums + count), for engine checkpoints.
+
+        Unlike :meth:`to_dict` this omits the structural parameters —
+        the checkpoint stores the query spec separately and rebuilds the
+        synopsis from it, then restores the numeric state in place with
+        :meth:`load_state` so estimate closures keep their object.
+        """
+        return {"sums": self._sums.copy(), "count": self._count}
+
+    def load_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`, in place."""
+        sums = np.asarray(state["sums"], dtype=float)
+        if sums.shape != self._sums.shape:
+            raise ValueError(
+                f"checkpointed synopsis has {sums.shape[0]} coefficients, "
+                f"this synopsis stores {self._sums.shape[0]}"
+            )
+        self._sums = sums.copy()
+        self._count = int(state["count"])
+
     def to_dict(self) -> dict:
         """Serialize to plain Python types (JSON-compatible)."""
         return {

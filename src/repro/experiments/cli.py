@@ -9,6 +9,11 @@ Usage (installed as the ``repro-experiments`` console script, or via
     repro-experiments speed [--size 10000]
     repro-experiments stats [--tuples 20000] [--batch 1024] [--methods cosine,...]
     repro-experiments monitor [--tuples 30000] [--jsonl snap.jsonl] [--prom out.prom]
+    repro-experiments monitor --checkpoint-dir ckpts [--checkpoint-every 8192]
+    repro-experiments resume --checkpoint-dir ckpts
+
+User errors (bad paths, unknown figures/methods, unreadable checkpoints)
+exit non-zero with a one-line message instead of a traceback.
 """
 
 from __future__ import annotations
@@ -129,7 +134,10 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     per-query streaming relative error, recent spans) re-rendered every
     ``--refresh-every`` ingested tuples.  Optional sinks: ``--jsonl``
     appends a snapshot per refresh, ``--prom`` writes the final registry
-    in Prometheus text exposition format.
+    in Prometheus text exposition format.  With ``--checkpoint-dir`` set,
+    the engine is checkpointed every ``--checkpoint-every`` ingested
+    tuples (rotated, last ``--checkpoint-keep`` files kept) so a crashed
+    monitor can be resumed with the ``resume`` subcommand.
     """
     import sys as _sys
     from time import perf_counter
@@ -152,7 +160,16 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             f"q_{method}", query, method=method, budget=args.budget, **options
         )
     tracker = engine.track_accuracy(every_ops=args.accuracy_every)
-    writer = JsonlSnapshotWriter(args.jsonl) if args.jsonl else None
+    writer = (
+        JsonlSnapshotWriter(args.jsonl, registry=engine.telemetry.registry)
+        if args.jsonl
+        else None
+    )
+    store = None
+    if args.checkpoint_dir:
+        from ..resilience import CheckpointStore
+
+        store = CheckpointStore(args.checkpoint_dir, keep=args.checkpoint_keep)
 
     def snapshot() -> dict:
         return {"stats": engine.stats().as_dict(), "accuracy": tracker.as_dict()}
@@ -181,26 +198,69 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     }
     batch = max(1, args.batch)
     since_refresh = 0
+    since_checkpoint = 0
     for lo in range(0, args.tuples, batch):
         for name in ("R1", "R2"):
             chunk = rows[name][lo : lo + batch]
             engine.ingest_batch(name, chunk)
             since_refresh += chunk.shape[0]
+            since_checkpoint += chunk.shape[0]
         if since_refresh >= args.refresh_every:
             since_refresh = 0
             render()
             if writer is not None:
                 writer.write(snapshot())
+        if store is not None and since_checkpoint >= args.checkpoint_every:
+            since_checkpoint = 0
+            store.save(engine)
     engine.answers()  # leave final estimate latencies in the histogram
     render()
     if writer is not None:
         writer.write(snapshot())
         print(f"wrote {writer.snapshots_written} snapshots to {args.jsonl}")
+    if store is not None:
+        final = store.save(engine)
+        print(
+            f"wrote checkpoint {final.name} "
+            f"({len(store.paths())} kept in {args.checkpoint_dir})"
+        )
     if args.prom:
         from pathlib import Path
 
         Path(args.prom).write_text(prometheus_text(engine.telemetry.registry))
         print(f"wrote Prometheus exposition to {args.prom}")
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    """Restore the newest checkpoint in a directory and print its state.
+
+    Recovery smoke test in one command: load the latest rotated
+    checkpoint written by ``monitor --checkpoint-dir`` (or any
+    :class:`~repro.resilience.CheckpointStore` user), then print the
+    restored relation cardinalities and every registered query's answer.
+    Degraded queries (an observer was quarantined before the checkpoint)
+    are reported as such instead of aborting the listing.
+    """
+    from ..resilience import CheckpointStore, DegradedQueryError
+    from ..streams import StreamEngine
+
+    store = CheckpointStore(args.checkpoint_dir)
+    latest = store.latest()
+    if latest is None:
+        print(f"no checkpoints found in {args.checkpoint_dir}", file=sys.stderr)
+        return 2
+    engine = StreamEngine.load_checkpoint(latest)
+    print(f"restored {latest.name} from {args.checkpoint_dir}")
+    for name, relation in engine.relations.items():
+        print(f"  relation {name:<8} {relation.count:>12,} tuples")
+    for name in engine.query_names():
+        try:
+            estimate = engine.answer(name)
+        except DegradedQueryError as exc:
+            print(f"  query {name:<20} degraded ({exc.reason})")
+        else:
+            print(f"  query {name:<20} {estimate:>14,.1f}")
     return 0
 
 
@@ -308,7 +368,34 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="never clear the screen between refreshes (e.g. when piping)",
     )
+    monitor.add_argument(
+        "--checkpoint-dir",
+        help="write rotated engine checkpoints into this directory",
+    )
+    monitor.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=8192,
+        help="checkpoint every this many ingested tuples",
+    )
+    monitor.add_argument(
+        "--checkpoint-keep",
+        type=int,
+        default=3,
+        help="how many rotated checkpoints to retain",
+    )
     monitor.set_defaults(func=_cmd_monitor)
+
+    resume = sub.add_parser(
+        "resume",
+        help="restore the newest checkpoint and print the recovered state",
+    )
+    resume.add_argument(
+        "--checkpoint-dir",
+        required=True,
+        help="directory of rotated checkpoints to recover from",
+    )
+    resume.set_defaults(func=_cmd_resume)
 
     sweep = sub.add_parser(
         "sweep", help="sensitivity sweeps: skew | correlation | domain | bound"
@@ -323,7 +410,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        return 0
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except Exception as exc:
+        from ..resilience.errors import ResilienceError
+
+        if isinstance(exc, (OSError, ValueError, KeyError, ResilienceError)):
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        raise
 
 
 if __name__ == "__main__":

@@ -69,6 +69,21 @@ class EquiWidthHistogram:
         np.add.at(self.counts, buckets, float(weight))
         self._count += weight * len(indices)
 
+    def state_dict(self) -> dict:
+        """Mutable state only (bucket counts + count), for checkpoints."""
+        return {"counts": self.counts.copy(), "count": self._count}
+
+    def load_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`, in place."""
+        counts = np.asarray(state["counts"], dtype=float)
+        if counts.shape != self.counts.shape:
+            raise ValueError(
+                f"checkpointed histogram has {counts.shape[0]} buckets, "
+                f"this histogram has {self.counts.shape[0]}"
+            )
+        self.counts = counts.copy()
+        self._count = int(state["count"])
+
     @classmethod
     def from_counts(cls, domain: Domain, counts: np.ndarray, buckets: int) -> "EquiWidthHistogram":
         """Build from a frequency vector over domain indices."""

@@ -19,10 +19,12 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Mapping
 
+from ..resilience.retry import RetryPolicy, retry_io
 from .metrics import LatencyHistogram, MetricFamily, MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -93,23 +95,70 @@ class JsonlSnapshotWriter:
     is a coarse time series any downstream tool can replay.  With
     ``every_s`` set, :meth:`maybe_write` rate-limits to one line per
     interval so it can be called from an ingest loop unconditionally.
+
+    Appends are atomic (one ``O_APPEND`` write per line, so concurrent
+    writers and crashes never interleave partial lines) and transient
+    ``OSError`` is retried with capped exponential backoff.  An export is
+    strictly less important than the ingest loop calling it, so a write
+    that still fails after the retries is *dropped* rather than raised,
+    and counted in :attr:`drops` (plus the ``repro_export_drops_total``
+    counter when a registry is supplied).
     """
 
-    def __init__(self, path: str | Path, every_s: float | None = None) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        every_s: float | None = None,
+        retry: RetryPolicy | None = None,
+        registry: MetricsRegistry | None = None,
+        sleep: Callable[[float], None] | None = None,
+    ) -> None:
         if every_s is not None and every_s <= 0:
             raise ValueError("every_s must be positive")
         self.path = Path(path)
         self.every_s = every_s
+        self.retry = retry
         self.snapshots_written = 0
+        self.drops = 0
+        self._drop_counter = (
+            registry.counter(
+                "repro_export_drops_total",
+                "Snapshot lines dropped after exhausting write retries.",
+            )
+            if registry is not None
+            else None
+        )
+        self._sleep = sleep
         self._last_write: float | None = None
 
-    def write(self, snapshot: Mapping) -> None:
-        """Append one snapshot line unconditionally."""
+    def write(self, snapshot: Mapping) -> bool:
+        """Append one snapshot line; returns whether the append landed.
+
+        A failed append (after retries) is counted as a drop, not raised
+        — and still advances the rate limiter, so a broken disk does not
+        turn :meth:`maybe_write` into a hot retry loop.
+        """
         line = json.dumps({"ts": time.time(), **snapshot}, sort_keys=True)
-        with self.path.open("a") as handle:
-            handle.write(line + "\n")
-        self.snapshots_written += 1
+        data = (line + "\n").encode("utf-8")
+
+        def attempt() -> None:
+            fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                os.write(fd, data)
+            finally:
+                os.close(fd)
+
+        kwargs = {} if self._sleep is None else {"sleep": self._sleep}
         self._last_write = time.monotonic()
+        try:
+            retry_io(attempt, policy=self.retry, **kwargs)
+        except OSError:
+            self.drops += 1
+            if self._drop_counter is not None:
+                self._drop_counter.inc()
+            return False
+        self.snapshots_written += 1
+        return True
 
     def maybe_write(self, snapshot_fn: Callable[[], Mapping]) -> bool:
         """Write if ``every_s`` elapsed since the last write (or ever).

@@ -1,0 +1,72 @@
+"""Fault tolerance for the continuous query engine.
+
+The paper's continuous queries "run continuously" over unbounded
+streams; at production timescales that means the engine must survive
+process crashes, poisoned inputs, and misbehaving synopses without
+losing weeks of one-scan state that can never be rebuilt.  This package
+supplies the four mechanisms, each independent and individually
+testable:
+
+* **Checkpoints** (:mod:`~repro.resilience.checkpoint`): versioned,
+  SHA-256-verified, atomically written engine snapshots with last-K
+  rotation — ``engine.save_checkpoint(path)`` /
+  ``StreamEngine.load_checkpoint(path)`` round-trip the exact tensors,
+  registered queries, and every synopsis state bit-for-bit.
+* **Observer fault isolation** (wired in
+  :mod:`repro.streams.engine`): a synopsis observer that raises is
+  quarantined instead of aborting ingest; its queries degrade and
+  surface :class:`~repro.resilience.errors.DegradedQueryError`.
+* **Dead-letter ingest** (:mod:`~repro.resilience.deadletter`): rows
+  with wrong arity, NaN/inf, or out-of-domain values are rejected into
+  a bounded ring with drop accounting instead of corrupting a batch.
+* **Chaos harness** (:mod:`~repro.resilience.chaos`): deterministic
+  fault injectors (flaky observers, failing filesystems, crash-at-N)
+  powering the ``tests/resilience`` suite's recovery properties.
+"""
+
+from .chaos import (
+    ChaosError,
+    CrashingIngest,
+    FailingFilesystem,
+    FlakyIO,
+    FlakyObserver,
+    SimulatedCrash,
+)
+from .checkpoint import (
+    FORMAT_MAGIC,
+    FORMAT_VERSION,
+    CheckpointStore,
+    read_checkpoint,
+    write_checkpoint,
+)
+from .deadletter import DeadLetter, DeadLetterBuffer, validate_rows
+from .errors import (
+    CheckpointError,
+    CheckpointIntegrityError,
+    DegradedQueryError,
+    ResilienceError,
+)
+from .retry import RetryPolicy, retry_io
+
+__all__ = [
+    "ChaosError",
+    "CrashingIngest",
+    "FailingFilesystem",
+    "FlakyIO",
+    "FlakyObserver",
+    "SimulatedCrash",
+    "FORMAT_MAGIC",
+    "FORMAT_VERSION",
+    "CheckpointStore",
+    "read_checkpoint",
+    "write_checkpoint",
+    "DeadLetter",
+    "DeadLetterBuffer",
+    "validate_rows",
+    "CheckpointError",
+    "CheckpointIntegrityError",
+    "DegradedQueryError",
+    "ResilienceError",
+    "RetryPolicy",
+    "retry_io",
+]

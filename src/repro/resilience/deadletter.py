@@ -1,0 +1,193 @@
+"""Ingest validation and the bounded dead-letter buffer.
+
+The engine's batched ingest applies one vectorized scatter-add per
+batch; a single malformed row (wrong arity, NaN/inf, a value outside
+the declared domain) used to abort the whole batch with the exact
+tensor already partially... no — worse, with *nothing* applied but the
+stream position lost, because the producer has no way to know which row
+was poisoned.  With dead-lettering enabled the engine validates rows
+up front, ingests the clean remainder, and parks every rejected row in
+a bounded ring (:class:`DeadLetterBuffer`) with its rejection reason,
+so poisoned inputs are quarantined and *observable* instead of fatal.
+
+The buffer is a fixed-capacity ring: when full, the oldest entry is
+evicted and counted in :attr:`DeadLetterBuffer.dropped` — unbounded
+queues are how poison streams take whole processes down.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..streams.relation import StreamRelation
+
+__all__ = ["DeadLetter", "DeadLetterBuffer", "validate_rows"]
+
+#: Rejection reasons, stable strings used as metric label values.
+REASON_ARITY = "arity"
+REASON_NON_FINITE = "non_finite"
+REASON_OUT_OF_DOMAIN = "out_of_domain"
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One rejected row: where it was headed, what it was, and why."""
+
+    relation: str
+    row: tuple
+    kind: str
+    reason: str
+
+    def as_dict(self) -> dict:
+        return {
+            "relation": self.relation,
+            "row": list(self.row),
+            "kind": self.kind,
+            "reason": self.reason,
+        }
+
+
+class DeadLetterBuffer:
+    """A bounded ring of rejected rows with eviction accounting.
+
+    ``total`` counts every rejection ever recorded; ``dropped`` counts
+    the entries evicted because the ring was full.  ``len(buffer)`` is
+    the number currently held (at most ``capacity``).
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: deque[DeadLetter] = deque()
+        self.total = 0
+        self.dropped = 0
+
+    def add(self, letter: DeadLetter) -> None:
+        """Record one rejected row, evicting the oldest entry if full."""
+        if len(self._ring) >= self.capacity:
+            self._ring.popleft()
+            self.dropped += 1
+        self._ring.append(letter)
+        self.total += 1
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self) -> Iterator[DeadLetter]:
+        return iter(self._ring)
+
+    def tail(self, n: int = 10) -> list[DeadLetter]:
+        """The most recent ``n`` entries, oldest first."""
+        if n <= 0:
+            return []
+        return list(self._ring)[-n:]
+
+    def clear(self) -> None:
+        """Drop all held entries (counters are preserved)."""
+        self._ring.clear()
+
+    def as_dict(self) -> dict:
+        """JSON-compatible snapshot (held entries plus accounting)."""
+        return {
+            "capacity": self.capacity,
+            "held": len(self._ring),
+            "total": self.total,
+            "dropped": self.dropped,
+            "tail": [letter.as_dict() for letter in self.tail(10)],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DeadLetterBuffer(held={len(self._ring)}/{self.capacity}, "
+            f"total={self.total}, dropped={self.dropped})"
+        )
+
+
+def _row_tuple(row) -> tuple:
+    if np.isscalar(row):
+        return (row,)
+    return tuple(np.asarray(row).tolist()) if isinstance(row, np.ndarray) else tuple(row)
+
+
+def _finite_mask(arr: np.ndarray) -> np.ndarray:
+    """Per-row all-finite mask; non-numeric dtypes are vacuously finite."""
+    if np.issubdtype(arr.dtype, np.floating):
+        return np.isfinite(arr).all(axis=1)
+    if arr.dtype == object:
+        def ok(v) -> bool:
+            return not (isinstance(v, float) and not np.isfinite(v))
+
+        return np.array([all(ok(v) for v in row) for row in arr], dtype=bool)
+    return np.ones(arr.shape[0], dtype=bool)
+
+
+def validate_rows(
+    relation: "StreamRelation", rows: Sequence[Sequence] | np.ndarray
+) -> tuple[np.ndarray, list[tuple[tuple, str]]]:
+    """Split a raw batch into (clean rows, rejected rows with reasons).
+
+    Checks, in order: arity (one value per attribute), finiteness
+    (NaN/inf are rejected before they can reach the exact tensor's
+    integer scatter-add), and domain membership per attribute.  The
+    clean array preserves input order and is safe to hand to
+    :meth:`StreamRelation.insert_rows` / ``delete_rows`` unchanged.
+    """
+    ndim = relation.ndim
+    try:
+        arr = np.asarray(rows)
+    except ValueError:  # ragged nested sequences refuse to coerce at all
+        arr = None
+    structured = (
+        arr is not None
+        and arr.dtype != object
+        and (arr.ndim == 2 and arr.shape[1] == ndim or (arr.ndim == 1 and ndim == 1))
+    )
+    if structured:
+        if arr.ndim == 1:
+            arr = arr[:, None]
+        rejects: list[tuple[tuple, str]] = []
+        keep = _finite_mask(arr)
+        for row in arr[~keep]:
+            rejects.append((_row_tuple(row), REASON_NON_FINITE))
+        candidate = arr[keep]
+        domain_ok = np.ones(candidate.shape[0], dtype=bool)
+        for j, domain in enumerate(relation.domains):
+            domain_ok &= domain.contains(candidate[:, j])
+        for row in candidate[~domain_ok]:
+            rejects.append((_row_tuple(row), REASON_OUT_OF_DOMAIN))
+        return candidate[domain_ok], rejects
+
+    # Ragged / mixed-type input: fall back to per-row normalization.
+    source = rows if arr is None or arr.ndim == 0 else arr
+    row_list = [_row_tuple(row) for row in source]
+    rejects = []
+    good: list[tuple] = []
+    for row in row_list:
+        if len(row) != ndim:
+            rejects.append((row, REASON_ARITY))
+        else:
+            good.append(row)
+    if not good:
+        return np.empty((0, ndim), dtype=np.int64), rejects
+    good_arr = np.asarray(good)
+    if good_arr.dtype == object or good_arr.ndim != 2:
+        good_arr = np.empty((len(good), ndim), dtype=object)
+        for i, row in enumerate(good):
+            for j, value in enumerate(row):
+                good_arr[i, j] = value
+    keep = _finite_mask(good_arr)
+    for row in good_arr[~keep]:
+        rejects.append((_row_tuple(row), REASON_NON_FINITE))
+    candidate = good_arr[keep]
+    domain_ok = np.ones(candidate.shape[0], dtype=bool)
+    for j, domain in enumerate(relation.domains):
+        domain_ok &= domain.contains(candidate[:, j])
+    for row in candidate[~domain_ok]:
+        rejects.append((_row_tuple(row), REASON_OUT_OF_DOMAIN))
+    return candidate[domain_ok], rejects

@@ -1,0 +1,56 @@
+"""Typed errors for the fault-tolerance layer.
+
+Every failure mode the resilience subsystem can surface has its own
+exception class, so callers can distinguish "the checkpoint file is
+corrupt" from "this query lost a synopsis" without string matching.
+All of them derive from :class:`ResilienceError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ResilienceError",
+    "CheckpointError",
+    "CheckpointIntegrityError",
+    "DegradedQueryError",
+]
+
+
+class ResilienceError(Exception):
+    """Base class for all fault-tolerance errors."""
+
+
+class CheckpointError(ResilienceError):
+    """A checkpoint could not be written, read, or applied."""
+
+
+class CheckpointIntegrityError(CheckpointError):
+    """A checkpoint file failed its integrity verification.
+
+    Raised when the header is malformed, the format version is
+    unsupported, the payload is truncated, or the payload bytes do not
+    hash to the SHA-256 digest recorded in the header.  A checkpoint
+    that raises this must never be applied to an engine.
+    """
+
+
+class DegradedQueryError(ResilienceError):
+    """A query's estimate was requested after one of its synopses was
+    quarantined.
+
+    A degraded query's synopsis state is no longer guaranteed to track
+    the stream (the faulting observer was detached mid-stream), so under
+    the default ``degraded_policy="raise"`` the engine refuses to serve
+    a silently wrong estimate.  The query name and quarantine reason are
+    carried so operators can decide whether to re-register the query or
+    fall back to exact evaluation.
+    """
+
+    def __init__(self, query: str, reason: str) -> None:
+        self.query = query
+        self.reason = reason
+        super().__init__(
+            f"query {query!r} is degraded (a synopsis observer was "
+            f"quarantined: {reason}); re-register the query or use a "
+            "fallback degraded_policy"
+        )

@@ -1,0 +1,88 @@
+"""Retry with capped exponential backoff for transient I/O failures.
+
+Checkpoint writes and telemetry-snapshot appends go to filesystems that
+can fail transiently (NFS hiccups, full-but-draining disks, containers
+being live-migrated).  :func:`retry_io` retries a callable over such
+failures with exponentially growing, capped sleeps, so one transient
+``OSError`` does not cost weeks of accumulated synopsis state.
+
+The sleep function is injectable, which is how the chaos tests drive
+the policy without real waiting.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["RetryPolicy", "retry_io"]
+
+T = TypeVar("T")
+
+
+class RetryPolicy:
+    """Attempt count plus capped exponential backoff delays.
+
+    ``attempts`` is the total number of tries (1 = no retry).  The delay
+    before retry ``i`` (1-based) is ``min(base_delay * 2**(i-1),
+    max_delay)`` seconds.
+    """
+
+    def __init__(
+        self,
+        attempts: int = 4,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+    ) -> None:
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        self.attempts = attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+
+    def delays(self) -> Sequence[float]:
+        """The backoff delay before each retry (length ``attempts - 1``)."""
+        return [
+            min(self.base_delay * (2.0**i), self.max_delay)
+            for i in range(self.attempts - 1)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RetryPolicy(attempts={self.attempts}, "
+            f"base_delay={self.base_delay}, max_delay={self.max_delay})"
+        )
+
+
+def retry_io(
+    fn: Callable[[], T],
+    policy: RetryPolicy | None = None,
+    retry_on: tuple[type[BaseException], ...] = (OSError,),
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> T:
+    """Call ``fn`` with retries over transient failures.
+
+    Retries only exceptions matching ``retry_on`` (transient ``OSError``
+    by default); anything else propagates immediately.  ``on_retry`` is
+    invoked with ``(attempt_number, exception)`` before each backoff
+    sleep — the engine uses it to count retries into its metrics
+    registry.  The last failure is re-raised once attempts are
+    exhausted.
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    delays = policy.delays()
+    for attempt in range(policy.attempts):
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt == policy.attempts - 1:
+                raise
+            if on_retry is not None:
+                on_retry(attempt + 1, exc)
+            delay = delays[attempt]
+            if delay > 0:
+                sleep(delay)
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -145,6 +145,21 @@ class AGMSSketch:
             self.atoms += weight * self._batch_signs(part).sum(axis=1)
         self._count += weight * rows.shape[0]
 
+    def state_dict(self) -> dict:
+        """Mutable state only (atoms + count), for engine checkpoints."""
+        return {"atoms": self.atoms.copy(), "count": self._count}
+
+    def load_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`, in place."""
+        atoms = np.asarray(state["atoms"], dtype=float)
+        if atoms.shape != self.atoms.shape:
+            raise ValueError(
+                f"checkpointed sketch has {atoms.shape[0]} atomic sketches, "
+                f"this sketch holds {self.atoms.shape[0]}"
+            )
+        self.atoms = atoms.copy()
+        self._count = int(state["count"])
+
     @classmethod
     def from_counts(
         cls,

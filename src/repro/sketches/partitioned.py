@@ -134,6 +134,59 @@ class PartitionedSketch:
                     indices[mask] - self.boundaries[p], weight=weight
                 )
 
+    def state_dict(self) -> dict:
+        """Full mutable state, including the partition structure.
+
+        Boundaries are part of the state (not just the per-partition
+        atoms) because they are derived from a pilot distribution at
+        registration time — a restored engine re-registers the query
+        against *current* counts and would pick different cuts, so
+        :meth:`load_state` must be able to rebuild the exact partition
+        geometry the checkpointed sketch was using.
+        """
+        return {
+            "boundaries": self.boundaries.copy(),
+            "seed": self.seed,
+            "s1": self._s1,
+            "s2": self._s2,
+            "sketches": [sk.state_dict() for sk in self.sketches],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`, in place.
+
+        Rebuilds the partition structure (boundaries, sign families, one
+        sub-sketch per partition) and then restores every sub-sketch's
+        atoms, so the object ends up indistinguishable from the one that
+        was checkpointed while keeping its identity for any estimate
+        closures holding a reference to it.
+        """
+        boundaries = np.asarray(state["boundaries"], dtype=np.int64)
+        if boundaries.ndim != 1 or boundaries.shape[0] < 2:
+            raise ValueError("checkpointed boundaries are not a valid partition")
+        if boundaries[0] != 0 or np.any(np.diff(boundaries) <= 0):
+            raise ValueError("checkpointed boundaries must start at 0 and increase")
+        s1, s2 = int(state["s1"]), int(state["s2"])
+        if s1 < 1 or s2 < 1:
+            raise ValueError("checkpointed sketch geometry must be positive")
+        num_partitions = boundaries.shape[0] - 1
+        if len(state["sketches"]) != num_partitions:
+            raise ValueError(
+                f"checkpoint holds {len(state['sketches'])} partition sketches "
+                f"for {num_partitions} partitions"
+            )
+        self.boundaries = boundaries
+        self.num_partitions = num_partitions
+        self.seed = int(state["seed"])
+        self._s1, self._s2 = s1, s2
+        self.sketches = []
+        for p, sub_state in enumerate(state["sketches"]):
+            width = int(boundaries[p + 1] - boundaries[p])
+            family = SignFamily(width, s1 * s2, seed=self.seed * 8191 + p)
+            sub = AGMSSketch(family, s1, s2)
+            sub.load_state(sub_state)
+            self.sketches.append(sub)
+
     @classmethod
     def from_counts(
         cls,

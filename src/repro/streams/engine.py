@@ -38,6 +38,14 @@ from ..core.join import estimate_multijoin_size as cosine_multijoin
 from ..obs.accuracy import AccuracyTracker
 from ..obs.telemetry import Telemetry
 from ..core.normalization import Domain, embed_counts
+from ..resilience.checkpoint import (
+    domain_from_spec,
+    domain_to_spec,
+    read_checkpoint,
+    write_checkpoint,
+)
+from ..resilience.deadletter import DeadLetter, DeadLetterBuffer, validate_rows
+from ..resilience.errors import CheckpointError, DegradedQueryError
 from ..core.synopsis import CosineSynopsis
 from ..histograms.equiwidth import EquiWidthHistogram
 from ..histograms.equiwidth import estimate_join_size as histogram_join
@@ -90,6 +98,12 @@ class _QueryState:
         #: (relation, observer) pairs attached on behalf of this query,
         #: recorded so unregistering can detach them.
         self.attachments: list[tuple[StreamRelation, object]] = []
+        #: Registration spec (kind/method/budget/options), recorded so
+        #: checkpoints can re-register the query on a restored engine.
+        self.spec: dict | None = None
+        #: Degradation reason, set when one of this query's observers was
+        #: quarantined after raising; ``None`` while healthy.
+        self.degraded: str | None = None
 
 
 class ContinuousQueryEngine:
@@ -106,6 +120,13 @@ class ContinuousQueryEngine:
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._stats = EngineStats(registry=self.telemetry.registry)
         self._accuracy: AccuracyTracker | None = None
+        #: Degraded-answer policy once :meth:`enable_fault_isolation` has
+        #: been called; ``None`` means isolation is off (faults raise).
+        self._fault_policy: str | None = None
+        #: Bounded buffer of rejected rows once
+        #: :meth:`enable_dead_lettering` has been called; ``None`` means
+        #: malformed batches raise, as before.
+        self.dead_letters: DeadLetterBuffer | None = None
 
     def _attach(self, relation: StreamRelation, observer) -> None:
         """Attach an observer and record it for query unregistration."""
@@ -178,6 +199,8 @@ class ContinuousQueryEngine:
         if self.telemetry.enabled:
             relation.stats = self._stats
             relation.tracer = self.telemetry.tracer
+        if self._fault_policy is not None:
+            relation.fault_handler = self._handle_observer_fault
 
     def process(self, relation_name: str, op: StreamOp) -> None:
         """Route one stream operation to its relation (and its observers)."""
@@ -210,8 +233,31 @@ class ContinuousQueryEngine:
         The final state is identical to ingesting the rows one at a time
         (bit-identical for the count/sketch/sample state, up to float
         summation order for transform coefficients).
+
+        An empty batch is an explicit no-op: no tensor touch, no observer
+        notification, no spans or per-batch metrics.  With
+        :meth:`enable_dead_lettering` active, malformed rows (wrong arity,
+        NaN/inf, out-of-domain values) are diverted into
+        :attr:`dead_letters` and the clean remainder is ingested, instead
+        of the whole batch raising.
         """
         relation = self.relations[relation_name]
+        if self.dead_letters is not None:
+            rows, rejects = validate_rows(relation, rows)
+            if rejects:
+                counter = self.telemetry.registry.counter(
+                    "repro_ingest_dead_letters_total",
+                    "Rows rejected into the dead-letter buffer.",
+                    labelnames=("relation", "reason"),
+                )
+                op_kind = kind.name.lower()
+                for row, reason in rejects:
+                    self.dead_letters.add(
+                        DeadLetter(relation_name, row, op_kind, reason)
+                    )
+                    counter.labels(relation_name, reason).inc()
+        if len(rows) == 0:
+            return
         if kind is OpKind.INSERT:
             relation.insert_rows(rows)
         else:
@@ -276,6 +322,14 @@ class ContinuousQueryEngine:
         self._pending_attachments = []
         for _, observer in state.attachments:
             observer.stats_key = method  # per-method time attribution
+        state.spec = {
+            "kind": "join",
+            "relations": list(query.relations),
+            "predicates": [str(p) for p in query.predicates],
+            "method": method,
+            "budget": budget,
+            "options": dict(options),
+        }
         self._queries[name] = state
 
     def unregister_query(self, name: str) -> None:
@@ -347,6 +401,15 @@ class ContinuousQueryEngine:
         self._pending_attachments = []
         for _, observer in state.attachments:
             observer.stats_key = "cosine_range"
+        state.spec = {
+            "kind": "range",
+            "relation": relation_name,
+            "attribute": attribute,
+            "low": low,
+            "high": high,
+            "budget": budget,
+            "options": dict(options),
+        }
         self._queries[name] = state
 
     def register_band_query(
@@ -428,11 +491,31 @@ class ContinuousQueryEngine:
         self._pending_attachments = []
         for _, observer in state.attachments:
             observer.stats_key = "cosine_band"
+        state.spec = {
+            "kind": "band",
+            "left": list(left),
+            "right": list(right),
+            "width": width,
+            "budget": budget,
+            "options": dict(options),
+        }
         self._queries[name] = state
 
     def answer(self, name: str) -> float:
-        """Current estimate of a registered query."""
+        """Current estimate of a registered query.
+
+        A query degraded by observer fault isolation answers according to
+        the policy given to :meth:`enable_fault_isolation`: ``"raise"``
+        surfaces a typed :class:`DegradedQueryError`, ``"nan"`` returns
+        NaN, and ``"exact"`` falls back to the ground-truth answer.
+        """
         state = self._queries[name]
+        if state.degraded is not None:
+            if self._fault_policy in (None, "raise"):
+                raise DegradedQueryError(name, state.degraded)
+            if self._fault_policy == "nan":
+                return float("nan")
+            return self.exact_answer(name)
         if not self.telemetry.enabled:
             return state.estimate()
         start = perf_counter()
@@ -449,6 +532,10 @@ class ContinuousQueryEngine:
     def answers(self) -> dict[str, float]:
         """Current estimates of all registered queries."""
         return {name: self.answer(name) for name in self._queries}
+
+    def query_names(self) -> list[str]:
+        """Names of all registered queries, in registration order."""
+        return list(self._queries)
 
     def exact_answer(self, name: str) -> float:
         """Ground-truth answer of a registered query (for evaluation)."""
@@ -474,6 +561,219 @@ class ContinuousQueryEngine:
     def space_report(self) -> dict[str, dict[str, int]]:
         """Per-query, per-relation synopsis space (paper units)."""
         return {name: dict(s.space_per_relation) for name, s in self._queries.items()}
+
+    # ------------------------------------------------------------------ #
+    # fault tolerance
+    # ------------------------------------------------------------------ #
+
+    def enable_fault_isolation(self, policy: str = "raise") -> None:
+        """Quarantine observers that raise instead of aborting ingest.
+
+        With isolation enabled, an observer raising from ``on_op`` /
+        ``on_ops`` is detached from its relation, its owning query is
+        marked degraded, and ingest continues for every other observer —
+        the exact tensors are already updated before observers run, so
+        ground truth is never corrupted by a synopsis fault.  Faults are
+        counted in ``repro_observer_faults_total`` (per method) and the
+        ``repro_queries_degraded`` gauge tracks how many queries are
+        currently degraded.
+
+        ``policy`` selects what :meth:`answer` does for a degraded query:
+        ``"raise"`` (default) raises :class:`DegradedQueryError`,
+        ``"nan"`` returns NaN, ``"exact"`` falls back to the ground-truth
+        answer.
+        """
+        if policy not in ("raise", "nan", "exact"):
+            raise ValueError(
+                f"unknown degraded-answer policy {policy!r}; "
+                "choose from 'raise', 'nan', 'exact'"
+            )
+        self._fault_policy = policy
+        for relation in self.relations.values():
+            relation.fault_handler = self._handle_observer_fault
+
+    def degraded_queries(self) -> dict[str, str]:
+        """Currently degraded queries, mapped to their fault reason."""
+        return {
+            name: state.degraded
+            for name, state in self._queries.items()
+            if state.degraded is not None
+        }
+
+    def _handle_observer_fault(
+        self, relation: StreamRelation, observer, exc: BaseException
+    ) -> bool:
+        """Relation fault-handler hook: quarantine and account, never raise."""
+        try:
+            relation.detach(observer)
+        except ValueError:  # already detached (e.g. fault during replay)
+            pass
+        method = getattr(observer, "stats_key", type(observer).__name__)
+        reason = f"{type(exc).__name__}: {exc}"
+        for state in self._queries.values():
+            if any(obs is observer for _, obs in state.attachments):
+                if state.degraded is None:
+                    state.degraded = reason
+                break
+        registry = self.telemetry.registry
+        registry.counter(
+            "repro_observer_faults_total",
+            "Observer exceptions absorbed by fault isolation, per method.",
+            labelnames=("method",),
+        ).labels(method).inc()
+        registry.gauge(
+            "repro_queries_degraded",
+            "Registered queries currently degraded by a quarantined observer.",
+        ).set(len(self.degraded_queries()))
+        return True
+
+    def enable_dead_lettering(self, capacity: int = 1024) -> DeadLetterBuffer:
+        """Divert malformed ingest rows into a bounded dead-letter buffer.
+
+        After this call, :meth:`ingest_batch` validates rows up front
+        (arity, finiteness, domain membership), ingests the clean
+        remainder, and parks rejects in the returned
+        :class:`DeadLetterBuffer` (also available as
+        :attr:`dead_letters`), counted per relation and reason in
+        ``repro_ingest_dead_letters_total``.  The per-tuple ``process`` /
+        ``insert`` / ``delete`` paths keep their raise-on-bad-input
+        semantics.
+        """
+        self.dead_letters = DeadLetterBuffer(capacity)
+        return self.dead_letters
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / recovery
+    # ------------------------------------------------------------------ #
+
+    def save_checkpoint(self, path, **write_options) -> int:
+        """Atomically write the engine's full state to a checkpoint file.
+
+        The checkpoint captures every relation's exact count tensor, every
+        registered query's registration spec, and every attached synopsis
+        observer's mutable state (including sample RNG bit state), so
+        :meth:`load_checkpoint` restores an engine whose ``answers()`` —
+        and whose behaviour on all *future* ingest — matches the
+        checkpointed one exactly.  Returns the file size in bytes;
+        ``write_options`` are forwarded to
+        :func:`repro.resilience.checkpoint.write_checkpoint` (retry
+        policy, sleep injection).
+        """
+        queries = []
+        for name, state in self._queries.items():
+            if state.spec is None:
+                raise CheckpointError(
+                    f"query {name!r} has no registration spec and cannot be "
+                    "checkpointed"
+                )
+            queries.append(
+                {
+                    "name": name,
+                    "spec": state.spec,
+                    "degraded": state.degraded,
+                    "observers": [
+                        observer.state_dict() for _, observer in state.attachments
+                    ],
+                }
+            )
+        payload = {
+            "engine": {
+                "seed": self._seed,
+                "fault_policy": self._fault_policy,
+                "dead_letter_capacity": (
+                    None if self.dead_letters is None else self.dead_letters.capacity
+                ),
+            },
+            "relations": {
+                name: {
+                    "attributes": list(relation.attributes),
+                    "domains": [domain_to_spec(d) for d in relation.domains],
+                    "counts": relation.counts.copy(),
+                }
+                for name, relation in self.relations.items()
+            },
+            "queries": queries,
+        }
+        return write_checkpoint(path, payload, **write_options)
+
+    @classmethod
+    def load_checkpoint(
+        cls, path, telemetry: Telemetry | None = None
+    ) -> "ContinuousQueryEngine":
+        """Restore an engine from a checkpoint written by :meth:`save_checkpoint`.
+
+        Relations are recreated with their exact tensors, queries are
+        re-registered from their recorded specs, and each synopsis
+        observer's state is then overwritten in place from the checkpoint
+        — so estimates, sample coin flips, and partition geometry continue
+        bit-for-bit from where the checkpointed engine stopped.
+        """
+        payload = read_checkpoint(path)
+        try:
+            engine_meta = payload["engine"]
+            engine = cls(seed=int(engine_meta["seed"]), telemetry=telemetry)
+            for name, rel_state in payload["relations"].items():
+                relation = engine.create_relation(
+                    name,
+                    rel_state["attributes"],
+                    [domain_from_spec(s) for s in rel_state["domains"]],
+                )
+                relation.load_counts(rel_state["counts"])
+            for entry in payload["queries"]:
+                engine._register_from_spec(entry["name"], entry["spec"])
+                state = engine._queries[entry["name"]]
+                observers = entry["observers"]
+                if len(observers) != len(state.attachments):
+                    raise CheckpointError(
+                        f"checkpoint query {entry['name']!r} recorded "
+                        f"{len(observers)} observer states for "
+                        f"{len(state.attachments)} attachments"
+                    )
+                for (_, observer), observer_state in zip(state.attachments, observers):
+                    observer.load_state(observer_state)
+                state.degraded = entry.get("degraded")
+            if engine_meta.get("fault_policy") is not None:
+                engine.enable_fault_isolation(engine_meta["fault_policy"])
+            if engine_meta.get("dead_letter_capacity") is not None:
+                engine.enable_dead_lettering(engine_meta["dead_letter_capacity"])
+        except KeyError as exc:
+            raise CheckpointError(
+                f"checkpoint {path} is missing field {exc.args[0]!r}"
+            ) from exc
+        return engine
+
+    def _register_from_spec(self, name: str, spec: dict) -> None:
+        """Re-register a checkpointed query from its recorded spec."""
+        kind = spec.get("kind")
+        options = dict(spec.get("options", {}))
+        if kind == "join":
+            query = JoinQuery.parse(spec["relations"], spec["predicates"])
+            self.register_query(
+                name, query, method=spec["method"], budget=spec["budget"], **options
+            )
+        elif kind == "range":
+            self.register_range_query(
+                name,
+                spec["relation"],
+                spec["attribute"],
+                spec["low"],
+                spec["high"],
+                budget=spec["budget"],
+                **options,
+            )
+        elif kind == "band":
+            self.register_band_query(
+                name,
+                tuple(spec["left"]),
+                tuple(spec["right"]),
+                spec["width"],
+                budget=spec["budget"],
+                **options,
+            )
+        else:
+            raise CheckpointError(
+                f"checkpoint query {name!r} has unknown kind {kind!r}"
+            )
 
     # ------------------------------------------------------------------ #
     # method builders
@@ -735,6 +1035,12 @@ class _CosineMarginalObserver(StreamObserver):
         self.synopsis = synopsis
         self.axis = axis
 
+    def state_dict(self) -> dict:
+        return self.synopsis.state_dict()
+
+    def load_state(self, state: dict) -> None:
+        self.synopsis.load_state(state)
+
     def on_op(self, relation: StreamRelation, op: StreamOp) -> None:
         value = (op.values[self.axis],)
         if op.kind is OpKind.INSERT:
@@ -755,6 +1061,12 @@ class _CosineObserver(StreamObserver):
 
     def __init__(self, synopsis: CosineSynopsis) -> None:
         self.synopsis = synopsis
+
+    def state_dict(self) -> dict:
+        return self.synopsis.state_dict()
+
+    def load_state(self, state: dict) -> None:
+        self.synopsis.load_state(state)
 
     def on_op(self, relation: StreamRelation, op: StreamOp) -> None:
         if op.kind is OpKind.INSERT:
@@ -778,6 +1090,12 @@ class _SketchObserver(StreamObserver):
         self.sketch = sketch
         self.domains = list(domains)
         self.axes = list(axes)
+
+    def state_dict(self) -> dict:
+        return self.sketch.state_dict()
+
+    def load_state(self, state: dict) -> None:
+        self.sketch.load_state(state)
 
     def on_op(self, relation: StreamRelation, op: StreamOp) -> None:
         indices = [d.index_of(op.values[ax]) for d, ax in zip(self.domains, self.axes)]
@@ -804,6 +1122,15 @@ class _SampleObserver(StreamObserver):
         self.sample = sample
         self.counter = counter
         self.axes = list(axes)
+
+    def state_dict(self) -> dict:
+        return {"sample": self.sample.state_dict(), "counter": dict(self.counter)}
+
+    def load_state(self, state: dict) -> None:
+        # The estimate closure shares this Counter object; mutate in place.
+        self.sample.load_state(state["sample"])
+        self.counter.clear()
+        self.counter.update(state["counter"])
 
     def on_op(self, relation: StreamRelation, op: StreamOp) -> None:
         if op.kind is OpKind.DELETE:
@@ -836,6 +1163,12 @@ class _PartitionedObserver(StreamObserver):
         self.domain = domain
         self.axis = axis
 
+    def state_dict(self) -> dict:
+        return self.sketch.state_dict()
+
+    def load_state(self, state: dict) -> None:
+        self.sketch.load_state(state)
+
     def on_op(self, relation: StreamRelation, op: StreamOp) -> None:
         index = self.domain.index_of(op.values[self.axis])
         self.sketch.update(index, weight=op.weight)
@@ -852,6 +1185,12 @@ class _WaveletObserver(StreamObserver):
         self.synopsis = synopsis
         self.axis = axis
 
+    def state_dict(self) -> dict:
+        return self.synopsis.state_dict()
+
+    def load_state(self, state: dict) -> None:
+        self.synopsis.load_state(state)
+
     def on_op(self, relation: StreamRelation, op: StreamOp) -> None:
         self.synopsis.update(op.values[self.axis], weight=op.weight)
 
@@ -865,6 +1204,12 @@ class _HistogramObserver(StreamObserver):
     def __init__(self, histogram: EquiWidthHistogram, axis: int) -> None:
         self.histogram = histogram
         self.axis = axis
+
+    def state_dict(self) -> dict:
+        return self.histogram.state_dict()
+
+    def load_state(self, state: dict) -> None:
+        self.histogram.load_state(state)
 
     def on_op(self, relation: StreamRelation, op: StreamOp) -> None:
         self.histogram.update(op.values[self.axis], weight=op.weight)

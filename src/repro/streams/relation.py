@@ -100,6 +100,13 @@ class StreamRelation:
         #: Optional span recorder (see :class:`repro.obs.tracing.Tracer`);
         #: ``None`` disables tracing of batch applies and observer updates.
         self.tracer: "Tracer | None" = None
+        #: Optional observer fault handler: ``handler(relation, observer,
+        #: exc) -> bool``, called when an observer raises.  Returning True
+        #: means the fault was absorbed (the observer is typically
+        #: quarantined by the handler) and notification continues with the
+        #: remaining observers; returning False re-raises.  ``None`` (the
+        #: default) preserves raise-through semantics exactly.
+        self.fault_handler = None
 
     @property
     def ndim(self) -> int:
@@ -134,6 +141,10 @@ class StreamRelation:
         scalars); multi-attribute relations require one row per tuple.
         """
         arr = np.asarray(rows)
+        if arr.size == 0 and arr.ndim <= 1:
+            # An empty batch has no rows to carry shape information; make
+            # it an explicit well-formed no-op instead of a shape error.
+            return np.empty((0, self.ndim), dtype=np.int64)
         if arr.ndim == 1:
             if self.ndim == 1:
                 arr = arr[:, None]
@@ -166,14 +177,23 @@ class StreamRelation:
         self.counts[idx] += op.weight
         self._count += op.weight
         stats = self.stats
-        if stats is None:
+        handler = self.fault_handler
+        if stats is None and handler is None:
             for observer in self._observers:
                 observer.on_op(self, op)
-        else:
+            return
+        if stats is not None:
             stats.record_ops(1, op.kind, batched=False, relation=self.name)
-            for observer in self._observers:
-                start = perf_counter()
+        # Iterate over a copy: a fault handler may quarantine (detach) the
+        # failing observer while we are walking the list.
+        for observer in list(self._observers):
+            start = perf_counter() if stats is not None else 0.0
+            try:
                 observer.on_op(self, op)
+            except Exception as exc:
+                if handler is None or not handler(self, observer, exc):
+                    raise
+            if stats is not None:
                 stats.record_observer(_stats_key(observer), perf_counter() - start, 1)
 
     def insert(self, values: Sequence) -> None:
@@ -270,14 +290,20 @@ class StreamRelation:
         if stats is not None:
             stats.record_ops(idx.shape[0], kind, batched=True, relation=self.name)
         timed = stats is not None or tracer is not None
-        for observer in self._observers:
+        fault_handler = self.fault_handler
+        observers = self._observers if fault_handler is None else list(self._observers)
+        for observer in observers:
             start = perf_counter() if timed else 0.0
             handler = getattr(observer, "on_ops", None)
-            if handler is not None:
-                handler(self, arr, kind)
-            else:
-                for row in arr:
-                    observer.on_op(self, StreamOp(tuple(row), kind))
+            try:
+                if handler is not None:
+                    handler(self, arr, kind)
+                else:
+                    for row in arr:
+                        observer.on_op(self, StreamOp(tuple(row), kind))
+            except Exception as exc:
+                if fault_handler is None or not fault_handler(self, observer, exc):
+                    raise
             if timed:
                 seconds = perf_counter() - start
                 key = _stats_key(observer)

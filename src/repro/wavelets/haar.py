@@ -119,6 +119,21 @@ class HaarSynopsis:
         synopsis._count = int(round(counts.sum()))
         return synopsis
 
+    def state_dict(self) -> dict:
+        """Mutable state only (full coefficient vector + count)."""
+        return {"coefficients": self._coefficients.copy(), "count": self._count}
+
+    def load_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`, in place."""
+        coefficients = np.asarray(state["coefficients"], dtype=float)
+        if coefficients.shape != self._coefficients.shape:
+            raise ValueError(
+                f"checkpointed synopsis has {coefficients.shape[0]} coefficients, "
+                f"this synopsis stores {self._coefficients.shape[0]}"
+            )
+        self._coefficients = coefficients.copy()
+        self._count = int(state["count"])
+
     def update(self, value, weight: int = 1) -> None:
         """Process one insertion/deletion.
 

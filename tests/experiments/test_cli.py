@@ -111,6 +111,54 @@ class TestMonitor:
         assert "repro_accuracy_relative_error_bucket" in prom_text
 
 
+class TestCheckpointingMonitor:
+    ARGS = ["monitor", "--tuples", "600", "--batch", "128", "--domain", "100",
+            "--budget", "32", "--refresh-every", "400", "--accuracy-every", "200",
+            "--no-clear"]
+
+    def test_monitor_writes_rotated_checkpoints(self, capsys, tmp_path):
+        ckpts = tmp_path / "ckpts"
+        code = main(self.ARGS + ["--checkpoint-dir", str(ckpts),
+                                 "--checkpoint-every", "256",
+                                 "--checkpoint-keep", "2"])
+        assert code == 0
+        assert "wrote checkpoint" in capsys.readouterr().out
+        files = sorted(p.name for p in ckpts.iterdir())
+        assert len(files) == 2  # rotation enforced --checkpoint-keep
+        assert all(name.startswith("checkpoint-") for name in files)
+
+    def test_resume_restores_latest_checkpoint(self, capsys, tmp_path):
+        ckpts = tmp_path / "ckpts"
+        main(self.ARGS + ["--checkpoint-dir", str(ckpts)])
+        capsys.readouterr()
+        assert main(["resume", "--checkpoint-dir", str(ckpts)]) == 0
+        out = capsys.readouterr().out
+        assert "restored checkpoint-" in out
+        assert "relation R1" in out and "600 tuples" in out
+        assert "query q_cosine" in out and "query q_basic_sketch" in out
+
+    def test_resume_empty_store_fails_cleanly(self, capsys, tmp_path):
+        assert main(["resume", "--checkpoint-dir", str(tmp_path / "empty")]) == 2
+        assert "no checkpoints found" in capsys.readouterr().err
+
+
+class TestErrorHandling:
+    def test_corrupt_checkpoint_reports_one_line_error(self, capsys, tmp_path):
+        ckpts = tmp_path / "ckpts"
+        ckpts.mkdir()
+        (ckpts / "checkpoint-00000001.ckpt").write_bytes(b"garbage\n\x00")
+        assert main(["resume", "--checkpoint-dir", str(ckpts)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_unwritable_json_path_reports_error(self, capsys, tmp_path):
+        code = main(["run", "fig13", "--trials", "1", "--budgets", "10",
+                     "--json", str(tmp_path / "no" / "such" / "dir" / "x.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestSweep:
     def test_bound_sweep(self, capsys):
         assert main(["sweep", "bound", "--trials", "1"]) == 0

@@ -1,6 +1,7 @@
 """Exporters: Prometheus text format, JSONL snapshots, dashboard rendering."""
 
 import json
+import os
 
 import numpy as np
 import pytest
@@ -106,6 +107,75 @@ class TestJsonlSnapshotWriter:
     def test_interval_validated(self, tmp_path):
         with pytest.raises(ValueError, match="every_s"):
             JsonlSnapshotWriter(tmp_path / "x.jsonl", every_s=0)
+
+
+class TestJsonlWriterResilience:
+    def test_transient_write_failure_retried_then_lands(self, tmp_path):
+        from repro.resilience.retry import RetryPolicy
+
+        path = tmp_path / "snap.jsonl"
+        writer = JsonlSnapshotWriter(
+            path, retry=RetryPolicy(attempts=3, base_delay=0.01), sleep=lambda s: None
+        )
+        original_open = os.open
+        failures = {"n": 2}
+
+        def flaky_open(p, flags, mode=0o777):
+            if failures["n"] > 0:
+                failures["n"] -= 1
+                raise OSError("injected open failure")
+            return original_open(p, flags, mode)
+
+        os.open = flaky_open
+        try:
+            assert writer.write({"a": 1}) is True
+        finally:
+            os.open = original_open
+        assert writer.drops == 0
+        assert json.loads(path.read_text())["a"] == 1
+
+    def test_exhausted_retries_drop_line_and_count(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.resilience.retry import RetryPolicy
+
+        registry = MetricsRegistry()
+        # Writing to a directory path fails with OSError (EISDIR) every time.
+        writer = JsonlSnapshotWriter(
+            tmp_path,
+            retry=RetryPolicy(attempts=2, base_delay=0.01),
+            registry=registry,
+            sleep=lambda s: None,
+        )
+        assert writer.write({"a": 1}) is False
+        assert writer.write({"a": 2}) is False
+        assert writer.drops == 2
+        assert writer.snapshots_written == 0
+        counter = registry.counter(
+            "repro_export_drops_total",
+            "Snapshot lines dropped after exhausting write retries.",
+        )
+        assert counter.value == 2
+
+    def test_failed_write_still_advances_rate_limiter(self, tmp_path):
+        from repro.resilience.retry import RetryPolicy
+
+        writer = JsonlSnapshotWriter(
+            tmp_path,  # a directory: every write fails
+            every_s=3600,
+            retry=RetryPolicy(attempts=1),
+            sleep=lambda s: None,
+        )
+        assert writer.maybe_write(lambda: {"n": 1}) is True  # attempted, dropped
+        assert writer.maybe_write(lambda: {"n": 2}) is False  # rate-limited, no hot loop
+        assert writer.drops == 1
+
+    def test_appends_are_single_atomic_lines(self, tmp_path):
+        path = tmp_path / "snap.jsonl"
+        writer = JsonlSnapshotWriter(path)
+        for i in range(20):
+            writer.write({"i": i})
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["i"] for line in lines] == list(range(20))
 
 
 class TestRenderDashboard:

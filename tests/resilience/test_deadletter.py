@@ -1,0 +1,164 @@
+"""Ingest validation and dead-letter buffer behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import Domain
+from repro.resilience.deadletter import (
+    REASON_ARITY,
+    REASON_NON_FINITE,
+    REASON_OUT_OF_DOMAIN,
+    DeadLetter,
+    DeadLetterBuffer,
+    validate_rows,
+)
+from repro.streams import JoinQuery, StreamEngine
+from repro.streams.relation import StreamRelation
+
+
+def make_relation(size=10, ndim=1) -> StreamRelation:
+    return StreamRelation("R", [f"A{i}" for i in range(ndim)], [Domain.of_size(size)] * ndim)
+
+
+class TestValidateRows:
+    def test_clean_batch_passes_through(self):
+        relation = make_relation()
+        clean, rejects = validate_rows(relation, np.array([[1], [2], [3]]))
+        assert rejects == []
+        assert clean.shape == (3, 1)
+
+    def test_out_of_domain_rows_rejected(self):
+        relation = make_relation(size=10)
+        clean, rejects = validate_rows(relation, [[1], [99], [-3], [5]])
+        assert clean[:, 0].tolist() == [1, 5]
+        assert [r for _, r in rejects] == [REASON_OUT_OF_DOMAIN] * 2
+        assert {row for row, _ in rejects} == {(99,), (-3,)}
+
+    def test_nan_and_inf_rejected_as_non_finite(self):
+        relation = make_relation()
+        clean, rejects = validate_rows(
+            relation, np.array([[1.0], [float("nan")], [float("inf")], [4.0]])
+        )
+        assert clean.shape[0] == 2
+        assert [r for _, r in rejects] == [REASON_NON_FINITE] * 2
+
+    def test_ragged_arity_rejected(self):
+        relation = make_relation()
+        clean, rejects = validate_rows(relation, [[1], [1, 2], [], [3]])
+        assert clean.shape[0] == 2
+        assert [r for _, r in rejects] == [REASON_ARITY] * 2
+
+    def test_mixed_rejections_report_each_reason(self):
+        relation = make_relation(size=10)
+        clean, rejects = validate_rows(relation, [[1], [99], [float("nan")], [5], [1, 2]])
+        assert clean.shape[0] == 2
+        reasons = sorted(r for _, r in rejects)
+        assert reasons == sorted([REASON_ARITY, REASON_NON_FINITE, REASON_OUT_OF_DOMAIN])
+
+    def test_multi_attribute_relation(self):
+        relation = make_relation(size=5, ndim=2)
+        clean, rejects = validate_rows(relation, [[1, 2], [1, 7], [0, 0], [3]])
+        assert clean.shape == (2, 2)
+        assert len(rejects) == 2
+
+    def test_empty_batch(self):
+        relation = make_relation()
+        clean, rejects = validate_rows(relation, [])
+        assert clean.shape[0] == 0
+        assert rejects == []
+
+
+class TestDeadLetterBuffer:
+    def letter(self, i: int) -> DeadLetter:
+        return DeadLetter("R", (i,), "insert", REASON_OUT_OF_DOMAIN)
+
+    def test_bounded_ring_evicts_oldest(self):
+        buffer = DeadLetterBuffer(capacity=3)
+        for i in range(5):
+            buffer.add(self.letter(i))
+        assert len(buffer) == 3
+        assert buffer.total == 5
+        assert buffer.dropped == 2
+        assert [l.row for l in buffer] == [(2,), (3,), (4,)]
+
+    def test_tail_returns_most_recent(self):
+        buffer = DeadLetterBuffer(capacity=10)
+        for i in range(6):
+            buffer.add(self.letter(i))
+        assert [l.row for l in buffer.tail(2)] == [(4,), (5,)]
+        assert buffer.tail(0) == []
+
+    def test_clear_preserves_accounting(self):
+        buffer = DeadLetterBuffer(capacity=2)
+        for i in range(4):
+            buffer.add(self.letter(i))
+        buffer.clear()
+        assert len(buffer) == 0
+        assert buffer.total == 4
+        assert buffer.dropped == 2
+
+    def test_as_dict_snapshot(self):
+        buffer = DeadLetterBuffer(capacity=4)
+        buffer.add(self.letter(1))
+        snap = buffer.as_dict()
+        assert snap["held"] == 1
+        assert snap["tail"][0]["reason"] == REASON_OUT_OF_DOMAIN
+
+    def test_rejects_capacity_below_one(self):
+        with pytest.raises(ValueError):
+            DeadLetterBuffer(capacity=0)
+
+
+class TestEngineDeadLettering:
+    def make_engine(self):
+        engine = StreamEngine(seed=0)
+        domain = Domain.of_size(10)
+        engine.create_relation("R1", ["A"], [domain])
+        engine.create_relation("R2", ["A"], [domain])
+        query = JoinQuery.parse(["R1", "R2"], ["R1.A = R2.A"])
+        engine.register_query("q", query, method="cosine", budget=8)
+        return engine
+
+    def test_disabled_by_default_bad_batch_raises(self):
+        engine = self.make_engine()
+        with pytest.raises(Exception):
+            engine.ingest_batch("R1", [[99]])
+
+    def test_poisoned_batch_is_split_not_fatal(self):
+        engine = self.make_engine()
+        letters = engine.enable_dead_lettering(capacity=16)
+        engine.ingest_batch("R1", [[1], [99], [float("nan")], [5], [1, 2]])
+        assert engine.relations["R1"].count == 2
+        assert letters.total == 3
+        reasons = sorted(l.reason for l in letters)
+        assert reasons == sorted([REASON_ARITY, REASON_NON_FINITE, REASON_OUT_OF_DOMAIN])
+
+    def test_metrics_labelled_per_relation_and_reason(self):
+        engine = self.make_engine()
+        engine.enable_dead_lettering()
+        engine.ingest_batch("R1", [[99], [98]])
+        engine.ingest_batch("R2", [[float("inf")]])
+        counter = engine.telemetry.registry.counter(
+            "repro_ingest_dead_letters_total",
+            "Rows rejected into the dead-letter buffer.",
+            labelnames=("relation", "reason"),
+        )
+        assert counter.labels("R1", REASON_OUT_OF_DOMAIN).value == 2
+        assert counter.labels("R2", REASON_NON_FINITE).value == 1
+
+    def test_synopses_only_see_clean_rows(self):
+        engine = self.make_engine()
+        engine.enable_dead_lettering()
+        control = self.make_engine()
+        engine.ingest_batch("R1", [[1], [99], [2]])
+        engine.ingest_batch("R2", [[1], [2], [float("nan")]])
+        control.ingest_batch("R1", [[1], [2]])
+        control.ingest_batch("R2", [[1], [2]])
+        assert engine.answer("q") == pytest.approx(control.answer("q"))
+
+    def test_fully_clean_batch_records_nothing(self):
+        engine = self.make_engine()
+        letters = engine.enable_dead_lettering()
+        engine.ingest_batch("R1", [[1], [2]])
+        assert letters.total == 0
+        assert engine.relations["R1"].count == 2

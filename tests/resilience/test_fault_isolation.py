@@ -1,0 +1,142 @@
+"""Observer fault isolation: quarantine, degraded queries, answer policies."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import Domain
+from repro.resilience.chaos import ChaosError, FlakyObserver
+from repro.resilience.errors import DegradedQueryError
+from repro.streams import JoinQuery, StreamEngine
+
+
+def make_engine(policy=None):
+    engine = StreamEngine(seed=3)
+    domain = Domain.of_size(50)
+    engine.create_relation("R1", ["A"], [domain])
+    engine.create_relation("R2", ["A"], [domain])
+    query = JoinQuery.parse(["R1", "R2"], ["R1.A = R2.A"])
+    engine.register_query("q_cosine", query, method="cosine", budget=16)
+    engine.register_query("q_sketch", query, method="basic_sketch", budget=16)
+    if policy is not None:
+        engine.enable_fault_isolation(policy)
+    return engine
+
+
+def seed_rows(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 50, size=(n, 1))
+
+
+class TestDefaultBehaviour:
+    def test_without_isolation_observer_faults_propagate(self):
+        engine = make_engine(policy=None)
+        engine.relations["R1"].attach(FlakyObserver(fail_on=1))
+        with pytest.raises(ChaosError):
+            engine.ingest_batch("R1", seed_rows(8))
+
+    def test_unknown_policy_rejected(self):
+        engine = make_engine()
+        with pytest.raises(ValueError, match="unknown degraded-answer policy"):
+            engine.enable_fault_isolation("retry")
+
+
+class TestQuarantine:
+    def test_faulting_observer_is_detached_and_ingest_continues(self):
+        engine = make_engine(policy="raise")
+        flaky = FlakyObserver(fail_on=2)
+        engine.relations["R1"].attach(flaky)
+        for _ in range(4):
+            engine.ingest_batch("R1", seed_rows(16))
+        # Failed exactly once (call 2), then was quarantined.
+        assert flaky.faults_raised == 1
+        assert engine.relations["R1"].count == 64
+        assert engine.degraded_queries() == {}
+
+    def test_unowned_observer_fault_does_not_degrade_queries(self):
+        engine = make_engine(policy="raise")
+        engine.relations["R1"].attach(FlakyObserver(fail_on=1))
+        engine.ingest_batch("R1", seed_rows(4))
+        engine.ingest_batch("R2", seed_rows(4))
+        assert engine.degraded_queries() == {}
+        assert math.isfinite(engine.answer("q_cosine"))
+
+    def test_fault_metrics_recorded(self):
+        engine = make_engine(policy="raise")
+        engine.relations["R1"].attach(FlakyObserver(fail_on=1))
+        engine.ingest_batch("R1", seed_rows(4))
+        counter = engine.telemetry.registry.counter(
+            "repro_observer_faults_total",
+            "Observer exceptions absorbed by fault isolation, per method.",
+            labelnames=("method",),
+        )
+        assert counter.labels("FlakyObserver").value == 1
+
+    def test_per_tuple_path_also_isolated(self):
+        engine = make_engine(policy="raise")
+        flaky = FlakyObserver(fail_on=1)
+        engine.relations["R1"].attach(flaky)
+        engine.insert("R1", (5,))
+        engine.insert("R1", (6,))
+        assert flaky.faults_raised == 1
+        assert engine.relations["R1"].count == 2
+
+
+def degrade_query(engine, name="q_cosine"):
+    """Make the named query's own observer fault on the next batch."""
+    state = engine._queries[name]
+    _, observer = state.attachments[0]
+    original = observer.on_ops
+
+    def exploding(relation, rows, kind):
+        raise RuntimeError("synopsis exploded")
+
+    observer.on_ops = exploding
+    engine.ingest_batch("R1", seed_rows(4, seed=9))
+    observer.on_ops = original
+    return engine
+
+
+class TestDegradedAnswerPolicies:
+    def test_raise_policy_raises_typed_error(self):
+        engine = degrade_query(make_engine(policy="raise"))
+        assert list(engine.degraded_queries()) == ["q_cosine"]
+        with pytest.raises(DegradedQueryError) as info:
+            engine.answer("q_cosine")
+        assert info.value.query == "q_cosine"
+        assert "RuntimeError" in info.value.reason
+
+    def test_healthy_queries_still_answer(self):
+        engine = degrade_query(make_engine(policy="raise"))
+        assert math.isfinite(engine.answer("q_sketch"))
+
+    def test_nan_policy_returns_nan(self):
+        engine = degrade_query(make_engine(policy="nan"))
+        assert math.isnan(engine.answer("q_cosine"))
+
+    def test_exact_policy_falls_back_to_ground_truth(self):
+        engine = degrade_query(make_engine(policy="exact"))
+        engine.ingest_batch("R1", seed_rows(50, seed=1))
+        engine.ingest_batch("R2", seed_rows(50, seed=2))
+        assert engine.answer("q_cosine") == engine.exact_answer("q_cosine")
+
+    def test_degraded_gauge_tracks_count(self):
+        engine = degrade_query(make_engine(policy="raise"))
+        gauge = engine.telemetry.registry.gauge(
+            "repro_queries_degraded",
+            "Registered queries currently degraded by a quarantined observer.",
+        )
+        assert gauge.value == 1
+
+
+class TestRecoveringObserver:
+    def test_flaky_observer_recovery_window(self):
+        flaky = FlakyObserver(fail_on=2, recover_after=2)
+        for expect_raise in (False, True, True, False, False):
+            if expect_raise:
+                with pytest.raises(ChaosError):
+                    flaky.on_op(None, None)
+            else:
+                flaky.on_op(None, None)
+        assert flaky.faults_raised == 2

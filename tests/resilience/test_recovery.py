@@ -1,0 +1,190 @@
+"""Crash/recovery properties: a restored engine is indistinguishable.
+
+The central guarantee of the checkpoint subsystem, driven by the chaos
+harness: crash the ingest at *any* batch boundary, restore the newest
+checkpoint, replay the batches the checkpoint had not yet seen — and
+every registered query (all seven estimation methods plus range and
+band) answers exactly what an uncrashed control engine answers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import Domain
+from repro.resilience import CheckpointStore, SimulatedCrash
+from repro.resilience.chaos import CrashingIngest
+from repro.resilience.errors import CheckpointError
+from repro.streams import JoinQuery, StreamEngine
+
+ALL_METHODS = [
+    "cosine",
+    "basic_sketch",
+    "skimmed_sketch",
+    "sample",
+    "histogram",
+    "wavelet",
+    "partitioned_sketch",
+]
+
+DOMAIN_SIZE = 64
+
+
+def build_engine(methods=ALL_METHODS, seed=11):
+    engine = StreamEngine(seed=seed)
+    domain = Domain.of_size(DOMAIN_SIZE)
+    engine.create_relation("R1", ["A"], [domain])
+    engine.create_relation("R2", ["A"], [domain])
+    query = JoinQuery.parse(["R1", "R2"], ["R1.A = R2.A"])
+    for method in methods:
+        options = {"probability": 0.25} if method == "sample" else {}
+        engine.register_query(f"q_{method}", query, method=method, budget=24, **options)
+    engine.register_range_query("q_range", "R1", "A", 10, 30, budget=24)
+    return engine
+
+
+def make_batches(n_batches=8, batch_size=40, seed=5):
+    rng = np.random.default_rng(seed)
+    batches = []
+    for i in range(n_batches):
+        name = "R1" if i % 2 == 0 else "R2"
+        rows = ((rng.zipf(1.4, size=batch_size) - 1) % DOMAIN_SIZE)[:, None]
+        batches.append((name, rows))
+    return batches
+
+
+class TestCrashRecoveryProperty:
+    @pytest.mark.parametrize("crash_at", [1, 2, 4, 7, 8])
+    def test_crash_at_any_batch_boundary_recovers_exactly(self, tmp_path, crash_at):
+        batches = make_batches()
+
+        control = build_engine()
+        CrashingIngest(control).run(batches)
+        expected = control.answers()
+
+        victim = build_engine()
+        store = CheckpointStore(tmp_path / f"crash{crash_at}", keep=3)
+        harness = CrashingIngest(victim, store, checkpoint_every=1, crash_at=crash_at)
+        with pytest.raises(SimulatedCrash):
+            harness.run(batches)
+        applied = harness.batches_applied
+        assert applied == crash_at - 1
+
+        if store.latest() is None:
+            restored = build_engine()
+            remaining = batches
+        else:
+            restored = StreamEngine.load_checkpoint(store.latest())
+            remaining = batches[applied:]
+        CrashingIngest(restored).run(remaining)
+
+        recovered = restored.answers()
+        assert set(recovered) == set(expected)
+        for name, value in expected.items():
+            assert recovered[name] == pytest.approx(value, rel=1e-9), name
+
+    def test_exact_tensors_restored_bit_for_bit(self, tmp_path):
+        engine = build_engine(methods=["cosine"])
+        for name, rows in make_batches():
+            engine.ingest_batch(name, rows)
+        engine.save_checkpoint(tmp_path / "x.ckpt")
+        restored = StreamEngine.load_checkpoint(tmp_path / "x.ckpt")
+        for name, relation in engine.relations.items():
+            np.testing.assert_array_equal(relation.counts, restored.relations[name].counts)
+            assert restored.relations[name].count == relation.count
+
+    def test_future_ingest_matches_after_restore(self, tmp_path):
+        """Sample RNG bit state and partition geometry survive the restore."""
+        engine = build_engine()
+        history = make_batches(n_batches=4, seed=21)
+        for name, rows in history:
+            engine.ingest_batch(name, rows)
+        engine.save_checkpoint(tmp_path / "x.ckpt")
+        restored = StreamEngine.load_checkpoint(tmp_path / "x.ckpt")
+
+        future = make_batches(n_batches=4, seed=22)
+        for name, rows in future:
+            engine.ingest_batch(name, rows)
+            restored.ingest_batch(name, rows)
+        original = engine.answers()
+        for name, value in restored.answers().items():
+            assert value == pytest.approx(original[name], rel=1e-9), name
+
+    def test_deletions_survive_checkpoint(self, tmp_path):
+        engine = build_engine(methods=["cosine", "basic_sketch", "histogram"])
+        rows = np.arange(30)[:, None] % DOMAIN_SIZE
+        engine.ingest_batch("R1", rows)
+        engine.ingest_batch("R2", rows)
+        engine.save_checkpoint(tmp_path / "x.ckpt")
+        restored = StreamEngine.load_checkpoint(tmp_path / "x.ckpt")
+        from repro.streams.tuples import OpKind
+
+        engine.ingest_batch("R1", rows[:10], kind=OpKind.DELETE)
+        restored.ingest_batch("R1", rows[:10], kind=OpKind.DELETE)
+        original = engine.answers()
+        for name, value in restored.answers().items():
+            assert value == pytest.approx(original[name], rel=1e-9), name
+
+
+class TestCheckpointCarriesConfiguration:
+    def test_degraded_state_survives_restore(self, tmp_path):
+        engine = build_engine(methods=["cosine", "basic_sketch"])
+        engine.enable_fault_isolation("raise")
+        state = engine._queries["q_cosine"]
+        _, observer = state.attachments[0]
+
+        def exploding(relation, rows, kind):
+            raise RuntimeError("synopsis exploded")
+
+        observer.on_ops = exploding
+        engine.ingest_batch("R1", np.array([[1], [2]]))
+        assert list(engine.degraded_queries()) == ["q_cosine"]
+
+        engine.save_checkpoint(tmp_path / "x.ckpt")
+        restored = StreamEngine.load_checkpoint(tmp_path / "x.ckpt")
+        assert list(restored.degraded_queries()) == ["q_cosine"]
+        from repro.resilience.errors import DegradedQueryError
+
+        with pytest.raises(DegradedQueryError):
+            restored.answer("q_cosine")
+
+    def test_fault_policy_and_dead_lettering_survive_restore(self, tmp_path):
+        engine = build_engine(methods=["cosine"])
+        engine.enable_fault_isolation("nan")
+        engine.enable_dead_lettering(capacity=7)
+        engine.save_checkpoint(tmp_path / "x.ckpt")
+        restored = StreamEngine.load_checkpoint(tmp_path / "x.ckpt")
+        assert restored.dead_letters is not None
+        assert restored.dead_letters.capacity == 7
+        # Malformed rows are diverted, not fatal, on the restored engine too.
+        restored.ingest_batch("R1", [[1], [9999]])
+        assert restored.dead_letters.total == 1
+
+    def test_unknown_query_kind_rejected(self, tmp_path):
+        engine = build_engine(methods=["cosine"])
+        engine._queries["q_cosine"].spec = {"kind": "galactic"}
+        engine.save_checkpoint(tmp_path / "x.ckpt")
+        with pytest.raises(CheckpointError, match="unknown kind"):
+            StreamEngine.load_checkpoint(tmp_path / "x.ckpt")
+
+
+class TestMultiAttributeAndBand:
+    def test_multi_attribute_chain_recovers(self, tmp_path):
+        engine = StreamEngine(seed=2)
+        d = Domain.of_size(32)
+        engine.create_relation("R1", ["A"], [d])
+        engine.create_relation("R2", ["A", "B"], [d, d])
+        engine.create_relation("R3", ["B"], [d])
+        chain = JoinQuery.parse(["R1", "R2", "R3"], ["R1.A = R2.A", "R2.B = R3.B"])
+        engine.register_query("q_chain", chain, method="cosine", budget=16)
+        engine.register_band_query("q_band", ("R1", "A"), ("R3", "B"), 2, budget=16)
+
+        rng = np.random.default_rng(0)
+        engine.ingest_batch("R1", rng.integers(0, 32, (60, 1)))
+        engine.ingest_batch("R2", rng.integers(0, 32, (60, 2)))
+        engine.ingest_batch("R3", rng.integers(0, 32, (60, 1)))
+
+        engine.save_checkpoint(tmp_path / "x.ckpt")
+        restored = StreamEngine.load_checkpoint(tmp_path / "x.ckpt")
+        original = engine.answers()
+        for name, value in restored.answers().items():
+            assert value == pytest.approx(original[name], rel=1e-9), name

@@ -1,0 +1,74 @@
+"""Retry/backoff policy tests (no real sleeping anywhere)."""
+
+import pytest
+
+from repro.resilience.chaos import FlakyIO
+from repro.resilience.retry import RetryPolicy, retry_io
+
+
+class TestRetryPolicy:
+    def test_delays_grow_exponentially_and_cap(self):
+        policy = RetryPolicy(attempts=6, base_delay=0.5, max_delay=3.0)
+        assert policy.delays() == [0.5, 1.0, 2.0, 3.0, 3.0]
+
+    def test_single_attempt_has_no_delays(self):
+        assert RetryPolicy(attempts=1).delays() == []
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+
+
+class TestRetryIO:
+    def test_returns_result_without_failures(self):
+        assert retry_io(lambda: 42, sleep=lambda s: None) == 42
+
+    def test_recovers_from_transient_failures(self):
+        flaky = FlakyIO(lambda: "ok", fail_times=2)
+        slept = []
+        result = retry_io(
+            flaky, policy=RetryPolicy(attempts=4, base_delay=0.1), sleep=slept.append
+        )
+        assert result == "ok"
+        assert flaky.calls == 3
+        assert slept == [0.1, 0.2]
+
+    def test_exhausted_attempts_reraise_last_failure(self):
+        flaky = FlakyIO(lambda: "ok", fail_times=10)
+        with pytest.raises(OSError, match="injected transient"):
+            retry_io(flaky, policy=RetryPolicy(attempts=3), sleep=lambda s: None)
+        assert flaky.calls == 3
+
+    def test_non_retryable_exception_propagates_immediately(self):
+        calls = []
+
+        def boom():
+            calls.append(1)
+            raise KeyError("not transient")
+
+        with pytest.raises(KeyError):
+            retry_io(boom, policy=RetryPolicy(attempts=5), sleep=lambda s: None)
+        assert len(calls) == 1
+
+    def test_on_retry_callback_sees_each_failure(self):
+        flaky = FlakyIO(lambda: 1, fail_times=2)
+        seen = []
+        retry_io(
+            flaky,
+            policy=RetryPolicy(attempts=3),
+            sleep=lambda s: None,
+            on_retry=lambda attempt, exc: seen.append((attempt, type(exc))),
+        )
+        assert seen == [(1, OSError), (2, OSError)]
+
+    def test_custom_retry_on_tuple(self):
+        flaky = FlakyIO(lambda: "done", fail_times=1, exc_factory=lambda: ValueError("x"))
+        result = retry_io(
+            flaky,
+            policy=RetryPolicy(attempts=2),
+            retry_on=(ValueError,),
+            sleep=lambda s: None,
+        )
+        assert result == "done"

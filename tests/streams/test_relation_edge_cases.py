@@ -1,0 +1,157 @@
+"""Hypothesis edge-case properties for :class:`StreamRelation`.
+
+The exact count tensor is the engine's ground truth, so its invariants
+are checked property-style: counts never go negative, over-deletion is
+rejected atomically (batch untouched), batch and sequential ingest land
+in identical states, and empty batches are true no-ops.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.normalization import Domain
+from repro.streams.relation import StreamRelation
+from repro.streams.tuples import OpKind, StreamOp
+
+DOMAIN = 12
+
+
+def make_relation(ndim=1) -> StreamRelation:
+    return StreamRelation(
+        "R", [f"A{i}" for i in range(ndim)], [Domain.of_size(DOMAIN)] * ndim
+    )
+
+
+values = st.integers(0, DOMAIN - 1)
+rows_1d = st.lists(values, min_size=0, max_size=40).map(
+    lambda vs: np.array(vs, dtype=np.int64).reshape(-1, 1)
+)
+
+
+class TestDeleteBelowZero:
+    @settings(max_examples=40, deadline=None)
+    @given(value=values)
+    def test_deleting_absent_tuple_raises_and_leaves_state(self, value):
+        relation = make_relation()
+        with pytest.raises(ValueError, match="does not hold"):
+            relation.delete((value,))
+        assert relation.count == 0
+        assert relation.counts.sum() == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(value=values, extra=st.integers(1, 5))
+    def test_duplicate_deletes_beyond_multiplicity_rejected(self, value, extra):
+        relation = make_relation()
+        relation.insert((value,))
+        relation.delete((value,))
+        for _ in range(extra):
+            with pytest.raises(ValueError):
+                relation.delete((value,))
+        assert relation.count == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows=rows_1d, over=st.integers(1, 4))
+    def test_over_deleting_batch_is_atomic(self, rows, over):
+        relation = make_relation()
+        relation.insert_rows(rows)
+        before = relation.counts.copy()
+        # One tuple more of some value than the relation holds.
+        value = int(rows[0, 0]) if rows.shape[0] else 0
+        held = int(before[value])
+        bad = np.full((held + over, 1), value, dtype=np.int64)
+        with pytest.raises(ValueError, match="does not hold"):
+            relation.delete_rows(bad)
+        np.testing.assert_array_equal(relation.counts, before)
+        assert relation.count == rows.shape[0]
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows=rows_1d)
+    def test_counts_tensor_never_negative(self, rows):
+        relation = make_relation()
+        relation.insert_rows(rows)
+        relation.delete_rows(rows)
+        assert relation.counts.min() >= 0
+        assert relation.counts.sum() == 0
+        assert relation.count == 0
+
+
+class TestBatchSequentialParity:
+    @settings(max_examples=40, deadline=None)
+    @given(rows=rows_1d)
+    def test_insert_rows_matches_per_tuple_inserts(self, rows):
+        batched, sequential = make_relation(), make_relation()
+        batched.insert_rows(rows)
+        for value in rows[:, 0]:
+            sequential.insert((int(value),))
+        np.testing.assert_array_equal(batched.counts, sequential.counts)
+        assert batched.count == sequential.count
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows=rows_1d, seed=st.integers(0, 2**31 - 1))
+    def test_interleaved_process_batch_matches_process(self, rows, seed):
+        inserted = np.repeat(rows, 2, axis=0)  # ensure deletes always legal
+        deletions = rows
+        ops = [StreamOp(tuple(r), OpKind.INSERT) for r in inserted] + [
+            StreamOp(tuple(r), OpKind.DELETE) for r in deletions
+        ]
+        batched, sequential = make_relation(), make_relation()
+        batched.process_batch(ops)
+        for op in ops:
+            sequential.process(op)
+        np.testing.assert_array_equal(batched.counts, sequential.counts)
+        assert batched.count == sequential.count == rows.shape[0]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n=st.integers(1, 30),
+    )
+    def test_multi_attribute_parity(self, seed, n):
+        rng = np.random.default_rng(seed)
+        rows = rng.integers(0, DOMAIN, size=(n, 2))
+        batched, sequential = make_relation(ndim=2), make_relation(ndim=2)
+        batched.insert_rows(rows)
+        for row in rows:
+            sequential.insert(tuple(int(v) for v in row))
+        np.testing.assert_array_equal(batched.counts, sequential.counts)
+
+
+class TestEmptyBatches:
+    def test_empty_list_is_a_no_op(self):
+        relation = make_relation()
+        relation.insert_rows([])
+        relation.delete_rows([])
+        assert relation.count == 0
+
+    def test_empty_array_is_a_no_op(self):
+        relation = make_relation(ndim=2)
+        relation.insert_rows(np.empty((0, 2), dtype=np.int64))
+        relation.delete_rows(np.empty((0, 2), dtype=np.int64))
+        assert relation.count == 0
+
+    def test_empty_1d_array_is_a_no_op(self):
+        relation = make_relation()
+        relation.insert_rows(np.array([], dtype=np.int64))
+        assert relation.count == 0
+
+    def test_empty_process_batch(self):
+        relation = make_relation()
+        relation.process_batch([])
+        assert relation.count == 0
+
+    def test_observers_not_notified_for_empty_batch(self):
+        calls = []
+
+        class Recorder:
+            def on_op(self, relation, op):
+                calls.append("op")
+
+            def on_ops(self, relation, rows, kind):
+                calls.append("ops")
+
+        relation = make_relation()
+        relation.attach(Recorder())
+        relation.insert_rows([])
+        assert calls == []
