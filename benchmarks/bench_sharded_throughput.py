@@ -1,0 +1,207 @@
+"""Sharded ingest throughput: the fleet must scale past one core.
+
+``repro.sharding.ShardedStreamEngine`` exists to buy ingest throughput
+with shards: hash-partitioned batches are scattered to N workers, each
+updating its own synopses, and answers come back through coefficient
+merging.  This bench measures tuples/second at 1, 2 and 4 shards for the
+thread and process executors against the single-engine baseline, and —
+when real parallel hardware is present — asserts the point of the whole
+subsystem: 4 process shards must ingest at least 1.5x faster than one.
+
+The scaling assertion is opt-in (``--assert-scaling``) and self-gates on
+``os.cpu_count() >= 4``: on a 1-core container the executor overhead is
+all cost and no win, and asserting speedup there would only test the
+scheduler.  CI runs it on 4-vCPU runners; the JSON artifact records the
+measured ratios either way so regressions are visible in history.
+
+Runnable standalone for CI smoke checks::
+
+    python benchmarks/bench_sharded_throughput.py --smoke --json out.json
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import Domain
+from repro.sharding import ShardedStreamEngine
+from repro.streams import JoinQuery, StreamEngine
+
+DOMAIN = 2_000
+BATCH = 2_048
+BUDGET = 200
+ROUNDS = 3
+SHARD_COUNTS = (1, 2, 4)
+EXECUTORS = ("thread", "process")
+METHODS = ("cosine", "basic_sketch", "histogram")
+SCALING_FLOOR = 1.5  # 4 process shards vs 1, on >= 4 cores
+MIN_CORES_FOR_SCALING = 4
+
+
+def _register(engine) -> None:
+    domain = Domain.of_size(DOMAIN)
+    engine.create_relation("R1", ["A"], [domain])
+    engine.create_relation("R2", ["A"], [domain])
+    query = JoinQuery.parse(["R1", "R2"], ["R1.A = R2.A"])
+    for method in METHODS:
+        engine.register_query(f"q_{method}", query, method=method, budget=BUDGET)
+
+
+def _workload(tuples: int) -> np.ndarray:
+    return ((np.random.default_rng(0).zipf(1.3, size=tuples) - 1) % DOMAIN)[:, None]
+
+
+def _ingest_seconds(engine, rows: np.ndarray) -> float:
+    start = time.perf_counter()
+    for name in ("R1", "R2"):
+        for lo in range(0, rows.shape[0], BATCH):
+            engine.ingest_batch(name, rows[lo : lo + BATCH])
+    return time.perf_counter() - start
+
+
+def _baseline_tps(tuples: int, rounds: int) -> float:
+    rows = _workload(tuples)
+    best = float("inf")
+    for _ in range(rounds):
+        engine = StreamEngine(seed=0)
+        _register(engine)
+        best = min(best, _ingest_seconds(engine, rows))
+    return 2 * tuples / best
+
+
+def _fleet_tps(tuples: int, shards: int, executor: str, rounds: int) -> float:
+    rows = _workload(tuples)
+    best = float("inf")
+    for _ in range(rounds):
+        with ShardedStreamEngine(num_shards=shards, seed=0, executor=executor) as fleet:
+            _register(fleet)
+            fleet.ingest_batch("R1", rows[:BATCH])  # warm up worker pipes
+            best = min(best, _ingest_seconds(fleet, rows))
+    return 2 * tuples / best
+
+
+def scaling_table(tuples: int = 65_536, rounds: int = ROUNDS) -> dict:
+    """tuples/s per (executor, shard count), plus speedups vs 1 shard."""
+    baseline = _baseline_tps(tuples, rounds)
+    grid: dict[str, dict[str, float]] = {}
+    for executor in EXECUTORS:
+        row = {}
+        for shards in SHARD_COUNTS:
+            row[str(shards)] = _fleet_tps(tuples, shards, executor, rounds)
+        grid[executor] = row
+    process = grid["process"]
+    return {
+        "tuples_per_relation": tuples,
+        "batch": BATCH,
+        "rounds": rounds,
+        "cpu_count": os.cpu_count(),
+        "methods": list(METHODS),
+        "single_engine_tps": baseline,
+        "tps": grid,
+        "speedup_4_shards_process": process["4"] / process["1"],
+        "scaling_floor": SCALING_FLOOR,
+    }
+
+
+def _print_table(table: dict) -> None:
+    tuples = table["tuples_per_relation"]
+    print(
+        f"sharded ingest of 2 x {tuples:,} tuples (batch {table['batch']},"
+        f" methods {', '.join(table['methods'])}, {table['rounds']} rounds,"
+        f" {table['cpu_count']} cpus), best-round tuples/s:"
+    )
+    print(f"  single engine       {table['single_engine_tps']:>12,.0f}")
+    for executor, row in table["tps"].items():
+        cells = "  ".join(
+            f"{shards}sh {tps:>11,.0f}" for shards, tps in row.items()
+        )
+        print(f"  {executor:<8}            {cells}")
+    print(
+        f"  process 4-shard speedup vs 1-shard:"
+        f" {table['speedup_4_shards_process']:.2f}x"
+        f"  (floor {table['scaling_floor']:.1f}x when cpus >= {MIN_CORES_FOR_SCALING})"
+    )
+
+
+def test_sharded_ingest_smoke(benchmark, capsys):
+    """Fleet ingest at every shard count stays within sight of the baseline.
+
+    On 1-core runners this is a correctness-of-plumbing smoke (the grid
+    runs end to end and produces positive throughput); the scaling floor
+    itself is asserted by the standalone CI entry point on bigger boxes.
+    """
+    table = benchmark.pedantic(
+        lambda: scaling_table(tuples=8_192, rounds=1), iterations=1, rounds=1
+    )
+    with capsys.disabled():
+        print()
+        _print_table(table)
+    assert table["single_engine_tps"] > 0
+    for row in table["tps"].values():
+        assert all(tps > 0 for tps in row.values())
+
+
+def test_sharded_answers_match_during_bench_workload():
+    """The bench workload itself answers identically sharded vs single."""
+    rows = _workload(4 * BATCH)
+    single = StreamEngine(seed=0)
+    _register(single)
+    with ShardedStreamEngine(num_shards=4, seed=0, executor="thread") as fleet:
+        _register(fleet)
+        for name in ("R1", "R2"):
+            for lo in range(0, rows.shape[0], BATCH):
+                single.ingest_batch(name, rows[lo : lo + BATCH])
+                fleet.ingest_batch(name, rows[lo : lo + BATCH])
+        for method in ("basic_sketch", "histogram"):
+            assert fleet.answer(f"q_{method}") == single.answer(f"q_{method}")
+        assert fleet.answer("q_cosine") == pytest.approx(
+            single.answer("q_cosine"), rel=1e-9
+        )
+
+
+def main(argv=None) -> int:
+    """Standalone entry point: sharded throughput benchmark for CI."""
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small, CI-sized workload")
+    parser.add_argument("--tuples", type=int, default=None, help="tuples per relation")
+    parser.add_argument("--rounds", type=int, default=ROUNDS)
+    parser.add_argument(
+        "--assert-scaling",
+        action="store_true",
+        help=f"fail unless 4 process shards beat 1 by {SCALING_FLOOR}x"
+        f" (ignored below {MIN_CORES_FOR_SCALING} cpus)",
+    )
+    parser.add_argument("--json", help="write results to this JSON file")
+    args = parser.parse_args(argv)
+
+    tuples = args.tuples or (16_384 if args.smoke else 65_536)
+    table = scaling_table(tuples=tuples, rounds=args.rounds)
+    _print_table(table)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(table, handle, indent=1)
+        print(f"wrote {args.json}")
+    if args.assert_scaling:
+        cpus = os.cpu_count() or 1
+        if cpus < MIN_CORES_FOR_SCALING:
+            print(
+                f"skipping scaling assertion: {cpus} cpu(s) <"
+                f" {MIN_CORES_FOR_SCALING} (no parallel hardware to scale onto)"
+            )
+        elif table["speedup_4_shards_process"] < SCALING_FLOOR:
+            print(
+                f"FAIL: 4-shard process speedup"
+                f" {table['speedup_4_shards_process']:.2f}x is below the"
+                f" {SCALING_FLOOR:.1f}x floor on {cpus} cpus"
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

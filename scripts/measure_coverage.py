@@ -1,0 +1,103 @@
+"""Approximate line coverage of ``src/repro`` without pytest-cov.
+
+Usage:
+    PYTHONPATH=src python scripts/measure_coverage.py [pytest args...]
+
+Runs the test suite under a ``sys.settrace`` hook that records executed
+lines for files under ``src/repro`` only (frames elsewhere return no
+local trace function, so the overhead concentrates where the answer is).
+Executable lines are estimated from the AST: one line per statement
+node, minus module/class/function docstrings.  The result tracks
+pytest-cov's line coverage to within a few points — close enough to pin
+a CI ``--cov-fail-under`` gate with a small safety buffer, from an
+environment where coverage.py is not installed.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+import threading
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC_PREFIX = str(REPO / "src" / "repro") + os.sep
+
+_hits: dict[str, set[int]] = {}
+
+
+def _local_trace_for(lines: set[int]):
+    def local(frame, event, arg):
+        if event == "line":
+            lines.add(frame.f_lineno)
+        return local
+
+    return local
+
+
+def _global_trace(frame, event, arg):
+    filename = frame.f_code.co_filename
+    if not filename.startswith(SRC_PREFIX):
+        return None
+    lines = _hits.get(filename)
+    if lines is None:
+        lines = _hits.setdefault(filename, set())
+    lines.add(frame.f_lineno)
+    return _local_trace_for(lines)
+
+
+def executable_lines(path: Path) -> set[int]:
+    """Statement lines per the AST, docstring expressions excluded."""
+    tree = ast.parse(path.read_text())
+    lines: set[int] = set()
+    docstring_lines: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.stmt):
+            lines.add(node.lineno)
+        if isinstance(
+            node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            body = getattr(node, "body", [])
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                for ln in range(body[0].lineno, (body[0].end_lineno or body[0].lineno) + 1):
+                    docstring_lines.add(ln)
+    return lines - docstring_lines
+
+
+def main() -> int:
+    import pytest
+
+    sys.settrace(_global_trace)
+    threading.settrace(_global_trace)
+    argv = sys.argv[1:] or ["-q", "-p", "no:cacheprovider", str(REPO / "tests")]
+    code = pytest.main(argv)
+    sys.settrace(None)
+    threading.settrace(None)
+    if code != 0:
+        print(f"pytest exited {code}; coverage below reflects a failed run")
+
+    total_exec = 0
+    total_hit = 0
+    rows = []
+    for path in sorted((REPO / "src" / "repro").rglob("*.py")):
+        execable = executable_lines(path)
+        hit = _hits.get(str(path), set()) & execable
+        total_exec += len(execable)
+        total_hit += len(hit)
+        pct = 100.0 * len(hit) / len(execable) if execable else 100.0
+        rows.append((str(path.relative_to(REPO)), len(execable), len(hit), pct))
+    for name, n_exec, n_hit, pct in rows:
+        print(f"{name:<55} {n_hit:>5}/{n_exec:<5} {pct:6.1f}%")
+    overall = 100.0 * total_hit / total_exec if total_exec else 100.0
+    print(f"\nTOTAL approximate line coverage: {total_hit}/{total_exec} = {overall:.2f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

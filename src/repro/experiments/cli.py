@@ -124,6 +124,100 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _monitor_sharded(args: argparse.Namespace, methods: list[str]) -> int:
+    """The ``monitor`` loop over a :class:`ShardedStreamEngine` fleet.
+
+    Same synthetic workload and sinks as the single-engine path, but the
+    stream is hash-partitioned across ``--shards`` workers via the chosen
+    ``--executor``.  Each refresh prints the merged fleet counters plus a
+    per-shard occupancy line; ``--jsonl`` snapshots carry per-shard
+    stats, ``--prom`` exports the merged fleet registry, and
+    ``--checkpoint-dir`` writes one rotated store per shard plus the
+    fleet manifest (recoverable with the ``resume`` subcommand).
+    """
+    from time import perf_counter
+
+    import numpy as np
+
+    from ..core.normalization import Domain
+    from ..obs import JsonlSnapshotWriter, prometheus_text
+    from ..sharding import ShardedStreamEngine
+    from ..streams import JoinQuery
+
+    fleet = ShardedStreamEngine(
+        num_shards=args.shards, seed=args.seed, executor=args.executor
+    )
+    domain = Domain.of_size(args.domain)
+    fleet.create_relation("R1", ["A"], [domain])
+    fleet.create_relation("R2", ["A"], [domain])
+    query = JoinQuery.parse(["R1", "R2"], ["R1.A = R2.A"])
+    for method in methods:
+        options = {"probability": 0.1} if method == "sample" else {}
+        fleet.register_query(
+            f"q_{method}", query, method=method, budget=args.budget, **options
+        )
+
+    writer = JsonlSnapshotWriter(args.jsonl) if args.jsonl else None
+    start = perf_counter()
+
+    def render() -> None:
+        elapsed = perf_counter() - start
+        stats = fleet.shard_stats()
+        total = sum(s["tuples_ingested"] for s in stats)
+        rate = total / elapsed if elapsed > 0 else 0.0
+        print(
+            f"[{elapsed:7.2f}s] {total:>12,} ops over {args.shards} shards"
+            f" ({args.executor}), {rate:>12,.0f} ops/s"
+        )
+        occupancy = "  ".join(
+            f"s{i}:{s['tuples_ingested']:,}" for i, s in enumerate(stats)
+        )
+        print(f"           {occupancy}")
+
+    def snapshot() -> dict:
+        return {"shards": fleet.shard_stats(), "answers": fleet.answers()}
+
+    rng = np.random.default_rng(args.seed)
+    rows = {
+        name: ((rng.zipf(1.3, size=args.tuples) - 1) % args.domain)[:, None]
+        for name in ("R1", "R2")
+    }
+    batch = max(1, args.batch)
+    since_refresh = 0
+    since_checkpoint = 0
+    for lo in range(0, args.tuples, batch):
+        for name in ("R1", "R2"):
+            chunk = rows[name][lo : lo + batch]
+            fleet.ingest_batch(name, chunk)
+            since_refresh += chunk.shape[0]
+            since_checkpoint += chunk.shape[0]
+        if since_refresh >= args.refresh_every:
+            since_refresh = 0
+            render()
+            if writer is not None:
+                writer.write(snapshot())
+        if args.checkpoint_dir and since_checkpoint >= args.checkpoint_every:
+            since_checkpoint = 0
+            fleet.save_checkpoints(args.checkpoint_dir, keep=args.checkpoint_keep)
+    render()
+    print("final estimates:")
+    for name, estimate in fleet.answers().items():
+        print(f"  {name:<24} {estimate:>14,.1f}")
+    if writer is not None:
+        writer.write(snapshot())
+        print(f"wrote {writer.snapshots_written} snapshots to {args.jsonl}")
+    if args.checkpoint_dir:
+        fleet.save_checkpoints(args.checkpoint_dir, keep=args.checkpoint_keep)
+        print(f"wrote per-shard checkpoints + fleet manifest to {args.checkpoint_dir}")
+    if args.prom:
+        from pathlib import Path
+
+        Path(args.prom).write_text(prometheus_text(fleet.fleet_metrics()))
+        print(f"wrote Prometheus exposition to {args.prom}")
+    fleet.close()
+    return 0
+
+
 def _cmd_monitor(args: argparse.Namespace) -> int:
     """Ingest a synthetic stream and render a live-refreshing stats table.
 
@@ -137,7 +231,9 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     in Prometheus text exposition format.  With ``--checkpoint-dir`` set,
     the engine is checkpointed every ``--checkpoint-every`` ingested
     tuples (rotated, last ``--checkpoint-keep`` files kept) so a crashed
-    monitor can be resumed with the ``resume`` subcommand.
+    monitor can be resumed with the ``resume`` subcommand.  With
+    ``--shards N`` (N > 1) the same workload runs against a
+    :class:`~repro.sharding.ShardedStreamEngine` fleet instead.
     """
     import sys as _sys
     from time import perf_counter
@@ -149,6 +245,8 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     from ..streams import JoinQuery, StreamEngine
 
     methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    if args.shards > 1:
+        return _monitor_sharded(args, methods)
     engine = StreamEngine(seed=args.seed)
     domain = Domain.of_size(args.domain)
     engine.create_relation("R1", ["A"], [domain])
@@ -232,6 +330,27 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resume_sharded(args: argparse.Namespace) -> int:
+    """Restore a sharded fleet from its manifest and print its state."""
+    from ..resilience import DegradedQueryError
+    from ..sharding import ShardedStreamEngine
+
+    with ShardedStreamEngine.restore(args.checkpoint_dir) as fleet:
+        print(
+            f"restored {fleet.num_shards}-shard fleet from {args.checkpoint_dir}"
+        )
+        for name in fleet.relation_names():
+            print(f"  relation {name:<8} {fleet.total_count(name):>12,} tuples")
+        for name in fleet.query_names():
+            try:
+                estimate = fleet.answer(name)
+            except DegradedQueryError as exc:
+                print(f"  query {name:<20} degraded ({exc.reason})")
+            else:
+                print(f"  query {name:<20} {estimate:>14,.1f}")
+    return 0
+
+
 def _cmd_resume(args: argparse.Namespace) -> int:
     """Restore the newest checkpoint in a directory and print its state.
 
@@ -240,11 +359,18 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     :class:`~repro.resilience.CheckpointStore` user), then print the
     restored relation cardinalities and every registered query's answer.
     Degraded queries (an observer was quarantined before the checkpoint)
-    are reported as such instead of aborting the listing.
+    are reported as such instead of aborting the listing.  A directory
+    holding a fleet manifest (written by ``monitor --shards N``) is
+    detected automatically and restored as a whole
+    :class:`~repro.sharding.ShardedStreamEngine` fleet.
     """
+    from pathlib import Path
+
     from ..resilience import CheckpointStore, DegradedQueryError
     from ..streams import StreamEngine
 
+    if (Path(args.checkpoint_dir) / "fleet-manifest.json").exists():
+        return _resume_sharded(args)
     store = CheckpointStore(args.checkpoint_dir)
     latest = store.latest()
     if latest is None:
@@ -383,6 +509,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=3,
         help="how many rotated checkpoints to retain",
+    )
+    monitor.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the stream across this many engine shards (>1 enables sharding)",
+    )
+    monitor.add_argument(
+        "--executor",
+        default="serial",
+        choices=["serial", "thread", "process"],
+        help="shard executor backend (with --shards > 1)",
     )
     monitor.set_defaults(func=_cmd_monitor)
 

@@ -17,6 +17,7 @@ text rendering lives in :mod:`repro.obs.exporters`.
 
 from __future__ import annotations
 
+import functools
 import math
 from typing import Iterator, Mapping, Sequence
 
@@ -325,9 +326,9 @@ class MetricsRegistry:
         labelnames: Sequence[str] = (),
         buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
     ) -> LatencyHistogram | MetricFamily:
-        def factory(metric_name: str, _buckets=tuple(buckets)) -> LatencyHistogram:
-            return LatencyHistogram(metric_name, buckets=_buckets)
-
+        # functools.partial of a module-level function (not a closure) so
+        # the resulting family survives pickling across process shards.
+        factory = functools.partial(_make_histogram, buckets=tuple(buckets))
         return self._get_or_create(LatencyHistogram, name, help, labelnames, factory)
 
     def _get_or_create(self, cls, name, help, labelnames, factory=None):
@@ -340,7 +341,7 @@ class MetricsRegistry:
             elif not isinstance(existing, cls) or want_labels:
                 raise ValueError(f"metric {name!r} already registered differently")
             return existing
-        make = factory if factory is not None else (lambda n: cls(n))
+        make = factory if factory is not None else cls
         if labelnames:
             metric: object = MetricFamily(make, name, help, labelnames)
         else:
@@ -348,6 +349,28 @@ class MetricsRegistry:
             metric.help = help
         self._metrics[name] = metric
         return metric
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry's metrics into this one, in place.
+
+        Merge semantics per kind: counters (and counter children) *sum*;
+        gauges take the incoming value (last write wins); histograms add
+        their bucket counts, counts, and sums (bucket bounds must match).
+        Families merge child-by-child per label-value tuple, so disjoint
+        label values (e.g. per-shard ``shard`` labels) simply collect
+        side by side while colliding tuples combine by kind.  A name
+        registered here with a different kind, label set, or bucket
+        layout raises ``ValueError``.  Returns ``self`` for chaining.
+        """
+        for name, theirs in other.collect():
+            mine = self._metrics.get(name)
+            if mine is None:
+                mine = _structural_clone(theirs)
+                self._metrics[name] = mine
+            else:
+                _check_mergeable(name, mine, theirs)
+            _merge_metric(mine, theirs)
+        return self
 
     def get(self, name: str):
         """The metric registered under ``name``, or ``None``."""
@@ -387,3 +410,59 @@ class MetricsRegistry:
 def as_labels(mapping: Mapping[str, object]) -> dict[str, str]:
     """Coerce attribute values to strings (exporter-friendly)."""
     return {k: str(v) for k, v in mapping.items()}
+
+
+def _make_histogram(name: str, buckets: Sequence[float]) -> LatencyHistogram:
+    """Module-level histogram factory (picklable, unlike a closure)."""
+    return LatencyHistogram(name, buckets=buckets)
+
+
+def _structural_clone(metric):
+    """An empty metric with the same name/kind/labels/buckets as ``metric``."""
+    if isinstance(metric, MetricFamily):
+        return MetricFamily(metric._factory, metric.name, metric.help, metric.labelnames)
+    if isinstance(metric, LatencyHistogram):
+        return LatencyHistogram(metric.name, metric.help, buckets=metric.bounds)
+    return type(metric)(metric.name, metric.help)
+
+
+def _check_mergeable(name: str, mine, theirs) -> None:
+    """Reject merges across different kinds, label sets, or bucket layouts."""
+    mine_family = isinstance(mine, MetricFamily)
+    theirs_family = isinstance(theirs, MetricFamily)
+    if mine_family != theirs_family:
+        raise ValueError(f"cannot merge metric {name!r}: labelled vs unlabelled")
+    if mine_family:
+        if mine.kind != theirs.kind or mine.labelnames != theirs.labelnames:
+            raise ValueError(
+                f"cannot merge metric {name!r}: kind/labels differ "
+                f"({mine.kind}{mine.labelnames} vs {theirs.kind}{theirs.labelnames})"
+            )
+        return
+    if type(mine) is not type(theirs):
+        raise ValueError(
+            f"cannot merge metric {name!r}: {type(mine).__name__} "
+            f"vs {type(theirs).__name__}"
+        )
+    if isinstance(mine, LatencyHistogram) and mine.bounds != theirs.bounds:
+        raise ValueError(f"cannot merge metric {name!r}: bucket bounds differ")
+
+
+def _merge_metric(mine, theirs) -> None:
+    """Fold one metric's value into its same-shape counterpart."""
+    if isinstance(theirs, MetricFamily):
+        for values, child in theirs.items():
+            _merge_metric(mine.labels(*values), child)
+    elif isinstance(theirs, Counter):
+        mine.inc(theirs.value)
+    elif isinstance(theirs, Gauge):
+        mine.set(theirs.value)  # last write wins
+    elif isinstance(theirs, LatencyHistogram):
+        for i, bucket_count in enumerate(theirs.bucket_counts):
+            mine.bucket_counts[i] += bucket_count
+        mine._sum += theirs._sum
+        mine._count += theirs._count
+        mine._min = min(mine._min, theirs._min)
+        mine._max = max(mine._max, theirs._max)
+    else:  # pragma: no cover - no other metric kinds exist
+        raise TypeError(f"cannot merge metric of type {type(theirs).__name__}")

@@ -1,0 +1,555 @@
+"""The sharded continuous-query engine: partitioned ingest, merged answers.
+
+:class:`ShardedStreamEngine` presents the same relation / query / answer
+surface as :class:`~repro.streams.engine.StreamEngine`, but hash-
+partitions every relation's rows across ``num_shards`` independent
+engines (each with its own telemetry registry and checkpoint directory)
+behind a :class:`~repro.sharding.executor.ShardExecutor`.
+
+Answering works per method family (see :mod:`repro.sharding.merge`):
+
+* mergeable methods collect each shard's observer ``state_dict()``,
+  sum them into a *template* engine's synopses (registered over the same
+  specs and seed, so sign families and geometry match), and run the
+  template's unchanged estimate closure — one code path for equi-joins,
+  multi-joins, range and band queries alike;
+* coordinator methods (``sample``, ``partitioned_sketch``, ``wavelet``)
+  answer from a coordinator-resident replica that observed the full
+  stream in arrival order, bit-identical to the unsharded engine;
+* exact answers reduce the shards' exact tensors (cell-disjoint by
+  construction) into the template and reuse its ground-truth path.
+
+Per-shard checkpoints write one rotated
+:class:`~repro.resilience.checkpoint.CheckpointStore` per shard plus a
+fleet manifest; a crashed shard restores alone via
+:meth:`ShardedStreamEngine.restore_shard` while the remaining shards
+keep their live state.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..obs.metrics import MetricsRegistry
+from ..obs.telemetry import Telemetry
+from ..resilience.checkpoint import (
+    CheckpointStore,
+    domain_from_spec,
+    domain_to_spec,
+)
+from ..resilience.errors import CheckpointError, DegradedQueryError
+from ..streams.engine import StreamEngine
+from ..streams.queries import JoinQuery
+from ..streams.tuples import OpKind
+from .executor import ShardExecutor, resolve_executor
+from .merge import COORDINATOR_METHODS, MERGEABLE_METHODS, merge_observer_states
+from .partition import split_rows
+
+__all__ = ["ShardedStreamEngine"]
+
+_MANIFEST_NAME = "fleet-manifest.json"
+
+
+class _RelationMeta:
+    """Fleet-side schema record for one partitioned relation."""
+
+    def __init__(self, name, attributes, domains, partition_axis) -> None:
+        self.name = name
+        self.attributes = tuple(attributes)
+        self.domains = tuple(domains)
+        self.partition_axis = partition_axis
+
+
+class _QueryMeta:
+    """Fleet-side record of one registered query."""
+
+    def __init__(self, name: str, spec: dict, coordinator: bool) -> None:
+        self.name = name
+        self.spec = spec
+        self.coordinator = coordinator
+
+
+class ShardedStreamEngine:
+    """Hash-partitioned fleet of stream engines with merged answers."""
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        seed: int = 0,
+        executor: str | ShardExecutor = "serial",
+        telemetry: bool = True,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = num_shards
+        self._seed = seed
+        self._telemetry_enabled = telemetry
+        self._executor = resolve_executor(executor)
+        self._executor.start(num_shards, seed, telemetry)
+        self._relations: dict[str, _RelationMeta] = {}
+        self._queries: dict[str, _QueryMeta] = {}
+        #: Template engine: empty relations + mergeable query registrations,
+        #: used to host merged synopsis state and reuse estimate closures.
+        self._merge_engine = StreamEngine(seed=seed, telemetry=Telemetry.disabled())
+        #: Full-stream replica for order-dependent methods; ``None`` until
+        #: the first ``sample`` / ``partitioned_sketch`` query registers.
+        self._coordinator: StreamEngine | None = None
+        self._fault_policy: str | None = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent)."""
+        self._executor.close()
+
+    def __enter__(self) -> "ShardedStreamEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # relations
+    # ------------------------------------------------------------------ #
+
+    def create_relation(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        domains: Sequence,
+        partition_by: str | None = None,
+    ) -> None:
+        """Declare a relation on every shard, partitioned by one attribute.
+
+        ``partition_by`` names the routing attribute (default: the first).
+        Merged answers do not depend on the choice — synopsis merges are
+        linear — but routing on the join attribute keeps each join key's
+        tuples co-located, the layout a future shard-local join needs.
+        """
+        if name in self._relations:
+            raise ValueError(f"relation {name!r} already exists")
+        attributes = list(attributes)
+        axis = 0 if partition_by is None else attributes.index(partition_by)
+        self._merge_engine.create_relation(name, attributes, domains)
+        specs = [domain_to_spec(d) for d in domains]
+        self._executor.broadcast("create_relation", name, attributes, specs)
+        if self._coordinator is not None:
+            self._coordinator.create_relation(name, attributes, domains)
+        self._relations[name] = _RelationMeta(name, attributes, domains, axis)
+
+    def relation_names(self) -> list[str]:
+        return list(self._relations)
+
+    def total_count(self, relation_name: str) -> int:
+        """Fleet-wide live tuple count of one relation."""
+        if relation_name not in self._relations:
+            raise KeyError(f"no relation named {relation_name!r}")
+        return int(sum(self._executor.broadcast("relation_count", relation_name)))
+
+    def merged_counts(self, relation_name: str) -> np.ndarray:
+        """The relation's exact tensor, reduced across shards."""
+        if self._coordinator is not None:
+            return self._coordinator.relations[relation_name].counts.copy()
+        parts = self._executor.broadcast("relation_counts", relation_name)
+        return np.sum(np.stack(parts), axis=0)
+
+    # ------------------------------------------------------------------ #
+    # ingest
+    # ------------------------------------------------------------------ #
+
+    def ingest_batch(
+        self,
+        relation_name: str,
+        rows: Sequence[Sequence] | np.ndarray,
+        kind: OpKind = OpKind.INSERT,
+    ) -> None:
+        """Partition a same-kind batch by routing hash and fan it out.
+
+        The coordinator replica (when present) sees the whole batch first,
+        in arrival order; each shard then applies its slice through the
+        normal batched fast path.  Per-shard slices preserve the batch's
+        relative order, so shard state is independent of batch framing.
+        """
+        meta = self._relations[relation_name]
+        arr = self._merge_engine.relations[relation_name].rows_array(rows)
+        if arr.shape[0] == 0:
+            return
+        if self._coordinator is not None:
+            self._coordinator.ingest_batch(relation_name, arr, kind)
+        parts = split_rows(arr, meta.partition_axis, self.num_shards)
+        self._executor.scatter(
+            "ingest",
+            [
+                ((relation_name, part, kind), {}) if part.shape[0] else None
+                for part in parts
+            ],
+        )
+
+    def insert(self, relation_name: str, values: Sequence) -> None:
+        self.ingest_batch(relation_name, [tuple(values)], OpKind.INSERT)
+
+    def delete(self, relation_name: str, values: Sequence) -> None:
+        self.ingest_batch(relation_name, [tuple(values)], OpKind.DELETE)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def register_query(
+        self,
+        name: str,
+        query: JoinQuery,
+        method: str = "cosine",
+        budget: int = 200,
+        **options,
+    ) -> None:
+        """Register a continuous join-COUNT query across the fleet.
+
+        Mergeable methods register on every shard (each replays its own
+        slice of history); coordinator methods register on the full-stream
+        replica, which is created — seeded with the merged exact tensors —
+        on first use.
+        """
+        if method in COORDINATOR_METHODS:
+            coordinator = True
+        elif method in MERGEABLE_METHODS:
+            coordinator = False
+        else:
+            raise ValueError(
+                f"unknown method {method!r}; choose from "
+                f"{sorted(MERGEABLE_METHODS | COORDINATOR_METHODS)}"
+            )
+        spec = {
+            "kind": "join",
+            "relations": list(query.relations),
+            "predicates": [str(p) for p in query.predicates],
+            "method": method,
+            "budget": budget,
+            "options": dict(options),
+        }
+        self._register_spec(name, spec, coordinator)
+
+    def register_range_query(
+        self, name: str, relation_name: str, attribute: str, low, high,
+        budget: int = 200, **options,
+    ) -> None:
+        """Register a range-COUNT query (cosine marginal; always mergeable)."""
+        spec = {
+            "kind": "range",
+            "relation": relation_name,
+            "attribute": attribute,
+            "low": low,
+            "high": high,
+            "budget": budget,
+            "options": dict(options),
+        }
+        self._register_spec(name, spec, coordinator=False)
+
+    def register_band_query(
+        self, name: str, left: tuple[str, str], right: tuple[str, str],
+        width: int, budget: int = 200, **options,
+    ) -> None:
+        """Register a band-join COUNT query (cosine marginals; mergeable)."""
+        spec = {
+            "kind": "band",
+            "left": list(left),
+            "right": list(right),
+            "width": width,
+            "budget": budget,
+            "options": dict(options),
+        }
+        self._register_spec(name, spec, coordinator=False)
+
+    def _register_spec(self, name: str, spec: dict, coordinator: bool) -> None:
+        if name in self._queries:
+            raise ValueError(f"query {name!r} already registered")
+        if coordinator:
+            self._ensure_coordinator()
+            self._coordinator._register_from_spec(name, spec)
+        else:
+            # The template registration validates the spec before any shard
+            # sees it, and builds the observers merged state is loaded into.
+            self._merge_engine._register_from_spec(name, spec)
+            self._executor.broadcast("register_query", name, spec)
+        self._queries[name] = _QueryMeta(name, spec, coordinator)
+
+    def _ensure_coordinator(self) -> None:
+        if self._coordinator is not None:
+            return
+        coordinator = StreamEngine(
+            seed=self._seed,
+            telemetry=(
+                Telemetry(tracing=False)
+                if self._telemetry_enabled
+                else Telemetry.disabled()
+            ),
+            shard="coordinator",
+        )
+        for meta in self._relations.values():
+            relation = coordinator.create_relation(
+                meta.name, meta.attributes, meta.domains
+            )
+            merged = self.merged_counts(meta.name) if self.num_shards else None
+            if merged is not None and merged.sum() > 0:
+                relation.load_counts(merged)
+        if self._fault_policy is not None:
+            coordinator.enable_fault_isolation(self._fault_policy)
+        self._coordinator = coordinator
+
+    def unregister_query(self, name: str) -> None:
+        meta = self._queries.pop(name, None)
+        if meta is None:
+            raise KeyError(f"no query named {name!r}")
+        if meta.coordinator:
+            self._coordinator.unregister_query(name)
+        else:
+            self._merge_engine.unregister_query(name)
+            self._executor.broadcast("unregister_query", name)
+
+    def query_names(self) -> list[str]:
+        return list(self._queries)
+
+    # ------------------------------------------------------------------ #
+    # answers
+    # ------------------------------------------------------------------ #
+
+    def answer(self, name: str) -> float:
+        """Current fleet estimate of a registered query.
+
+        Coordinator-method queries answer from the replica; mergeable
+        queries merge per-shard synopsis state into the template and run
+        its estimate closure.  A query degraded on *any* shard follows the
+        :meth:`enable_fault_isolation` policy (raise / NaN / exact),
+        leaving every other query untouched.
+        """
+        meta = self._queries[name]
+        if meta.coordinator:
+            return self._coordinator.answer(name)
+        replies = self._executor.broadcast("query_observers", name)
+        degraded = {
+            shard: reason for shard, (reason, _) in enumerate(replies) if reason
+        }
+        if degraded:
+            shard, reason = next(iter(degraded.items()))
+            policy = self._fault_policy or "raise"
+            if policy == "raise":
+                raise DegradedQueryError(name, f"shard {shard}: {reason}")
+            if policy == "nan":
+                return float("nan")
+            return self.exact_answer(name)
+        state = self._merge_engine._queries[name]
+        per_observer = zip(*[states for _, states in replies])
+        for (_, observer), states in zip(state.attachments, per_observer):
+            observer.load_state(merge_observer_states(list(states)))
+        return state.estimate()
+
+    def answers(self) -> dict[str, float]:
+        return {name: self.answer(name) for name in self._queries}
+
+    def exact_answer(self, name: str) -> float:
+        """Ground-truth answer from the merged exact tensors."""
+        meta = self._queries[name]
+        if meta.coordinator:
+            return self._coordinator.exact_answer(name)
+        template = self._merge_engine
+        saved = {}
+        for rel_name, relation in template.relations.items():
+            saved[rel_name] = (relation.counts, relation._count)
+            merged = self.merged_counts(rel_name)
+            relation.counts = merged
+            relation._count = int(merged.sum())
+        try:
+            return template.exact_answer(name)
+        finally:
+            for rel_name, (counts, count) in saved.items():
+                relation = template.relations[rel_name]
+                relation.counts = counts
+                relation._count = count
+
+    # ------------------------------------------------------------------ #
+    # fault isolation
+    # ------------------------------------------------------------------ #
+
+    def enable_fault_isolation(self, policy: str = "raise") -> None:
+        """Quarantine throwing observers shard-locally (fleet-wide policy)."""
+        if policy not in ("raise", "nan", "exact"):
+            raise ValueError(
+                f"unknown degraded-answer policy {policy!r}; "
+                "choose from 'raise', 'nan', 'exact'"
+            )
+        self._fault_policy = policy
+        self._executor.broadcast("enable_fault_isolation", policy)
+        if self._coordinator is not None:
+            self._coordinator.enable_fault_isolation(policy)
+
+    def degraded_queries(self) -> dict[str, dict[int, str]]:
+        """Degraded queries mapped to ``{shard_index: reason}``."""
+        out: dict[str, dict[int, str]] = {}
+        for shard, shard_map in enumerate(self._executor.broadcast("degraded_queries")):
+            for query, reason in shard_map.items():
+                out.setdefault(query, {})[shard] = reason
+        if self._coordinator is not None:
+            for query, reason in self._coordinator.degraded_queries().items():
+                out.setdefault(query, {})[-1] = reason
+        return out
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+
+    def fleet_metrics(self) -> MetricsRegistry:
+        """All shard registries (plus the coordinator's) merged into one.
+
+        Unlabelled counters sum into fleet totals; ``shard``-labelled
+        families keep one child per shard, the layout fleet dashboards
+        aggregate over (see :meth:`repro.obs.metrics.MetricsRegistry.merge`).
+        """
+        merged = MetricsRegistry()
+        for registry in self._executor.broadcast("registry"):
+            merged.merge(registry)
+        if self._coordinator is not None:
+            merged.merge(self._coordinator.telemetry.registry)
+        return merged
+
+    def shard_stats(self) -> list[dict]:
+        """Each shard's ``EngineStats.as_dict()`` snapshot, in shard order."""
+        return self._executor.broadcast("stats_dict")
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / recovery
+    # ------------------------------------------------------------------ #
+
+    def _shard_dir(self, directory: str | Path, shard: int) -> Path:
+        return Path(directory) / f"shard-{shard:02d}"
+
+    def save_checkpoints(self, directory: str | Path, keep: int = 3) -> list[str]:
+        """Checkpoint every shard (and the coordinator) independently.
+
+        Each shard rotates its own ``shard-NN/checkpoint-*.ckpt`` store;
+        a JSON fleet manifest records the partitioning and query layout so
+        :meth:`restore` can rebuild the fleet.  Returns the written paths.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths = self._executor.scatter(
+            "save_checkpoint",
+            [
+                ((str(self._shard_dir(directory, shard)),), {"keep": keep})
+                for shard in range(self.num_shards)
+            ],
+        )
+        if self._coordinator is not None:
+            store = CheckpointStore(directory / "coordinator", keep=keep)
+            paths.append(str(store.save(self._coordinator)))
+        manifest = {
+            "version": 1,
+            "num_shards": self.num_shards,
+            "seed": self._seed,
+            "fault_policy": self._fault_policy,
+            "has_coordinator": self._coordinator is not None,
+            "relations": [
+                {
+                    "name": meta.name,
+                    "attributes": list(meta.attributes),
+                    "domains": [domain_to_spec(d) for d in meta.domains],
+                    "partition_axis": meta.partition_axis,
+                }
+                for meta in self._relations.values()
+            ],
+            "queries": [
+                {"name": meta.name, "spec": meta.spec, "coordinator": meta.coordinator}
+                for meta in self._queries.values()
+            ],
+        }
+        (directory / _MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+        return [p for p in paths if p is not None]
+
+    def restore_shard(self, shard: int, directory: str | Path) -> str:
+        """Reload one crashed shard from its own newest checkpoint.
+
+        Only that shard's engine is replaced; every other shard keeps its
+        live state, so recovery cost is one shard's checkpoint, not the
+        fleet's.
+        """
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"shard {shard} out of range for {self.num_shards} shards")
+        return self._executor.call(
+            shard, "load_latest_checkpoint", str(self._shard_dir(directory, shard))
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        directory: str | Path,
+        executor: str | ShardExecutor = "serial",
+        telemetry: bool = True,
+    ) -> "ShardedStreamEngine":
+        """Rebuild a fleet from :meth:`save_checkpoints` output.
+
+        The manifest recreates the fleet layout (shard count, partition
+        axes, query specs); each shard then restores from its own store,
+        and the coordinator replica (if any) from ``coordinator/``.
+        """
+        directory = Path(directory)
+        manifest_path = directory / _MANIFEST_NAME
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(
+                f"cannot read fleet manifest {manifest_path}: {exc}"
+            ) from exc
+        engine = cls(
+            num_shards=int(manifest["num_shards"]),
+            seed=int(manifest["seed"]),
+            executor=executor,
+            telemetry=telemetry,
+        )
+        for rel in manifest["relations"]:
+            domains = [domain_from_spec(s) for s in rel["domains"]]
+            engine._merge_engine.create_relation(rel["name"], rel["attributes"], domains)
+            engine._relations[rel["name"]] = _RelationMeta(
+                rel["name"], rel["attributes"], domains, int(rel["partition_axis"])
+            )
+        engine._executor.scatter(
+            "load_latest_checkpoint",
+            [
+                ((str(engine._shard_dir(directory, shard)),), {})
+                for shard in range(engine.num_shards)
+            ],
+        )
+        if manifest.get("has_coordinator"):
+            store = CheckpointStore(directory / "coordinator")
+            latest = store.latest()
+            if latest is None:
+                raise CheckpointError(f"no coordinator checkpoints in {directory}")
+            engine._coordinator = StreamEngine.load_checkpoint(
+                latest,
+                telemetry=(
+                    Telemetry(tracing=False) if telemetry else Telemetry.disabled()
+                ),
+                shard="coordinator",
+            )
+        for entry in manifest["queries"]:
+            if not entry["coordinator"]:
+                engine._merge_engine._register_from_spec(entry["name"], entry["spec"])
+            engine._queries[entry["name"]] = _QueryMeta(
+                entry["name"], entry["spec"], entry["coordinator"]
+            )
+        if manifest.get("fault_policy") is not None:
+            engine._fault_policy = manifest["fault_policy"]
+        return engine
+
+    # ------------------------------------------------------------------ #
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedStreamEngine(shards={self.num_shards}, "
+            f"executor={type(self._executor).__name__}, "
+            f"relations={len(self._relations)}, queries={len(self._queries)})"
+        )

@@ -1,0 +1,275 @@
+"""Shard executors: one interface, three placement strategies.
+
+A :class:`ShardExecutor` owns ``num_shards``
+:class:`~repro.sharding.worker.ShardWorker` instances and runs commands
+against them:
+
+* :class:`SerialExecutor` — workers in-process, commands run inline.
+  Zero concurrency, zero overhead; the deterministic baseline and the
+  default.
+* :class:`ThreadExecutor` — one single-thread pool *per shard*, so each
+  shard applies its commands in submission order (the ordering guarantee
+  ingest correctness depends on) while different shards run
+  concurrently.  Wins when the synopsis kernels spend their time inside
+  numpy, which releases the GIL.
+* :class:`ProcessExecutor` — one worker process per shard behind a
+  pipe; commands and results are pickled.  True CPU parallelism at the
+  cost of per-command IPC; worth it when per-batch synopsis work
+  dominates (large budgets / batches).
+
+Commands are ``(method_name, args, kwargs)`` against the worker's public
+methods.  A worker exception is re-raised in the caller as
+:class:`ShardError` naming the shard, for all three executors alike.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+from .worker import ShardWorker
+
+__all__ = [
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ShardError",
+    "ShardExecutor",
+    "ThreadExecutor",
+    "resolve_executor",
+]
+
+
+class ShardError(RuntimeError):
+    """A command failed on one shard (carries the shard index)."""
+
+    def __init__(self, shard: int, message: str) -> None:
+        super().__init__(f"shard {shard}: {message}")
+        self.shard = shard
+
+
+class ShardExecutor:
+    """Abstract executor: start workers, run commands, shut down."""
+
+    num_shards: int = 0
+
+    def start(self, num_shards: int, seed: int, telemetry: bool = True) -> None:
+        raise NotImplementedError
+
+    def call(self, shard: int, method: str, *args, **kwargs):
+        """Run one command on one shard and return its result."""
+        raise NotImplementedError
+
+    def broadcast(self, method: str, *args, **kwargs) -> list:
+        """Run the same command on every shard; results in shard order."""
+        return self.scatter(method, [(args, kwargs)] * self.num_shards)
+
+    def scatter(self, method: str, per_shard: Sequence[tuple | None]) -> list:
+        """Run per-shard argument sets concurrently; ``None`` skips a shard.
+
+        ``per_shard[i]`` is an ``(args, kwargs)`` pair for shard ``i``.
+        Returns one result per shard (``None`` for skipped shards).
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release workers (idempotent)."""
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _wrap_call(shard: int, worker: ShardWorker, method: str, args, kwargs):
+    try:
+        return getattr(worker, method)(*args, **kwargs)
+    except ShardError:
+        raise
+    except Exception as exc:
+        raise ShardError(shard, f"{type(exc).__name__}: {exc}") from exc
+
+
+class SerialExecutor(ShardExecutor):
+    """All shards in-process; commands run inline in shard order."""
+
+    def __init__(self) -> None:
+        self.workers: list[ShardWorker] = []
+
+    def start(self, num_shards: int, seed: int, telemetry: bool = True) -> None:
+        self.num_shards = num_shards
+        self.workers = [ShardWorker(i, seed, telemetry) for i in range(num_shards)]
+
+    def call(self, shard: int, method: str, *args, **kwargs):
+        return _wrap_call(shard, self.workers[shard], method, args, kwargs)
+
+    def scatter(self, method: str, per_shard: Sequence[tuple | None]) -> list:
+        results: list = [None] * self.num_shards
+        for shard, item in enumerate(per_shard):
+            if item is not None:
+                args, kwargs = item
+                results[shard] = self.call(shard, method, *args, **kwargs)
+        return results
+
+
+class ThreadExecutor(ShardExecutor):
+    """One single-thread pool per shard: per-shard order, cross-shard overlap."""
+
+    def __init__(self) -> None:
+        self.workers: list[ShardWorker] = []
+        self._pools: list[ThreadPoolExecutor] = []
+
+    def start(self, num_shards: int, seed: int, telemetry: bool = True) -> None:
+        self.num_shards = num_shards
+        self.workers = [ShardWorker(i, seed, telemetry) for i in range(num_shards)]
+        self._pools = [
+            ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"shard-{i}")
+            for i in range(num_shards)
+        ]
+
+    def call(self, shard: int, method: str, *args, **kwargs):
+        future = self._pools[shard].submit(
+            _wrap_call, shard, self.workers[shard], method, args, kwargs
+        )
+        return future.result()
+
+    def scatter(self, method: str, per_shard: Sequence[tuple | None]) -> list:
+        futures = []
+        for shard, item in enumerate(per_shard):
+            if item is None:
+                futures.append(None)
+                continue
+            args, kwargs = item
+            futures.append(
+                self._pools[shard].submit(
+                    _wrap_call, shard, self.workers[shard], method, args, kwargs
+                )
+            )
+        return [f.result() if f is not None else None for f in futures]
+
+    def close(self) -> None:
+        for pool in self._pools:
+            pool.shutdown(wait=True)
+        self._pools = []
+        self.workers = []
+
+
+def _process_worker_loop(conn, shard_index: int, seed: int, telemetry: bool) -> None:
+    """Worker-process entry point: apply piped commands until EOF/None."""
+    worker = ShardWorker(shard_index, seed, telemetry)
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        if message is None:
+            break
+        method, args, kwargs = message
+        try:
+            result = getattr(worker, method)(*args, **kwargs)
+        except Exception as exc:
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+        else:
+            conn.send(("ok", result))
+    conn.close()
+
+
+class ProcessExecutor(ShardExecutor):
+    """One worker process per shard, commands over a duplex pipe."""
+
+    def __init__(self, mp_context: str | None = None) -> None:
+        self._ctx_name = mp_context
+        self._procs: list = []
+        self._conns: list = []
+
+    def start(self, num_shards: int, seed: int, telemetry: bool = True) -> None:
+        self.num_shards = num_shards
+        name = self._ctx_name
+        if name is None:
+            name = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        ctx = mp.get_context(name)
+        for i in range(num_shards):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_process_worker_loop,
+                args=(child_conn, i, seed, telemetry),
+                daemon=True,
+                name=f"repro-shard-{i}",
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    def _send(self, shard: int, method: str, args, kwargs) -> None:
+        try:
+            self._conns[shard].send((method, args, kwargs))
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardError(shard, f"worker process is gone: {exc}") from exc
+
+    def _recv(self, shard: int):
+        try:
+            status, payload = self._conns[shard].recv()
+        except EOFError as exc:
+            raise ShardError(shard, "worker process exited mid-command") from exc
+        if status == "err":
+            raise ShardError(shard, payload)
+        return payload
+
+    def call(self, shard: int, method: str, *args, **kwargs):
+        self._send(shard, method, args, kwargs)
+        return self._recv(shard)
+
+    def scatter(self, method: str, per_shard: Sequence[tuple | None]) -> list:
+        active = []
+        for shard, item in enumerate(per_shard):
+            if item is None:
+                continue
+            args, kwargs = item
+            self._send(shard, method, args, kwargs)
+            active.append(shard)
+        results: list = [None] * self.num_shards
+        errors: list[ShardError] = []
+        for shard in active:
+            try:
+                results[shard] = self._recv(shard)
+            except ShardError as exc:
+                errors.append(exc)
+        if errors:
+            raise errors[0]
+        return results
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - defensive cleanup
+                proc.terminate()
+                proc.join(timeout=5)
+        self._procs = []
+        self._conns = []
+
+
+_EXECUTORS = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def resolve_executor(executor: str | ShardExecutor) -> ShardExecutor:
+    """Coerce an executor name (``serial``/``thread``/``process``) or instance."""
+    if isinstance(executor, ShardExecutor):
+        return executor
+    try:
+        return _EXECUTORS[executor]()
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {executor!r}; choose from {sorted(_EXECUTORS)}"
+        ) from None

@@ -1,0 +1,119 @@
+"""The per-shard command surface: one engine behind a picklable protocol.
+
+A :class:`ShardWorker` owns one
+:class:`~repro.streams.engine.StreamEngine` and exposes exactly the
+operations a :class:`~repro.sharding.engine.ShardedStreamEngine` needs,
+as plain methods taking and returning picklable values.  Executors call
+these methods either directly (serial / thread executors, in-process) or
+through a pipe protocol (process executor, see
+:mod:`repro.sharding.executor`) — the worker itself cannot tell the
+difference, which is what keeps all three executors answer-identical.
+
+Each worker's engine carries its own
+:class:`~repro.obs.metrics.MetricsRegistry` with the shard index as a
+``shard`` label on the relation/observer metrics, and checkpoints into
+its own :class:`~repro.resilience.checkpoint.CheckpointStore` directory,
+so a crashed shard restores independently of the rest of the fleet.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..obs.metrics import MetricsRegistry
+from ..obs.telemetry import Telemetry
+from ..resilience.checkpoint import CheckpointStore
+from ..resilience.errors import CheckpointError
+from ..streams.engine import StreamEngine
+from ..streams.tuples import OpKind
+
+__all__ = ["ShardWorker"]
+
+
+class ShardWorker:
+    """One shard's engine plus the command methods executors invoke."""
+
+    def __init__(self, shard_index: int, seed: int, telemetry: bool = True) -> None:
+        self.shard_index = shard_index
+        self.seed = seed
+        self.telemetry_enabled = telemetry
+        self.engine = self._fresh_engine()
+
+    def _fresh_engine(self) -> StreamEngine:
+        hub = (
+            Telemetry(tracing=False) if self.telemetry_enabled else Telemetry.disabled()
+        )
+        return StreamEngine(seed=self.seed, telemetry=hub, shard=str(self.shard_index))
+
+    # ------------------------------------------------------------------ #
+    # commands (everything below takes / returns picklable values)
+    # ------------------------------------------------------------------ #
+
+    def ping(self) -> int:
+        return self.shard_index
+
+    def create_relation(self, name: str, attributes: list, domain_specs: list) -> None:
+        from ..resilience.checkpoint import domain_from_spec
+
+        self.engine.create_relation(
+            name, attributes, [domain_from_spec(s) for s in domain_specs]
+        )
+
+    def register_query(self, name: str, spec: dict) -> None:
+        self.engine._register_from_spec(name, spec)
+
+    def unregister_query(self, name: str) -> None:
+        self.engine.unregister_query(name)
+
+    def ingest(self, relation: str, rows: np.ndarray, kind: OpKind) -> int:
+        self.engine.ingest_batch(relation, rows, kind)
+        return int(np.asarray(rows).shape[0])
+
+    def query_observers(self, name: str) -> tuple[str | None, list[dict]]:
+        """This shard's (degraded_reason, per-observer state dicts) for a query."""
+        state = self.engine._queries[name]
+        return state.degraded, [obs.state_dict() for _, obs in state.attachments]
+
+    def relation_counts(self, name: str) -> np.ndarray:
+        return self.engine.relations[name].counts.copy()
+
+    def relation_count(self, name: str) -> int:
+        return self.engine.relations[name].count
+
+    def enable_fault_isolation(self, policy: str) -> None:
+        self.engine.enable_fault_isolation(policy)
+
+    def degraded_queries(self) -> dict[str, str]:
+        return self.engine.degraded_queries()
+
+    def registry(self) -> MetricsRegistry:
+        """The shard's metrics registry (a picklable value object)."""
+        return self.engine.telemetry.registry
+
+    def stats_dict(self) -> dict:
+        return self.engine.stats().as_dict()
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / recovery
+    # ------------------------------------------------------------------ #
+
+    def save_checkpoint(self, directory: str, keep: int = 3) -> str:
+        """Rotate a checkpoint of this shard's engine into ``directory``."""
+        store = CheckpointStore(directory, keep=keep)
+        return str(store.save(self.engine))
+
+    def load_latest_checkpoint(self, directory: str) -> str:
+        """Replace this shard's engine with the newest checkpoint's state."""
+        store = CheckpointStore(Path(directory))
+        latest = store.latest()
+        if latest is None:
+            raise CheckpointError(f"no checkpoints found in {directory}")
+        hub = (
+            Telemetry(tracing=False) if self.telemetry_enabled else Telemetry.disabled()
+        )
+        self.engine = StreamEngine.load_checkpoint(
+            latest, telemetry=hub, shard=str(self.shard_index)
+        )
+        return str(latest)

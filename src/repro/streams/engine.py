@@ -109,7 +109,12 @@ class _QueryState:
 class ContinuousQueryEngine:
     """Registers stream relations and continuous join-COUNT queries."""
 
-    def __init__(self, seed: int = 0, telemetry: Telemetry | None = None) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        telemetry: Telemetry | None = None,
+        shard: str | None = None,
+    ) -> None:
         self.relations: dict[str, StreamRelation] = {}
         self._queries: dict[str, _QueryState] = {}
         self._seed = seed
@@ -118,7 +123,12 @@ class ContinuousQueryEngine:
         #: Pass ``Telemetry.disabled()`` for a zero-overhead engine, or a
         #: shared hub to aggregate several engines into one registry.
         self.telemetry = telemetry if telemetry is not None else Telemetry()
-        self._stats = EngineStats(registry=self.telemetry.registry)
+        #: Shard identity, set when this engine is one member of a
+        #: :class:`repro.sharding.engine.ShardedStreamEngine` fleet; adds a
+        #: ``shard`` label to the relation/observer metric families so
+        #: merged fleet registries keep per-shard resolution.
+        self.shard = shard
+        self._stats = EngineStats(registry=self.telemetry.registry, shard=shard)
         self._accuracy: AccuracyTracker | None = None
         #: Degraded-answer policy once :meth:`enable_fault_isolation` has
         #: been called; ``None`` means isolation is off (faults raise).
@@ -698,7 +708,7 @@ class ContinuousQueryEngine:
 
     @classmethod
     def load_checkpoint(
-        cls, path, telemetry: Telemetry | None = None
+        cls, path, telemetry: Telemetry | None = None, shard: str | None = None
     ) -> "ContinuousQueryEngine":
         """Restore an engine from a checkpoint written by :meth:`save_checkpoint`.
 
@@ -711,7 +721,7 @@ class ContinuousQueryEngine:
         payload = read_checkpoint(path)
         try:
             engine_meta = payload["engine"]
-            engine = cls(seed=int(engine_meta["seed"]), telemetry=telemetry)
+            engine = cls(seed=int(engine_meta["seed"]), telemetry=telemetry, shard=shard)
             for name, rel_state in payload["relations"].items():
                 relation = engine.create_relation(
                     name,

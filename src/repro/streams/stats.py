@@ -35,8 +35,19 @@ class EngineStats:
     ``repro_observer_*``, ``repro_estimate_*``, ``repro_query_*``.
     """
 
-    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        shard: str | None = None,
+    ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
+        #: When this engine is one shard of a fleet, every labelled family
+        #: below grows a trailing ``shard`` label, so per-shard series stay
+        #: distinct after :meth:`repro.obs.metrics.MetricsRegistry.merge`
+        #: folds the fleet's registries together.  The reading surface
+        #: (``relation_ops`` etc.) keys on the first label either way.
+        self.shard = shard
+        extra = ("shard",) if shard is not None else ()
         r = self.registry
         self._ingested = r.counter(
             "repro_ingest_ops_total",
@@ -59,17 +70,17 @@ class EngineStats:
         self._relation_ops = r.counter(
             "repro_relation_ops_total",
             "Operations applied, per relation.",
-            labelnames=("relation",),
+            labelnames=("relation", *extra),
         )
         self._obs_time = r.counter(
             "repro_observer_seconds_total",
             "Seconds spent inside observer updates, per stats key.",
-            labelnames=("method",),
+            labelnames=("method", *extra),
         )
         self._obs_ops = r.counter(
             "repro_observer_ops_total",
             "Operations seen by observers, per stats key.",
-            labelnames=("method",),
+            labelnames=("method", *extra),
         )
         self._estimate_hist = r.histogram(
             "repro_estimate_latency_seconds",
@@ -78,17 +89,21 @@ class EngineStats:
         self._query_estimates = r.counter(
             "repro_query_estimates_total",
             "Estimate evaluations served, per query.",
-            labelnames=("query",),
+            labelnames=("query", *extra),
         )
         self._query_seconds = r.counter(
             "repro_query_estimate_seconds_total",
             "Seconds spent evaluating estimates, per query.",
-            labelnames=("query",),
+            labelnames=("query", *extra),
         )
         # Label children resolved once per key, then hit as plain attributes.
         self._observer_cache: dict[str, tuple[Counter, Counter]] = {}
         self._relation_cache: dict[str, Counter] = {}
         self._query_cache: dict[str, tuple[Counter, Counter]] = {}
+
+    def _labels(self, key: str) -> tuple[str, ...]:
+        """The full label tuple for one key (appends the shard, if any)."""
+        return (key,) if self.shard is None else (key, self.shard)
 
     # ------------------------------------------------------------------ #
     # recording (called from the relation / engine hot paths)
@@ -109,7 +124,7 @@ class EngineStats:
         if relation:
             child = self._relation_cache.get(relation)
             if child is None:
-                child = self._relation_ops.labels(relation)
+                child = self._relation_ops.labels(*self._labels(relation))
                 self._relation_cache[relation] = child
             child.inc(count)
 
@@ -117,7 +132,8 @@ class EngineStats:
         """Record one observer update covering ``count`` operations."""
         pair = self._observer_cache.get(key)
         if pair is None:
-            pair = (self._obs_time.labels(key), self._obs_ops.labels(key))
+            labels = self._labels(key)
+            pair = (self._obs_time.labels(*labels), self._obs_ops.labels(*labels))
             self._observer_cache[key] = pair
         pair[0].inc(seconds)
         pair[1].inc(count)
@@ -128,9 +144,10 @@ class EngineStats:
         if query:
             pair = self._query_cache.get(query)
             if pair is None:
+                labels = self._labels(query)
                 pair = (
-                    self._query_estimates.labels(query),
-                    self._query_seconds.labels(query),
+                    self._query_estimates.labels(*labels),
+                    self._query_seconds.labels(*labels),
                 )
                 self._query_cache[query] = pair
             pair[0].inc()

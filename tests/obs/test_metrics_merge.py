@@ -1,0 +1,163 @@
+"""MetricsRegistry.merge: counter sums, gauge last-write, histogram adds."""
+
+import pickle
+
+import pytest
+
+from repro.obs.metrics import LatencyHistogram, MetricsRegistry
+
+
+def registry_with(counter=0.0, gauge=None, observations=()):
+    r = MetricsRegistry()
+    r.counter("ops_total", "ops").inc(counter)
+    if gauge is not None:
+        r.gauge("fill", "fill").set(gauge)
+    h = r.histogram("latency", "lat")
+    for value in observations:
+        h.observe(value)
+    return r
+
+
+class TestScalarMerge:
+    def test_counters_sum(self):
+        a = registry_with(counter=3)
+        b = registry_with(counter=4)
+        a.merge(b)
+        assert a.counter("ops_total").value == 7
+        assert b.counter("ops_total").value == 4  # source untouched
+
+    def test_gauges_take_last_write(self):
+        a = registry_with(gauge=10)
+        b = registry_with(gauge=2)
+        a.merge(b)
+        assert a.gauge("fill").value == 2
+
+    def test_missing_metrics_are_created(self):
+        a = MetricsRegistry()
+        b = registry_with(counter=5, gauge=1, observations=[0.1])
+        a.merge(b)
+        assert a.counter("ops_total").value == 5
+        assert a.gauge("fill").value == 1
+        assert a.histogram("latency").count == 1
+
+    def test_merge_returns_self_for_chaining(self):
+        a = MetricsRegistry()
+        assert a.merge(registry_with(counter=1)).merge(
+            registry_with(counter=2)
+        ) is a
+        assert a.counter("ops_total").value == 3
+
+
+class TestHistogramMerge:
+    def test_bucket_counts_sum_and_sum_count_add(self):
+        a = registry_with(observations=[0.001, 0.5])
+        b = registry_with(observations=[0.001, 2.0, 9.0])
+        a.merge(b)
+        h = a.histogram("latency")
+        assert h.count == 5
+        assert h.sum == pytest.approx(0.001 + 0.5 + 0.001 + 2.0 + 9.0)
+        reference = LatencyHistogram("ref")
+        for value in (0.001, 0.5, 0.001, 2.0, 9.0):
+            reference.observe(value)
+        assert h.bucket_counts == reference.bucket_counts
+        assert h.percentile(50) == reference.percentile(50)
+
+    def test_min_max_combine(self):
+        a = registry_with(observations=[0.5])
+        b = registry_with(observations=[0.001, 9.0])
+        a.merge(b)
+        snap = a.histogram("latency").snapshot()
+        assert snap["min"] == 0.001 and snap["max"] == 9.0
+
+    def test_different_bounds_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("latency", buckets=[1.0, 2.0])
+        b = registry_with(observations=[0.1])
+        with pytest.raises(ValueError, match="bucket bounds differ"):
+            a.merge(b)
+
+
+class TestFamilyMerge:
+    def test_disjoint_label_values_collect_side_by_side(self):
+        a = MetricsRegistry()
+        a.counter("rel_ops", labelnames=("relation", "shard")).labels("R", "0").inc(2)
+        b = MetricsRegistry()
+        b.counter("rel_ops", labelnames=("relation", "shard")).labels("R", "1").inc(5)
+        a.merge(b)
+        family = a.counter("rel_ops", labelnames=("relation", "shard"))
+        assert {k: c.value for k, c in family.items()} == {
+            ("R", "0"): 2.0,
+            ("R", "1"): 5.0,
+        }
+
+    def test_colliding_label_tuples_combine_by_kind(self):
+        a = MetricsRegistry()
+        a.counter("rel_ops", labelnames=("relation",)).labels("R").inc(2)
+        b = MetricsRegistry()
+        b.counter("rel_ops", labelnames=("relation",)).labels("R").inc(3)
+        a.merge(b)
+        assert a.counter("rel_ops", labelnames=("relation",)).labels("R").value == 5
+
+    def test_histogram_families_merge_children(self):
+        a = MetricsRegistry()
+        a.histogram("lat", labelnames=("q",)).labels("q1").observe(0.1)
+        b = MetricsRegistry()
+        b.histogram("lat", labelnames=("q",)).labels("q1").observe(0.2)
+        b.histogram("lat", labelnames=("q",)).labels("q2").observe(0.3)
+        a.merge(b)
+        family = a.histogram("lat", labelnames=("q",))
+        assert family.labels("q1").count == 2
+        assert family.labels("q2").count == 1
+
+    def test_label_name_collision_rejected(self):
+        a = MetricsRegistry()
+        a.counter("rel_ops", labelnames=("relation",)).labels("R").inc()
+        b = MetricsRegistry()
+        b.counter("rel_ops", labelnames=("relation", "shard")).labels("R", "0").inc()
+        with pytest.raises(ValueError, match="kind/labels differ"):
+            a.merge(b)
+
+    def test_labelled_vs_unlabelled_collision_rejected(self):
+        a = MetricsRegistry()
+        a.counter("ops")
+        b = MetricsRegistry()
+        b.counter("ops", labelnames=("shard",)).labels("0").inc()
+        with pytest.raises(ValueError, match="labelled vs unlabelled"):
+            a.merge(b)
+
+    def test_kind_collision_rejected(self):
+        a = MetricsRegistry()
+        a.counter("x")
+        b = MetricsRegistry()
+        b.gauge("x")
+        with pytest.raises(ValueError, match="Counter.*Gauge|vs"):
+            a.merge(b)
+
+
+class TestPicklability:
+    """Process-shard registries travel over pipes; every metric must pickle."""
+
+    def test_registry_with_all_kinds_round_trips(self):
+        r = MetricsRegistry()
+        r.counter("c").inc(2)
+        r.gauge("g").set(4)
+        r.histogram("h").observe(0.01)
+        r.counter("cf", labelnames=("relation", "shard")).labels("R", "0").inc(3)
+        r.histogram("hf", labelnames=("q",)).labels("q1").observe(0.5)
+        clone = pickle.loads(pickle.dumps(r))
+        assert clone.counter("c").value == 2
+        assert clone.gauge("g").value == 4
+        assert clone.histogram("h").count == 1
+        assert clone.counter(
+            "cf", labelnames=("relation", "shard")
+        ).labels("R", "0").value == 3
+        assert clone.histogram("hf", labelnames=("q",)).labels("q1").count == 1
+
+    def test_unpickled_registry_still_merges(self):
+        r = MetricsRegistry()
+        r.counter("c", labelnames=("shard",)).labels("1").inc(7)
+        clone = pickle.loads(pickle.dumps(r))
+        merged = MetricsRegistry().merge(clone)
+        assert merged.counter("c", labelnames=("shard",)).labels("1").value == 7
+        # and new children can still be created through the factory
+        merged.counter("c", labelnames=("shard",)).labels("2").inc()

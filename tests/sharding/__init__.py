@@ -1,0 +1,1 @@
+"""Tests for the sharded engine: partitioning, executors, parity, recovery."""

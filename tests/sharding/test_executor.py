@@ -1,0 +1,92 @@
+"""The three shard executors behave identically behind one interface."""
+
+import pytest
+
+from repro.sharding.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    ShardError,
+    ShardExecutor,
+    ThreadExecutor,
+    resolve_executor,
+)
+
+EXECUTORS = ["serial", "thread", "process"]
+
+
+@pytest.fixture(params=EXECUTORS)
+def executor(request):
+    ex = resolve_executor(request.param)
+    ex.start(3, seed=0, telemetry=False)
+    yield ex
+    ex.close()
+
+
+class TestCommandProtocol:
+    def test_broadcast_returns_shard_order(self, executor):
+        assert executor.broadcast("ping") == [0, 1, 2]
+
+    def test_call_targets_one_shard(self, executor):
+        assert executor.call(1, "ping") == 1
+
+    def test_scatter_skips_none_entries(self, executor):
+        results = executor.scatter("ping", [((), {}), None, ((), {})])
+        assert results == [0, None, 2]
+
+    def test_worker_exception_becomes_shard_error(self, executor):
+        with pytest.raises(ShardError, match="shard 2"):
+            executor.call(2, "unregister_query", "nope")
+
+    def test_scatter_surfaces_first_error_only(self, executor):
+        with pytest.raises(ShardError):
+            executor.scatter(
+                "unregister_query", [(("a",), {}), (("b",), {}), (("c",), {})]
+            )
+
+    def test_unknown_method_is_shard_error(self, executor):
+        with pytest.raises(ShardError):
+            executor.call(0, "no_such_command")
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        for name in EXECUTORS:
+            ex = resolve_executor(name)
+            ex.start(2, seed=0, telemetry=False)
+            ex.close()
+            ex.close()
+
+    def test_context_manager_closes(self):
+        with resolve_executor("thread") as ex:
+            ex.start(2, seed=0, telemetry=False)
+            assert ex.broadcast("ping") == [0, 1]
+
+    def test_process_workers_are_real_processes(self):
+        ex = ProcessExecutor()
+        ex.start(2, seed=0, telemetry=False)
+        try:
+            pids = set(ex.broadcast("ping"))
+            assert pids == {0, 1}
+            assert all(p.is_alive() for p in ex._procs)
+        finally:
+            ex.close()
+        assert not any(p.is_alive() for p in ex._procs) or not ex._procs
+
+
+class TestResolve:
+    def test_names_resolve(self):
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+        assert isinstance(resolve_executor("thread"), ThreadExecutor)
+        assert isinstance(resolve_executor("process"), ProcessExecutor)
+
+    def test_instance_passes_through(self):
+        ex = SerialExecutor()
+        assert resolve_executor(ex) is ex
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            resolve_executor("gpu")
+
+    def test_interface_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            ShardExecutor().start(1, 0)
