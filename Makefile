@@ -3,7 +3,7 @@
 
 PY_ENV = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install dev lint test bench figures experiments api-docs all clean
+.PHONY: install dev lint analyze typecheck test bench figures experiments api-docs all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -13,6 +13,14 @@ dev:
 
 lint:
 	ruff check .
+
+analyze:
+	$(PY_ENV) python -m repro.analysis src/repro
+
+typecheck:
+	@python -c "import mypy" 2>/dev/null \
+		&& $(PY_ENV) python -m mypy \
+		|| echo "mypy not installed (pip install -e '.[dev]'); skipping typecheck"
 
 test:
 	$(PY_ENV) python -m pytest tests/

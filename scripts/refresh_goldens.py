@@ -1,0 +1,34 @@
+"""Regenerate the golden report files under tests/analysis/goldens/.
+
+Run from the repository root after changing a reporter:
+
+    PYTHONPATH=src:. python scripts/refresh_goldens.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis.cli import main
+
+from tests.analysis.test_runner_and_cli import GOLDEN_APP, GOLDEN_PYPROJECT, GOLDENS
+
+
+def refresh() -> None:
+    GOLDENS.mkdir(exist_ok=True)
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        (root / "pyproject.toml").write_text(GOLDEN_PYPROJECT, encoding="utf-8")
+        app = root / "src/pkg/app.py"
+        app.parent.mkdir(parents=True)
+        app.write_text(GOLDEN_APP, encoding="utf-8")
+        for fmt, name in (("json", "report.json"), ("sarif", "report.sarif")):
+            out = GOLDENS / name
+            rc = main([str(root / "src"), "--format", fmt, "--output", str(out)])
+            assert rc == 1, f"expected findings while rendering {name}, got rc={rc}"
+            print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    refresh()

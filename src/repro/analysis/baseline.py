@@ -1,0 +1,82 @@
+"""Baseline file: known findings tolerated (with justification) during adoption.
+
+A baseline maps finding fingerprints (rule + file + offending line text,
+see :meth:`repro.analysis.core.Finding.fingerprint`) to a recorded entry.
+Findings whose fingerprint appears in the baseline are reported as
+*baselined* instead of failing the run — the adoption path for a rule
+that surfaces violations which cannot be fixed immediately.  The policy
+for this repository is an **empty** baseline: fix the code, or justify
+the entry line-by-line in review (the ``justification`` field exists so
+that review has somewhere to live).
+
+``python -m repro.analysis --write-baseline`` snapshots the current
+findings; stale entries (fingerprints no longer produced) are reported so
+baselines shrink monotonically instead of rotting.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from .core import Finding
+
+__all__ = ["Baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+class Baseline:
+    """Fingerprint -> recorded-entry map with load/save/match helpers."""
+
+    def __init__(self, entries: dict[str, dict[str, str]] | None = None) -> None:
+        self.entries: dict[str, dict[str, str]] = dict(entries or {})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file (missing file = empty baseline)."""
+        if not path.is_file():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"{path} is not a version-{BASELINE_VERSION} analysis baseline"
+            )
+        findings = data.get("findings", {})
+        if not isinstance(findings, dict):
+            raise ValueError(f"{path}: 'findings' must be an object")
+        entries: dict[str, dict[str, str]] = {}
+        for fingerprint, entry in findings.items():
+            if not isinstance(entry, dict):
+                raise ValueError(f"{path}: baseline entry {fingerprint!r} must be an object")
+            entries[str(fingerprint)] = {str(k): str(v) for k, v in entry.items()}
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        payload = {"version": BASELINE_VERSION, "findings": self.entries}
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n", "utf-8")
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def stale_fingerprints(self, live: Sequence[str]) -> list[str]:
+        """Baseline entries no longer matched by any current finding."""
+        current = set(live)
+        return sorted(fp for fp in self.entries if fp not in current)
+
+    @classmethod
+    def from_findings(cls, pairs: Sequence[tuple[Finding, str]]) -> "Baseline":
+        """Snapshot ``(finding, fingerprint)`` pairs into a new baseline."""
+        entries: dict[str, dict[str, str]] = {}
+        for finding, fingerprint in pairs:
+            entries[fingerprint] = {
+                "rule": finding.code,
+                "path": finding.path,
+                "message": finding.message,
+                "justification": "",
+            }
+        return cls(entries)

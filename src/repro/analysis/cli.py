@@ -1,0 +1,152 @@
+"""Command-line front end: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 = clean (or artifact updated / baseline written), 1 =
+findings reported, 2 = usage or generation error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any, Sequence
+
+from .baseline import Baseline
+from .config import load_config
+from .core import SourceTree, project_root_for
+from .generate import GenerationError, update_metric_catalog, update_state_manifest
+from .reporters import RENDERERS
+from .rules import ALL_RULES
+from .runner import run_analysis
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant checker for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to analyze (default: <root>/src)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="comma-separated rule codes/names to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="comma-separated rule codes/names to skip",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(RENDERERS),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="baseline file (default: from configuration)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="snapshot current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--update-metric-catalog",
+        action="store_true",
+        help="regenerate the metric catalog from registration sites",
+    )
+    parser.add_argument(
+        "--update-state-manifest",
+        action="store_true",
+        help="regenerate the checkpoint state-shape manifest",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.name:<20} {rule.description}")
+        return 0
+
+    root = project_root_for(args.paths[0] if args.paths else Path.cwd())
+    paths = [Path(p) for p in args.paths] or [root / "src"]
+
+    if args.update_metric_catalog or args.update_state_manifest:
+        config = load_config(root)
+        tree = SourceTree.load(root, paths)
+        try:
+            if args.update_metric_catalog:
+                print(f"wrote {update_metric_catalog(root, tree, config)}")
+            if args.update_state_manifest:
+                print(f"wrote {update_state_manifest(root, tree, config)}")
+        except GenerationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
+    overrides: dict[str, Any] = {}
+    select = _split(args.select)
+    ignore = _split(args.ignore)
+    if select:
+        overrides["select"] = select
+    if ignore:
+        overrides["ignore"] = ignore
+
+    report = run_analysis(
+        root, paths, overrides=overrides, baseline_path=args.baseline
+    )
+
+    if args.write_baseline:
+        config = load_config(root, overrides)
+        baseline_path = args.baseline or root / str(
+            config.get("baseline", "analysis-baseline.json")
+        )
+        pairs = list(zip(report.findings, report.fingerprints)) + report.baselined
+        Baseline.from_findings(pairs).save(baseline_path)
+        print(f"wrote {baseline_path} ({len(pairs)} findings baselined)")
+        return 0
+
+    rendered = RENDERERS[args.format](report)
+    if args.output is not None:
+        args.output.write_text(rendered, encoding="utf-8")
+    else:
+        sys.stdout.write(rendered)
+    return report.exit_code
+
+
+def _split(values: Sequence[str]) -> list[str]:
+    out: list[str] = []
+    for value in values:
+        out.extend(part.strip() for part in value.split(",") if part.strip())
+    return out

@@ -1,0 +1,112 @@
+"""Per-rule configuration: shipped defaults + ``pyproject.toml`` overrides.
+
+Every rule reads one mapping keyed by its kebab-case name.  The shipped
+defaults below describe *this* repository (which paths must stay
+deterministic, where the metric catalog and checkpoint-state manifest
+live); a ``[tool.repro-analysis]`` table in ``pyproject.toml`` can
+override any of it per project::
+
+    [tool.repro-analysis]
+    select = ["REP001", "REP004"]          # run only these rules
+    baseline = "analysis-baseline.json"
+
+    [tool.repro-analysis.shard-safety]
+    deterministic-paths = ["repro/core", "repro/sharding"]
+
+TOML parsing uses :mod:`tomllib` (Python 3.11+); on 3.10 the shipped
+defaults apply and pyproject overrides are ignored (the CI gate runs on
+3.12, so the enforced configuration is always the merged one).
+"""
+
+from __future__ import annotations
+
+import copy
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = ["DEFAULT_CONFIG", "load_config"]
+
+#: Shipped per-rule defaults (rule name -> option mapping), plus the
+#: engine-level keys ``select`` / ``ignore`` / ``baseline``.
+DEFAULT_CONFIG: dict[str, Any] = {
+    "select": [],  # empty = every registered rule
+    "ignore": [],
+    "baseline": "analysis-baseline.json",
+    "metric-catalog": {
+        # Metric names that must agree with the generated catalog.
+        "prefix": "repro_",
+        # Generated catalog module, relative to the project root.
+        "catalog": "src/repro/obs/catalog.py",
+    },
+    "checkpoint-coverage": {
+        # Generated state-shape manifest, relative to the project root.
+        "manifest": "src/repro/resilience/state_manifest.py",
+        # Module whose FORMAT_VERSION must be bumped on state-shape change.
+        "format-source": "src/repro/resilience/checkpoint.py",
+        # Class attribute naming __init__ state that is deliberately not
+        # serialized (structural parameters rebuilt from the query spec).
+        "exempt-attribute": "_checkpoint_exempt",
+    },
+    "shard-safety": {
+        # Library paths that must stay deterministic: no wall-clock time,
+        # no unseeded RNG (answer parity across shard replays depends on
+        # it).  Matched as prefixes of the project-relative posix path.
+        "deterministic-paths": [
+            "src/repro/core",
+            "src/repro/histograms",
+            "src/repro/sampling",
+            "src/repro/sharding",
+            "src/repro/sketches",
+            "src/repro/streams",
+            "src/repro/wavelets",
+        ],
+    },
+    "numeric-hygiene": {},
+    "observer-protocol": {
+        # Base classes whose subclasses must honour the observer protocol.
+        "base-classes": ["StreamObserver"],
+        # Methods that must never mutate observer/engine state.
+        "read-only-methods": ["answer", "estimate", "state_dict"],
+    },
+    "hot-path": {
+        # Per-tuple hot-path methods: flag allocation-heavy idioms inside.
+        "functions": ["on_op", "process"],
+        # Only methods defined under these path prefixes are checked.
+        "paths": ["src/repro/streams"],
+    },
+}
+
+
+def _merge(base: dict[str, Any], override: Mapping[str, Any]) -> dict[str, Any]:
+    merged = dict(base)
+    for key, value in override.items():
+        if isinstance(value, Mapping) and isinstance(merged.get(key), dict):
+            merged[key] = _merge(merged[key], value)
+        else:
+            merged[key] = value
+    return merged
+
+
+def _load_pyproject_table(root: Path) -> dict[str, Any]:
+    pyproject = root / "pyproject.toml"
+    if not pyproject.is_file():
+        return {}
+    try:
+        import tomllib
+    except ModuleNotFoundError:  # pragma: no cover - Python 3.10 fallback
+        return {}
+    with pyproject.open("rb") as handle:
+        data = tomllib.load(handle)
+    table = data.get("tool", {}).get("repro-analysis", {})
+    if not isinstance(table, dict):
+        raise ValueError("[tool.repro-analysis] must be a table")
+    return table
+
+
+def load_config(root: Path, overrides: Mapping[str, Any] | None = None) -> dict[str, Any]:
+    """Defaults, then ``pyproject.toml``, then explicit ``overrides``."""
+    config = copy.deepcopy(DEFAULT_CONFIG)
+    config = _merge(config, _load_pyproject_table(root))
+    if overrides:
+        config = _merge(config, overrides)
+    return config

@@ -1,0 +1,142 @@
+"""Reporters: human text, machine JSON, and SARIF 2.1.0 output.
+
+The text form is the terminal default (one ``path:line:col CODE message``
+line per finding plus a summary).  JSON is the stable machine surface for
+scripts; SARIF is the interchange format CI code-scanning UIs ingest
+(uploaded as an artifact by the ``analyze`` job).  All three are
+deterministic: findings arrive pre-sorted from the runner.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runner import AnalysisReport
+
+__all__ = ["render_json", "render_sarif", "render_text"]
+
+REPORT_VERSION = 1
+_TOOL_NAME = "repro-analysis"
+
+
+def render_text(report: "AnalysisReport") -> str:
+    """One line per finding, then a summary block."""
+    lines: list[str] = []
+    for finding in report.findings:
+        lines.append(f"{finding.location()}: {finding.code} {finding.message}")
+    if report.findings:
+        lines.append("")
+    parts = [
+        f"{len(report.findings)} finding{'s' if len(report.findings) != 1 else ''}",
+        f"{report.files_scanned} files",
+        f"{len(report.rules_run)} rules",
+    ]
+    if report.suppressed:
+        parts.append(f"{report.suppressed} suppressed by noqa")
+    if report.baselined:
+        parts.append(f"{len(report.baselined)} baselined")
+    lines.append(", ".join(parts))
+    for fingerprint in report.stale_baseline:
+        lines.append(
+            f"warning: baseline entry {fingerprint} no longer matches any "
+            "finding; remove it"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(report: "AnalysisReport") -> str:
+    payload: dict[str, Any] = {
+        "version": REPORT_VERSION,
+        "tool": _TOOL_NAME,
+        "findings": [
+            {
+                "rule": finding.code,
+                "name": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "message": finding.message,
+                "fingerprint": fingerprint,
+            }
+            for finding, fingerprint in zip(report.findings, report.fingerprints)
+        ],
+        "summary": {
+            "files_scanned": report.files_scanned,
+            "rules_run": list(report.rules_run),
+            "findings": len(report.findings),
+            "suppressed": report.suppressed,
+            "baselined": len(report.baselined),
+            "stale_baseline": list(report.stale_baseline),
+        },
+    }
+    return json.dumps(payload, indent=1, sort_keys=True) + "\n"
+
+
+def render_sarif(report: "AnalysisReport") -> str:
+    """Minimal SARIF 2.1.0 log: one run, one result per finding."""
+    rule_index: dict[str, int] = {}
+    rules: list[dict[str, Any]] = []
+    for rule in report.rule_descriptions:
+        rule_index[rule["id"]] = len(rules)
+        rules.append(
+            {
+                "id": rule["id"],
+                "name": rule["name"],
+                "shortDescription": {"text": rule["description"]},
+            }
+        )
+    results: list[dict[str, Any]] = []
+    for finding, fingerprint in zip(report.findings, report.fingerprints):
+        results.append(
+            {
+                "ruleId": finding.code,
+                "ruleIndex": rule_index.get(finding.code, -1),
+                "level": "error",
+                "message": {"text": finding.message},
+                "partialFingerprints": {"reproAnalysis/v1": fingerprint},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    log: dict[str, Any] = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": "docs/STATIC_ANALYSIS.md",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=1, sort_keys=True) + "\n"
+
+
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}

@@ -1,0 +1,42 @@
+"""The rule catalog: one class per repository invariant.
+
+Every rule subclasses :class:`Rule` and implements
+``check(tree, config) -> list[Finding]`` over the whole
+:class:`~repro.analysis.core.SourceTree`, so rules that need cross-file
+state (the metric catalog, the checkpoint-state manifest) see everything
+at once while per-file rules simply loop.  ``ALL_RULES`` is the
+registry the runner and ``--list-rules`` consume; codes are stable
+public API (they appear in ``# repro: noqa[...]`` comments and
+baselines), so new rules append codes rather than renumbering.
+"""
+
+from __future__ import annotations
+
+from .base import Rule
+from .checkpoints import CheckpointCoverageRule
+from .hotpath import HotPathPurityRule
+from .metrics import MetricCatalogRule
+from .numerics import NumericHygieneRule
+from .observers import ObserverProtocolRule
+from .sharding import ShardSafetyRule
+
+__all__ = [
+    "ALL_RULES",
+    "CheckpointCoverageRule",
+    "HotPathPurityRule",
+    "MetricCatalogRule",
+    "NumericHygieneRule",
+    "ObserverProtocolRule",
+    "Rule",
+    "ShardSafetyRule",
+]
+
+#: Registry order is report order for equal locations; codes must be unique.
+ALL_RULES: tuple[Rule, ...] = (
+    MetricCatalogRule(),
+    CheckpointCoverageRule(),
+    ShardSafetyRule(),
+    NumericHygieneRule(),
+    ObserverProtocolRule(),
+    HotPathPurityRule(),
+)

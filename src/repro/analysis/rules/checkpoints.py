@@ -1,0 +1,279 @@
+"""REP002: checkpointed classes must serialize (or exempt) their whole state.
+
+:mod:`repro.resilience.checkpoint` persists any object exposing the
+``state_dict()`` / ``load_state()`` pair.  A field added to ``__init__``
+but forgotten in ``state_dict`` silently survives a crash with its
+constructor default — estimates drift instead of failing loudly.  This
+rule finds every checkpoint-protocol class, diffs its ``__init__``
+attribute stores against the attributes ``state_dict`` actually touches,
+and requires the difference to be listed in a ``_checkpoint_exempt``
+class tuple (the opt-out for structural state rebuilt from the spec).
+
+The serialized *shape* of every class is additionally pinned in a
+generated manifest (:mod:`repro.resilience.state_manifest`).  Changing a
+class's state shape without regenerating the manifest — and bumping
+``FORMAT_VERSION`` in ``checkpoint.py``, which the regenerator enforces —
+is a finding, because old checkpoints would be restored into a layout
+they were never written for.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from ..core import Finding, SourceFile, SourceTree
+from .base import Rule, is_self_attribute, iter_methods, string_tuple
+
+__all__ = [
+    "CheckpointClass",
+    "CheckpointCoverageRule",
+    "load_format_version",
+    "load_manifest",
+    "scan_checkpoint_classes",
+]
+
+_PROTOCOL_METHODS = {"state_dict", "load_state"}
+#: Dunder-adjacent attributes never expected in a checkpoint payload.
+_ALWAYS_EXEMPT = {"_lock"}
+
+
+@dataclass(frozen=True)
+class CheckpointClass:
+    """A class implementing the checkpoint protocol, pre-digested."""
+
+    source: SourceFile
+    node: ast.ClassDef
+    name: str
+    init_stores: dict[str, ast.Attribute]  # attr -> first store site in __init__
+    serialized: frozenset[str]  # self.<attr> reads anywhere in state_dict
+    exempt: tuple[str, ...]
+    exempt_node: ast.AST | None
+
+    @property
+    def key(self) -> str:
+        return f"{self.source.rel_path}::{self.name}"
+
+    @property
+    def state_shape(self) -> list[str]:
+        return sorted(self.serialized)
+
+
+def scan_checkpoint_classes(tree: SourceTree, exempt_attr: str) -> list[CheckpointClass]:
+    classes: list[CheckpointClass] = []
+    for source in tree:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {m.name: m for m in iter_methods(node)}
+            if not _PROTOCOL_METHODS <= set(methods):
+                continue
+            init_stores: dict[str, ast.Attribute] = {}
+            init = methods.get("__init__")
+            if init is not None:
+                for store in _attribute_stores(init):
+                    init_stores.setdefault(store.attr, store)
+            serialized = frozenset(
+                attr.attr
+                for attr in ast.walk(methods["state_dict"])
+                if is_self_attribute(attr)
+            )
+            exempt, exempt_node = _exempt_tuple(node, exempt_attr)
+            classes.append(
+                CheckpointClass(
+                    source, node, node.name, init_stores, serialized, exempt, exempt_node
+                )
+            )
+    return classes
+
+
+def load_manifest(path: Path) -> tuple[int | None, dict[str, list[str]]] | None:
+    """Parse ``FORMAT_VERSION`` and ``STATE_MANIFEST`` literals from the manifest."""
+    if not path.is_file():
+        return None
+    module = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    version: int | None = None
+    entries: dict[str, list[str]] | None = None
+    for node in module.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if target.id == "FORMAT_VERSION":
+                value = ast.literal_eval(node.value)
+                version = int(value) if isinstance(value, int) else None
+            elif target.id == "STATE_MANIFEST":
+                raw = ast.literal_eval(node.value)
+                entries = {
+                    str(key): [str(attr) for attr in attrs]
+                    for key, attrs in raw.items()
+                }
+    if entries is None:
+        return None
+    return version, entries
+
+
+def load_format_version(path: Path) -> int | None:
+    """Read the integer ``FORMAT_VERSION`` constant out of ``checkpoint.py``."""
+    if not path.is_file():
+        return None
+    module = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    for node in ast.walk(module):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id == "FORMAT_VERSION":
+                value = node.value
+                if isinstance(value, ast.Constant) and isinstance(value.value, int):
+                    return value.value
+    return None
+
+
+class CheckpointCoverageRule(Rule):
+    code = "REP002"
+    name = "checkpoint-coverage"
+    description = (
+        "checkpoint-protocol classes must serialize or explicitly exempt "
+        "every __init__ attribute, and state-shape changes must bump the "
+        "checkpoint FORMAT_VERSION via the generated manifest"
+    )
+
+    def check(self, tree: SourceTree, config: Mapping[str, Any]) -> list[Finding]:
+        options = self.options(config)
+        exempt_attr = str(options.get("exempt-attribute", "_checkpoint_exempt"))
+        manifest_rel = str(options.get("manifest", "src/repro/resilience/state_manifest.py"))
+        format_rel = str(options.get("format-source", "src/repro/resilience/checkpoint.py"))
+        classes = scan_checkpoint_classes(tree, exempt_attr)
+        findings: list[Finding] = []
+        hint = "regenerate with `python -m repro.analysis --update-state-manifest`"
+
+        for cls in classes:
+            exempt = set(cls.exempt) | _ALWAYS_EXEMPT
+            for attr in sorted(set(cls.init_stores) - cls.serialized - exempt):
+                findings.append(
+                    self.finding(
+                        cls.source,
+                        cls.init_stores[attr],
+                        f"{cls.name}.{attr} is assigned in __init__ but never "
+                        "serialized by state_dict; serialize it or list it in "
+                        f"{exempt_attr} with a comment saying why it is "
+                        "rebuilt structurally",
+                    )
+                )
+            anchor = cls.exempt_node or cls.node
+            for attr in sorted(set(cls.exempt) & cls.serialized):
+                findings.append(
+                    self.finding(
+                        cls.source,
+                        anchor,
+                        f"{cls.name}.{attr} is listed in {exempt_attr} but is "
+                        "serialized by state_dict; drop the stale exemption",
+                    )
+                )
+            for attr in sorted(set(cls.exempt) - set(cls.init_stores)):
+                findings.append(
+                    self.finding(
+                        cls.source,
+                        anchor,
+                        f"{cls.name}.{attr} is listed in {exempt_attr} but is "
+                        "never assigned in __init__; drop the stale exemption",
+                    )
+                )
+
+        findings.extend(
+            self._manifest_findings(tree, classes, manifest_rel, format_rel, hint)
+        )
+        return findings
+
+    def _manifest_findings(
+        self,
+        tree: SourceTree,
+        classes: list[CheckpointClass],
+        manifest_rel: str,
+        format_rel: str,
+        hint: str,
+    ) -> Iterator[Finding]:
+        loaded = load_manifest(tree.root / manifest_rel)
+        if loaded is None:
+            if classes:
+                cls = classes[0]
+                yield self.finding(
+                    cls.source,
+                    cls.node,
+                    f"no state manifest at {manifest_rel}; {hint}",
+                )
+            return
+        manifest_version, manifest = loaded
+        current_version = load_format_version(tree.root / format_rel)
+        anchor = tree.by_rel_path(manifest_rel)
+        if (
+            current_version is not None
+            and manifest_version is not None
+            and current_version != manifest_version
+            and anchor is not None
+        ):
+            yield self.finding(
+                anchor,
+                anchor.tree,
+                f"manifest was generated at checkpoint FORMAT_VERSION "
+                f"{manifest_version} but {format_rel} now declares "
+                f"{current_version}; {hint}",
+            )
+        for cls in classes:
+            recorded = manifest.get(cls.key)
+            if recorded is None:
+                yield self.finding(
+                    cls.source,
+                    cls.node,
+                    f"{cls.name} implements the checkpoint protocol but has "
+                    f"no entry in {manifest_rel}; {hint}",
+                )
+            elif recorded != cls.state_shape:
+                yield self.finding(
+                    cls.source,
+                    cls.node,
+                    f"{cls.name} state shape changed (manifest records "
+                    f"{recorded}, code serializes {cls.state_shape}); bump "
+                    f"FORMAT_VERSION in {format_rel} and {hint}",
+                )
+        live = {cls.key for cls in classes}
+        if anchor is not None:
+            for key in sorted(set(manifest) - live):
+                yield self.finding(
+                    anchor,
+                    anchor.tree,
+                    f"manifest entry {key!r} matches no checkpoint-protocol "
+                    f"class; {hint}",
+                )
+
+
+def _attribute_stores(func: ast.FunctionDef) -> Iterator[ast.Attribute]:
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.ctx, ast.Store)
+            and is_self_attribute(node)
+        ):
+            yield node
+
+
+def _exempt_tuple(cls: ast.ClassDef, exempt_attr: str) -> tuple[tuple[str, ...], ast.AST | None]:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == exempt_attr for t in targets):
+            continue
+        resolved = string_tuple(value)
+        if resolved is None:
+            return (), stmt
+        return resolved[0], stmt
+    return (), None

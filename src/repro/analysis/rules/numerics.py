@@ -1,0 +1,120 @@
+"""REP004: numeric hygiene for an estimator codebase.
+
+The estimators' correctness claims are statistical, so the code that
+computes them must not hide numeric footguns:
+
+* ``==`` / ``!=`` against float-valued expressions — float equality is a
+  rounding accident, and the idioms this repository actually grew
+  (``value == int(value)``, ``value == math.inf``) have exact stdlib
+  replacements (``float.is_integer()``, ``math.isinf``).  The check is
+  heuristic-by-construction: it fires only when one side is statically
+  float-ish (a float literal, ``math.inf``/``nan``, a ``float(...)`` or
+  ``int(...)`` cast, a division, or a ``math.*`` call), so ordinary
+  integer and string comparisons never trip it.  Deliberate sentinel
+  comparisons carry an inline ``# repro: noqa[REP004]`` with a reason.
+* bare ``except:`` — swallows ``KeyboardInterrupt``/``SystemExit`` in
+  long-running ingest loops; catch ``Exception`` (or ``BaseException``
+  with a re-raise) instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterator, Mapping
+
+from ..core import Finding, SourceFile, SourceTree
+from .base import Rule, attr_chain, call_name
+
+__all__ = ["NumericHygieneRule"]
+
+_FLOAT_CONSTANTS = {
+    "math.inf",
+    "math.nan",
+    "math.pi",
+    "math.e",
+    "math.tau",
+    "np.inf",
+    "np.nan",
+    "numpy.inf",
+    "numpy.nan",
+}
+_CAST_CALLS = {"float", "int", "round", "abs"}
+
+
+class NumericHygieneRule(Rule):
+    code = "REP004"
+    name = "numeric-hygiene"
+    description = (
+        "no ==/!= against float-valued expressions (use math.isclose/"
+        "isinf/is_integer) and no bare except clauses"
+    )
+
+    def check(self, tree: SourceTree, config: Mapping[str, Any]) -> list[Finding]:
+        findings: list[Finding] = []
+        for source in tree:
+            findings.extend(self._float_equality(source))
+            findings.extend(self._bare_except(source))
+        return findings
+
+    def _float_equality(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                floaty = next(
+                    (o for o in (left, right) if _is_floatish(o)), None
+                )
+                if floaty is None:
+                    continue
+                yield self.finding(
+                    source,
+                    node,
+                    f"float equality: {ast.unparse(left)} "
+                    f"{'==' if isinstance(op, ast.Eq) else '!='} "
+                    f"{ast.unparse(right)}; use math.isclose/math.isinf/"
+                    "float.is_integer, or justify with # repro: noqa[REP004]",
+                )
+                break  # one finding per comparison chain
+
+    def _bare_except(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    source,
+                    node,
+                    "bare except swallows KeyboardInterrupt/SystemExit in "
+                    "ingest loops; catch Exception instead",
+                )
+
+
+def _is_floatish(node: ast.AST) -> bool:
+    """Statically float-valued with high confidence."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    if isinstance(node, ast.Attribute):
+        return attr_chain(node) in _FLOAT_CONSTANTS
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _is_floatish(node.left) or _is_floatish(node.right)
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if name in _CAST_CALLS:
+            # value == int(value): the is-it-a-whole-number idiom.
+            return bool(node.args) and not isinstance(node.args[0], ast.Constant)
+        return name.startswith("math.") and name not in {
+            "math.floor",
+            "math.ceil",
+            "math.trunc",
+            "math.isqrt",
+            "math.comb",
+            "math.perm",
+            "math.gcd",
+            "math.lcm",
+        }
+    return False

@@ -1,0 +1,101 @@
+"""REP005: StreamObserver subclasses must honour the observer protocol.
+
+:class:`repro.streams.relation.StreamObserver` is the seam every
+estimator hangs off: ``on_op`` is the mandatory per-operation hook (the
+base raises ``NotImplementedError``), ``on_ops`` is the optional batched
+fast path whose base implementation replays per-op, and
+``answer()`` / ``estimate()`` / ``state_dict()`` are read paths the
+engine may call at any point between batches — including concurrently
+with checkpointing.  Two drift modes this rule pins down statically:
+
+* a subclass that defines ``on_ops`` but not ``on_op`` — the batched
+  path works until something (fault isolation, the dead-letter replayer)
+  falls back to per-op delivery and hits the base's
+  ``NotImplementedError``;
+* mutation inside the read-only methods — an ``answer()`` that updates
+  ``self`` state turns checkpoint/restore and shard-merge into
+  order-dependent heisenbugs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterator, Mapping, Sequence
+
+from ..core import Finding, SourceFile, SourceTree
+from .base import Rule, is_self_attribute, iter_classes, iter_methods
+
+__all__ = ["ObserverProtocolRule"]
+
+
+class ObserverProtocolRule(Rule):
+    code = "REP005"
+    name = "observer-protocol"
+    description = (
+        "StreamObserver subclasses must implement on_op when they define "
+        "on_ops, and must not mutate self inside answer()/estimate()/"
+        "state_dict()"
+    )
+
+    def check(self, tree: SourceTree, config: Mapping[str, Any]) -> list[Finding]:
+        options = self.options(config)
+        bases = tuple(str(b) for b in options.get("base-classes", ("StreamObserver",)))
+        read_only = tuple(
+            str(m)
+            for m in options.get("read-only-methods", ("answer", "estimate", "state_dict"))
+        )
+        findings: list[Finding] = []
+        for source in tree:
+            for cls in iter_classes(source):
+                if not _subclasses(cls, bases):
+                    continue
+                findings.extend(self._check_class(source, cls, read_only))
+        return findings
+
+    def _check_class(
+        self, source: SourceFile, cls: ast.ClassDef, read_only: Sequence[str]
+    ) -> Iterator[Finding]:
+        methods = {m.name: m for m in iter_methods(cls)}
+        if "on_ops" in methods and "on_op" not in methods:
+            yield self.finding(
+                source,
+                methods["on_ops"],
+                f"{cls.name} defines the batched on_ops fast path but not "
+                "on_op; per-op fallback (fault isolation, dead-letter "
+                "replay) would hit StreamObserver.on_op's "
+                "NotImplementedError",
+            )
+        for name in read_only:
+            method = methods.get(name)
+            if method is None:
+                continue
+            for site in _mutations(method):
+                yield self.finding(
+                    source,
+                    site,
+                    f"{cls.name}.{name}() mutates self; read paths must be "
+                    "pure so checkpointing and shard-merge stay "
+                    "order-independent",
+                )
+
+
+def _subclasses(cls: ast.ClassDef, bases: Sequence[str]) -> bool:
+    for base in cls.bases:
+        name = base.attr if isinstance(base, ast.Attribute) else getattr(base, "id", "")
+        if name in bases:
+            return True
+    return False
+
+
+def _mutations(method: ast.FunctionDef) -> Iterator[ast.AST]:
+    """Statements that store into ``self`` state inside ``method``."""
+    # AugAssign targets carry Store ctx, so `self.x += 1` and
+    # `self.buckets[i] += 1` are covered by the two branches below.
+    for node in ast.walk(method):
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.ctx, (ast.Store, ast.Del)) and is_self_attribute(node):
+                yield node
+        elif isinstance(node, ast.Subscript):
+            # self.buckets[i] = ... / del self.buckets[i]
+            if isinstance(node.ctx, (ast.Store, ast.Del)) and is_self_attribute(node.value):
+                yield node

@@ -1,0 +1,175 @@
+"""REP003: code must stay safe to run under the sharded process backend.
+
+:class:`repro.sharding.executor.ShardExecutor` can dispatch shard work to
+worker *processes*.  Three things break that silently rather than loudly:
+
+* callables sent across the process boundary that are not importable
+  top-level functions (lambdas, nested closures) — pickle fails at
+  dispatch time, or worse, only on the one backend nobody tests;
+* module-level mutable state — each worker process gets its own copy, so
+  "shared" accumulators fork into per-shard ghosts;
+* unseeded randomness or wall-clock reads inside the estimator library —
+  shard answers stop being reproducible, which the answer-parity harness
+  (tier-1) can only catch per-seed.
+
+The randomness/wall-clock check is scoped to the deterministic library
+paths from configuration (``deterministic-paths``); telemetry code like
+:mod:`repro.obs.exporters` legitimately timestamps output and lives
+outside that scope.  Mutable *default arguments* are flagged everywhere —
+they are latent shared state regardless of backend.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterator, Mapping
+
+from ..core import Finding, SourceFile, SourceTree
+from .base import Rule, call_name, path_in
+
+__all__ = ["ShardSafetyRule"]
+
+#: random-module calls that produce seeded/explicit generators (allowed).
+_SEEDED_FACTORIES = {
+    "random.Random",
+    "random.SystemRandom",
+    "np.random.default_rng",
+    "numpy.random.default_rng",
+    "np.random.Generator",
+    "numpy.random.Generator",
+    "np.random.SeedSequence",
+    "numpy.random.SeedSequence",
+}
+_WALL_CLOCK = {"time.time", "time.time_ns", "datetime.now", "datetime.datetime.now"}
+_DISPATCH_METHODS = {"submit", "apply_async", "map_async"}
+_MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "collections.defaultdict"}
+
+
+class ShardSafetyRule(Rule):
+    code = "REP003"
+    name = "shard-safety"
+    description = (
+        "no lambdas/closures across the process-dispatch boundary, no "
+        "module-level mutable state, and no unseeded randomness or "
+        "wall-clock reads inside the deterministic estimator paths"
+    )
+
+    def check(self, tree: SourceTree, config: Mapping[str, Any]) -> list[Finding]:
+        options = self.options(config)
+        deterministic = tuple(
+            str(p) for p in options.get("deterministic-paths", ())
+        )
+        findings: list[Finding] = []
+        for source in tree:
+            findings.extend(self._module_mutables(source))
+            findings.extend(self._mutable_defaults(source))
+            findings.extend(self._dispatch_lambdas(source))
+            if path_in(source.rel_path, deterministic):
+                findings.extend(self._nondeterminism(source))
+        return findings
+
+    def _module_mutables(self, source: SourceFile) -> Iterator[Finding]:
+        for stmt in source.tree.body:
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets = [stmt.target]
+                value = stmt.value
+            else:
+                continue
+            if not _is_mutable_literal(value):
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if name.isupper() or name.startswith("__"):
+                    continue  # constants by convention; dunders (__all__)
+                yield self.finding(
+                    source,
+                    stmt,
+                    f"module-level mutable {name!r}: process-backend workers "
+                    "each get their own copy, so this is not shared state; "
+                    "make it a function argument or an UPPER_CASE constant",
+                )
+
+    def _mutable_defaults(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            for default in (*args.defaults, *args.kw_defaults):
+                if default is not None and _is_mutable_literal(default):
+                    yield self.finding(
+                        source,
+                        default,
+                        f"mutable default argument in {node.name}(): shared "
+                        "across calls and across shards on the serial "
+                        "backend; default to None and build inside",
+                    )
+
+    def _dispatch_lambdas(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            candidates: list[ast.AST] = []
+            if name.split(".")[-1] in _DISPATCH_METHODS and node.args:
+                candidates.append(node.args[0])
+            if name.endswith("Process"):
+                candidates.extend(
+                    kw.value for kw in node.keywords if kw.arg == "target"
+                )
+            for candidate in candidates:
+                if isinstance(candidate, ast.Lambda):
+                    yield self.finding(
+                        source,
+                        candidate,
+                        "lambda crosses the process-dispatch boundary; "
+                        "pickle requires an importable top-level function",
+                    )
+
+    def _nondeterminism(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if not name:
+                continue
+            if name in _WALL_CLOCK:
+                yield self.finding(
+                    source,
+                    node,
+                    f"{name}() in a deterministic estimator path: shard "
+                    "answers must not depend on wall-clock time; thread a "
+                    "clock in explicitly or move this out of the library",
+                )
+                continue
+            if _is_unseeded_random(name):
+                yield self.finding(
+                    source,
+                    node,
+                    f"{name}() uses the unseeded global RNG: shard answers "
+                    "become irreproducible; accept a random.Random(seed) or "
+                    "numpy Generator instead",
+                )
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return call_name(node) in _MUTABLE_CALLS
+    return False
+
+
+def _is_unseeded_random(name: str) -> bool:
+    if name in _SEEDED_FACTORIES:
+        return False
+    head = name.split(".")[0]
+    if head == "random" and name.count(".") == 1:
+        # random.random(), random.randint(...), random.shuffle(...): the
+        # process-global, implicitly seeded generator.
+        return True
+    return name.startswith(("np.random.", "numpy.random.")) and name not in _SEEDED_FACTORIES

@@ -63,6 +63,10 @@ class CosineSynopsis:
         :mod:`repro.core.basis`.
     """
 
+    # Structural parameters: a restored synopsis is always constructed with
+    # the same spec first, so only the accumulators travel in checkpoints.
+    _checkpoint_exempt = ("domains", "grid", "indices", "ndim", "order", "truncation")
+
     def __init__(
         self,
         domains: Sequence[Domain] | Domain,

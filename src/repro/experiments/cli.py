@@ -9,6 +9,7 @@ Usage (installed as the ``repro-experiments`` console script, or via
     repro-experiments speed [--size 10000]
     repro-experiments stats [--tuples 20000] [--batch 1024] [--methods cosine,...]
     repro-experiments monitor [--tuples 30000] [--jsonl snap.jsonl] [--prom out.prom]
+    repro-experiments monitor --serve-metrics 9100   # live GET /metrics endpoint
     repro-experiments monitor --checkpoint-dir ckpts [--checkpoint-every 8192]
     repro-experiments resume --checkpoint-dir ckpts
 
@@ -158,6 +159,14 @@ def _monitor_sharded(args: argparse.Namespace, methods: list[str]) -> int:
         )
 
     writer = JsonlSnapshotWriter(args.jsonl) if args.jsonl else None
+    server = None
+    if args.serve_metrics is not None:
+        from ..obs import MetricsServer
+
+        # A provider, not a registry: the merged fleet registry is rebuilt
+        # on every scrape so per-shard counters stay current.
+        server = MetricsServer(fleet.fleet_metrics, port=args.serve_metrics).start()
+        print(f"serving metrics at {server.url}")
     start = perf_counter()
 
     def render() -> None:
@@ -214,6 +223,8 @@ def _monitor_sharded(args: argparse.Namespace, methods: list[str]) -> int:
 
         Path(args.prom).write_text(prometheus_text(fleet.fleet_metrics()))
         print(f"wrote Prometheus exposition to {args.prom}")
+    if server is not None:
+        server.stop()
     fleet.close()
     return 0
 
@@ -268,6 +279,14 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         from ..resilience import CheckpointStore
 
         store = CheckpointStore(args.checkpoint_dir, keep=args.checkpoint_keep)
+    server = None
+    if args.serve_metrics is not None:
+        from ..obs import MetricsServer
+
+        server = MetricsServer(
+            engine.telemetry.registry, port=args.serve_metrics
+        ).start()
+        print(f"serving metrics at {server.url}")
 
     def snapshot() -> dict:
         return {"stats": engine.stats().as_dict(), "accuracy": tracker.as_dict()}
@@ -327,6 +346,8 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
 
         Path(args.prom).write_text(prometheus_text(engine.telemetry.registry))
         print(f"wrote Prometheus exposition to {args.prom}")
+    if server is not None:
+        server.stop()
     return 0
 
 
@@ -488,6 +509,14 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--jsonl", help="append a JSONL telemetry snapshot per refresh")
     monitor.add_argument(
         "--prom", help="write the final registry in Prometheus text format here"
+    )
+    monitor.add_argument(
+        "--serve-metrics",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve GET /metrics (Prometheus text) on this port while "
+        "ingesting (0 picks a free port)",
     )
     monitor.add_argument(
         "--no-clear",

@@ -27,6 +27,10 @@ class EquiWidthHistogram:
     linear, like sketches).
     """
 
+    # Structural parameters: a restored histogram is always constructed with
+    # the same spec first, so only the counters travel in checkpoints.
+    _checkpoint_exempt = ("boundaries", "domain", "num_buckets")
+
     def __init__(self, domain: Domain, buckets: int) -> None:
         if buckets < 1:
             raise ValueError(f"bucket count must be >= 1, got {buckets}")

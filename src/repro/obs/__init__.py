@@ -32,7 +32,9 @@ from .metrics import (
     LatencyHistogram,
     MetricFamily,
     MetricsRegistry,
+    catalog_mismatches,
 )
+from .server import MetricsServer
 from .telemetry import Telemetry
 from .tracing import DEFAULT_TRACE_CAPACITY, SpanEvent, Tracer
 
@@ -47,6 +49,8 @@ __all__ = [
     "LatencyHistogram",
     "MetricFamily",
     "MetricsRegistry",
+    "MetricsServer",
+    "catalog_mismatches",
     "DEFAULT_LATENCY_BUCKETS",
     "RELATIVE_ERROR_BUCKETS",
     "Telemetry",

@@ -40,7 +40,7 @@ def _escape_label_value(value: str) -> str:
 
 
 def _format_value(value: float) -> str:
-    if value == math.inf:
+    if math.isinf(value) and value > 0:
         return "+Inf"
     if isinstance(value, float) and value.is_integer():
         return str(int(value))

@@ -29,6 +29,7 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
     "RELATIVE_ERROR_BUCKETS",
+    "catalog_mismatches",
 ]
 
 #: Fixed latency buckets (seconds), a 1-2.5-5 ladder from 1µs to 10s.
@@ -76,7 +77,7 @@ class Counter:
 
     def snapshot(self):
         value = self._value
-        return int(value) if value == int(value) else value
+        return int(value) if value.is_integer() else value
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Counter({self.name}={self._value})"
@@ -111,7 +112,7 @@ class Gauge:
 
     def snapshot(self):
         value = self._value
-        return int(value) if value == int(value) else value
+        return int(value) if value.is_integer() else value
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Gauge({self.name}={self._value})"
@@ -466,3 +467,39 @@ def _merge_metric(mine, theirs) -> None:
         mine._max = max(mine._max, theirs._max)
     else:  # pragma: no cover - no other metric kinds exist
         raise TypeError(f"cannot merge metric of type {type(theirs).__name__}")
+
+
+def catalog_mismatches(registry: MetricsRegistry) -> list[str]:
+    """Runtime counterpart of the REP001 static rule.
+
+    Compares every ``repro_*`` metric actually registered in ``registry``
+    against the generated :data:`repro.obs.catalog.METRIC_CATALOG` and
+    returns a human-readable problem list (empty = conformant).  Entries
+    flagged ``shard_suffix`` accept an extra trailing ``shard`` label,
+    matching the engine's per-shard registration idiom.
+    """
+    from .catalog import METRIC_CATALOG
+
+    problems: list[str] = []
+    for name, metric in registry.collect():
+        if not name.startswith("repro_"):
+            continue
+        entry = METRIC_CATALOG.get(name)
+        if entry is None:
+            problems.append(f"{name}: not in the generated metric catalog")
+            continue
+        if metric.kind != entry["kind"]:
+            problems.append(
+                f"{name}: registered as {metric.kind}, catalogued as {entry['kind']}"
+            )
+            continue
+        labels = metric.labelnames if isinstance(metric, MetricFamily) else ()
+        expected = tuple(entry["labels"])
+        if labels != expected and not (
+            entry["shard_suffix"] and labels == expected + ("shard",)
+        ):
+            problems.append(
+                f"{name}: registered with labels {labels}, catalogued with {expected}"
+                + (" (+ optional shard)" if entry["shard_suffix"] else "")
+            )
+    return problems

@@ -1,0 +1,129 @@
+"""Stdlib HTTP endpoint serving the Prometheus text exposition format.
+
+:class:`MetricsServer` wraps :class:`http.server.ThreadingHTTPServer` in
+a daemon thread: ``GET /metrics`` renders the registry via
+:func:`repro.obs.exporters.prometheus_text` at request time (always
+current, no snapshot cadence to tune), ``GET /healthz`` answers ``ok``
+for liveness probes, anything else is 404.  The registry is supplied
+either directly or as a zero-argument callable, so callers whose
+registry identity changes (e.g. a sharded fleet re-merging per-shard
+registries into a fresh one each cycle) can hand in a provider instead
+of a stale reference.
+
+Scrapes are read-only over plain-Python metric objects; the engine's
+ingest path never blocks on a scrape.  Binding ``port=0`` picks a free
+port (see :attr:`MetricsServer.port`), which keeps tests and parallel
+experiment runs collision-free.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Union
+
+from .exporters import prometheus_text
+from .metrics import MetricsRegistry
+
+__all__ = ["MetricsServer", "CONTENT_TYPE"]
+
+#: Prometheus text exposition content type (version 0.0.4).
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+RegistrySource = Union[MetricsRegistry, Callable[[], MetricsRegistry]]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "_Server"  # narrowed for the attribute accesses below
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            body = self.server.render().encode("utf-8")
+            self._respond(200, CONTENT_TYPE, body)
+        elif path == "/healthz":
+            self._respond(200, "text/plain; charset=utf-8", b"ok\n")
+        else:
+            self._respond(404, "text/plain; charset=utf-8", b"not found\n")
+
+    def _respond(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence per-request stderr logging (scrapes are periodic)."""
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], source: RegistrySource) -> None:
+        super().__init__(address, _Handler)
+        self._source = source
+
+    def render(self) -> str:
+        registry = self._source() if callable(self._source) else self._source
+        return prometheus_text(registry)
+
+
+class MetricsServer:
+    """Serve ``/metrics`` for one registry (or registry provider).
+
+    Usable as a context manager::
+
+        with MetricsServer(engine.telemetry.registry, port=0) as server:
+            print(f"scrape me at {server.url}")
+            ...
+    """
+
+    def __init__(
+        self,
+        registry: RegistrySource,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._server = _Server((host, port), registry)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (useful with ``port=0``)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        """Serve in a daemon thread; returns ``self`` for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("metrics server already started")
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"repro-metrics-server:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut down the listener and join the serving thread."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

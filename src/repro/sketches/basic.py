@@ -65,6 +65,10 @@ class AGMSSketch:
         The averaging / median group geometry (``s1``, ``s2``).
     """
 
+    # Structural parameters: a restored sketch is always constructed with the
+    # same spec (and seed) first, so only the atoms travel in checkpoints.
+    _checkpoint_exempt = ("families", "num_means", "num_medians")
+
     def __init__(
         self,
         families: Sequence[SignFamily] | SignFamily,

@@ -72,6 +72,9 @@ class PartitionedSketch:
         Total atomic sketches across all partitions; split evenly.
     """
 
+    # Derived from ``boundaries`` in __init__; never part of checkpoints.
+    _checkpoint_exempt = ("num_partitions",)
+
     def __init__(
         self,
         boundaries: Sequence[int],

@@ -1041,6 +1041,9 @@ StreamEngine = ContinuousQueryEngine
 class _CosineMarginalObserver(StreamObserver):
     """Feeds one attribute's raw values into a 1-d cosine synopsis."""
 
+    # Structural: rebuilt from the query spec, not restored from checkpoints.
+    _checkpoint_exempt = ("axis",)
+
     def __init__(self, synopsis: CosineSynopsis, axis: int) -> None:
         self.synopsis = synopsis
         self.axis = axis
@@ -1094,6 +1097,9 @@ class _CosineObserver(StreamObserver):
 class _SketchObserver(StreamObserver):
     """Feeds joined-attribute indices into an AGMS sketch."""
 
+    # Structural: rebuilt from the query spec, not restored from checkpoints.
+    _checkpoint_exempt = ("axes", "domains")
+
     def __init__(
         self, sketch: AGMSSketch, domains: Sequence[Domain], axes: Sequence[int]
     ) -> None:
@@ -1108,7 +1114,8 @@ class _SketchObserver(StreamObserver):
         self.sketch.load_state(state)
 
     def on_op(self, relation: StreamRelation, op: StreamOp) -> None:
-        indices = [d.index_of(op.values[ax]) for d, ax in zip(self.domains, self.axes)]
+        # Per-op slow path; the allocation-free route is the batched on_ops.
+        indices = [d.index_of(op.values[ax]) for d, ax in zip(self.domains, self.axes)]  # repro: noqa[REP006]
         self.sketch.update(indices, weight=op.weight)
 
     def on_ops(self, relation: StreamRelation, rows: np.ndarray, kind: OpKind) -> None:
@@ -1121,6 +1128,9 @@ class _SketchObserver(StreamObserver):
 
 class _SampleObserver(StreamObserver):
     """Feeds joined-attribute index tuples into a Bernoulli sample."""
+
+    # Structural: rebuilt from the query spec, not restored from checkpoints.
+    _checkpoint_exempt = ("axes",)
 
     def __init__(
         self,
@@ -1147,7 +1157,8 @@ class _SampleObserver(StreamObserver):
             self.sample.delete(op.values)  # raises: documented sampling limitation
             return
         idx = relation.indices_of(op.values)
-        key = tuple(idx[ax] for ax in self.axes)
+        # Sample keys must be hashable tuples; unavoidable on the per-op path.
+        key = tuple(idx[ax] for ax in self.axes)  # repro: noqa[REP006]
         before = self.sample.sampled_size
         self.sample.insert(key)
         if self.sample.sampled_size > before:
@@ -1167,6 +1178,9 @@ class _SampleObserver(StreamObserver):
 
 class _PartitionedObserver(StreamObserver):
     """Feeds one attribute's domain indices into a partitioned sketch."""
+
+    # Structural: rebuilt from the query spec, not restored from checkpoints.
+    _checkpoint_exempt = ("axis", "domain")
 
     def __init__(self, sketch, domain: Domain, axis: int) -> None:
         self.sketch = sketch
@@ -1191,6 +1205,9 @@ class _PartitionedObserver(StreamObserver):
 class _WaveletObserver(StreamObserver):
     """Feeds one attribute's raw values into a Haar wavelet synopsis."""
 
+    # Structural: rebuilt from the query spec, not restored from checkpoints.
+    _checkpoint_exempt = ("axis",)
+
     def __init__(self, synopsis, axis: int) -> None:
         self.synopsis = synopsis
         self.axis = axis
@@ -1210,6 +1227,9 @@ class _WaveletObserver(StreamObserver):
 
 class _HistogramObserver(StreamObserver):
     """Feeds one attribute's raw values into an equi-width histogram."""
+
+    # Structural: rebuilt from the query spec, not restored from checkpoints.
+    _checkpoint_exempt = ("axis",)
 
     def __init__(self, histogram: EquiWidthHistogram, axis: int) -> None:
         self.histogram = histogram

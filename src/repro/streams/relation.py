@@ -184,9 +184,13 @@ class StreamRelation:
             return
         if stats is not None:
             stats.record_ops(1, op.kind, batched=False, relation=self.name)
-        # Iterate over a copy: a fault handler may quarantine (detach) the
-        # failing observer while we are walking the list.
-        for observer in list(self._observers):
+        # Copy only when a fault handler is attached: it may quarantine
+        # (detach) the failing observer while we are walking the list.
+        if handler is None:
+            observers = self._observers
+        else:
+            observers = list(self._observers)  # repro: noqa[REP006]
+        for observer in observers:
             start = perf_counter() if stats is not None else 0.0
             try:
                 observer.on_op(self, op)

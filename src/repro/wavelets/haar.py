@@ -89,6 +89,10 @@ class HaarSynopsis:
     and thresholds at read time — the maintenance weakness of the family.
     """
 
+    # Structural parameters: a restored synopsis is always constructed with
+    # the same spec first, so only the coefficients travel in checkpoints.
+    _checkpoint_exempt = ("_size", "budget", "domain")
+
     def __init__(self, domain: Domain, budget: int) -> None:
         if budget < 1:
             raise ValueError(f"budget must be >= 1, got {budget}")

@@ -1,0 +1,35 @@
+"""Fixtures for the repro.analysis test suite.
+
+``project`` builds a throwaway project rooted at ``tmp_path``: a
+``pyproject.toml`` (so :func:`repro.analysis.core.project_root_for`
+anchors there) plus any fixture source files, written with dedent so
+tests can inline readable snippets.
+"""
+
+from pathlib import Path
+from textwrap import dedent
+
+import pytest
+
+from repro.analysis.runner import run_analysis
+
+MINIMAL_PYPROJECT = '[project]\nname = "fixture"\nversion = "0.0.0"\n'
+
+
+@pytest.fixture
+def project(tmp_path):
+    def build(files: dict[str, str], pyproject: str = MINIMAL_PYPROJECT) -> Path:
+        (tmp_path / "pyproject.toml").write_text(pyproject, encoding="utf-8")
+        for rel, text in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(dedent(text), encoding="utf-8")
+        return tmp_path
+
+    return build
+
+
+def findings_for(root: Path, code: str, **overrides):
+    """Run one rule over a fixture project and return its findings."""
+    report = run_analysis(root, overrides={"select": [code], **overrides})
+    return report.findings

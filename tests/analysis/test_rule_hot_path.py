@@ -1,0 +1,127 @@
+"""REP006: allocation-heavy idioms in per-tuple hot paths."""
+
+from .conftest import findings_for
+
+OPTIONS = {"hot-path": {"paths": ["src/pkg"]}}
+
+
+class TestAllocationsAreFlagged:
+    def test_list_copy_in_on_op(self, project):
+        root = project(
+            {
+                "src/pkg/a.py": '''
+                    class Obs:
+                        def on_op(self, relation, op):
+                            snapshot = list(self.values)
+                            return snapshot
+                ''',
+            }
+        )
+        findings = findings_for(root, "REP006", **OPTIONS)
+        assert len(findings) == 1
+        assert "list(...) copies per tuple in per-tuple on_op()" in findings[0].message
+
+    def test_comprehension_in_process(self, project):
+        root = project(
+            {
+                "src/pkg/a.py": '''
+                    def process(ops):
+                        return [op.weight for op in ops]
+                ''',
+            }
+        )
+        findings = findings_for(root, "REP006", **OPTIONS)
+        assert len(findings) == 1
+        assert "comprehension allocates" in findings[0].message
+
+    def test_fstring_in_on_op(self, project):
+        root = project(
+            {
+                "src/pkg/a.py": '''
+                    class Obs:
+                        def on_op(self, relation, op):
+                            self.last = f"{relation}:{op}"
+                ''',
+            }
+        )
+        findings = findings_for(root, "REP006", **OPTIONS)
+        assert len(findings) == 1
+        assert "f-string allocates" in findings[0].message
+
+    def test_flagged_call_does_not_double_report_inner_fstring(self, project):
+        root = project(
+            {
+                "src/pkg/a.py": '''
+                    class Obs:
+                        def on_op(self, relation, op):
+                            self.keys = sorted(f"{op}")
+                ''',
+            }
+        )
+        # sorted() is flagged; the f-string inside it is not reported again.
+        assert len(findings_for(root, "REP006", **OPTIONS)) == 1
+
+
+class TestExemptions:
+    def test_raise_subtree_is_exempt(self, project):
+        root = project(
+            {
+                "src/pkg/a.py": '''
+                    class Obs:
+                        def on_op(self, relation, op):
+                            if op.weight < 0:
+                                raise ValueError(f"negative weight on {relation}")
+                ''',
+            }
+        )
+        assert findings_for(root, "REP006", **OPTIONS) == []
+
+    def test_nested_def_is_exempt(self, project):
+        root = project(
+            {
+                "src/pkg/a.py": '''
+                    class Obs:
+                        def on_op(self, relation, op):
+                            def debug():
+                                return list(self.values)
+                            self.debug = debug
+                ''',
+            }
+        )
+        assert findings_for(root, "REP006", **OPTIONS) == []
+
+    def test_cold_functions_are_exempt(self, project):
+        root = project(
+            {
+                "src/pkg/a.py": '''
+                    class Obs:
+                        def state_dict(self):
+                            return {"values": list(self.values)}
+                ''',
+            }
+        )
+        assert findings_for(root, "REP006", **OPTIONS) == []
+
+    def test_out_of_path_files_are_exempt(self, project):
+        root = project(
+            {
+                "src/other/a.py": '''
+                    def process(ops):
+                        return [op.weight for op in ops]
+                ''',
+            }
+        )
+        assert findings_for(root, "REP006", **OPTIONS) == []
+
+    def test_inline_noqa_suppresses(self, project):
+        root = project(
+            {
+                "src/pkg/a.py": '''
+                    class Obs:
+                        def on_op(self, relation, op):
+                            snapshot = list(self.values)  # repro: noqa[REP006]
+                            return snapshot
+                ''',
+            }
+        )
+        assert findings_for(root, "REP006", **OPTIONS) == []

@@ -1,0 +1,196 @@
+"""REP001: metric registrations vs the generated catalog."""
+
+from repro.analysis.config import load_config
+from repro.analysis.core import SourceTree
+from repro.analysis.generate import update_metric_catalog
+
+from .conftest import findings_for
+
+CATALOG = '''
+METRIC_CATALOG = {
+    'repro_ops_total': {
+        "kind": 'counter',
+        "labels": ('relation',),
+        "shard_suffix": True,
+        "help": 'Ops.',
+    },
+    'repro_latency_seconds': {
+        "kind": 'histogram',
+        "labels": (),
+        "shard_suffix": False,
+        "help": 'Latency.',
+    },
+}
+'''
+
+OPTIONS = {"metric-catalog": {"catalog": "src/pkg/catalog.py"}}
+
+
+class TestConformingSites:
+    def test_exact_labels_match(self, project):
+        root = project(
+            {
+                "src/pkg/catalog.py": CATALOG,
+                "src/pkg/app.py": '''
+                    def setup(registry):
+                        registry.counter("repro_ops_total", "Ops.", ("relation",))
+                        registry.histogram("repro_latency_seconds", "Latency.")
+                ''',
+            }
+        )
+        assert findings_for(root, "REP001", **OPTIONS) == []
+
+    def test_star_suffix_idiom_matches_shard_suffix_entry(self, project):
+        root = project(
+            {
+                "src/pkg/catalog.py": CATALOG,
+                "src/pkg/app.py": '''
+                    def setup(registry, shard):
+                        extra = ("shard",) if shard is not None else ()
+                        registry.counter("repro_ops_total", "Ops.", ("relation", *extra))
+                        registry.histogram("repro_latency_seconds", "Latency.")
+                ''',
+            }
+        )
+        assert findings_for(root, "REP001", **OPTIONS) == []
+
+    def test_explicit_shard_label_matches_shard_suffix_entry(self, project):
+        root = project(
+            {
+                "src/pkg/catalog.py": CATALOG,
+                "src/pkg/app.py": '''
+                    def setup(registry):
+                        registry.counter("repro_ops_total", "Ops.", ("relation", "shard"))
+                        registry.histogram("repro_latency_seconds", "Latency.")
+                ''',
+            }
+        )
+        assert findings_for(root, "REP001", **OPTIONS) == []
+
+    def test_non_repro_names_are_out_of_scope(self, project):
+        root = project(
+            {
+                "src/pkg/catalog.py": CATALOG,
+                "src/pkg/app.py": '''
+                    def setup(registry):
+                        registry.counter("other_ops_total", "Not ours.")
+                        registry.counter("repro_ops_total", "Ops.", ("relation",))
+                        registry.histogram("repro_latency_seconds", "Latency.")
+                ''',
+            }
+        )
+        assert findings_for(root, "REP001", **OPTIONS) == []
+
+
+class TestViolations:
+    def test_unknown_metric_name(self, project):
+        root = project(
+            {
+                "src/pkg/catalog.py": CATALOG,
+                "src/pkg/app.py": '''
+                    def setup(registry):
+                        registry.counter("repro_ops_total", "Ops.", ("relation",))
+                        registry.counter("repro_surprise_total", "New.")
+                        registry.histogram("repro_latency_seconds", "Latency.")
+                ''',
+            }
+        )
+        findings = findings_for(root, "REP001", **OPTIONS)
+        assert len(findings) == 1
+        assert "repro_surprise_total" in findings[0].message
+
+    def test_kind_mismatch(self, project):
+        root = project(
+            {
+                "src/pkg/catalog.py": CATALOG,
+                "src/pkg/app.py": '''
+                    def setup(registry):
+                        registry.gauge("repro_ops_total", "Ops.", ("relation",))
+                        registry.histogram("repro_latency_seconds", "Latency.")
+                ''',
+            }
+        )
+        findings = findings_for(root, "REP001", **OPTIONS)
+        assert len(findings) == 1
+        assert "counter" in findings[0].message and "gauge" in findings[0].message
+
+    def test_label_mismatch(self, project):
+        root = project(
+            {
+                "src/pkg/catalog.py": CATALOG,
+                "src/pkg/app.py": '''
+                    def setup(registry):
+                        registry.counter("repro_ops_total", "Ops.", ("query",))
+                        registry.histogram("repro_latency_seconds", "Latency.")
+                ''',
+            }
+        )
+        findings = findings_for(root, "REP001", **OPTIONS)
+        assert len(findings) == 1
+        assert "labels" in findings[0].message
+
+    def test_unresolvable_labelnames(self, project):
+        root = project(
+            {
+                "src/pkg/catalog.py": CATALOG,
+                "src/pkg/app.py": '''
+                    def setup(registry, labels):
+                        registry.counter("repro_ops_total", "Ops.", labels)
+                        registry.histogram("repro_latency_seconds", "Latency.")
+                ''',
+            }
+        )
+        findings = findings_for(root, "REP001", **OPTIONS)
+        assert len(findings) == 1
+        assert "not a literal" in findings[0].message
+
+    def test_stale_catalog_entry(self, project):
+        root = project(
+            {
+                "src/pkg/catalog.py": CATALOG,
+                "src/pkg/app.py": '''
+                    def setup(registry):
+                        registry.counter("repro_ops_total", "Ops.", ("relation",))
+                ''',
+            }
+        )
+        findings = findings_for(root, "REP001", **OPTIONS)
+        assert len(findings) == 1
+        assert "repro_latency_seconds" in findings[0].message
+        assert findings[0].path == "src/pkg/catalog.py"
+
+    def test_missing_catalog_flags_every_site(self, project):
+        root = project(
+            {
+                "src/pkg/app.py": '''
+                    def setup(registry):
+                        registry.counter("repro_ops_total", "Ops.", ("relation",))
+                ''',
+            }
+        )
+        findings = findings_for(root, "REP001", **OPTIONS)
+        assert len(findings) == 1
+        assert "missing" in findings[0].message
+
+
+class TestGenerator:
+    def test_update_then_clean(self, project):
+        root = project(
+            {
+                "src/pkg/app.py": '''
+                    def setup(registry, shard):
+                        extra = ("shard",) if shard is not None else ()
+                        registry.counter("repro_ops_total", "Ops.", ("relation", *extra))
+                        registry.histogram("repro_latency_seconds", "Latency.")
+                ''',
+            }
+        )
+        config = load_config(root, {"metric-catalog": {"catalog": "src/pkg/catalog.py"}})
+        tree = SourceTree.load(root, [root / "src"])
+        path = update_metric_catalog(root, tree, config)
+        assert path == root / "src/pkg/catalog.py"
+        assert findings_for(root, "REP001", **OPTIONS) == []
+        # Regeneration is idempotent.
+        before = path.read_text()
+        update_metric_catalog(root, SourceTree.load(root, [root / "src"]), config)
+        assert path.read_text() == before

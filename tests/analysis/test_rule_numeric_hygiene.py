@@ -1,0 +1,120 @@
+"""REP004: float equality and bare except."""
+
+from .conftest import findings_for
+
+
+class TestFloatEquality:
+    def test_float_literal_comparison_is_flagged(self, project):
+        root = project(
+            {
+                "src/pkg/a.py": '''
+                    def check(x):
+                        return x == 0.5
+                ''',
+            }
+        )
+        findings = findings_for(root, "REP004")
+        assert len(findings) == 1
+        assert "float equality" in findings[0].message
+
+    def test_math_inf_comparison_is_flagged(self, project):
+        root = project(
+            {
+                "src/pkg/a.py": '''
+                    import math
+
+                    def check(x):
+                        return x == math.inf
+                ''',
+            }
+        )
+        assert len(findings_for(root, "REP004")) == 1
+
+    def test_int_cast_roundness_idiom_is_flagged(self, project):
+        root = project(
+            {
+                "src/pkg/a.py": '''
+                    def check(value):
+                        return value == int(value)
+                ''',
+            }
+        )
+        assert len(findings_for(root, "REP004")) == 1
+
+    def test_division_comparison_is_flagged(self, project):
+        root = project(
+            {
+                "src/pkg/a.py": '''
+                    def check(a, b, c):
+                        return a / b != c
+                ''',
+            }
+        )
+        assert len(findings_for(root, "REP004")) == 1
+
+    def test_integer_and_string_comparisons_are_fine(self, project):
+        root = project(
+            {
+                "src/pkg/a.py": '''
+                    def check(n, s, xs):
+                        return n == 3 and s != "done" and n == len(xs)
+                ''',
+            }
+        )
+        assert findings_for(root, "REP004") == []
+
+    def test_ordering_comparisons_are_fine(self, project):
+        root = project(
+            {
+                "src/pkg/a.py": '''
+                    def check(x):
+                        return x < 0.5 or x >= 1.0
+                ''',
+            }
+        )
+        assert findings_for(root, "REP004") == []
+
+    def test_isclose_replacement_is_fine(self, project):
+        root = project(
+            {
+                "src/pkg/a.py": '''
+                    import math
+
+                    def check(x, y):
+                        return math.isclose(x, y) or math.isinf(x) or x.is_integer()
+                ''',
+            }
+        )
+        assert findings_for(root, "REP004") == []
+
+
+class TestBareExcept:
+    def test_bare_except_is_flagged(self, project):
+        root = project(
+            {
+                "src/pkg/a.py": '''
+                    def risky(f):
+                        try:
+                            return f()
+                        except:
+                            return None
+                ''',
+            }
+        )
+        findings = findings_for(root, "REP004")
+        assert len(findings) == 1
+        assert "bare except" in findings[0].message
+
+    def test_typed_except_is_fine(self, project):
+        root = project(
+            {
+                "src/pkg/a.py": '''
+                    def risky(f):
+                        try:
+                            return f()
+                        except Exception:
+                            return None
+                ''',
+            }
+        )
+        assert findings_for(root, "REP004") == []

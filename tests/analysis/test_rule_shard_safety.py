@@ -1,0 +1,159 @@
+"""REP003: process-dispatch pickling, module state, determinism."""
+
+from .conftest import findings_for
+
+OPTIONS = {"shard-safety": {"deterministic-paths": ["src/pkg"]}}
+
+
+class TestModuleMutableState:
+    def test_lowercase_module_dict_is_flagged(self, project):
+        root = project({"src/pkg/a.py": "cache = {}\n"})
+        findings = findings_for(root, "REP003", **OPTIONS)
+        assert len(findings) == 1
+        assert "module-level mutable 'cache'" in findings[0].message
+
+    def test_upper_constant_and_dunder_are_exempt(self, project):
+        root = project(
+            {
+                "src/pkg/a.py": '''
+                    __all__ = ["f"]
+                    BACKENDS = {"serial": None}
+
+                    def f():
+                        return BACKENDS
+                ''',
+            }
+        )
+        assert findings_for(root, "REP003", **OPTIONS) == []
+
+
+class TestMutableDefaults:
+    def test_mutable_default_argument_is_flagged(self, project):
+        root = project(
+            {
+                "src/pkg/a.py": '''
+                    def merge(values, seen=[]):
+                        seen.extend(values)
+                        return seen
+                ''',
+            }
+        )
+        findings = findings_for(root, "REP003", **OPTIONS)
+        assert len(findings) == 1
+        assert "mutable default argument in merge()" in findings[0].message
+
+    def test_none_default_is_fine(self, project):
+        root = project(
+            {
+                "src/pkg/a.py": '''
+                    def merge(values, seen=None):
+                        seen = list(seen or ())
+                        seen.extend(values)
+                        return seen
+                ''',
+            }
+        )
+        assert findings_for(root, "REP003", **OPTIONS) == []
+
+
+class TestDispatchPickling:
+    def test_lambda_submitted_to_executor_is_flagged(self, project):
+        root = project(
+            {
+                "src/pkg/a.py": '''
+                    def run(pool, shard):
+                        return pool.submit(lambda: shard.answer())
+                ''',
+            }
+        )
+        findings = findings_for(root, "REP003", **OPTIONS)
+        assert len(findings) == 1
+        assert "lambda crosses the process-dispatch boundary" in findings[0].message
+
+    def test_lambda_process_target_is_flagged(self, project):
+        root = project(
+            {
+                "src/pkg/a.py": '''
+                    import multiprocessing
+
+                    def run(q):
+                        return multiprocessing.Process(target=lambda: q.put(1))
+                ''',
+            }
+        )
+        findings = findings_for(root, "REP003", **OPTIONS)
+        assert len(findings) == 1
+
+    def test_top_level_function_is_fine(self, project):
+        root = project(
+            {
+                "src/pkg/a.py": '''
+                    def work(shard):
+                        return shard.answer()
+
+                    def run(pool, shard):
+                        return pool.submit(work, shard)
+                ''',
+            }
+        )
+        assert findings_for(root, "REP003", **OPTIONS) == []
+
+
+class TestDeterminism:
+    def test_global_rng_is_flagged_in_deterministic_paths(self, project):
+        root = project(
+            {
+                "src/pkg/a.py": '''
+                    import random
+
+                    def jitter():
+                        return random.random()
+                ''',
+            }
+        )
+        findings = findings_for(root, "REP003", **OPTIONS)
+        assert len(findings) == 1
+        assert "unseeded global RNG" in findings[0].message
+
+    def test_wall_clock_is_flagged_in_deterministic_paths(self, project):
+        root = project(
+            {
+                "src/pkg/a.py": '''
+                    import time
+
+                    def stamp():
+                        return time.time()
+                ''',
+            }
+        )
+        findings = findings_for(root, "REP003", **OPTIONS)
+        assert len(findings) == 1
+        assert "wall-clock" in findings[0].message
+
+    def test_seeded_generators_are_fine(self, project):
+        root = project(
+            {
+                "src/pkg/a.py": '''
+                    import random
+
+                    import numpy as np
+
+                    def make(seed):
+                        return random.Random(seed), np.random.default_rng(seed)
+                ''',
+            }
+        )
+        assert findings_for(root, "REP003", **OPTIONS) == []
+
+    def test_wall_clock_outside_scope_is_fine(self, project):
+        root = project(
+            {
+                "src/other/a.py": '''
+                    import time
+
+                    def stamp():
+                        return time.time()
+                ''',
+            }
+        )
+        assert findings_for(root, "REP003", **OPTIONS) == []

@@ -111,6 +111,23 @@ class TestMonitor:
         assert "repro_accuracy_relative_error_bucket" in prom_text
 
 
+class TestServeMetrics:
+    ARGS = ["monitor", "--tuples", "300", "--batch", "128", "--domain", "100",
+            "--budget", "32", "--refresh-every", "400", "--accuracy-every", "200",
+            "--no-clear", "--serve-metrics", "0"]
+
+    def test_monitor_announces_endpoint(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "serving metrics at http://127.0.0.1:" in out
+        assert "/metrics" in out
+
+    def test_sharded_monitor_announces_endpoint(self, capsys):
+        assert main(self.ARGS + ["--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "serving metrics at http://127.0.0.1:" in out
+
+
 class TestCheckpointingMonitor:
     ARGS = ["monitor", "--tuples", "600", "--batch", "128", "--domain", "100",
             "--budget", "32", "--refresh-every", "400", "--accuracy-every", "200",

@@ -1,0 +1,127 @@
+"""MetricsServer HTTP endpoint and the runtime catalog conformance check."""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import MetricsRegistry, MetricsServer, catalog_mismatches
+from repro.obs.server import CONTENT_TYPE
+
+
+def fetch(url: str):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers["Content-Type"], response.read().decode()
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    reg.counter("repro_ingest_ops_total", "Total operations.").inc(7)
+    return reg
+
+
+class TestEndpoints:
+    def test_metrics_serves_prometheus_text(self, registry):
+        with MetricsServer(registry) as server:
+            status, content_type, body = fetch(server.url)
+        assert status == 200
+        assert content_type == CONTENT_TYPE
+        assert "# TYPE repro_ingest_ops_total counter" in body
+        assert "repro_ingest_ops_total 7" in body
+
+    def test_root_serves_metrics_too(self, registry):
+        with MetricsServer(registry) as server:
+            _, _, body = fetch(f"http://{server.host}:{server.port}/")
+        assert "repro_ingest_ops_total 7" in body
+
+    def test_healthz(self, registry):
+        with MetricsServer(registry) as server:
+            status, _, body = fetch(f"http://{server.host}:{server.port}/healthz")
+        assert status == 200 and body == "ok\n"
+
+    def test_unknown_path_is_404(self, registry):
+        with MetricsServer(registry) as server:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                fetch(f"http://{server.host}:{server.port}/nope")
+        assert exc.value.code == 404
+
+    def test_scrape_reflects_live_updates(self, registry):
+        counter = registry.counter("repro_ingest_deletes_total", "Deletes.")
+        with MetricsServer(registry) as server:
+            _, _, before = fetch(server.url)
+            counter.inc(3)
+            _, _, after = fetch(server.url)
+        assert "repro_ingest_deletes_total 0" in before
+        assert "repro_ingest_deletes_total 3" in after
+
+
+class TestLifecycle:
+    def test_port_zero_binds_a_free_port(self, registry):
+        with MetricsServer(registry, port=0) as a, MetricsServer(registry, port=0) as b:
+            assert a.port != 0 and b.port != 0
+            assert a.port != b.port
+
+    def test_start_twice_is_an_error(self, registry):
+        server = MetricsServer(registry).start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                server.start()
+        finally:
+            server.stop()
+
+    def test_stop_releases_the_port(self, registry):
+        server = MetricsServer(registry).start()
+        url = server.url
+        server.stop()
+        with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
+            fetch(url)
+
+    def test_callable_provider_is_resolved_per_scrape(self):
+        registries = []
+
+        def provider():
+            reg = MetricsRegistry()
+            reg.counter("repro_ingest_ops_total", "Total operations.").inc(len(registries))
+            registries.append(reg)
+            return reg
+
+        with MetricsServer(provider) as server:
+            _, _, first = fetch(server.url)
+            _, _, second = fetch(server.url)
+        assert "repro_ingest_ops_total 0" in first
+        assert "repro_ingest_ops_total 1" in second
+        assert len(registries) == 2
+
+
+class TestCatalogMismatches:
+    def test_conformant_registry_is_clean(self, registry):
+        registry.counter(
+            "repro_relation_ops_total", "Operations.", ("relation", "shard")
+        )
+        assert catalog_mismatches(registry) == []
+
+    def test_non_repro_metrics_are_ignored(self):
+        reg = MetricsRegistry()
+        reg.counter("other_ops_total", "Not ours.")
+        assert catalog_mismatches(reg) == []
+
+    def test_uncatalogued_metric_is_reported(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_surprise_total", "New.")
+        problems = catalog_mismatches(reg)
+        assert problems == ["repro_surprise_total: not in the generated metric catalog"]
+
+    def test_kind_mismatch_is_reported(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_ingest_ops_total", "Wrong kind.")
+        problems = catalog_mismatches(reg)
+        assert len(problems) == 1
+        assert "registered as gauge, catalogued as counter" in problems[0]
+
+    def test_label_mismatch_is_reported(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_relation_ops_total", "Operations.", ("query",))
+        problems = catalog_mismatches(reg)
+        assert len(problems) == 1
+        assert "labels" in problems[0] and "(+ optional shard)" in problems[0]
