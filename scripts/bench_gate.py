@@ -1,0 +1,135 @@
+"""CI bench gate: append a benchmark result to the trajectory and enforce the floor.
+
+The ``bench-smoke`` CI job runs ``benchmarks/bench_fastpath.py`` and hands
+its JSON result to this script.  The script
+
+1. loads the persisted trajectory file (``BENCH_trajectory.json``,
+   restored across runs via ``actions/cache`` and re-uploaded as an
+   artifact) or bootstraps an empty one,
+2. appends one entry — commit, CI run id, kernel speedup, ingest
+   throughput — so the benchmark history of the branch is a first-class
+   artifact rather than a pass/fail bit, and
+3. fails the build when the fastpath kernel speedup drops below the
+   floor (>= 5x vs the 1.5.0 per-entry reference, measured in the same
+   run so a slow runner cannot fake a regression).
+
+Usage (as in ``.github/workflows/ci.yml``)::
+
+    python scripts/bench_gate.py \
+        --result bench-artifacts/fastpath.json \
+        --trajectory BENCH_trajectory.json
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+DEFAULT_FLOOR = 5.0
+TAIL = 10  # trajectory entries echoed into the CI log
+
+
+def _commit() -> str:
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha[:12]
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def load_trajectory(path: Path) -> dict:
+    """Load the persisted trajectory, bootstrapping an empty one if absent."""
+    if path.is_file():
+        with path.open() as handle:
+            trajectory = json.load(handle)
+        if trajectory.get("version") != 1 or not isinstance(
+            trajectory.get("entries"), list
+        ):
+            raise SystemExit(f"unrecognized trajectory file: {path}")
+        return trajectory
+    return {"version": 1, "entries": []}
+
+
+def make_entry(result: dict) -> dict:
+    kernel, ingest = result["kernel"], result["ingest"]
+    return {
+        "commit": _commit(),
+        "run_id": os.environ.get("GITHUB_RUN_ID", ""),
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "backend": result["backend"],
+        "kernel_speedup": round(kernel["speedup"], 3),
+        "kernel_order": kernel["order"],
+        "kernel_cols": kernel["cols"],
+        "fastpath_tps": round(ingest["fastpath_tps_best"]),
+        "reference_tps": round(ingest["reference_tps_best"]),
+        "ingest_ratio": round(ingest["ingest_ratio"], 3),
+    }
+
+
+def _print_tail(entries: list) -> None:
+    print(f"benchmark trajectory ({len(entries)} entries, last {TAIL}):")
+    print(f"  {'commit':<13} {'speedup':>8} {'ingest tps':>12} {'ratio':>6}  backend")
+    for entry in entries[-TAIL:]:
+        print(
+            f"  {entry['commit']:<13} {entry['kernel_speedup']:>7.2f}x"
+            f" {entry['fastpath_tps']:>12,} {entry['ingest_ratio']:>5.2f}x"
+            f"  {entry['backend']}"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--result", required=True, help="bench_fastpath.py JSON output")
+    parser.add_argument(
+        "--trajectory", required=True, help="persisted BENCH_trajectory.json path"
+    )
+    parser.add_argument("--floor", type=float, default=DEFAULT_FLOOR)
+    args = parser.parse_args(argv)
+
+    with open(args.result) as handle:
+        result = json.load(handle)
+
+    trajectory_path = Path(args.trajectory)
+    trajectory = load_trajectory(trajectory_path)
+    entry = make_entry(result)
+    trajectory["entries"].append(entry)
+    with trajectory_path.open("w") as handle:
+        json.dump(trajectory, handle, indent=1)
+        handle.write("\n")
+
+    _print_tail(trajectory["entries"])
+
+    previous = [e["kernel_speedup"] for e in trajectory["entries"][:-1]]
+    if previous and entry["kernel_speedup"] < 0.8 * max(previous):
+        print(
+            f"WARNING: kernel speedup {entry['kernel_speedup']:.2f}x is >20% below"
+            f" the trajectory best ({max(previous):.2f}x) — runner noise or a"
+            " creeping regression; the floor below is the hard gate"
+        )
+    if entry["kernel_speedup"] < args.floor:
+        print(
+            f"FAIL: fastpath kernel speedup {entry['kernel_speedup']:.2f}x is below"
+            f" the {args.floor:.0f}x floor vs the 1.5.0 reference"
+        )
+        return 1
+    print(
+        f"bench gate OK: {entry['kernel_speedup']:.2f}x >= {args.floor:.0f}x floor,"
+        f" ingest at {entry['fastpath_tps']:,} tuples/s"
+        f" ({entry['ingest_ratio']:.2f}x the reference backend)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

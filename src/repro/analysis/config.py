@@ -70,9 +70,23 @@ DEFAULT_CONFIG: dict[str, Any] = {
     },
     "hot-path": {
         # Per-tuple hot-path methods: flag allocation-heavy idioms inside.
-        "functions": ["on_op", "process"],
+        "functions": ["on_op", "process", "_process_inner"],
         # Only methods defined under these path prefixes are checked.
         "paths": ["src/repro/streams"],
+        # Batch coefficient-maintenance code: basis tables must come from
+        # the repro.fastpath seam (Chebyshev recurrence / compiled
+        # kernels), never per-entry trig evaluation.
+        "kernel-paths": [
+            "src/repro/core/join.py",
+            "src/repro/core/range_query.py",
+            "src/repro/core/synopsis.py",
+            "src/repro/sketches",
+            "src/repro/streams",
+        ],
+        # Calls that reintroduce a bypass of the seam in those paths.
+        "kernel-calls": ["basis_matrix", "np.cos", "numpy.cos", "phi"],
+        # The blessed kernel implementations themselves, exempt.
+        "kernel-seam": ["src/repro/fastpath"],
     },
 }
 

@@ -13,6 +13,15 @@ the configured paths:
 * list/set/dict comprehensions and displays,
 * f-strings and ``str.format`` calls.
 
+The rule also guards the *kernel seam*: batch coefficient maintenance
+must build its basis tables through ``repro.fastpath`` (the Chebyshev
+recurrence / compiled kernels), not by per-entry trig evaluation.  Files
+under the configured ``kernel-paths`` may not call the configured
+``kernel-calls`` (``basis_matrix``, ``np.cos``, ...) directly — the
+blessed implementations live under ``kernel-seam`` (``src/repro/fastpath``
+by default), which is exempt because it *is* the seam, as are the
+reference modules the seam is checked against.
+
 Error paths are exempt: anything inside a ``raise`` statement (f-string
 exception messages are fine — they only allocate when things already
 went wrong).  A justified allocation takes an inline
@@ -40,27 +49,62 @@ _COPY_CALLS = {
     "copy.deepcopy",
 }
 
+#: Default calls that reintroduce per-entry basis evaluation outside the
+#: fastpath seam (overridable via the ``kernel-calls`` option).
+_KERNEL_CALLS = ("basis_matrix", "np.cos", "numpy.cos", "phi")
+
+#: Default home of the blessed kernel implementations, exempt from the
+#: seam check (overridable via the ``kernel-seam`` option).
+_KERNEL_SEAM = ("src/repro/fastpath",)
+
 
 class HotPathPurityRule(Rule):
     code = "REP006"
     name = "hot-path"
     description = (
         "no allocation-heavy idioms (copies, comprehensions, f-strings) "
-        "inside per-tuple process()/on_op bodies outside error paths"
+        "inside per-tuple process()/on_op bodies outside error paths, and "
+        "no per-entry basis evaluation outside the repro.fastpath seam"
     )
 
     def check(self, tree: SourceTree, config: Mapping[str, Any]) -> list[Finding]:
         options = self.options(config)
-        functions = tuple(str(f) for f in options.get("functions", ("on_op", "process")))
+        functions = tuple(
+            str(f) for f in options.get("functions", ("on_op", "process", "_process_inner"))
+        )
         paths = tuple(str(p) for p in options.get("paths", ()))
+        kernel_paths = tuple(str(p) for p in options.get("kernel-paths", ()))
+        kernel_calls = {str(c) for c in options.get("kernel-calls", _KERNEL_CALLS)}
+        kernel_seam = tuple(str(p) for p in options.get("kernel-seam", _KERNEL_SEAM))
         findings: list[Finding] = []
         for source in tree:
-            if not path_in(source.rel_path, paths):
-                continue
-            for node in ast.walk(source.tree):
-                if isinstance(node, ast.FunctionDef) and node.name in functions:
-                    findings.extend(self._check_function(source, node))
+            if path_in(source.rel_path, paths):
+                for node in ast.walk(source.tree):
+                    if isinstance(node, ast.FunctionDef) and node.name in functions:
+                        findings.extend(self._check_function(source, node))
+            if path_in(source.rel_path, kernel_paths) and not path_in(
+                source.rel_path, kernel_seam
+            ):
+                findings.extend(self._check_kernel_seam(source, kernel_calls))
         return findings
+
+    def _check_kernel_seam(
+        self, source: SourceFile, kernel_calls: set[str]
+    ) -> Iterator[Finding]:
+        """Flag direct basis evaluation that bypasses ``repro.fastpath``."""
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name in kernel_calls:
+                yield self.finding(
+                    source,
+                    node,
+                    f"direct basis evaluation {name}(...) bypasses the "
+                    "repro.fastpath seam; build basis tables with "
+                    "repro.fastpath.phi_block so the recurrence/compiled "
+                    "kernels stay the only implementation",
+                )
 
     def _check_function(
         self, source: SourceFile, func: ast.FunctionDef

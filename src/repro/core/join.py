@@ -28,7 +28,7 @@ from typing import Sequence
 
 import numpy as np
 
-from .basis import basis_matrix
+from ..fastpath import phi_block
 from .synopsis import CosineSynopsis
 
 #: An attribute slot: (relation position in the synopsis list, axis index).
@@ -245,7 +245,7 @@ def estimate_join_size_by_group(
     tensor = tensor[:, :join_order]
     contracted = tensor @ other.coefficients[:join_order]  # over group orders
     group_domain = grouped.domains[group_axis]
-    table = basis_matrix(np.arange(grouped.order), group_domain.grid(grouped.grid))
+    table = phi_block(grouped.order, group_domain.grid(grouped.grid))
     n_group = group_domain.size
     n_join = grouped.domains[join_axis].size
     scale = grouped.count * other.count / (n_group * n_join)

@@ -87,6 +87,16 @@ class Domain:
                 raise ValueError(f"value {exc.args[0]!r} not in categorical domain") from exc
         arr = np.asarray(values)
         assert self.low is not None
+        if arr.dtype == np.int64 and self.low == 0:
+            # Zero-copy fast path: int64 values over a 0-based domain are
+            # already their own indices — bounds-check and return the
+            # caller's array unchanged (callers treat indices as read-only).
+            if arr.size and (int(arr.min()) < 0 or int(arr.max()) >= self.size):
+                bad = arr[(arr < 0) | (arr >= self.size)]
+                raise ValueError(
+                    f"values outside integer domain [{self.low}, {self.high}]: {bad[:5]}"
+                )
+            return arr
         idx = arr.astype(np.int64) - self.low
         if np.any(arr != idx + self.low):
             raise ValueError("non-integer values in an integer-range domain")

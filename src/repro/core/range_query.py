@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from .basis import SQRT2, basis_matrix
+from ..fastpath import phi_block
+from .basis import SQRT2
 from .synopsis import CosineSynopsis
 
 
@@ -57,7 +58,7 @@ def estimate_range_count(synopsis: CosineSynopsis, lo_index: int, hi_index: int)
         sums = basis_range_sums(synopsis.order, n, lo_index, hi_index)
     else:
         positions = domain.grid(synopsis.grid)[lo_index : hi_index + 1]
-        sums = basis_matrix(np.arange(synopsis.order), positions).sum(axis=1)
+        sums = phi_block(synopsis.order, positions).sum(axis=1)
     return synopsis.count / n * float(np.dot(synopsis.coefficients, sums))
 
 
@@ -137,7 +138,7 @@ def estimate_box_count(
             sums = basis_range_sums(synopsis.order, n, lo, hi)
         else:
             positions = domain.grid(synopsis.grid)[lo : hi + 1]
-            sums = basis_matrix(np.arange(synopsis.order), positions).sum(axis=1)
+            sums = phi_block(synopsis.order, positions).sum(axis=1)
         factors.append(sums)
         scale /= n
     per_coefficient = np.ones(synopsis.num_coefficients)

@@ -252,13 +252,16 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     import numpy as np
 
     from ..core.normalization import Domain
-    from ..obs import JsonlSnapshotWriter, prometheus_text, render_dashboard
+    from ..obs import JsonlSnapshotWriter, Telemetry, prometheus_text, render_dashboard
     from ..streams import JoinQuery, StreamEngine
 
     methods = [m.strip() for m in args.methods.split(",") if m.strip()]
     if args.shards > 1:
         return _monitor_sharded(args, methods)
-    engine = StreamEngine(seed=args.seed)
+    engine = StreamEngine(
+        seed=args.seed,
+        telemetry=Telemetry(trace_sample_every=args.trace_sample),
+    )
     domain = Domain.of_size(args.domain)
     engine.create_relation("R1", ["A"], [domain])
     engine.create_relation("R2", ["A"], [domain])
@@ -505,6 +508,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4096,
         help="sample estimate-vs-exact relative error every this many tuples",
+    )
+    monitor.add_argument(
+        "--trace-sample",
+        type=int,
+        default=None,
+        metavar="N",
+        help="record ~1 in N hot-path trace spans instead of all of them "
+        "(cuts tracing overhead on per-tuple workloads; default records all)",
     )
     monitor.add_argument("--jsonl", help="append a JSONL telemetry snapshot per refresh")
     monitor.add_argument(

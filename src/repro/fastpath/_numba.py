@@ -1,0 +1,87 @@
+"""Optional numba-compiled kernels behind a gated import.
+
+numba is *not* a dependency of this package: when it is importable the
+kernels below are JIT-compiled and :mod:`repro.fastpath.backend` selects
+the ``"numba"`` backend by default; when it is absent (the normal case —
+the CI image deliberately ships without it) everything here degrades to
+``None`` and the pure-numpy recurrence takes over at import time.  Which
+way the coin fell is visible through the ``repro_fastpath_backend`` gauge
+and ``repro.fastpath.describe()``.
+
+The kernels mirror the numpy fast path exactly (same recurrence, same
+seed folding), so the parity guarantees proven for the numpy path in
+``tests/fastpath/`` transfer; they mainly buy back the python-level loop
+over basis orders and the ``(S, B)`` sign intermediates of AGMS updates.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["HAVE_NUMBA", "phi_block_kernel", "agms_update_kernel"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba  # type: ignore[import-not-found]
+except Exception:  # pragma: no cover - import error path is environment-dependent
+    numba = None
+
+HAVE_NUMBA = numba is not None
+
+_SQRT2 = math.sqrt(2.0)
+_MERSENNE_P = np.uint64((1 << 31) - 1)
+
+
+if HAVE_NUMBA:  # pragma: no cover - numba absent in the pinned CI image
+
+    @numba.njit(cache=True)
+    def phi_block_kernel(order: int, positions: np.ndarray, out: np.ndarray) -> None:
+        """Chebyshev-recurrence basis table, one cos() per batch column."""
+        cols = positions.shape[0]
+        for b in range(cols):
+            out[0, b] = 1.0
+        if order > 1:
+            for b in range(cols):
+                out[1, b] = _SQRT2 * math.cos(math.pi * positions[b])
+        if order > 2:
+            for b in range(cols):
+                t2 = 2.0 * math.cos(math.pi * positions[b])
+                prev2 = _SQRT2
+                prev1 = out[1, b]
+                for k in range(2, order):
+                    cur = t2 * prev1 - prev2
+                    out[k, b] = cur
+                    prev2 = prev1
+                    prev1 = cur
+
+    @numba.njit(cache=True)
+    def agms_update_kernel(
+        coeffs: np.ndarray, indices: np.ndarray, weight: float, atoms: np.ndarray
+    ) -> None:
+        """Single-attribute AGMS batch update without sign intermediates.
+
+        ``coeffs`` is the sign family's ``(S, 4)`` uint64 polynomial table,
+        ``indices`` the batch of domain indices; each atom accumulates
+        ``weight * sum_b xi_s(indices[b])`` directly, skipping the
+        ``(S, B)`` materialized sign matrix of the numpy path.
+        """
+        p = _MERSENNE_P
+        one = np.uint64(1)
+        for s in range(coeffs.shape[0]):
+            c0 = coeffs[s, 0]
+            c1 = coeffs[s, 1]
+            c2 = coeffs[s, 2]
+            c3 = coeffs[s, 3]
+            total = 0
+            for b in range(indices.shape[0]):
+                x = np.uint64(indices[b])
+                acc = (c0 * x + c1) % p
+                acc = (acc * x + c2) % p
+                acc = (acc * x + c3) % p
+                total += 1 if (acc & one) else -1
+            atoms[s] += weight * total
+
+else:
+    phi_block_kernel = None
+    agms_update_kernel = None

@@ -1,0 +1,126 @@
+"""Numpy kernels for the cosine-basis hot path.
+
+The reference implementation (:func:`repro.core.basis.basis_matrix`)
+evaluates ``phi_k(x) = sqrt(2) cos(k pi x)`` with one transcendental call
+per ``(k, x)`` pair — ``m * B`` cosines for an order-``m`` table over a
+``B``-row batch.  The fast path exploits that the rows satisfy the
+Chebyshev-style three-term recurrence
+
+    cos((k+1) pi x) = 2 cos(pi x) * cos(k pi x) - cos((k-1) pi x)
+
+so the whole ``(m, B)`` table needs exactly ``B`` cosine evaluations (the
+``k = 1`` row); every further row is one fused multiply-subtract over the
+batch, which is memory-bandwidth-bound rather than libm-bound.
+
+Normalization is folded into the seeds: the recurrence is linear and
+homogeneous, so running it on ``r_k = sqrt(2) cos(k pi x)`` directly
+(seeds ``r_1 = sqrt(2) t``, ``r_2 = 2 t r_1 - sqrt(2)``) yields the
+normalized rows with no final scaling pass.  Row 0 is written as the
+constant 1 afterwards.
+
+Numerical drift of the recurrence against direct evaluation is bounded by
+the parity tests (``tests/fastpath/``) at <= 1e-9 for every order the
+synopses can reach (orders are clamped to the domain size, and the drift
+stays below 1e-8 even at order 20000).
+
+Strategy selection: the recurrence wins only when each row update touches
+enough columns to amortize the python-level loop — measured breakeven is
+around 64 batch columns on one core.  Below that (notably the per-tuple
+``B = 1`` path) a direct vectorized ``np.cos`` block is used instead, so
+:func:`phi_block_numpy` is never slower than the reference.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "RECURRENCE_MIN_COLS",
+    "SQRT2",
+    "phi_block_numpy",
+    "phi_block_reference",
+]
+
+#: Normalization factor of the non-constant basis functions (identical in
+#: value to :data:`repro.core.basis.SQRT2`; duplicated so this package
+#: imports nothing from ``repro.core``).
+SQRT2 = math.sqrt(2.0)
+
+#: Minimum batch columns for the recurrence to beat direct ``np.cos``;
+#: below this the direct block is used (measured breakeven on one core).
+RECURRENCE_MIN_COLS = 64
+
+
+def _prepare(
+    order: int, positions: np.ndarray, out: np.ndarray | None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate arguments and return ``(positions, out)`` as float64 arrays."""
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    positions = np.ascontiguousarray(positions, dtype=np.float64)
+    if positions.ndim != 1:
+        raise ValueError(f"positions must be 1-d, got shape {positions.shape}")
+    if out is None:
+        out = np.empty((order, positions.shape[0]), dtype=np.float64)
+    elif out.shape != (order, positions.shape[0]) or out.dtype != np.float64:
+        raise ValueError(
+            f"out must be float64 of shape {(order, positions.shape[0])}, "
+            f"got {out.dtype} {out.shape}"
+        )
+    return positions, out
+
+
+def _phi_direct(order: int, positions: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Direct vectorized evaluation — one ``np.cos`` per table entry.
+
+    Bit-identical to the reference ``basis_matrix`` (same operation order),
+    so small-batch calls routed here cannot perturb any answer.
+    """
+    k = np.arange(order, dtype=np.float64)[:, None]
+    np.multiply(k * np.pi, positions[None, :], out=out)
+    np.cos(out, out=out)
+    out *= SQRT2
+    out[0] = 1.0
+    return out
+
+
+def _phi_recurrence(order: int, positions: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Three-term recurrence — one ``np.cos`` call total, then FMA rows."""
+    t = np.cos(np.pi * positions)
+    np.multiply(SQRT2, t, out=out[1])
+    t2 = 2.0 * t
+    if order > 2:
+        np.multiply(t2, out[1], out=out[2])
+        out[2] -= SQRT2
+    for k in range(3, order):
+        np.multiply(t2, out[k - 1], out=out[k])
+        out[k] -= out[k - 2]
+    out[0] = 1.0
+    return out
+
+
+def phi_block_numpy(order: int, positions: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Basis table ``P[k, b] = phi_k(positions[b])`` via the fast numpy path.
+
+    Returns a C-contiguous float64 array of shape ``(order, len(positions))``
+    (written into ``out`` when given).  Uses the Chebyshev recurrence when
+    the batch is wide enough to amortize it, the direct block otherwise.
+    """
+    positions, out = _prepare(order, positions, out)
+    if order <= 2 or positions.shape[0] < RECURRENCE_MIN_COLS:
+        return _phi_direct(order, positions, out)
+    return _phi_recurrence(order, positions, out)
+
+
+def phi_block_reference(
+    order: int, positions: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    """The 1.5.0 per-entry evaluation, kept as the parity/benchmark baseline.
+
+    Bit-identical to ``basis_matrix(np.arange(order), positions)`` — this is
+    what the CI bench gate measures the recurrence speedup against.
+    """
+    positions, out = _prepare(order, positions, out)
+    return _phi_direct(order, positions, out)

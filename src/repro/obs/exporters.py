@@ -215,9 +215,14 @@ def render_dashboard(
     if accuracy is not None:
         sections.append(accuracy.summary())
     if tracer is not None and len(tracer):
+        sampling = (
+            f" 1-in-{tracer.sample_every} sampling, sampled out {tracer.sampled_out:,},"
+            if tracer.sample_every is not None
+            else ""
+        )
         lines = [
             f"recent spans (buffered {len(tracer)}/{tracer.capacity},"
-            f" dropped {tracer.dropped:,}):"
+            f"{sampling} dropped {tracer.dropped:,}):"
         ]
         for event in tracer.tail(5):
             attrs = " ".join(f"{k}={v}" for k, v in sorted(event.attrs.items()))

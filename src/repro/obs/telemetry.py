@@ -15,6 +15,7 @@ holds the enabled path to < 10% overhead over this disabled baseline.
 
 from __future__ import annotations
 
+from ..fastpath import register_backend_gauge
 from .metrics import MetricsRegistry
 from .tracing import DEFAULT_TRACE_CAPACITY, Tracer
 
@@ -27,7 +28,12 @@ class Telemetry:
     ``enabled=False`` disables everything (metrics and tracing);
     ``tracing=False`` keeps metrics but skips span recording.  Pass an
     existing ``registry`` to aggregate several engines into one export
-    surface.
+    surface.  ``trace_sample_every=N`` records ~1 in ``N`` hot-path spans
+    (see :class:`~repro.obs.tracing.Tracer`); ``None`` records all.
+
+    An enabled hub also registers the ``repro_fastpath_backend`` gauge so
+    every metrics surface reports which kernel backend
+    (numba / numpy / reference) this process selected at import time.
     """
 
     def __init__(
@@ -35,13 +41,18 @@ class Telemetry:
         enabled: bool = True,
         tracing: bool = True,
         trace_capacity: int = DEFAULT_TRACE_CAPACITY,
+        trace_sample_every: int | None = None,
         registry: MetricsRegistry | None = None,
     ) -> None:
         self.enabled = enabled
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer: Tracer | None = (
-            Tracer(capacity=trace_capacity) if (enabled and tracing) else None
+            Tracer(capacity=trace_capacity, sample_every=trace_sample_every)
+            if (enabled and tracing)
+            else None
         )
+        if enabled:
+            register_backend_gauge(self.registry)
 
     @classmethod
     def disabled(cls) -> "Telemetry":

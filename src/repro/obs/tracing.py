@@ -19,13 +19,27 @@ Two recording styles serve the two hot-path shapes:
 A disabled tracer records nothing; the engine goes one step further and
 hands relations ``tracer = None`` so the hot path pays a single ``is
 None`` check.
+
+1-in-N probabilistic sampling (``sample_every=N``) cuts the cost of an
+*enabled* tracer on per-tuple workloads: :meth:`Tracer.take` decides up
+front whether the next hot-path span is recorded, so a sampled-out tuple
+pays one integer decrement instead of two ``perf_counter`` reads plus an
+event allocation.  Gaps between recorded events are drawn from the
+geometric distribution with mean ``N`` (seeded, so runs are
+reproducible); recorded durations are an unbiased sample of the
+underlying population, and ``sampled_out`` accounting tells consumers
+how much weight each recorded event represents.  ``sample_every=None``
+(the default) records every span, byte-for-byte the pre-sampling
+behavior.
 """
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from random import Random
 from time import perf_counter
 from typing import Iterator
 
@@ -66,13 +80,27 @@ class Tracer:
 
     ``capacity`` bounds memory; ``enabled=False`` turns every call into a
     no-op (the span context manager still runs, recording nothing).
+    ``sample_every=N`` records roughly 1 in ``N`` spans (geometric gaps,
+    seeded by ``sample_seed``); ``None`` records everything.
     """
 
-    def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        capacity: int = DEFAULT_TRACE_CAPACITY,
+        enabled: bool = True,
+        sample_every: int | None = None,
+        sample_seed: int = 0,
+    ) -> None:
         if capacity < 1:
             raise ValueError("trace capacity must be >= 1")
+        if sample_every is not None and sample_every < 1:
+            raise ValueError("sample_every must be >= 1 (or None to record everything)")
         self.capacity = capacity
         self.enabled = enabled
+        self.sample_every = sample_every
+        self._rng = Random(sample_seed)
+        self._gap = 0
+        self._sampled_out = 0
         self._events: deque[SpanEvent] = deque(maxlen=capacity)
         self._emitted = 0
 
@@ -80,21 +108,46 @@ class Tracer:
     # recording
     # ------------------------------------------------------------------ #
 
+    def take(self) -> bool:
+        """Decide whether the next hot-path span should be recorded.
+
+        The sampled-out path is one integer decrement — no clock read, no
+        allocation — which is what makes tracing affordable per tuple.
+        Callers pair a ``True`` result with :meth:`record`; :meth:`span`
+        and :meth:`emit` call this internally.
+        """
+        if not self.enabled:
+            return False
+        n = self.sample_every
+        if n is None or n <= 1:
+            return True
+        if self._gap > 0:
+            self._gap -= 1
+            self._sampled_out += 1
+            return False
+        # Draw the number of events to skip before the next recorded one:
+        # geometric with success probability 1/N, so the long-run rate is
+        # exactly 1 in N without per-event randomness.
+        u = 1.0 - self._rng.random()  # in (0, 1]; guards log(0)
+        self._gap = int(math.log(u) / math.log(1.0 - 1.0 / n))
+        return True
+
     @contextmanager
     def span(self, name: str, count: int = 1, **attrs) -> Iterator[None]:
         """Measure the wrapped region and record it as one event.
 
         The event is recorded even if the region raises, so failed batch
-        applies still show up in the trace.
+        applies still show up in the trace.  A sampled-out span skips the
+        clock reads entirely.
         """
-        if not self.enabled:
+        if not self.take():
             yield
             return
         start = perf_counter()
         try:
             yield
         finally:
-            self.emit(name, perf_counter() - start, count=count, start=start, **attrs)
+            self.record(name, perf_counter() - start, count=count, start=start, **attrs)
 
     def emit(
         self,
@@ -104,7 +157,24 @@ class Tracer:
         start: float | None = None,
         **attrs,
     ) -> None:
-        """Record a span whose duration the caller measured already."""
+        """Record a span whose duration the caller measured already.
+
+        Subject to sampling: with ``sample_every=N`` only ~1 in ``N``
+        calls lands in the ring.  Callers that made their own
+        :meth:`take` decision should use :meth:`record` instead.
+        """
+        if self.take():
+            self.record(name, duration, count=count, start=start, **attrs)
+
+    def record(
+        self,
+        name: str,
+        duration: float,
+        count: int = 1,
+        start: float | None = None,
+        **attrs,
+    ) -> None:
+        """Unconditionally record one span (the caller already sampled)."""
         if not self.enabled:
             return
         if start is None:
@@ -128,6 +198,11 @@ class Tracer:
         """Events evicted from the ring to make room for newer ones."""
         return self._emitted - len(self._events)
 
+    @property
+    def sampled_out(self) -> int:
+        """Spans skipped by 1-in-N sampling (never measured or recorded)."""
+        return self._sampled_out
+
     def events(self, name: str | None = None) -> list[SpanEvent]:
         """Buffered events oldest-first, optionally filtered by span name."""
         if name is None:
@@ -142,16 +217,22 @@ class Tracer:
         """Drop buffered events and zero the emitted/dropped accounting."""
         self._events.clear()
         self._emitted = 0
+        self._sampled_out = 0
+        self._gap = 0
 
     def snapshot(self) -> dict:
         """Summary counts plus the most recent few events (JSON-compatible)."""
-        return {
+        out = {
             "capacity": self.capacity,
             "buffered": len(self._events),
             "emitted": self._emitted,
             "dropped": self.dropped,
             "recent": [event.as_dict() for event in self.tail(5)],
         }
+        if self.sample_every is not None:
+            out["sample_every"] = self.sample_every
+            out["sampled_out"] = self._sampled_out
+        return out
 
     def __len__(self) -> int:
         return len(self._events)

@@ -25,6 +25,7 @@ from typing import Sequence
 import numpy as np
 
 from ..core.normalization import Domain
+from ..fastpath import agms_update_1d
 from .hashing import SignFamily
 
 
@@ -138,12 +139,27 @@ class AGMSSketch:
         self._count += weight
 
     def update_batch(self, rows: np.ndarray, weight: int = 1, chunk: int = 4096) -> None:
-        """Process a batch of arrivals/deletions of domain-index tuples."""
+        """Process a batch of arrivals/deletions of domain-index tuples.
+
+        Single-attribute batches route through the compiled
+        :func:`repro.fastpath.agms_update_1d` kernel when the numba
+        backend is active (skipping the ``(S, B)`` sign intermediates);
+        otherwise the chunked numpy path below runs.  Both accumulate the
+        same sums, so the choice is invisible to estimates.
+        """
         rows = np.asarray(rows, dtype=np.int64)
         if rows.ndim == 1:
             rows = rows[:, None]
         if rows.shape[1] != self.ndim:
             raise ValueError(f"rows must have {self.ndim} columns, got {rows.shape[1]}")
+        if self.ndim == 1 and rows.shape[0]:
+            fam = self.families[0]
+            idx = rows[:, 0]
+            if int(idx.min()) < 0 or int(idx.max()) >= fam.domain_size:
+                raise ValueError("index outside the hashed domain")
+            if agms_update_1d(fam.coefficients, idx, float(weight), self.atoms):
+                self._count += weight * rows.shape[0]  # pragma: no cover - requires numba
+                return  # pragma: no cover - requires numba
         for start in range(0, rows.shape[0], chunk):
             part = rows[start : start + chunk]
             self.atoms += weight * self._batch_signs(part).sum(axis=1)

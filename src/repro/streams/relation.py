@@ -160,8 +160,21 @@ class StreamRelation:
         return arr
 
     def indices_of_rows(self, rows: Sequence[Sequence] | np.ndarray) -> np.ndarray:
-        """Map a batch of raw tuples to a ``(B, ndim)`` index array."""
+        """Map a batch of raw tuples to a ``(B, ndim)`` index array.
+
+        When every domain is a 0-based integer range and the rows already
+        arrive as int64, the raw values *are* the indices: the batch is
+        bounds-checked in place and returned without copying, keeping
+        ``insert_rows`` zero-copy end-to-end (asserted by
+        ``tests/fastpath/test_zero_copy.py``).
+        """
         arr = self.rows_array(rows)
+        if arr.dtype == np.int64 and all(
+            not d.is_categorical and d.low == 0 for d in self.domains
+        ):
+            for j, d in enumerate(self.domains):
+                d.indices_of(arr[:, j])  # bounds check only; returns the view
+            return arr
         columns = [d.indices_of(arr[:, j]) for j, d in enumerate(self.domains)]
         return np.stack(columns, axis=1)
 
@@ -170,7 +183,33 @@ class StreamRelation:
     # ------------------------------------------------------------------ #
 
     def process(self, op: StreamOp) -> None:
-        """Apply one stream operation and notify observers."""
+        """Apply one stream operation and notify observers.
+
+        With a tracer attached *and 1-in-N sampling enabled*, the apply is
+        recorded as a sampled ``process_op`` span: a sampled-out tuple pays
+        one integer decrement instead of two clock reads.  Without
+        ``sample_every`` the per-tuple path stays span-free, as before —
+        recording every tuple would cost exactly the per-tuple overhead
+        the sampling item exists to remove (``sample_every=1`` opts into
+        tracing every tuple explicitly).
+        """
+        tracer = self.tracer
+        if tracer is not None and tracer.sample_every is not None and tracer.take():
+            start = perf_counter()
+            try:
+                self._process_inner(op)
+            finally:
+                tracer.record(
+                    "process_op",
+                    perf_counter() - start,
+                    start=start,
+                    relation=self.name,
+                    kind=op.kind.name.lower(),
+                )
+            return
+        self._process_inner(op)
+
+    def _process_inner(self, op: StreamOp) -> None:
         idx = self.indices_of(op.values)
         if op.kind is OpKind.DELETE and self.counts[idx] == 0:
             raise ValueError(f"deleting tuple {op.values} that {self.name} does not hold")
@@ -293,7 +332,10 @@ class StreamRelation:
         tracer = self.tracer
         if stats is not None:
             stats.record_ops(idx.shape[0], kind, batched=True, relation=self.name)
-        timed = stats is not None or tracer is not None
+        # One sampling decision covers the whole batch: a sampled-out batch
+        # with no stats attached skips every per-observer clock read.
+        traced = tracer is not None and tracer.take()
+        timed = stats is not None or traced
         fault_handler = self.fault_handler
         observers = self._observers if fault_handler is None else list(self._observers)
         for observer in observers:
@@ -313,8 +355,8 @@ class StreamRelation:
                 key = _stats_key(observer)
                 if stats is not None:
                     stats.record_observer(key, seconds, arr.shape[0])
-                if tracer is not None:
-                    tracer.emit(
+                if traced:
+                    tracer.record(
                         "observer_update",
                         seconds,
                         count=arr.shape[0],

@@ -2,7 +2,14 @@
 
 from .conftest import findings_for
 
-OPTIONS = {"hot-path": {"paths": ["src/pkg"]}}
+OPTIONS = {"hot-path": {"paths": ["src/pkg"], "kernel-paths": []}}
+SEAM_OPTIONS = {
+    "hot-path": {
+        "paths": [],
+        "kernel-paths": ["src/pkg"],
+        "kernel-seam": ["src/pkg/fastpath"],
+    }
+}
 
 
 class TestAllocationsAreFlagged:
@@ -125,3 +132,89 @@ class TestExemptions:
             }
         )
         assert findings_for(root, "REP006", **OPTIONS) == []
+
+
+class TestFastpathSeam:
+    def test_basis_matrix_call_in_kernel_path_is_flagged(self, project):
+        root = project(
+            {
+                "src/pkg/synopsis.py": '''
+                    from .basis import basis_matrix
+
+                    def contributions(order, positions):
+                        return basis_matrix(order, positions)
+                ''',
+            }
+        )
+        findings = findings_for(root, "REP006", **SEAM_OPTIONS)
+        assert len(findings) == 1
+        assert "basis_matrix(...) bypasses the repro.fastpath seam" in findings[0].message
+        assert "phi_block" in findings[0].message
+
+    def test_direct_np_cos_in_kernel_path_is_flagged(self, project):
+        root = project(
+            {
+                "src/pkg/synopsis.py": '''
+                    import numpy as np
+
+                    def contributions(order, positions):
+                        return np.cos(np.pi * positions)
+                ''',
+            }
+        )
+        findings = findings_for(root, "REP006", **SEAM_OPTIONS)
+        assert len(findings) == 1
+        assert "np.cos(...)" in findings[0].message
+
+    def test_seam_package_itself_is_exempt(self, project):
+        root = project(
+            {
+                "src/pkg/fastpath/recurrence.py": '''
+                    import numpy as np
+
+                    def phi_block_numpy(order, positions, out):
+                        np.cos(out, out=out)
+                        return out
+                ''',
+            }
+        )
+        assert findings_for(root, "REP006", **SEAM_OPTIONS) == []
+
+    def test_files_outside_kernel_paths_are_exempt(self, project):
+        root = project(
+            {
+                "src/other/basis.py": '''
+                    import numpy as np
+
+                    def basis_matrix(order, positions):
+                        return np.cos(order * positions)
+                ''',
+            }
+        )
+        assert findings_for(root, "REP006", **SEAM_OPTIONS) == []
+
+    def test_noqa_suppresses_seam_finding(self, project):
+        root = project(
+            {
+                "src/pkg/synopsis.py": '''
+                    import numpy as np
+
+                    def contributions(order, positions):
+                        return np.cos(positions)  # repro: noqa[REP006]
+                ''',
+            }
+        )
+        assert findings_for(root, "REP006", **SEAM_OPTIONS) == []
+
+    def test_phi_block_call_is_not_flagged(self, project):
+        root = project(
+            {
+                "src/pkg/synopsis.py": '''
+                    from .fastpath import phi_block
+
+                    def contributions(order, positions):
+                        return phi_block(order, positions)
+                ''',
+            }
+        )
+        assert findings_for(root, "REP006", **SEAM_OPTIONS) == []

@@ -110,6 +110,16 @@ class TestMonitor:
         assert "# TYPE repro_ingest_ops_total counter" in prom_text
         assert "repro_accuracy_relative_error_bucket" in prom_text
 
+    def test_monitor_trace_sampling_announced_on_dashboard(self, capsys):
+        code = main(
+            ["monitor", "--tuples", "60", "--batch", "1", "--domain", "50",
+             "--budget", "16", "--refresh-every", "40", "--accuracy-every", "30",
+             "--no-clear", "--trace-sample", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1-in-4 sampling" in out and "sampled out" in out
+
 
 class TestServeMetrics:
     ARGS = ["monitor", "--tuples", "300", "--batch", "128", "--domain", "100",

@@ -1,0 +1,13 @@
+"""Fixtures for the fastpath suite: backend state must not leak."""
+
+import pytest
+
+from repro.fastpath import backend_name, set_backend
+
+
+@pytest.fixture(autouse=True)
+def restore_backend():
+    """Every test runs with — and restores — the process-default backend."""
+    before = backend_name()
+    yield
+    set_backend(before)

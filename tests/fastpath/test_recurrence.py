@@ -1,0 +1,119 @@
+"""Parity of the Chebyshev-recurrence basis kernel against the reference.
+
+The recurrence path (``phi_block_numpy``) must agree with
+``basis_matrix`` — the per-entry reference the whole paper reproduction
+is validated against — to <= 1e-9 at every order the synopses can reach,
+on both grids, for both strategies (direct block below
+``RECURRENCE_MIN_COLS`` columns, recurrence above).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.basis import basis_matrix, make_grid
+from repro.fastpath import (
+    RECURRENCE_MIN_COLS,
+    phi_block,
+    phi_block_numpy,
+    phi_block_reference,
+)
+
+PARITY_ATOL = 1e-9
+
+
+def reference_table(order: int, positions: np.ndarray) -> np.ndarray:
+    return basis_matrix(np.arange(order), positions)
+
+
+class TestParityWithBasisMatrix:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        order=st.integers(min_value=1, max_value=300),
+        cols=st.integers(min_value=1, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_random_positions(self, order, cols, seed):
+        positions = np.random.default_rng(seed).uniform(0.0, 1.0, size=cols)
+        got = phi_block_numpy(order, positions)
+        want = reference_table(order, positions)
+        assert got.shape == want.shape == (order, cols)
+        np.testing.assert_allclose(got, want, rtol=0.0, atol=PARITY_ATOL)
+
+    @pytest.mark.parametrize("grid", ["midpoint", "endpoint"])
+    @pytest.mark.parametrize("order", [1, 2, 3, 64, 257])
+    def test_domain_grids(self, grid, order):
+        positions = make_grid(512, grid)
+        got = phi_block_numpy(order, positions)
+        np.testing.assert_allclose(
+            got, reference_table(order, positions), rtol=0.0, atol=PARITY_ATOL
+        )
+
+    def test_both_strategies_agree(self):
+        """The same order on either side of the column threshold matches."""
+        rng = np.random.default_rng(7)
+        order = 128
+        narrow = rng.uniform(0.0, 1.0, size=RECURRENCE_MIN_COLS - 1)  # direct
+        wide = rng.uniform(0.0, 1.0, size=RECURRENCE_MIN_COLS)  # recurrence
+        for positions in (narrow, wide):
+            np.testing.assert_allclose(
+                phi_block_numpy(order, positions),
+                reference_table(order, positions),
+                rtol=0.0,
+                atol=PARITY_ATOL,
+            )
+
+    def test_direct_strategy_is_bit_identical(self):
+        """Below the threshold the fast path must not perturb any answer."""
+        positions = np.random.default_rng(3).uniform(0.0, 1.0, size=16)
+        got = phi_block_numpy(200, positions)
+        want = reference_table(200, positions)
+        assert np.array_equal(got, want)
+
+    def test_drift_stays_bounded_at_high_order(self):
+        """The recurrence drift must stay under 1e-9 at extreme orders."""
+        positions = make_grid(256, "midpoint")
+        got = phi_block_numpy(4096, positions)
+        want = reference_table(4096, positions)
+        assert np.max(np.abs(got - want)) <= PARITY_ATOL
+
+    def test_reference_kernel_matches_basis_matrix_exactly(self):
+        positions = make_grid(128, "midpoint")
+        assert np.array_equal(
+            phi_block_reference(300, positions), reference_table(300, positions)
+        )
+
+
+class TestInterface:
+    def test_out_buffer_is_written_and_returned(self):
+        positions = make_grid(96, "midpoint")
+        out = np.empty((70, 96))
+        result = phi_block_numpy(70, positions, out=out)
+        assert result is out
+        np.testing.assert_allclose(
+            out, reference_table(70, positions), rtol=0.0, atol=PARITY_ATOL
+        )
+
+    def test_row_zero_is_constant_one(self):
+        table = phi_block(5, np.array([0.1, 0.9]))
+        assert np.array_equal(table[0], [1.0, 1.0])
+
+    def test_order_validated(self):
+        with pytest.raises(ValueError, match="order"):
+            phi_block_numpy(0, np.array([0.5]))
+
+    def test_positions_must_be_1d(self):
+        with pytest.raises(ValueError, match="1-d"):
+            phi_block_numpy(4, np.zeros((2, 2)))
+
+    def test_out_shape_and_dtype_validated(self):
+        positions = np.array([0.25, 0.75])
+        with pytest.raises(ValueError, match="out must be"):
+            phi_block_numpy(4, positions, out=np.empty((3, 2)))
+        with pytest.raises(ValueError, match="out must be"):
+            phi_block_numpy(4, positions, out=np.empty((4, 2), dtype=np.float32))
+
+    def test_result_is_c_contiguous_float64(self):
+        table = phi_block_numpy(80, make_grid(100))
+        assert table.flags.c_contiguous and table.dtype == np.float64

@@ -1,0 +1,97 @@
+"""Zero-copy batch ingest: int64 index batches pass through uncopied.
+
+``Domain.indices_of`` and ``StreamRelation.indices_of_rows`` promise that
+a well-formed int64 batch over 0-based integer domains is bounds-checked
+in place and returned *as the caller's array* — no astype, no stack.
+These tests pin that promise with ``is`` / ``np.shares_memory`` so a
+future refactor cannot silently reintroduce a per-batch copy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import Domain
+from repro.obs import Telemetry
+from repro.streams import StreamEngine
+
+
+def make_relation(domains):
+    engine = StreamEngine(seed=0, telemetry=Telemetry.disabled())
+    engine.create_relation("R", [f"a{i}" for i in range(len(domains))], domains)
+    return engine.relations["R"]
+
+
+class TestDomainIndicesOf:
+    def test_int64_zero_based_is_returned_uncopied(self):
+        domain = Domain.of_size(100)
+        values = np.array([0, 5, 99], dtype=np.int64)
+        result = domain.indices_of(values)
+        assert result is values
+
+    def test_out_of_range_still_raises(self):
+        domain = Domain.of_size(10)
+        with pytest.raises(ValueError, match="outside integer domain"):
+            domain.indices_of(np.array([0, 10], dtype=np.int64))
+        with pytest.raises(ValueError, match="outside integer domain"):
+            domain.indices_of(np.array([-1], dtype=np.int64))
+
+    def test_non_int64_dtype_is_converted_not_aliased(self):
+        domain = Domain.of_size(100)
+        values = np.array([1, 2], dtype=np.int32)
+        result = domain.indices_of(values)
+        assert result.dtype == np.int64
+        assert not np.shares_memory(result, values)
+
+    def test_offset_domain_still_shifts(self):
+        domain = Domain.integer_range(10, 19)
+        values = np.array([10, 19], dtype=np.int64)
+        result = domain.indices_of(values)
+        assert np.array_equal(result, [0, 9])
+        assert not np.shares_memory(result, values)
+
+    def test_empty_int64_batch_passes_through(self):
+        domain = Domain.of_size(4)
+        values = np.empty(0, dtype=np.int64)
+        assert domain.indices_of(values) is values
+
+
+class TestRelationIndicesOfRows:
+    def test_int64_batch_is_returned_uncopied(self):
+        relation = make_relation([Domain.of_size(32), Domain.of_size(64)])
+        rows = np.array([[0, 0], [31, 63]], dtype=np.int64)
+        result = relation.indices_of_rows(rows)
+        assert result is rows
+        assert result.dtype == np.int64
+
+    def test_bounds_are_still_enforced_per_column(self):
+        relation = make_relation([Domain.of_size(32), Domain.of_size(64)])
+        with pytest.raises(ValueError, match="outside integer domain"):
+            relation.indices_of_rows(np.array([[0, 64]], dtype=np.int64))
+
+    def test_categorical_domain_disables_the_fast_path(self):
+        relation = make_relation([Domain.categorical(["x", "y", "z"])])
+        result = relation.indices_of_rows(np.array([["y"], ["x"]]))
+        assert np.array_equal(result, [[1], [0]])
+
+    def test_offset_domain_disables_the_fast_path(self):
+        relation = make_relation([Domain.integer_range(5, 9)])
+        rows = np.array([[5], [9]], dtype=np.int64)
+        result = relation.indices_of_rows(rows)
+        assert np.array_equal(result, [[0], [4]])
+        assert not np.shares_memory(result, rows)
+
+    def test_float_rows_are_converted_not_aliased(self):
+        relation = make_relation([Domain.of_size(8)])
+        rows = np.array([[0.0], [7.0]])
+        result = relation.indices_of_rows(rows)
+        assert result.dtype == np.int64
+        assert not np.shares_memory(result, rows)
+
+    def test_insert_rows_keeps_caller_array_intact(self):
+        """Zero-copy must mean read-only: ingest never mutates the batch."""
+        relation = make_relation([Domain.of_size(16)])
+        rows = np.arange(16, dtype=np.int64)[:, None]
+        before = rows.copy()
+        relation.insert_rows(rows)
+        assert np.array_equal(rows, before)
+        assert relation.count == 16

@@ -128,9 +128,91 @@ class TestEngineTracing:
         assert engine.stats().tuples_ingested == 0
         assert engine.stats().estimate_calls == 0
 
-    def test_per_tuple_path_counts_but_does_not_trace(self):
-        """Per-tuple process stays span-free by design (too hot to trace)."""
+    def test_per_tuple_path_counts_but_does_not_trace_by_default(self):
+        """Without sampling, per-tuple process stays span-free (too hot).
+
+        Opting into 1-in-N sampling makes per-tuple spans affordable; see
+        ``TestSampling`` for that path.
+        """
         engine = make_engine()
         engine.insert("R1", (3,))
         assert engine.stats().per_tuple_ops == 1
         assert engine.telemetry.tracer.events() == []
+
+
+class TestSampling:
+    def test_sample_every_validated(self):
+        with pytest.raises(ValueError, match="sample_every"):
+            Tracer(sample_every=0)
+
+    def test_sample_every_one_records_everything(self):
+        tracer = Tracer(sample_every=1)
+        for _ in range(20):
+            tracer.emit("x", 0.0)
+        assert tracer.emitted == 20 and tracer.sampled_out == 0
+
+    def test_long_run_rate_is_one_in_n(self):
+        tracer = Tracer(sample_every=8, sample_seed=0)
+        taken = sum(tracer.take() for _ in range(8_000))
+        assert taken == pytest.approx(1_000, rel=0.15)
+        assert taken + tracer.sampled_out == 8_000
+
+    def test_sampling_is_seeded_and_reproducible(self):
+        decisions = [
+            [Tracer(sample_every=5, sample_seed=7).take() for _ in range(100)]
+            for _ in range(2)
+        ]
+        assert decisions[0] == decisions[1]
+
+    def test_sampled_out_span_records_nothing(self):
+        tracer = Tracer(sample_every=10**9, sample_seed=0)
+        tracer.take()  # first take() draws the (astronomically long) gap
+        with tracer.span("hot"):
+            pass
+        tracer.emit("hot", 0.1)
+        assert tracer.events("hot") == []
+        assert tracer.sampled_out == 2
+
+    def test_record_bypasses_sampling(self):
+        tracer = Tracer(sample_every=10**9, sample_seed=0)
+        tracer.record("already_sampled", 0.25, relation="R1")
+        (event,) = tracer.events()
+        assert event.duration == 0.25 and event.attrs["relation"] == "R1"
+
+    def test_clear_resets_sampling_state(self):
+        tracer = Tracer(sample_every=50, sample_seed=0)
+        for _ in range(200):
+            tracer.take()
+        tracer.clear()
+        assert tracer.sampled_out == 0
+        assert tracer.take() is True  # gap reset: next decision records
+
+    def test_snapshot_reports_sampling_accounting(self):
+        tracer = Tracer(sample_every=4, sample_seed=1)
+        for _ in range(40):
+            tracer.emit("x", 0.0)
+        snap = tracer.snapshot()
+        assert snap["sample_every"] == 4
+        assert snap["sampled_out"] == tracer.sampled_out > 0
+        assert "sample_every" not in Tracer().snapshot()
+
+    def test_engine_sampling_traces_per_tuple_spans(self):
+        engine = make_engine(trace_sample_every=1)
+        engine.insert("R1", (3,))
+        engine.delete("R1", (3,))
+        tracer = engine.telemetry.tracer
+        assert tracer.sample_every == 1
+        events = tracer.events("process_op")
+        assert [e.attrs["kind"] for e in events] == ["insert", "delete"]
+        assert all(e.attrs["relation"] == "R1" for e in events)
+
+    def test_engine_sampling_thins_observer_updates(self):
+        engine = make_engine(trace_sample_every=64)
+        rows = np.arange(512, dtype=np.int64)[:, None] % 32
+        for lo in range(0, 512, 16):  # 32 batches -> ~1/64 sampled
+            engine.ingest_batch("R1", rows[lo : lo + 16])
+        tracer = engine.telemetry.tracer
+        assert tracer.sampled_out > 0
+        assert len(tracer.events()) < 64  # unsampled would be 64 events
+        # Counters remain exact regardless of trace sampling.
+        assert engine.stats().tuples_ingested == 512
