@@ -13,10 +13,19 @@ its JSON result to this script.  The script
    floor (>= 5x vs the 1.5.0 per-entry reference, measured in the same
    run so a slow runner cannot fake a regression).
 
+The optional ``--telemetry-result`` / ``--otel-result`` inputs take the
+JSON written by ``bench_telemetry_overhead.py`` and
+``bench_otel_overhead.py`` and fold their best-round overheads into the
+same trajectory entry, so the observability cost rides the same history
+as the kernel speedup.  Those benches enforce their own ceilings when
+they run; the gate records, it does not re-judge.
+
 Usage (as in ``.github/workflows/ci.yml``)::
 
     python scripts/bench_gate.py \
         --result bench-artifacts/fastpath.json \
+        --telemetry-result bench-artifacts/telemetry_overhead.json \
+        --otel-result bench-artifacts/otel_overhead.json \
         --trajectory BENCH_trajectory.json
 """
 
@@ -61,9 +70,13 @@ def load_trajectory(path: Path) -> dict:
     return {"version": 1, "entries": []}
 
 
-def make_entry(result: dict) -> dict:
+def make_entry(
+    result: dict,
+    telemetry_result: dict | None = None,
+    otel_result: dict | None = None,
+) -> dict:
     kernel, ingest = result["kernel"], result["ingest"]
-    return {
+    entry = {
         "commit": _commit(),
         "run_id": os.environ.get("GITHUB_RUN_ID", ""),
         "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -75,15 +88,31 @@ def make_entry(result: dict) -> dict:
         "reference_tps": round(ingest["reference_tps_best"]),
         "ingest_ratio": round(ingest["ingest_ratio"], 3),
     }
+    if telemetry_result is not None:
+        entry["telemetry_overhead"] = round(telemetry_result["overhead_best"], 4)
+    if otel_result is not None:
+        entry["otel_overhead"] = round(otel_result["overhead_best"], 4)
+        entry["otel_export_tps"] = round(otel_result["export_tps_best"])
+    return entry
+
+
+def _overhead_cell(entry: dict, key: str) -> str:
+    value = entry.get(key)
+    return f"{value * 100:+6.1f}%" if value is not None else f"{'-':>7}"
 
 
 def _print_tail(entries: list) -> None:
     print(f"benchmark trajectory ({len(entries)} entries, last {TAIL}):")
-    print(f"  {'commit':<13} {'speedup':>8} {'ingest tps':>12} {'ratio':>6}  backend")
+    print(
+        f"  {'commit':<13} {'speedup':>8} {'ingest tps':>12} {'ratio':>6}"
+        f" {'telem':>7} {'otlp':>7}  backend"
+    )
     for entry in entries[-TAIL:]:
         print(
             f"  {entry['commit']:<13} {entry['kernel_speedup']:>7.2f}x"
             f" {entry['fastpath_tps']:>12,} {entry['ingest_ratio']:>5.2f}x"
+            f" {_overhead_cell(entry, 'telemetry_overhead')}"
+            f" {_overhead_cell(entry, 'otel_overhead')}"
             f"  {entry['backend']}"
         )
 
@@ -92,6 +121,12 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--result", required=True, help="bench_fastpath.py JSON output")
     parser.add_argument(
+        "--telemetry-result", help="bench_telemetry_overhead.py JSON output (optional)"
+    )
+    parser.add_argument(
+        "--otel-result", help="bench_otel_overhead.py JSON output (optional)"
+    )
+    parser.add_argument(
         "--trajectory", required=True, help="persisted BENCH_trajectory.json path"
     )
     parser.add_argument("--floor", type=float, default=DEFAULT_FLOOR)
@@ -99,10 +134,17 @@ def main(argv=None) -> int:
 
     with open(args.result) as handle:
         result = json.load(handle)
+    telemetry_result = otel_result = None
+    if args.telemetry_result:
+        with open(args.telemetry_result) as handle:
+            telemetry_result = json.load(handle)
+    if args.otel_result:
+        with open(args.otel_result) as handle:
+            otel_result = json.load(handle)
 
     trajectory_path = Path(args.trajectory)
     trajectory = load_trajectory(trajectory_path)
-    entry = make_entry(result)
+    entry = make_entry(result, telemetry_result, otel_result)
     trajectory["entries"].append(entry)
     with trajectory_path.open("w") as handle:
         json.dump(trajectory, handle, indent=1)

@@ -125,6 +125,40 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_otel_loop(args: argparse.Namespace, metrics, spans, registry=None):
+    """An OTLP push loop from ``--otlp-endpoint``/``--otlp-file``, or ``None``.
+
+    ``--otlp-endpoint`` wins when both are given (a collector is the
+    richer sink); ``--otlp-file -`` streams OTLP/JSON lines to stdout.
+    """
+    if not (args.otlp_endpoint or args.otlp_file):
+        return None
+    from ..obs.otel import OtelPushLoop, OtlpHttpExporter, OtlpJsonFileExporter
+
+    if args.otlp_endpoint:
+        exporter = OtlpHttpExporter(args.otlp_endpoint)
+    else:
+        exporter = OtlpJsonFileExporter(args.otlp_file)
+    return OtelPushLoop(
+        exporter, metrics=metrics, spans=spans, every_s=args.otlp_every, registry=registry
+    )
+
+
+def _finish_otel(otel, args: argparse.Namespace) -> None:
+    """Final flush plus a one-line export/drop account."""
+    if otel is None:
+        return
+    otel.push_now()
+    exporter = otel.exporter
+    target = args.otlp_endpoint or (
+        "stdout" if args.otlp_file == "-" else args.otlp_file
+    )
+    print(
+        f"OTLP export to {target}: {exporter.exports} payloads"
+        f" ({exporter.retries} retries, {exporter.drops} dropped)"
+    )
+
+
 def _monitor_sharded(args: argparse.Namespace, methods: list[str]) -> int:
     """The ``monitor`` loop over a :class:`ShardedStreamEngine` fleet.
 
@@ -141,7 +175,7 @@ def _monitor_sharded(args: argparse.Namespace, methods: list[str]) -> int:
     import numpy as np
 
     from ..core.normalization import Domain
-    from ..obs import JsonlSnapshotWriter, prometheus_text
+    from ..obs import JsonlSnapshotWriter, MetricsRegistry, prometheus_text
     from ..sharding import ShardedStreamEngine
     from ..streams import JoinQuery
 
@@ -167,6 +201,15 @@ def _monitor_sharded(args: argparse.Namespace, methods: list[str]) -> int:
         # on every scrape so per-shard counters stay current.
         server = MetricsServer(fleet.fleet_metrics, port=args.serve_metrics).start()
         print(f"serving metrics at {server.url}")
+    # The merged fleet registry is rebuilt per push, so the export
+    # self-metrics live in a stable registry merged in on top.
+    own_registry = MetricsRegistry()
+    otel = _build_otel_loop(
+        args,
+        metrics=lambda: fleet.fleet_metrics().merge(own_registry),
+        spans=fleet.drain_spans,
+        registry=own_registry,
+    )
     start = perf_counter()
 
     def render() -> None:
@@ -205,6 +248,8 @@ def _monitor_sharded(args: argparse.Namespace, methods: list[str]) -> int:
             render()
             if writer is not None:
                 writer.write(snapshot())
+        if otel is not None:
+            otel.maybe_push()
         if args.checkpoint_dir and since_checkpoint >= args.checkpoint_every:
             since_checkpoint = 0
             fleet.save_checkpoints(args.checkpoint_dir, keep=args.checkpoint_keep)
@@ -223,6 +268,7 @@ def _monitor_sharded(args: argparse.Namespace, methods: list[str]) -> int:
 
         Path(args.prom).write_text(prometheus_text(fleet.fleet_metrics()))
         print(f"wrote Prometheus exposition to {args.prom}")
+    _finish_otel(otel, args)
     if server is not None:
         server.stop()
     fleet.close()
@@ -290,6 +336,12 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             engine.telemetry.registry, port=args.serve_metrics
         ).start()
         print(f"serving metrics at {server.url}")
+    tracer = engine.telemetry.tracer
+    otel = _build_otel_loop(
+        args,
+        metrics=engine.telemetry.registry,
+        spans=(lambda: [({}, tracer.drain())]) if tracer is not None else None,
+    )
 
     def snapshot() -> dict:
         return {"stats": engine.stats().as_dict(), "accuracy": tracker.as_dict()}
@@ -330,6 +382,8 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             render()
             if writer is not None:
                 writer.write(snapshot())
+        if otel is not None:
+            otel.maybe_push()
         if store is not None and since_checkpoint >= args.checkpoint_every:
             since_checkpoint = 0
             store.save(engine)
@@ -349,6 +403,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
 
         Path(args.prom).write_text(prometheus_text(engine.telemetry.registry))
         print(f"wrote Prometheus exposition to {args.prom}")
+    _finish_otel(otel, args)
     if server is not None:
         server.stop()
     return 0
@@ -549,6 +604,25 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=3,
         help="how many rotated checkpoints to retain",
+    )
+    monitor.add_argument(
+        "--otlp-endpoint",
+        metavar="URL",
+        help="push spans and metrics as OTLP/JSON to this collector base URL "
+        "(e.g. http://localhost:4318)",
+    )
+    monitor.add_argument(
+        "--otlp-file",
+        metavar="PATH",
+        help="append OTLP/JSON payload lines to this file instead of a "
+        "collector ('-' streams to stdout)",
+    )
+    monitor.add_argument(
+        "--otlp-every",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="minimum seconds between OTLP pushes",
     )
     monitor.add_argument(
         "--shards",

@@ -6,7 +6,8 @@ distributions (:mod:`~repro.obs.metrics`), structured span events over a
 bounded ring buffer (:mod:`~repro.obs.tracing`), online
 estimate-vs-exact relative error (:mod:`~repro.obs.accuracy`), and
 export paths — Prometheus text, JSONL snapshots, a live text dashboard
-(:mod:`~repro.obs.exporters`) — all bundled per engine by
+(:mod:`~repro.obs.exporters`), OTLP/JSON traces and metrics
+(:mod:`~repro.obs.otel`) — all bundled per engine by
 :class:`~repro.obs.telemetry.Telemetry`.
 
 Quickstart::
@@ -36,7 +37,7 @@ from .metrics import (
 )
 from .server import MetricsServer
 from .telemetry import Telemetry
-from .tracing import DEFAULT_TRACE_CAPACITY, SpanEvent, Tracer
+from .tracing import DEFAULT_TRACE_CAPACITY, SpanEvent, TraceContext, Tracer
 
 __all__ = [
     "AccuracyTracker",
@@ -55,6 +56,7 @@ __all__ = [
     "RELATIVE_ERROR_BUCKETS",
     "Telemetry",
     "SpanEvent",
+    "TraceContext",
     "Tracer",
     "DEFAULT_TRACE_CAPACITY",
 ]

@@ -20,10 +20,17 @@ and one integer comparison.
 
 from __future__ import annotations
 
+import math
 from time import perf_counter
-from typing import TYPE_CHECKING, Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence, cast
 
-from .metrics import RELATIVE_ERROR_BUCKETS, MetricsRegistry
+from .metrics import (
+    RELATIVE_ERROR_BUCKETS,
+    Counter,
+    LatencyHistogram,
+    MetricFamily,
+    MetricsRegistry,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..streams.engine import ContinuousQueryEngine
@@ -59,20 +66,29 @@ class AccuracyTracker:
         self.every_ops = every_ops
         self.queries = tuple(queries) if queries is not None else None
         self.registry = registry if registry is not None else MetricsRegistry()
-        self._error_hist = self.registry.histogram(
-            "repro_accuracy_relative_error",
-            "Streaming relative error of answer() vs exact_answer(), per query.",
-            labelnames=("query",),
-            buckets=RELATIVE_ERROR_BUCKETS,
+        self._error_hist = cast(
+            MetricFamily,
+            self.registry.histogram(
+                "repro_accuracy_relative_error",
+                "Streaming relative error of answer() vs exact_answer(), per query.",
+                labelnames=("query",),
+                buckets=RELATIVE_ERROR_BUCKETS,
+            ),
         )
-        self._samples = self.registry.counter(
-            "repro_accuracy_samples_total",
-            "Accuracy samples taken, per query.",
-            labelnames=("query",),
+        self._samples = cast(
+            MetricFamily,
+            self.registry.counter(
+                "repro_accuracy_samples_total",
+                "Accuracy samples taken, per query.",
+                labelnames=("query",),
+            ),
         )
-        self._sample_time = self.registry.counter(
-            "repro_accuracy_sampling_seconds_total",
-            "Seconds spent computing accuracy samples (estimate + exact).",
+        self._sample_time = cast(
+            Counter,
+            self.registry.counter(
+                "repro_accuracy_sampling_seconds_total",
+                "Seconds spent computing accuracy samples (estimate + exact).",
+            ),
         )
         self._last_error: dict[str, float] = {}
         self._last_sampled_at = 0
@@ -116,8 +132,8 @@ class AccuracyTracker:
             exact = self.engine.exact_answer(name)
             error = relative_error_of(estimate, exact)
             errors[name] = error
-            self._error_hist.labels(query=name).observe(error)
-            self._samples.labels(query=name).inc()
+            cast(LatencyHistogram, self._error_hist.labels(query=name)).observe(error)
+            cast(Counter, self._samples.labels(query=name)).inc()
             self._last_error[name] = error
         self._last_sampled_at = self.engine.stats().tuples_ingested
         self._sample_time.inc(perf_counter() - start)
@@ -127,15 +143,16 @@ class AccuracyTracker:
     # reading
     # ------------------------------------------------------------------ #
 
-    def report(self) -> dict[str, dict]:
+    def report(self) -> dict[str, dict[str, float]]:
         """Per-query aggregates: samples, last/mean/p50/p95 relative error."""
-        out: dict[str, dict] = {}
+        out: dict[str, dict[str, float]] = {}
         for (query,), hist in self._error_hist.items():
+            assert isinstance(hist, LatencyHistogram)
             if hist.count == 0:
                 continue
             out[query] = {
                 "samples": hist.count,
-                "last": self._last_error.get(query),
+                "last": self._last_error.get(query, math.nan),
                 "mean": hist.mean,
                 "p50": hist.percentile(50),
                 "p95": hist.percentile(95),

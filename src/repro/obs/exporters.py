@@ -55,7 +55,7 @@ def _labels_text(names: tuple[str, ...], values: tuple[str, ...], extra: str = "
 
 
 def _histogram_lines(name: str, labels: str, hist: LatencyHistogram) -> list[str]:
-    lines = []
+    lines: list[str] = []
     cumulative = 0
     for bound, count in zip(hist.bounds + (math.inf,), hist.bucket_counts):
         cumulative += count
@@ -131,7 +131,7 @@ class JsonlSnapshotWriter:
         self._sleep = sleep
         self._last_write: float | None = None
 
-    def write(self, snapshot: Mapping) -> bool:
+    def write(self, snapshot: Mapping[str, object]) -> bool:
         """Append one snapshot line; returns whether the append landed.
 
         A failed append (after retries) is counted as a drop, not raised
@@ -148,7 +148,9 @@ class JsonlSnapshotWriter:
             finally:
                 os.close(fd)
 
-        kwargs = {} if self._sleep is None else {"sleep": self._sleep}
+        kwargs: dict[str, Callable[[float], None]] = (
+            {} if self._sleep is None else {"sleep": self._sleep}
+        )
         self._last_write = time.monotonic()
         try:
             retry_io(attempt, policy=self.retry, **kwargs)
@@ -160,7 +162,7 @@ class JsonlSnapshotWriter:
         self.snapshots_written += 1
         return True
 
-    def maybe_write(self, snapshot_fn: Callable[[], Mapping]) -> bool:
+    def maybe_write(self, snapshot_fn: Callable[[], Mapping[str, object]]) -> bool:
         """Write if ``every_s`` elapsed since the last write (or ever).
 
         Takes a zero-argument callable so snapshot assembly is skipped
@@ -194,7 +196,7 @@ def render_dashboard(
     elapsed_s: float | None = None,
 ) -> str:
     """One text screen: counters, latency percentiles, accuracy, spans."""
-    sections = []
+    sections: list[str] = []
     header = "telemetry dashboard"
     if elapsed_s is not None and elapsed_s > 0:
         header += (

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import functools
 import math
-from typing import Iterator, Mapping, Sequence
+from typing import Callable, Iterator, Mapping, Sequence, Union, cast
 
 __all__ = [
     "Counter",
@@ -75,7 +75,7 @@ class Counter:
     def reset(self) -> None:
         self._value = 0.0
 
-    def snapshot(self):
+    def snapshot(self) -> float:
         value = self._value
         return int(value) if value.is_integer() else value
 
@@ -110,7 +110,7 @@ class Gauge:
     def reset(self) -> None:
         self._value = 0.0
 
-    def snapshot(self):
+    def snapshot(self) -> float:
         value = self._value
         return int(value) if value.is_integer() else value
 
@@ -164,6 +164,16 @@ class LatencyHistogram:
     def mean(self) -> float:
         return self._sum / self._count if self._count else 0.0
 
+    @property
+    def min(self) -> float:
+        """Smallest observed value (``+inf`` before any observation)."""
+        return self._min
+
+    @property
+    def max(self) -> float:
+        """Largest observed value (``-inf`` before any observation)."""
+        return self._max
+
     def observe(self, value: float) -> None:
         """Record one observation (binary search into the fixed buckets)."""
         self._sum += value
@@ -182,11 +192,22 @@ class LatencyHistogram:
         self.bucket_counts[lo] += 1
 
     def percentile(self, p: float) -> float:
-        """The ``p``-th percentile (0..100), interpolated within its bucket."""
+        """The ``p``-th percentile (0..100), interpolated within its bucket.
+
+        Edge semantics: ``p == 0`` is exactly the observed minimum and
+        ``p == 100`` exactly the observed maximum (no interpolation
+        involved); with no observations every percentile is ``nan``.
+        Interpolated results are always clamped into ``[min, max]``, and
+        a single observation returns itself for every ``p``.
+        """
         if not 0 <= p <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
         if self._count == 0:
             return math.nan
+        if p == 0:
+            return self._min
+        if p == 100:
+            return self._max
         target = p / 100.0 * self._count
         cumulative = 0
         lower = 0.0
@@ -197,10 +218,10 @@ class LatencyHistogram:
                 if cumulative >= target:
                     hi = min(upper, self._max)
                     lo = max(lower, self._min)
-                    if hi <= lo or bucket_count == 0:
+                    if hi <= lo:
                         return lo
                     fraction = (target - (cumulative - bucket_count)) / bucket_count
-                    return lo + fraction * (hi - lo)
+                    return lo + min(1.0, max(0.0, fraction)) * (hi - lo)
             lower = upper if i < len(self.bounds) else lower
         return self._max  # pragma: no cover - target <= count always hits
 
@@ -211,8 +232,8 @@ class LatencyHistogram:
         self._min = math.inf
         self._max = -math.inf
 
-    def snapshot(self) -> dict:
-        out = {
+    def snapshot(self) -> dict[str, float]:
+        out: dict[str, float] = {
             "count": self._count,
             "sum": self._sum,
             "mean": self.mean,
@@ -229,6 +250,10 @@ class LatencyHistogram:
         return f"LatencyHistogram({self.name}, n={self._count})"
 
 
+#: Any unlabelled metric primitive.
+Metric = Union[Counter, Gauge, LatencyHistogram]
+
+
 class MetricFamily:
     """A labelled metric: one child primitive per label-value combination.
 
@@ -241,46 +266,52 @@ class MetricFamily:
 
     __slots__ = ("name", "help", "kind", "labelnames", "_factory", "_children")
 
-    def __init__(self, factory, name: str, help: str, labelnames: Sequence[str]) -> None:
+    def __init__(
+        self,
+        factory: Callable[[str], Metric],
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+    ) -> None:
         if not labelnames:
             raise ValueError("a MetricFamily needs at least one label name")
         self.name = name
         self.help = help
         self.labelnames = tuple(labelnames)
         self._factory = factory
-        self._children: dict[tuple[str, ...], object] = {}
+        self._children: dict[tuple[str, ...], Metric] = {}
         self.kind = factory("_probe").kind
 
-    def labels(self, *values, **kwvalues):
+    def labels(self, *values: object, **kwvalues: object) -> Metric:
         """The child metric for one label-value combination (created lazily)."""
         if kwvalues:
             if values:
                 raise ValueError("pass label values positionally or by name, not both")
             try:
-                values = tuple(str(kwvalues.pop(name)) for name in self.labelnames)
+                key = tuple(str(kwvalues.pop(name)) for name in self.labelnames)
             except KeyError as exc:
                 raise ValueError(f"missing label {exc.args[0]!r} for {self.name!r}") from None
             if kwvalues:
                 raise ValueError(f"unknown labels {sorted(kwvalues)} for {self.name!r}")
         else:
-            values = tuple(str(v) for v in values)
-        if len(values) != len(self.labelnames):
+            key = tuple(str(v) for v in values)
+        if len(key) != len(self.labelnames):
             raise ValueError(
-                f"{self.name!r} takes labels {self.labelnames}, got {len(values)} values"
+                f"{self.name!r} takes labels {self.labelnames}, got {len(key)} values"
             )
-        child = self._children.get(values)
+        child = self._children.get(key)
         if child is None:
             child = self._factory(self.name)
-            self._children[values] = child
+            self._children[key] = child
         return child
 
-    def items(self) -> Iterator[tuple[tuple[str, ...], object]]:
+    def items(self) -> Iterator[tuple[tuple[str, ...], Metric]]:
         """Iterate ``(label_values, child_metric)`` pairs (sorted)."""
-        return iter(sorted(self._children.items()))
+        return iter(sorted(self._children.items(), key=lambda kv: kv[0]))
 
-    def as_value_dict(self) -> dict:
+    def as_value_dict(self) -> dict[str, object]:
         """``{label_values: snapshot}`` with single-label keys flattened."""
-        out = {}
+        out: dict[str, object] = {}
         for values, child in self.items():
             key = values[0] if len(values) == 1 else ",".join(values)
             out[key] = child.snapshot()
@@ -294,7 +325,7 @@ class MetricFamily:
         """
         self._children.clear()
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, object]:
         return self.as_value_dict()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -312,13 +343,17 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._metrics: dict[str, object] = {}
+        self._metrics: dict[str, Metric | MetricFamily] = {}
 
     def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Counter | MetricFamily:
-        return self._get_or_create(Counter, name, help, labelnames)
+        return cast(
+            "Counter | MetricFamily", self._get_or_create(Counter, name, help, labelnames)
+        )
 
     def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge | MetricFamily:
-        return self._get_or_create(Gauge, name, help, labelnames)
+        return cast(
+            "Gauge | MetricFamily", self._get_or_create(Gauge, name, help, labelnames)
+        )
 
     def histogram(
         self,
@@ -330,9 +365,19 @@ class MetricsRegistry:
         # functools.partial of a module-level function (not a closure) so
         # the resulting family survives pickling across process shards.
         factory = functools.partial(_make_histogram, buckets=tuple(buckets))
-        return self._get_or_create(LatencyHistogram, name, help, labelnames, factory)
+        return cast(
+            "LatencyHistogram | MetricFamily",
+            self._get_or_create(LatencyHistogram, name, help, labelnames, factory),
+        )
 
-    def _get_or_create(self, cls, name, help, labelnames, factory=None):
+    def _get_or_create(
+        self,
+        cls: type[Metric],
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+        factory: Callable[[str], Metric] | None = None,
+    ) -> Metric | MetricFamily:
         existing = self._metrics.get(name)
         if existing is not None:
             want_labels = tuple(labelnames)
@@ -342,9 +387,10 @@ class MetricsRegistry:
             elif not isinstance(existing, cls) or want_labels:
                 raise ValueError(f"metric {name!r} already registered differently")
             return existing
-        make = factory if factory is not None else cls
+        make: Callable[[str], Metric] = factory if factory is not None else cls
+        metric: Metric | MetricFamily
         if labelnames:
-            metric: object = MetricFamily(make, name, help, labelnames)
+            metric = MetricFamily(make, name, help, labelnames)
         else:
             metric = make(name)
             metric.help = help
@@ -373,24 +419,24 @@ class MetricsRegistry:
             _merge_metric(mine, theirs)
         return self
 
-    def get(self, name: str):
+    def get(self, name: str) -> Metric | MetricFamily | None:
         """The metric registered under ``name``, or ``None``."""
         return self._metrics.get(name)
 
-    def collect(self) -> Iterator[tuple[str, object]]:
+    def collect(self) -> Iterator[tuple[str, Metric | MetricFamily]]:
         """Iterate ``(name, metric_or_family)`` sorted by name."""
-        return iter(sorted(self._metrics.items()))
+        return iter(sorted(self._metrics.items(), key=lambda kv: kv[0]))
 
     def reset(self) -> None:
         """Zero every registered metric (identities are preserved)."""
         for metric in self._metrics.values():
             metric.reset()
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, dict[str, object]]:
         """One JSON-compatible dict for the whole registry."""
-        out: dict[str, dict] = {}
+        out: dict[str, dict[str, object]] = {}
         for name, metric in self.collect():
-            entry: dict = {"type": metric.kind}
+            entry: dict[str, object] = {"type": metric.kind}
             if isinstance(metric, MetricFamily):
                 entry["labels"] = list(metric.labelnames)
                 entry["values"] = metric.snapshot()
@@ -418,7 +464,7 @@ def _make_histogram(name: str, buckets: Sequence[float]) -> LatencyHistogram:
     return LatencyHistogram(name, buckets=buckets)
 
 
-def _structural_clone(metric):
+def _structural_clone(metric: Metric | MetricFamily) -> Metric | MetricFamily:
     """An empty metric with the same name/kind/labels/buckets as ``metric``."""
     if isinstance(metric, MetricFamily):
         return MetricFamily(metric._factory, metric.name, metric.help, metric.labelnames)
@@ -427,13 +473,13 @@ def _structural_clone(metric):
     return type(metric)(metric.name, metric.help)
 
 
-def _check_mergeable(name: str, mine, theirs) -> None:
+def _check_mergeable(
+    name: str, mine: Metric | MetricFamily, theirs: Metric | MetricFamily
+) -> None:
     """Reject merges across different kinds, label sets, or bucket layouts."""
-    mine_family = isinstance(mine, MetricFamily)
-    theirs_family = isinstance(theirs, MetricFamily)
-    if mine_family != theirs_family:
+    if isinstance(mine, MetricFamily) != isinstance(theirs, MetricFamily):
         raise ValueError(f"cannot merge metric {name!r}: labelled vs unlabelled")
-    if mine_family:
+    if isinstance(mine, MetricFamily) and isinstance(theirs, MetricFamily):
         if mine.kind != theirs.kind or mine.labelnames != theirs.labelnames:
             raise ValueError(
                 f"cannot merge metric {name!r}: kind/labels differ "
@@ -445,20 +491,32 @@ def _check_mergeable(name: str, mine, theirs) -> None:
             f"cannot merge metric {name!r}: {type(mine).__name__} "
             f"vs {type(theirs).__name__}"
         )
-    if isinstance(mine, LatencyHistogram) and mine.bounds != theirs.bounds:
+    if (
+        isinstance(mine, LatencyHistogram)
+        and isinstance(theirs, LatencyHistogram)
+        and mine.bounds != theirs.bounds
+    ):
         raise ValueError(f"cannot merge metric {name!r}: bucket bounds differ")
 
 
-def _merge_metric(mine, theirs) -> None:
-    """Fold one metric's value into its same-shape counterpart."""
+def _merge_metric(mine: Metric | MetricFamily, theirs: Metric | MetricFamily) -> None:
+    """Fold one metric's value into its same-shape counterpart.
+
+    ``mine`` is always the same shape as ``theirs`` here: callers go
+    through :func:`_check_mergeable` (or a structural clone) first.
+    """
     if isinstance(theirs, MetricFamily):
+        assert isinstance(mine, MetricFamily)
         for values, child in theirs.items():
             _merge_metric(mine.labels(*values), child)
     elif isinstance(theirs, Counter):
+        assert isinstance(mine, Counter)
         mine.inc(theirs.value)
     elif isinstance(theirs, Gauge):
+        assert isinstance(mine, Gauge)
         mine.set(theirs.value)  # last write wins
     elif isinstance(theirs, LatencyHistogram):
+        assert isinstance(mine, LatencyHistogram)
         for i, bucket_count in enumerate(theirs.bucket_counts):
             mine.bucket_counts[i] += bucket_count
         mine._sum += theirs._sum
@@ -494,7 +552,7 @@ def catalog_mismatches(registry: MetricsRegistry) -> list[str]:
             )
             continue
         labels = metric.labelnames if isinstance(metric, MetricFamily) else ()
-        expected = tuple(entry["labels"])
+        expected = tuple(cast("Sequence[str]", entry["labels"]))
         if labels != expected and not (
             entry["shard_suffix"] and labels == expected + ("shard",)
         ):

@@ -1,0 +1,194 @@
+"""Backend selection for the OTel export layer.
+
+Exactly one backend is active per process:
+
+``"sdk"``
+    The real ``opentelemetry-sdk``, when importable; span batches are
+    replayed through its tracer provider so any exporter/processor the
+    installation configures sees them.  Never a hard dependency.
+``"stdlib"``
+    The pure-stdlib OTLP/JSON encoders in :mod:`repro.obs.otel.encode`
+    — the fallback, and the path every CI run exercises.
+
+The ``REPRO_OTEL`` environment variable overrides the automatic choice
+(``auto`` / empty keeps it); requesting ``sdk`` without the SDK
+installed falls back to ``stdlib`` rather than failing, because export
+must not break on a missing optional dependency.  This mirrors
+``REPRO_FASTPATH`` in :mod:`repro.fastpath.backend` — one gated-import
+idiom across the codebase.
+
+Which backend won is observable: :func:`register_backend_gauge`
+registers the ``repro_otel_backend`` gauge (one time series per backend
+label, 1 on the active one) into any telemetry registry, and registered
+families are kept in sync when tests flip backends via
+:func:`set_backend`.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+from typing import TYPE_CHECKING, Sequence
+
+from ..metrics import Gauge, MetricFamily, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..tracing import SpanEvent
+
+__all__ = [
+    "BACKENDS",
+    "HAVE_SDK",
+    "available_backends",
+    "backend_name",
+    "set_backend",
+    "register_backend_gauge",
+    "replay_spans_via_sdk",
+    "describe",
+]
+
+#: Every backend name this module understands, preference order first.
+BACKENDS: tuple[str, ...] = ("sdk", "stdlib")
+
+
+def _sdk_importable() -> bool:
+    try:
+        return importlib.util.find_spec("opentelemetry.sdk") is not None
+    except (ImportError, ValueError):  # pragma: no cover - exotic import state
+        return False
+
+
+#: Whether ``opentelemetry-sdk`` can be imported in this process.
+HAVE_SDK: bool = _sdk_importable()
+
+#: Gauge families registered via :func:`register_backend_gauge`, kept in
+#: sync whenever the active backend changes.
+_GAUGE_FAMILIES: list[MetricFamily] = []
+
+
+def available_backends() -> tuple[str, ...]:
+    """The backends that can actually run in this process."""
+    return tuple(b for b in BACKENDS if b != "sdk" or HAVE_SDK)
+
+
+def _initial_backend() -> str:
+    """Import-time choice: env override first, then sdk-if-present."""
+    automatic = "sdk" if HAVE_SDK else "stdlib"
+    requested = os.environ.get("REPRO_OTEL", "").strip().lower()
+    if requested in ("", "auto"):
+        return automatic
+    if requested == "sdk" and not HAVE_SDK:
+        return "stdlib"
+    if requested in BACKENDS:
+        return requested
+    raise ValueError(
+        f"REPRO_OTEL={requested!r} is not a known backend; "
+        f"choose one of {', '.join(BACKENDS)} or 'auto'"
+    )
+
+
+_backend: str = _initial_backend()
+
+
+def backend_name() -> str:
+    """Name of the active backend (``sdk`` / ``stdlib``)."""
+    return _backend
+
+
+def set_backend(name: str) -> str:
+    """Activate a backend by name; returns the previously active one.
+
+    Requesting ``"sdk"`` when the SDK is not importable raises, unlike
+    the import-time selection which silently falls back — an explicit
+    request failing silently would mislead whoever configured it.
+    """
+    global _backend
+    if name not in BACKENDS:
+        raise ValueError(f"unknown backend {name!r}; choose one of {', '.join(BACKENDS)}")
+    if name == "sdk" and not HAVE_SDK:
+        raise RuntimeError("the sdk backend was requested but opentelemetry-sdk is not importable")
+    previous = _backend
+    _backend = name
+    for family in _GAUGE_FAMILIES:
+        _sync_gauge(family)
+    return previous
+
+
+def _sync_gauge(family: MetricFamily) -> None:
+    """Point one registered gauge family at the active backend."""
+    for name in BACKENDS:
+        child = family.labels(name)
+        assert isinstance(child, Gauge)
+        child.set(1.0 if name == _backend else 0.0)
+
+
+def register_backend_gauge(registry: MetricsRegistry) -> None:
+    """Expose the active OTel backend through a telemetry registry.
+
+    Registers the ``repro_otel_backend`` gauge family (one child per
+    backend label, value 1 on the active one — the Prometheus idiom for
+    an enum-valued fact).
+    """
+    family = registry.gauge(
+        "repro_otel_backend",
+        "Active repro.obs.otel export backend (1 on the selected label).",
+        labelnames=("backend",),
+    )
+    assert isinstance(family, MetricFamily)
+    if family not in _GAUGE_FAMILIES:
+        _GAUGE_FAMILIES.append(family)
+    _sync_gauge(family)
+
+
+def replay_spans_via_sdk(
+    events: Sequence["SpanEvent"], resource_attrs: dict[str, object]
+) -> bool:
+    """Replay finished spans through the installed ``opentelemetry-sdk``.
+
+    Returns ``False`` (having done nothing) unless the ``sdk`` backend is
+    active, so callers can fall through to the stdlib encoder
+    unconditionally.  With the SDK present, each
+    :class:`~repro.obs.tracing.SpanEvent` is re-emitted as an SDK span
+    under a resource built from ``resource_attrs``; whatever span
+    processors/exporters the ambient tracer provider carries then see
+    the fleet's spans alongside any other instrumentation.
+    """
+    if _backend != "sdk" or not HAVE_SDK:
+        return False
+    return _replay_spans(events, resource_attrs)  # pragma: no cover - requires otel sdk
+
+
+def _replay_spans(  # pragma: no cover - requires opentelemetry-sdk
+    events: Sequence["SpanEvent"], resource_attrs: dict[str, object]
+) -> bool:
+    from opentelemetry import trace as otel_trace  # type: ignore[import-not-found]
+    from opentelemetry.sdk.resources import Resource  # type: ignore[import-not-found]
+    from opentelemetry.sdk.trace import TracerProvider  # type: ignore[import-not-found]
+
+    from .encode import SCOPE_NAME, epoch_anchor_ns
+
+    provider = otel_trace.get_tracer_provider()
+    if not isinstance(provider, TracerProvider):
+        provider = TracerProvider(
+            resource=Resource.create({str(k): str(v) for k, v in resource_attrs.items()})
+        )
+        otel_trace.set_tracer_provider(provider)
+    tracer = provider.get_tracer(SCOPE_NAME)
+    anchor = epoch_anchor_ns()
+    for event in events:
+        start_ns = anchor + int(event.start * 1e9)
+        span = tracer.start_span(event.name, start_time=start_ns)
+        for key, value in event.attrs.items():
+            span.set_attribute(key, value)
+        span.set_attribute("count", event.count)
+        span.end(end_time=start_ns + max(0, int(event.duration * 1e9)))
+    return True
+
+
+def describe() -> dict[str, object]:
+    """Diagnostic summary of the backend state (JSON-compatible)."""
+    return {
+        "backend": _backend,
+        "available": list(available_backends()),
+        "sdk_importable": HAVE_SDK,
+        "env_override": os.environ.get("REPRO_OTEL", "") or None,
+    }

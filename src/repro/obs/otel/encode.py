@@ -1,0 +1,593 @@
+"""Pure-stdlib OTLP/JSON encoding of repro.obs spans and metrics.
+
+This module maps the in-memory observability model onto the OpenTelemetry
+protocol's JSON representation (the proto3 JSON mapping of
+``opentelemetry/proto/trace/v1`` and ``metrics/v1``) with nothing beyond
+the standard library:
+
+* :func:`encode_spans` / :func:`encode_span_groups` turn
+  :class:`~repro.obs.tracing.SpanEvent` batches into a ``resourceSpans``
+  payload — trace/span/parent ids verbatim, monotonic timestamps mapped
+  onto the epoch nanosecond clock via :func:`epoch_anchor_ns`.
+* :func:`encode_metrics` turns a
+  :class:`~repro.obs.metrics.MetricsRegistry` into a ``resourceMetrics``
+  payload: counters as cumulative monotonic ``sum``, gauges as ``gauge``,
+  :class:`~repro.obs.metrics.LatencyHistogram` as ``histogram`` with
+  explicit bounds; families become one data point per label combination.
+* :func:`spans_from_otlp` / :func:`metrics_from_otlp` decode such
+  payloads back, and :func:`validate_traces_payload` /
+  :func:`validate_metrics_payload` check conformance to the data model —
+  together they make the encoders round-trip-testable without an
+  OpenTelemetry installation.
+
+Per the proto3 JSON mapping, 64-bit integers (timestamps, counts, bucket
+counts) are encoded as decimal *strings* and ids as lowercase hex
+strings; both encoders follow that convention exactly so a stock OTLP
+collector accepts the output.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..metrics import Counter, Gauge, LatencyHistogram, MetricFamily, MetricsRegistry
+from ..tracing import SpanEvent, TraceContext
+
+__all__ = [
+    "SCOPE_NAME",
+    "default_resource",
+    "epoch_anchor_ns",
+    "encode_spans",
+    "encode_span_groups",
+    "encode_metrics",
+    "spans_from_otlp",
+    "metrics_from_otlp",
+    "validate_traces_payload",
+    "validate_metrics_payload",
+]
+
+#: Instrumentation-scope name stamped on every exported payload.
+SCOPE_NAME = "repro.obs"
+
+#: ``AggregationTemporality.CUMULATIVE`` — the only temporality the
+#: registry produces (counters and histograms accumulate since start).
+_CUMULATIVE = 2
+
+#: ``SpanKind.INTERNAL`` — every engine span is in-process work.
+_SPAN_KIND_INTERNAL = 1
+
+#: Epoch-nanosecond start time stamped on cumulative metric points.
+_PROCESS_START_NS = time.time_ns()
+
+
+def _version() -> str:
+    # Imported lazily: ``repro/__init__`` imports the obs package while
+    # initializing, so a module-level ``from repro import __version__``
+    # here would be circular.
+    from repro import __version__
+
+    return str(__version__)
+
+
+def _scope() -> dict[str, Any]:
+    return {"name": SCOPE_NAME, "version": _version()}
+
+
+def default_resource() -> dict[str, object]:
+    """Base resource attributes shared by every exported span and metric."""
+    return {
+        "service.name": "repro",
+        "service.version": _version(),
+        "telemetry.sdk.name": SCOPE_NAME,
+        "telemetry.sdk.language": "python",
+    }
+
+
+def epoch_anchor_ns() -> int:
+    """Offset mapping ``perf_counter()`` seconds onto epoch nanoseconds.
+
+    ``perf_counter`` reads ``CLOCK_MONOTONIC`` (QPC on Windows), whose
+    origin is per-*host*, not per-process — so one anchor computed in the
+    coordinator is valid for span timestamps recorded by every forked
+    shard worker on the machine.
+    """
+    return time.time_ns() - time.perf_counter_ns()
+
+
+def _any_value(value: object) -> dict[str, Any]:
+    """One OTLP ``AnyValue``: exactly one typed field set."""
+    if isinstance(value, bool):
+        return {"boolValue": value}
+    if isinstance(value, int):
+        return {"intValue": str(value)}
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    return {"stringValue": str(value)}
+
+
+def _attributes(mapping: Mapping[str, object]) -> list[dict[str, Any]]:
+    return [{"key": key, "value": _any_value(value)} for key, value in sorted(mapping.items())]
+
+
+# --------------------------------------------------------------------- #
+# spans
+# --------------------------------------------------------------------- #
+
+
+def _encode_span(event: SpanEvent, anchor_ns: int) -> dict[str, Any]:
+    start_ns = anchor_ns + int(event.start * 1e9)
+    end_ns = start_ns + max(0, int(event.duration * 1e9))
+    if event.span_id:
+        trace_id, span_id, parent = event.trace_id, event.span_id, event.parent_span_id
+    else:
+        # Pre-1.7.0 events carry no identity; mint one so the payload
+        # still validates (such spans are roots of a synthetic trace).
+        generated = TraceContext.generate()
+        trace_id, span_id, parent = generated.trace_id, generated.span_id, ""
+    attrs: dict[str, object] = dict(event.attrs)
+    attrs["count"] = event.count
+    span: dict[str, Any] = {
+        "traceId": trace_id,
+        "spanId": span_id,
+        "name": event.name,
+        "kind": _SPAN_KIND_INTERNAL,
+        "startTimeUnixNano": str(start_ns),
+        "endTimeUnixNano": str(end_ns),
+        "attributes": _attributes(attrs),
+    }
+    if parent:
+        span["parentSpanId"] = parent
+    return span
+
+
+def encode_span_groups(
+    groups: Iterable[tuple[Mapping[str, object], Sequence[SpanEvent]]],
+    base_resource: Mapping[str, object] | None = None,
+    anchor_ns: int | None = None,
+) -> dict[str, Any]:
+    """Encode ``(resource attributes, events)`` groups as ``resourceSpans``.
+
+    Each group becomes one ``resourceSpans`` entry whose resource merges
+    ``base_resource`` (default :func:`default_resource`) with the group's
+    own attributes — the fleet shape: one group per shard, ``shard=N``
+    distinguishing them.  Groups with no events are omitted.
+    """
+    anchor = epoch_anchor_ns() if anchor_ns is None else anchor_ns
+    base = default_resource() if base_resource is None else dict(base_resource)
+    resource_spans: list[dict[str, Any]] = []
+    for extra, events in groups:
+        if not events:
+            continue
+        resource_spans.append(
+            {
+                "resource": {"attributes": _attributes({**base, **extra})},
+                "scopeSpans": [
+                    {
+                        "scope": _scope(),
+                        "spans": [_encode_span(event, anchor) for event in events],
+                    }
+                ],
+            }
+        )
+    return {"resourceSpans": resource_spans}
+
+
+def encode_spans(
+    events: Sequence[SpanEvent],
+    resource: Mapping[str, object] | None = None,
+    anchor_ns: int | None = None,
+) -> dict[str, Any]:
+    """Encode one batch of events under one resource (single-engine shape)."""
+    return encode_span_groups([(dict(resource or {}), events)], anchor_ns=anchor_ns)
+
+
+# --------------------------------------------------------------------- #
+# metrics
+# --------------------------------------------------------------------- #
+
+
+def _number_point(
+    value: float, attrs: Mapping[str, str], start_ns: int, now_ns: int
+) -> dict[str, Any]:
+    point: dict[str, Any] = {
+        "startTimeUnixNano": str(start_ns),
+        "timeUnixNano": str(now_ns),
+    }
+    if attrs:
+        point["attributes"] = _attributes(attrs)
+    if float(value).is_integer():
+        point["asInt"] = str(int(value))
+    else:
+        point["asDouble"] = float(value)
+    return point
+
+
+def _histogram_point(
+    hist: LatencyHistogram, attrs: Mapping[str, str], start_ns: int, now_ns: int
+) -> dict[str, Any]:
+    point: dict[str, Any] = {
+        "startTimeUnixNano": str(start_ns),
+        "timeUnixNano": str(now_ns),
+        "count": str(hist.count),
+        "sum": hist.sum,
+        "bucketCounts": [str(c) for c in hist.bucket_counts],
+        "explicitBounds": list(hist.bounds),
+    }
+    if attrs:
+        point["attributes"] = _attributes(attrs)
+    if hist.count:
+        point["min"] = hist.min
+        point["max"] = hist.max
+    return point
+
+
+def _metric_children(
+    metric: object,
+) -> tuple[str, str, list[tuple[dict[str, str], object]]]:
+    """Flatten a metric or family to ``(kind, help, [(attrs, child)])``."""
+    if isinstance(metric, MetricFamily):
+        children: list[tuple[dict[str, str], object]] = [
+            (dict(zip(metric.labelnames, values)), child) for values, child in metric.items()
+        ]
+        return metric.kind, metric.help, children
+    kind = getattr(metric, "kind", "")
+    help_text = getattr(metric, "help", "")
+    return str(kind), str(help_text), [({}, metric)]
+
+
+def _encode_metric(
+    name: str, metric: object, start_ns: int, now_ns: int
+) -> dict[str, Any] | None:
+    kind, help_text, children = _metric_children(metric)
+    out: dict[str, Any] = {"name": name}
+    if help_text:
+        out["description"] = help_text
+    if kind == "histogram":
+        points: list[dict[str, Any]] = [
+            _histogram_point(child, attrs, start_ns, now_ns)
+            for attrs, child in children
+            if isinstance(child, LatencyHistogram)
+        ]
+        if not points:
+            return None
+        out["histogram"] = {"aggregationTemporality": _CUMULATIVE, "dataPoints": points}
+        return out
+    points = [
+        _number_point(child.value, attrs, start_ns, now_ns)
+        for attrs, child in children
+        if isinstance(child, (Counter, Gauge))
+    ]
+    if not points:
+        return None
+    if kind == "counter":
+        out["sum"] = {
+            "aggregationTemporality": _CUMULATIVE,
+            "isMonotonic": True,
+            "dataPoints": points,
+        }
+    else:
+        out["gauge"] = {"dataPoints": points}
+    return out
+
+
+def encode_metrics(
+    registry: MetricsRegistry,
+    resource: Mapping[str, object] | None = None,
+    start_ns: int | None = None,
+    now_ns: int | None = None,
+) -> dict[str, Any]:
+    """Encode every registry family as one ``resourceMetrics`` payload.
+
+    Counters map to cumulative monotonic sums, gauges to gauges,
+    histograms to explicit-bounds histogram points; a labelled family
+    contributes one data point per label combination, the label pairs as
+    point attributes.  Families with no children yet are skipped (a data
+    point requires a value).
+    """
+    now = time.time_ns() if now_ns is None else now_ns
+    start = _PROCESS_START_NS if start_ns is None else start_ns
+    encoded = [
+        _encode_metric(name, metric, start, now) for name, metric in registry.collect()
+    ]
+    metrics = [m for m in encoded if m is not None]
+    base = default_resource() if resource is None else dict(resource)
+    return {
+        "resourceMetrics": [
+            {
+                "resource": {"attributes": _attributes(base)},
+                "scopeMetrics": [{"scope": _scope(), "metrics": metrics}],
+            }
+        ]
+    }
+
+
+# --------------------------------------------------------------------- #
+# decoding (round-trip support)
+# --------------------------------------------------------------------- #
+
+
+def _attrs_to_dict(attributes: Iterable[Mapping[str, Any]]) -> dict[str, object]:
+    out: dict[str, object] = {}
+    for entry in attributes:
+        value = entry["value"]
+        if "stringValue" in value:
+            out[entry["key"]] = value["stringValue"]
+        elif "boolValue" in value:
+            out[entry["key"]] = bool(value["boolValue"])
+        elif "intValue" in value:
+            out[entry["key"]] = int(value["intValue"])
+        else:
+            out[entry["key"]] = float(value["doubleValue"])
+    return out
+
+
+def spans_from_otlp(
+    payload: Mapping[str, Any], anchor_ns: int = 0
+) -> list[tuple[dict[str, object], SpanEvent]]:
+    """Decode a ``resourceSpans`` payload to ``(resource attrs, event)`` pairs.
+
+    Passing the ``anchor_ns`` used at encode time maps timestamps back
+    onto the original ``perf_counter`` clock, so a decode of an encode
+    reproduces the source events up to nanosecond quantization.
+    """
+    out: list[tuple[dict[str, object], SpanEvent]] = []
+    for resource_spans in payload.get("resourceSpans", []):
+        resource = _attrs_to_dict(resource_spans.get("resource", {}).get("attributes", []))
+        for scope_spans in resource_spans.get("scopeSpans", []):
+            for span in scope_spans.get("spans", []):
+                attrs = _attrs_to_dict(span.get("attributes", []))
+                count = attrs.pop("count", 1)
+                start_ns = int(span["startTimeUnixNano"])
+                end_ns = int(span["endTimeUnixNano"])
+                event = SpanEvent(
+                    name=span["name"],
+                    start=(start_ns - anchor_ns) / 1e9,
+                    duration=(end_ns - start_ns) / 1e9,
+                    count=int(count) if isinstance(count, (int, str)) else 1,
+                    attrs={k: str(v) for k, v in attrs.items()},
+                    trace_id=span["traceId"],
+                    span_id=span["spanId"],
+                    parent_span_id=span.get("parentSpanId", ""),
+                )
+                out.append((resource, event))
+    return out
+
+
+def metrics_from_otlp(payload: Mapping[str, Any]) -> MetricsRegistry:
+    """Rebuild a :class:`MetricsRegistry` from a ``resourceMetrics`` payload.
+
+    Labelled families come back with label names in sorted order (OTLP
+    points carry attribute *pairs*, not the registry's declaration
+    order); values, bucket layouts, and counts round-trip exactly.
+    """
+    registry = MetricsRegistry()
+    for resource_metrics in payload.get("resourceMetrics", []):
+        for scope_metrics in resource_metrics.get("scopeMetrics", []):
+            for metric in scope_metrics.get("metrics", []):
+                _decode_metric(registry, metric)
+    return registry
+
+
+def _decode_metric(registry: MetricsRegistry, metric: Mapping[str, Any]) -> None:
+    name = metric["name"]
+    description = metric.get("description", "")
+    if "sum" in metric:
+        for point in metric["sum"]["dataPoints"]:
+            attrs = _attrs_to_dict(point.get("attributes", []))
+            labelnames = tuple(sorted(str(k) for k in attrs))
+            counter = registry.counter(name, description, labelnames=labelnames)
+            child = (
+                counter.labels(**{str(k): v for k, v in attrs.items()})
+                if isinstance(counter, MetricFamily)
+                else counter
+            )
+            assert isinstance(child, Counter)
+            child.inc(_point_value(point))
+    elif "gauge" in metric:
+        for point in metric["gauge"]["dataPoints"]:
+            attrs = _attrs_to_dict(point.get("attributes", []))
+            labelnames = tuple(sorted(str(k) for k in attrs))
+            gauge = registry.gauge(name, description, labelnames=labelnames)
+            child = (
+                gauge.labels(**{str(k): v for k, v in attrs.items()})
+                if isinstance(gauge, MetricFamily)
+                else gauge
+            )
+            assert isinstance(child, Gauge)
+            child.set(_point_value(point))
+    elif "histogram" in metric:
+        for point in metric["histogram"]["dataPoints"]:
+            attrs = _attrs_to_dict(point.get("attributes", []))
+            labelnames = tuple(sorted(str(k) for k in attrs))
+            bounds = [float(b) for b in point.get("explicitBounds", [])]
+            hist = registry.histogram(name, description, labelnames=labelnames, buckets=bounds)
+            child = (
+                hist.labels(**{str(k): v for k, v in attrs.items()})
+                if isinstance(hist, MetricFamily)
+                else hist
+            )
+            assert isinstance(child, LatencyHistogram)
+            counts = [int(c) for c in point.get("bucketCounts", [])]
+            for i, bucket_count in enumerate(counts):
+                child.bucket_counts[i] += bucket_count
+            child._count += int(point["count"])
+            child._sum += float(point.get("sum", 0.0))
+            if "min" in point:
+                child._min = min(child._min, float(point["min"]))
+            if "max" in point:
+                child._max = max(child._max, float(point["max"]))
+
+
+def _point_value(point: Mapping[str, Any]) -> float:
+    if "asInt" in point:
+        return float(int(point["asInt"]))
+    return float(point["asDouble"])
+
+
+# --------------------------------------------------------------------- #
+# validation
+# --------------------------------------------------------------------- #
+
+
+def _check_attributes(owner: str, attributes: object, problems: list[str]) -> None:
+    if not isinstance(attributes, list):
+        problems.append(f"{owner}: attributes must be a list")
+        return
+    for entry in attributes:
+        if not isinstance(entry, Mapping) or "key" not in entry or "value" not in entry:
+            problems.append(f"{owner}: attribute entries need 'key' and 'value'")
+            continue
+        value = entry["value"]
+        if not isinstance(value, Mapping):
+            problems.append(f"{owner}: attribute {entry['key']!r} value must be an AnyValue")
+            continue
+        typed = {"stringValue", "boolValue", "intValue", "doubleValue"} & set(value)
+        if len(typed) != 1:
+            problems.append(
+                f"{owner}: attribute {entry['key']!r} must set exactly one AnyValue field"
+            )
+
+
+def _is_hex_id(value: object, width: int) -> bool:
+    return (
+        isinstance(value, str)
+        and len(value) == width
+        and all(c in "0123456789abcdef" for c in value)
+        and value != "0" * width
+    )
+
+
+def _is_uint_string(value: object) -> bool:
+    return isinstance(value, str) and value.isdigit()
+
+
+def validate_traces_payload(payload: Mapping[str, Any]) -> list[str]:
+    """Problems that would make an OTLP collector reject the payload.
+
+    Checks the proto3 JSON conventions the encoder promises: hex span
+    identity of the right widths, string-encoded uint64 timestamps in
+    order, well-formed attribute lists.  Empty list means conformant.
+    """
+    problems: list[str] = []
+    resource_spans = payload.get("resourceSpans")
+    if not isinstance(resource_spans, list):
+        return ["payload must have a 'resourceSpans' list"]
+    for i, entry in enumerate(resource_spans):
+        where = f"resourceSpans[{i}]"
+        _check_attributes(where, entry.get("resource", {}).get("attributes", []), problems)
+        scope_spans = entry.get("scopeSpans")
+        if not isinstance(scope_spans, list) or not scope_spans:
+            problems.append(f"{where}: needs a non-empty 'scopeSpans' list")
+            continue
+        for scope_entry in scope_spans:
+            for j, span in enumerate(scope_entry.get("spans", [])):
+                owner = f"{where}.spans[{j}]"
+                if not span.get("name"):
+                    problems.append(f"{owner}: span name must be non-empty")
+                if not _is_hex_id(span.get("traceId"), 32):
+                    problems.append(f"{owner}: traceId must be 32 hex chars, non-zero")
+                if not _is_hex_id(span.get("spanId"), 16):
+                    problems.append(f"{owner}: spanId must be 16 hex chars, non-zero")
+                parent = span.get("parentSpanId", "")
+                if parent and not _is_hex_id(parent, 16):
+                    problems.append(f"{owner}: parentSpanId must be 16 hex chars when set")
+                start, end = span.get("startTimeUnixNano"), span.get("endTimeUnixNano")
+                if not (_is_uint_string(start) and _is_uint_string(end)):
+                    problems.append(f"{owner}: span times must be uint64-as-string")
+                elif int(start) > int(end):
+                    problems.append(f"{owner}: startTimeUnixNano after endTimeUnixNano")
+                _check_attributes(owner, span.get("attributes", []), problems)
+    return problems
+
+
+def _validate_number_points(owner: str, points: object, problems: list[str]) -> None:
+    if not isinstance(points, list) or not points:
+        problems.append(f"{owner}: needs a non-empty 'dataPoints' list")
+        return
+    for k, point in enumerate(points):
+        where = f"{owner}.dataPoints[{k}]"
+        typed = {"asInt", "asDouble"} & set(point)
+        if len(typed) != 1:
+            problems.append(f"{where}: must set exactly one of asInt/asDouble")
+        elif "asInt" in point and not _is_int_string(point["asInt"]):
+            problems.append(f"{where}: asInt must be an int64-as-string")
+        if not _is_uint_string(point.get("timeUnixNano")):
+            problems.append(f"{where}: timeUnixNano must be uint64-as-string")
+        _check_attributes(where, point.get("attributes", []), problems)
+
+
+def _is_int_string(value: object) -> bool:
+    return isinstance(value, str) and (value.lstrip("-").isdigit())
+
+
+def validate_metrics_payload(payload: Mapping[str, Any]) -> list[str]:
+    """Problems that would make an OTLP collector reject the payload.
+
+    Checks each metric declares exactly one data shape, sums are
+    cumulative and monotonic (all the registry produces), and histogram
+    points keep ``len(bucketCounts) == len(explicitBounds) + 1`` with
+    bucket counts summing to ``count``.  Empty list means conformant.
+    """
+    problems: list[str] = []
+    resource_metrics = payload.get("resourceMetrics")
+    if not isinstance(resource_metrics, list):
+        return ["payload must have a 'resourceMetrics' list"]
+    for i, entry in enumerate(resource_metrics):
+        where = f"resourceMetrics[{i}]"
+        _check_attributes(where, entry.get("resource", {}).get("attributes", []), problems)
+        for scope_entry in entry.get("scopeMetrics", []):
+            for metric in scope_entry.get("metrics", []):
+                name = metric.get("name") or "<unnamed>"
+                owner = f"{where}.{name}"
+                if not metric.get("name"):
+                    problems.append(f"{owner}: metric name must be non-empty")
+                shapes = {"sum", "gauge", "histogram"} & set(metric)
+                if len(shapes) != 1:
+                    problems.append(f"{owner}: must set exactly one of sum/gauge/histogram")
+                    continue
+                if "sum" in metric:
+                    if metric["sum"].get("aggregationTemporality") != _CUMULATIVE:
+                        problems.append(f"{owner}: sums must be cumulative")
+                    if metric["sum"].get("isMonotonic") is not True:
+                        problems.append(f"{owner}: counter sums must be monotonic")
+                    _validate_number_points(owner, metric["sum"].get("dataPoints"), problems)
+                elif "gauge" in metric:
+                    _validate_number_points(owner, metric["gauge"].get("dataPoints"), problems)
+                else:
+                    _validate_histogram_points(
+                        owner, metric["histogram"], problems
+                    )
+    return problems
+
+
+def _validate_histogram_points(
+    owner: str, histogram: Mapping[str, Any], problems: list[str]
+) -> None:
+    if histogram.get("aggregationTemporality") != _CUMULATIVE:
+        problems.append(f"{owner}: histograms must be cumulative")
+    points = histogram.get("dataPoints")
+    if not isinstance(points, list) or not points:
+        problems.append(f"{owner}: needs a non-empty 'dataPoints' list")
+        return
+    for k, point in enumerate(points):
+        where = f"{owner}.dataPoints[{k}]"
+        counts = point.get("bucketCounts", [])
+        bounds = point.get("explicitBounds", [])
+        if not all(_is_uint_string(c) for c in counts):
+            problems.append(f"{where}: bucketCounts must be uint64-as-string")
+            continue
+        if len(counts) != len(bounds) + 1:
+            problems.append(
+                f"{where}: len(bucketCounts) must be len(explicitBounds) + 1 "
+                f"({len(counts)} vs {len(bounds)} bounds)"
+            )
+        if list(bounds) != sorted(float(b) for b in bounds):
+            problems.append(f"{where}: explicitBounds must be sorted ascending")
+        if not _is_uint_string(point.get("count")):
+            problems.append(f"{where}: count must be uint64-as-string")
+        elif sum(int(c) for c in counts) != int(point["count"]):  # repro: noqa[REP004] exact int compare
+            problems.append(f"{where}: bucketCounts must sum to count")
+        if not _is_uint_string(point.get("timeUnixNano")):
+            problems.append(f"{where}: timeUnixNano must be uint64-as-string")
+        _check_attributes(where, point.get("attributes", []), problems)

@@ -37,21 +37,31 @@ class _Handler(BaseHTTPRequestHandler):
     server: "_Server"  # narrowed for the attribute accesses below
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._handle(include_body=True)
+
+    def do_HEAD(self) -> None:  # noqa: N802 - http.server API
+        """Same status/headers as GET, no body (probes use HEAD)."""
+        self._handle(include_body=False)
+
+    def _handle(self, include_body: bool) -> None:
         path = self.path.split("?", 1)[0]
         if path in ("/metrics", "/"):
             body = self.server.render().encode("utf-8")
-            self._respond(200, CONTENT_TYPE, body)
+            self._respond(200, CONTENT_TYPE, body, include_body)
         elif path == "/healthz":
-            self._respond(200, "text/plain; charset=utf-8", b"ok\n")
+            self._respond(200, "text/plain; charset=utf-8", b"ok\n", include_body)
         else:
-            self._respond(404, "text/plain; charset=utf-8", b"not found\n")
+            self._respond(404, "text/plain; charset=utf-8", b"not found\n", include_body)
 
-    def _respond(self, status: int, content_type: str, body: bytes) -> None:
+    def _respond(
+        self, status: int, content_type: str, body: bytes, include_body: bool = True
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
-        self.wfile.write(body)
+        if include_body:
+            self.wfile.write(body)
 
     def log_message(self, format: str, *args: object) -> None:
         """Silence per-request stderr logging (scrapes are periodic)."""
@@ -91,12 +101,12 @@ class MetricsServer:
 
     @property
     def host(self) -> str:
-        return self._server.server_address[0]
+        return str(self._server.server_address[0])
 
     @property
     def port(self) -> int:
         """The actually bound port (useful with ``port=0``)."""
-        return self._server.server_address[1]
+        return int(self._server.server_address[1])
 
     @property
     def url(self) -> str:

@@ -59,9 +59,9 @@ class Telemetry:
         """A hub that records nothing (the zero-overhead baseline)."""
         return cls(enabled=False, tracing=False)
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, object]:
         """JSON-compatible state: metrics plus trace-buffer accounting."""
-        out: dict = {"enabled": self.enabled, "metrics": self.registry.snapshot()}
+        out: dict[str, object] = {"enabled": self.enabled, "metrics": self.registry.snapshot()}
         if self.tracer is not None:
             out["trace"] = self.tracer.snapshot()
         return out

@@ -31,11 +31,22 @@ underlying population, and ``sampled_out`` accounting tells consumers
 how much weight each recorded event represents.  ``sample_every=None``
 (the default) records every span, byte-for-byte the pre-sampling
 behavior.
+
+Every recorded span carries W3C Trace Context identity: a 128-bit trace
+id shared by everything recorded under one :class:`TraceContext`, a
+fresh 64-bit span id, and the context's span id as the parent link.  Ids
+come from ``os.urandom`` — not the sampling RNG — so forked process
+shards never collide.  :meth:`Tracer.propagated_span` measures a region
+*and* yields its ``traceparent`` header so remote workers
+(:meth:`Tracer.adopt`) can parent their spans under it; that is the
+whole distributed-tracing story, exported as OTLP by
+:mod:`repro.obs.otel`.
 """
 
 from __future__ import annotations
 
 import math
+import os
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -43,10 +54,80 @@ from random import Random
 from time import perf_counter
 from typing import Iterator
 
-__all__ = ["SpanEvent", "Tracer", "DEFAULT_TRACE_CAPACITY"]
+__all__ = ["SpanEvent", "TraceContext", "Tracer", "DEFAULT_TRACE_CAPACITY"]
 
 #: Default ring-buffer capacity (events).
 DEFAULT_TRACE_CAPACITY = 4096
+
+
+def _new_trace_id() -> str:
+    """A non-zero 128-bit trace id as 32 lowercase hex chars."""
+    trace_id = os.urandom(16).hex()
+    while trace_id == "0" * 32:  # pragma: no cover - 2**-128 chance
+        trace_id = os.urandom(16).hex()
+    return trace_id
+
+
+def _new_span_id() -> str:
+    """A non-zero 64-bit span id as 16 lowercase hex chars."""
+    span_id = os.urandom(8).hex()
+    while span_id == "0" * 16:  # pragma: no cover - 2**-64 chance
+        span_id = os.urandom(8).hex()
+    return span_id
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """W3C Trace Context: which trace we are in, and the current parent.
+
+    ``trace_id`` is 32 lowercase hex chars (128 bits), ``span_id`` — the
+    id new child spans parent under — is 16 (64 bits).  The wire form is
+    the ``traceparent`` header, version ``00``:
+    ``00-{trace_id}-{span_id}-{01|00}`` with the flag byte carrying the
+    sampled bit.  Contexts are immutable; derive children with
+    :meth:`child` and cross process boundaries via
+    :meth:`to_traceparent` / :meth:`from_traceparent`.
+    """
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    def __post_init__(self) -> None:
+        if len(self.trace_id) != 32 or not _is_hex(self.trace_id) or self.trace_id == "0" * 32:
+            raise ValueError(f"trace_id must be 32 lowercase hex chars, got {self.trace_id!r}")
+        if len(self.span_id) != 16 or not _is_hex(self.span_id) or self.span_id == "0" * 16:
+            raise ValueError(f"span_id must be 16 lowercase hex chars, got {self.span_id!r}")
+
+    @classmethod
+    def generate(cls) -> "TraceContext":
+        """A fresh root context (new trace id, new span id)."""
+        return cls(_new_trace_id(), _new_span_id())
+
+    def child(self, span_id: str | None = None) -> "TraceContext":
+        """Same trace, new current span (the fan-out primitive)."""
+        return TraceContext(self.trace_id, span_id or _new_span_id(), self.sampled)
+
+    def to_traceparent(self) -> str:
+        """The W3C ``traceparent`` header value for this context."""
+        return f"00-{self.trace_id}-{self.span_id}-{'01' if self.sampled else '00'}"
+
+    @classmethod
+    def from_traceparent(cls, header: str) -> "TraceContext":
+        """Parse a ``traceparent`` header; raises ``ValueError`` if malformed."""
+        parts = header.strip().lower().split("-")
+        if len(parts) != 4:
+            raise ValueError(f"traceparent must have 4 dash-separated fields: {header!r}")
+        version, trace_id, span_id, flags = parts
+        if version != "00":
+            raise ValueError(f"unsupported traceparent version {version!r}")
+        if len(flags) != 2 or not _is_hex(flags):
+            raise ValueError(f"traceparent flags must be 2 hex chars: {flags!r}")
+        return cls(trace_id, span_id, sampled=bool(int(flags, 16) & 0x01))
+
+
+def _is_hex(value: str) -> bool:
+    return all(c in "0123456789abcdef" for c in value)
 
 
 @dataclass(frozen=True)
@@ -62,17 +143,29 @@ class SpanEvent:
     #: Operations covered by the span (tuples in the batch, 1 for an estimate).
     count: int = 1
     #: Free-form string attributes (relation / method / query / kind ...).
-    attrs: dict = field(default_factory=dict)
+    attrs: dict[str, str] = field(default_factory=dict)
+    #: 128-bit trace id (32 hex chars) shared by every span of one trace.
+    trace_id: str = ""
+    #: 64-bit span id (16 hex chars) unique to this span.
+    span_id: str = ""
+    #: Span id of the parent span ("" for a root span).
+    parent_span_id: str = ""
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, object]:
         """JSON-compatible form (attrs flattened in)."""
-        return {
+        out: dict[str, object] = {
             "name": self.name,
             "start": self.start,
             "duration": self.duration,
             "count": self.count,
             **self.attrs,
         }
+        if self.span_id:
+            out["trace_id"] = self.trace_id
+            out["span_id"] = self.span_id
+            if self.parent_span_id:
+                out["parent_span_id"] = self.parent_span_id
+        return out
 
 
 class Tracer:
@@ -82,6 +175,12 @@ class Tracer:
     no-op (the span context manager still runs, recording nothing).
     ``sample_every=N`` records roughly 1 in ``N`` spans (geometric gaps,
     seeded by ``sample_seed``); ``None`` records everything.
+
+    Every tracer owns a :class:`TraceContext`; recorded spans take their
+    trace id from it and parent under its span id.  ``context=None``
+    generates a fresh root context, so a standalone engine's spans form
+    one trace per tracer; a sharded worker calls :meth:`adopt` with the
+    coordinator's ``traceparent`` so its spans join the fleet trace.
     """
 
     def __init__(
@@ -90,6 +189,7 @@ class Tracer:
         enabled: bool = True,
         sample_every: int | None = None,
         sample_seed: int = 0,
+        context: TraceContext | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("trace capacity must be >= 1")
@@ -98,11 +198,24 @@ class Tracer:
         self.capacity = capacity
         self.enabled = enabled
         self.sample_every = sample_every
+        self.context = context if context is not None else TraceContext.generate()
         self._rng = Random(sample_seed)
         self._gap = 0
         self._sampled_out = 0
         self._events: deque[SpanEvent] = deque(maxlen=capacity)
         self._emitted = 0
+        self._drained = 0
+
+    def adopt(self, traceparent: str | None) -> None:
+        """Join the trace named by a ``traceparent`` header.
+
+        Subsequent spans carry its trace id and parent under its span id.
+        ``None`` is a no-op so callers can pass an optional header
+        through unconditionally; a malformed header raises ``ValueError``
+        (propagation bugs should be loud, not silently re-rooted).
+        """
+        if traceparent is not None:
+            self.context = TraceContext.from_traceparent(traceparent)
 
     # ------------------------------------------------------------------ #
     # recording
@@ -133,7 +246,7 @@ class Tracer:
         return True
 
     @contextmanager
-    def span(self, name: str, count: int = 1, **attrs) -> Iterator[None]:
+    def span(self, name: str, count: int = 1, **attrs: object) -> Iterator[None]:
         """Measure the wrapped region and record it as one event.
 
         The event is recorded even if the region raises, so failed batch
@@ -155,7 +268,7 @@ class Tracer:
         duration: float,
         count: int = 1,
         start: float | None = None,
-        **attrs,
+        **attrs: object,
     ) -> None:
         """Record a span whose duration the caller measured already.
 
@@ -166,22 +279,60 @@ class Tracer:
         if self.take():
             self.record(name, duration, count=count, start=start, **attrs)
 
+    @contextmanager
+    def propagated_span(
+        self, name: str, count: int = 1, **attrs: object
+    ) -> Iterator[str | None]:
+        """Measure the region as one span and yield its ``traceparent``.
+
+        The span id is generated up front so remote workers started
+        inside the region can :meth:`adopt` the yielded header and parent
+        their spans under this one — the fan-out half of distributed
+        tracing.  Yields ``None`` when disabled or sampled out (callers
+        pass it through; workers treat it as "keep your current trace").
+        """
+        if not self.take():
+            yield None
+            return
+        span_id = _new_span_id()
+        traceparent = self.context.child(span_id).to_traceparent()
+        start = perf_counter()
+        try:
+            yield traceparent
+        finally:
+            self.record(
+                name, perf_counter() - start, count=count, start=start,
+                span_id=span_id, **attrs,
+            )
+
     def record(
         self,
         name: str,
         duration: float,
         count: int = 1,
         start: float | None = None,
-        **attrs,
+        span_id: str | None = None,
+        **attrs: object,
     ) -> None:
-        """Unconditionally record one span (the caller already sampled)."""
+        """Unconditionally record one span (the caller already sampled).
+
+        ``span_id`` lets :meth:`propagated_span` pre-announce the id it
+        handed to remote children; omitted, a fresh one is generated.
+        """
         if not self.enabled:
             return
         if start is None:
             start = perf_counter() - duration
+        context = self.context
         self._emitted += 1
         self._events.append(
-            SpanEvent(name, start, duration, count, {k: str(v) for k, v in attrs.items()})
+            SpanEvent(
+                name, start, duration, count,
+                {k: str(v) for k, v in attrs.items()},
+                trace_id=context.trace_id,
+                span_id=span_id if span_id is not None else _new_span_id(),
+                parent_span_id=context.span_id,
+            )
         )
 
     # ------------------------------------------------------------------ #
@@ -195,8 +346,12 @@ class Tracer:
 
     @property
     def dropped(self) -> int:
-        """Events evicted from the ring to make room for newer ones."""
-        return self._emitted - len(self._events)
+        """Events evicted from the ring to make room for newer ones.
+
+        Events handed out by :meth:`drain` were delivered, not dropped,
+        so they are excluded.
+        """
+        return self._emitted - self._drained - len(self._events)
 
     @property
     def sampled_out(self) -> int:
@@ -213,16 +368,30 @@ class Tracer:
         """The most recent ``n`` (matching) events, oldest-first."""
         return self.events(name)[-n:]
 
+    def drain(self) -> list[SpanEvent]:
+        """Hand over buffered events (oldest-first) and clear the ring.
+
+        The exporter's read primitive: each call returns only events
+        recorded since the previous drain, so periodic pushes never
+        re-export a span.  Drained events count as delivered in the
+        :attr:`dropped` accounting.
+        """
+        events = list(self._events)
+        self._events.clear()
+        self._drained += len(events)
+        return events
+
     def clear(self) -> None:
         """Drop buffered events and zero the emitted/dropped accounting."""
         self._events.clear()
         self._emitted = 0
         self._sampled_out = 0
         self._gap = 0
+        self._drained = 0
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, object]:
         """Summary counts plus the most recent few events (JSON-compatible)."""
-        out = {
+        out: dict[str, object] = {
             "capacity": self.capacity,
             "buffered": len(self._events),
             "emitted": self._emitted,

@@ -24,11 +24,20 @@ Per-shard checkpoints write one rotated
 fleet manifest; a crashed shard restores alone via
 :meth:`ShardedStreamEngine.restore_shard` while the remaining shards
 keep their live state.
+
+Distributed tracing: the fleet owns a coordinator
+:class:`~repro.obs.tracing.Tracer` whose ``ingest_batch`` / ``estimate``
+spans pre-announce their span ids as W3C ``traceparent`` headers; the
+headers ride the executor fan-out so every shard's engine spans join the
+same trace, parented under the coordinator span that caused them.
+:meth:`ShardedStreamEngine.drain_spans` collects the whole fleet's spans
+(tagged per-shard) for :mod:`repro.obs.otel` export.
 """
 
 from __future__ import annotations
 
 import json
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Sequence
 
@@ -36,6 +45,7 @@ import numpy as np
 
 from ..obs.metrics import MetricsRegistry
 from ..obs.telemetry import Telemetry
+from ..obs.tracing import SpanEvent, Tracer
 from ..resilience.checkpoint import (
     CheckpointStore,
     domain_from_spec,
@@ -88,6 +98,10 @@ class ShardedStreamEngine:
         self.num_shards = num_shards
         self._seed = seed
         self._telemetry_enabled = telemetry
+        #: Coordinator tracer: fan-out spans recorded here hand their
+        #: ``traceparent`` to the shards, linking the fleet's spans into
+        #: one trace per fleet operation.
+        self.tracer: Tracer | None = Tracer() if telemetry else None
         self._executor = resolve_executor(executor)
         self._executor.start(num_shards, seed, telemetry)
         self._relations: dict[str, _RelationMeta] = {}
@@ -180,16 +194,26 @@ class ShardedStreamEngine:
         arr = self._merge_engine.relations[relation_name].rows_array(rows)
         if arr.shape[0] == 0:
             return
-        if self._coordinator is not None:
-            self._coordinator.ingest_batch(relation_name, arr, kind)
-        parts = split_rows(arr, meta.partition_axis, self.num_shards)
-        self._executor.scatter(
-            "ingest",
-            [
-                ((relation_name, part, kind), {}) if part.shape[0] else None
-                for part in parts
-            ],
+        span = (
+            self.tracer.propagated_span(
+                "ingest_batch", count=arr.shape[0], relation=relation_name, kind=kind.name
+            )
+            if self.tracer is not None
+            else nullcontext(None)
         )
+        with span as traceparent:
+            if self._coordinator is not None:
+                self._coordinator.ingest_batch(relation_name, arr, kind)
+            parts = split_rows(arr, meta.partition_axis, self.num_shards)
+            self._executor.scatter(
+                "ingest",
+                [
+                    ((relation_name, part, kind), {"traceparent": traceparent})
+                    if part.shape[0]
+                    else None
+                    for part in parts
+                ],
+            )
 
     def insert(self, relation_name: str, values: Sequence) -> None:
         self.ingest_batch(relation_name, [tuple(values)], OpKind.INSERT)
@@ -331,7 +355,17 @@ class ShardedStreamEngine:
         meta = self._queries[name]
         if meta.coordinator:
             return self._coordinator.answer(name)
-        replies = self._executor.broadcast("query_observers", name)
+        method = str(meta.spec.get("method", meta.spec.get("kind", "")))
+        span = (
+            self.tracer.propagated_span("estimate", query=name, method=method)
+            if self.tracer is not None
+            else nullcontext(None)
+        )
+        with span as traceparent:
+            replies = self._executor.broadcast("query_observers", name, traceparent)
+            return self._merge_answer(name, replies)
+
+    def _merge_answer(self, name: str, replies: list) -> float:
         degraded = {
             shard: reason for shard, (reason, _) in enumerate(replies) if reason
         }
@@ -420,6 +454,26 @@ class ShardedStreamEngine:
     def shard_stats(self) -> list[dict]:
         """Each shard's ``EngineStats.as_dict()`` snapshot, in shard order."""
         return self._executor.broadcast("stats_dict")
+
+    def drain_spans(self) -> list[tuple[dict[str, str], list[SpanEvent]]]:
+        """The whole fleet's undelivered spans, grouped by origin.
+
+        Returns ``(resource attributes, events)`` groups — the
+        coordinator tracer's fan-out spans under ``shard="coordinator"``,
+        then each shard's engine spans under its index — exactly the
+        shape :class:`repro.obs.otel.OtelPushLoop` exports, so every span
+        is shipped once with the resource telling collectors where it
+        ran.  Empty groups are omitted.
+        """
+        groups: list[tuple[dict[str, str], list[SpanEvent]]] = []
+        if self.tracer is not None:
+            events = self.tracer.drain()
+            if events:
+                groups.append(({"shard": "coordinator"}, events))
+        for shard, events in enumerate(self._executor.broadcast("drain_spans")):
+            if events:
+                groups.append(({"shard": str(shard)}, events))
+        return groups
 
     # ------------------------------------------------------------------ #
     # checkpoint / recovery

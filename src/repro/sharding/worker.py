@@ -14,6 +14,14 @@ Each worker's engine carries its own
 ``shard`` label on the relation/observer metrics, and checkpoints into
 its own :class:`~repro.resilience.checkpoint.CheckpointStore` directory,
 so a crashed shard restores independently of the rest of the fleet.
+
+Distributed tracing: commands that do engine work (``ingest``,
+``query_observers``) accept an optional W3C ``traceparent`` header.  The
+worker's tracer :meth:`~repro.obs.tracing.Tracer.adopt`\\ s it before the
+work runs, so the spans the engine records carry the coordinator's trace
+id and parent under the coordinator's fan-out span — one fleet
+operation, one trace.  :meth:`ShardWorker.drain_spans` hands the
+buffered spans back as picklable values for the fleet's OTLP export.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ import numpy as np
 
 from ..obs.metrics import MetricsRegistry
 from ..obs.telemetry import Telemetry
+from ..obs.tracing import SpanEvent
 from ..resilience.checkpoint import CheckpointStore
 from ..resilience.errors import CheckpointError
 from ..streams.engine import StreamEngine
@@ -42,10 +51,15 @@ class ShardWorker:
         self.engine = self._fresh_engine()
 
     def _fresh_engine(self) -> StreamEngine:
-        hub = (
-            Telemetry(tracing=False) if self.telemetry_enabled else Telemetry.disabled()
-        )
+        # Tracing on: shard spans adopt the coordinator's trace context
+        # (see ingest/query_observers) and are collected by drain_spans.
+        hub = Telemetry() if self.telemetry_enabled else Telemetry.disabled()
         return StreamEngine(seed=self.seed, telemetry=hub, shard=str(self.shard_index))
+
+    def _adopt(self, traceparent: str | None) -> None:
+        tracer = self.engine.telemetry.tracer
+        if tracer is not None:
+            tracer.adopt(traceparent)
 
     # ------------------------------------------------------------------ #
     # commands (everything below takes / returns picklable values)
@@ -67,14 +81,29 @@ class ShardWorker:
     def unregister_query(self, name: str) -> None:
         self.engine.unregister_query(name)
 
-    def ingest(self, relation: str, rows: np.ndarray, kind: OpKind) -> int:
+    def ingest(
+        self, relation: str, rows: np.ndarray, kind: OpKind, traceparent: str | None = None
+    ) -> int:
+        self._adopt(traceparent)
         self.engine.ingest_batch(relation, rows, kind)
         return int(np.asarray(rows).shape[0])
 
-    def query_observers(self, name: str) -> tuple[str | None, list[dict]]:
+    def query_observers(
+        self, name: str, traceparent: str | None = None
+    ) -> tuple[str | None, list[dict]]:
         """This shard's (degraded_reason, per-observer state dicts) for a query."""
+        self._adopt(traceparent)
+        tracer = self.engine.telemetry.tracer
         state = self.engine._queries[name]
+        if tracer is not None:
+            with tracer.span("estimate", query=name, phase="collect_state"):
+                return state.degraded, [obs.state_dict() for _, obs in state.attachments]
         return state.degraded, [obs.state_dict() for _, obs in state.attachments]
+
+    def drain_spans(self) -> list[SpanEvent]:
+        """Hand over (and clear) this shard's buffered spans, oldest-first."""
+        tracer = self.engine.telemetry.tracer
+        return [] if tracer is None else tracer.drain()
 
     def relation_counts(self, name: str) -> np.ndarray:
         return self.engine.relations[name].counts.copy()
@@ -110,9 +139,7 @@ class ShardWorker:
         latest = store.latest()
         if latest is None:
             raise CheckpointError(f"no checkpoints found in {directory}")
-        hub = (
-            Telemetry(tracing=False) if self.telemetry_enabled else Telemetry.disabled()
-        )
+        hub = Telemetry() if self.telemetry_enabled else Telemetry.disabled()
         self.engine = StreamEngine.load_checkpoint(
             latest, telemetry=hub, shard=str(self.shard_index)
         )

@@ -1,0 +1,95 @@
+"""Backend selection: env override, sdk gating, backend gauge."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.otel import backend
+
+
+@pytest.fixture(autouse=True)
+def restore_backend():
+    """Leave the module-global backend exactly as the suite found it."""
+    before = backend.backend_name()
+    gauges = list(backend._GAUGE_FAMILIES)
+    yield
+    backend.set_backend(before)
+    backend._GAUGE_FAMILIES[:] = gauges
+
+
+class TestInitialBackend:
+    def test_defaults_to_stdlib_without_sdk(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OTEL", raising=False)
+        if not backend.HAVE_SDK:
+            assert backend._initial_backend() == "stdlib"
+
+    def test_auto_and_empty_keep_automatic_choice(self, monkeypatch):
+        automatic = "sdk" if backend.HAVE_SDK else "stdlib"
+        for value in ("", "auto", "AUTO", " auto "):
+            monkeypatch.setenv("REPRO_OTEL", value)
+            assert backend._initial_backend() == automatic
+
+    def test_explicit_stdlib_honored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OTEL", "stdlib")
+        assert backend._initial_backend() == "stdlib"
+
+    def test_sdk_request_without_sdk_falls_back(self, monkeypatch):
+        if backend.HAVE_SDK:
+            pytest.skip("opentelemetry-sdk installed; fallback unreachable")
+        monkeypatch.setenv("REPRO_OTEL", "sdk")
+        assert backend._initial_backend() == "stdlib"
+
+    def test_unknown_value_is_loud(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OTEL", "jaeger")
+        with pytest.raises(ValueError, match="jaeger"):
+            backend._initial_backend()
+
+
+class TestSetBackend:
+    def test_returns_previous(self):
+        previous = backend.backend_name()
+        assert backend.set_backend("stdlib") == previous
+        assert backend.backend_name() == "stdlib"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            backend.set_backend("zipkin")
+
+    def test_explicit_sdk_without_sdk_raises(self):
+        if backend.HAVE_SDK:
+            pytest.skip("opentelemetry-sdk installed; gate unreachable")
+        with pytest.raises(RuntimeError, match="not importable"):
+            backend.set_backend("sdk")
+
+    def test_available_backends_subset_of_known(self):
+        available = backend.available_backends()
+        assert set(available) <= set(backend.BACKENDS)
+        assert "stdlib" in available
+
+
+class TestBackendGauge:
+    def test_gauge_marks_active_backend(self):
+        registry = MetricsRegistry()
+        backend.set_backend("stdlib")
+        backend.register_backend_gauge(registry)
+        values = registry.snapshot()["repro_otel_backend"]["values"]
+        assert values["stdlib"] == 1
+        assert values.get("sdk", 0) == 0
+
+    def test_registering_twice_keeps_one_family(self):
+        registry = MetricsRegistry()
+        before = len(backend._GAUGE_FAMILIES)
+        backend.register_backend_gauge(registry)
+        backend.register_backend_gauge(registry)
+        assert len(backend._GAUGE_FAMILIES) == before + 1
+
+
+class TestReplayAndDescribe:
+    def test_replay_is_noop_on_stdlib(self):
+        backend.set_backend("stdlib")
+        assert backend.replay_spans_via_sdk([], {}) is False
+
+    def test_describe_is_json_compatible(self):
+        info = backend.describe()
+        assert info["backend"] in backend.BACKENDS
+        assert info["sdk_importable"] is backend.HAVE_SDK
+        assert set(info["available"]) <= set(backend.BACKENDS)

@@ -10,6 +10,8 @@ from repro.core.normalization import Domain
 from repro.obs import (
     JsonlSnapshotWriter,
     MetricsRegistry,
+    Telemetry,
+    Tracer,
     prometheus_text,
     render_dashboard,
 )
@@ -202,3 +204,43 @@ class TestRenderDashboard:
         text = render_dashboard(engine.stats())
         assert "engine stats:" in text
         assert "estimate latency" not in text  # no calls yet
+
+    def test_sampling_accounting_shown(self):
+        engine = StreamEngine(
+            seed=0, telemetry=Telemetry(trace_sample_every=4)
+        )
+        domain = Domain.of_size(32)
+        engine.create_relation("R1", ["A"], [domain])
+        rows = np.arange(256, dtype=np.int64)[:, None] % 32
+        for lo in range(0, 256, 8):  # 32 batches through the sampled tracer
+            engine.ingest_batch("R1", rows[lo : lo + 8])
+        tracer = engine.telemetry.tracer
+        assert tracer.sampled_out > 0  # precondition: sampling actually thinned
+        text = render_dashboard(engine.stats(), tracer=tracer)
+        assert "1-in-4 sampling" in text
+        assert f"sampled out {tracer.sampled_out:,}," in text
+
+    def test_sampled_out_everything_omits_span_section(self):
+        engine = make_engine()
+        tracer = Tracer(sample_every=10**9, sample_seed=0)
+        tracer.take()  # draw the astronomically long gap
+        tracer.emit("hot", 0.001)
+        assert len(tracer) == 0
+        text = render_dashboard(engine.stats(), tracer=tracer)
+        assert "recent spans" not in text
+
+    def test_empty_registry_renders_no_samples(self):
+        assert prometheus_text(MetricsRegistry()).strip() == ""
+
+    def test_empty_family_renders_headers_only(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_ops_total", "Total ops.", labelnames=("method",))
+        text = prometheus_text(registry)
+        assert "# TYPE repro_ops_total counter" in text
+        assert "repro_ops_total{" not in text  # no children, no samples
+
+    def test_dashboard_with_unused_accuracy_tracker(self):
+        engine = make_engine()
+        tracker = engine.track_accuracy()  # registered, never sampled
+        text = render_dashboard(engine.stats(), accuracy=tracker)
+        assert "accuracy: no samples yet" in text

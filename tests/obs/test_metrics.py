@@ -4,6 +4,8 @@ import json
 import math
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -97,6 +99,72 @@ class TestLatencyHistogram:
     def test_default_buckets_span_microseconds_to_seconds(self):
         assert DEFAULT_LATENCY_BUCKETS[0] <= 1e-6
         assert DEFAULT_LATENCY_BUCKETS[-1] >= 10.0
+
+
+class TestPercentileProperties:
+    """Property-based audit of the bucket-edge behavior (hypothesis)."""
+
+    observations = st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=200,
+    )
+    percentiles = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+    @given(values=observations, p=percentiles)
+    def test_result_within_observed_range(self, values, p):
+        h = LatencyHistogram("lat")
+        for v in values:
+            h.observe(v)
+        result = h.percentile(p)
+        assert min(values) <= result <= max(values)
+
+    @given(values=observations, lo=percentiles, hi=percentiles)
+    def test_monotone_in_p(self, values, lo, hi):
+        if lo > hi:
+            lo, hi = hi, lo
+        h = LatencyHistogram("lat")
+        for v in values:
+            h.observe(v)
+        assert h.percentile(lo) <= h.percentile(hi)
+
+    @given(values=observations)
+    def test_p0_is_exact_min_and_p100_exact_max(self, values):
+        h = LatencyHistogram("lat")
+        for v in values:
+            h.observe(v)
+        assert h.percentile(0) == min(values)
+        assert h.percentile(100) == max(values)
+
+    @given(
+        value=st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+        p=percentiles,
+    )
+    def test_single_observation_answers_itself(self, value, p):
+        h = LatencyHistogram("lat")
+        h.observe(value)
+        assert h.percentile(p) == value
+
+    @given(values=observations, p=percentiles)
+    def test_overflow_bucket_still_bounded(self, values, p):
+        h = LatencyHistogram("lat", buckets=(0.001,))  # nearly everything overflows
+        for v in values:
+            h.observe(v)
+        assert min(values) <= h.percentile(p) <= max(values)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_identical_observations_collapse(self, values):
+        h = LatencyHistogram("lat")
+        for _ in values:
+            h.observe(values[0])
+        for p in (0, 25, 50, 75, 100):
+            assert h.percentile(p) == values[0]
 
 
 class TestLabels:

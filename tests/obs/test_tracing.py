@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.normalization import Domain
-from repro.obs import Telemetry, Tracer
+from repro.obs import Telemetry, TraceContext, Tracer
 from repro.streams import JoinQuery, StreamEngine
 
 
@@ -90,6 +90,123 @@ class TestTracer:
         tracer.emit("x", 0.5)
         payload = json.loads(json.dumps(tracer.snapshot()))
         assert payload["buffered"] == 1 and payload["recent"][0]["name"] == "x"
+
+
+class TestTraceContext:
+    def test_generate_makes_wellformed_ids(self):
+        context = TraceContext.generate()
+        assert len(context.trace_id) == 32
+        assert len(context.span_id) == 16
+        assert context.sampled is True
+        assert context.trace_id != "0" * 32 and context.span_id != "0" * 16
+
+    def test_generated_contexts_are_distinct(self):
+        contexts = [TraceContext.generate() for _ in range(32)]
+        assert len({c.trace_id for c in contexts}) == 32
+        assert len({c.span_id for c in contexts}) == 32
+
+    def test_child_keeps_trace_changes_span(self):
+        parent = TraceContext.generate()
+        child = parent.child()
+        assert child.trace_id == parent.trace_id
+        assert child.span_id != parent.span_id
+        assert parent.child("ab" * 8).span_id == "ab" * 8
+
+    def test_traceparent_round_trip(self):
+        context = TraceContext.generate()
+        header = context.to_traceparent()
+        assert header == f"00-{context.trace_id}-{context.span_id}-01"
+        assert TraceContext.from_traceparent(header) == context
+
+    def test_unsampled_flag_round_trips(self):
+        context = TraceContext(trace_id="ab" * 16, span_id="cd" * 8, sampled=False)
+        header = context.to_traceparent()
+        assert header.endswith("-00")
+        assert TraceContext.from_traceparent(header).sampled is False
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            "",
+            "not-a-traceparent",
+            "00-" + "ab" * 16 + "-" + "cd" * 8,  # missing flags
+            "ff-" + "ab" * 16 + "-" + "cd" * 8 + "-01",  # bad version
+            "00-" + "0" * 32 + "-" + "cd" * 8 + "-01",  # zero trace id
+            "00-" + "ab" * 16 + "-" + "0" * 16 + "-01",  # zero span id
+            "00-" + "xy" * 16 + "-" + "cd" * 8 + "-01",  # non-hex trace id
+            "00-" + "ab" * 16 + "-" + "cd" * 8 + "-zz",  # non-hex flags
+        ],
+    )
+    def test_malformed_traceparent_raises(self, header):
+        with pytest.raises(ValueError):
+            TraceContext.from_traceparent(header)
+
+    def test_constructor_validates_widths(self):
+        with pytest.raises(ValueError, match="trace_id"):
+            TraceContext(trace_id="abc", span_id="cd" * 8)
+        with pytest.raises(ValueError, match="span_id"):
+            TraceContext(trace_id="ab" * 16, span_id="short")
+
+
+class TestPropagation:
+    def test_spans_carry_tracer_context_identity(self):
+        tracer = Tracer()
+        tracer.emit("a", 0.0)
+        tracer.emit("b", 0.0)
+        first, second = tracer.events()
+        assert first.trace_id == second.trace_id == tracer.context.trace_id
+        assert first.parent_span_id == second.parent_span_id == tracer.context.span_id
+        assert first.span_id != second.span_id
+
+    def test_propagated_span_yields_adoptable_header(self):
+        coordinator = Tracer()
+        worker = Tracer()
+        with coordinator.propagated_span("ingest_batch") as traceparent:
+            worker.adopt(traceparent)
+            worker.emit("shard_ingest", 0.001)
+        (parent_event,) = coordinator.events()
+        (child_event,) = worker.events()
+        assert child_event.trace_id == parent_event.trace_id
+        assert child_event.parent_span_id == parent_event.span_id
+
+    def test_propagated_span_yields_none_when_disabled(self):
+        tracer = Tracer(enabled=False)
+        with tracer.propagated_span("x") as traceparent:
+            assert traceparent is None
+        assert tracer.events() == []
+
+    def test_propagated_span_yields_none_when_sampled_out(self):
+        tracer = Tracer(sample_every=10**9, sample_seed=0)
+        tracer.take()  # draw the long gap
+        with tracer.propagated_span("x") as traceparent:
+            assert traceparent is None
+
+    def test_adopt_none_is_noop(self):
+        tracer = Tracer()
+        before = tracer.context
+        tracer.adopt(None)
+        assert tracer.context == before
+
+    def test_adopt_malformed_is_loud(self):
+        with pytest.raises(ValueError):
+            Tracer().adopt("garbage")
+
+    def test_drain_hands_over_once_and_clears(self):
+        tracer = Tracer()
+        tracer.emit("a", 0.0)
+        tracer.emit("b", 0.0)
+        drained = tracer.drain()
+        assert [e.name for e in drained] == ["a", "b"]
+        assert tracer.events() == [] and tracer.drain() == []
+        assert tracer.dropped == 0  # drained events were delivered, not dropped
+        assert tracer.emitted == 2
+
+    def test_as_dict_includes_identity(self):
+        tracer = Tracer()
+        tracer.emit("x", 0.0)
+        d = tracer.events()[0].as_dict()
+        assert d["trace_id"] == tracer.context.trace_id
+        assert d["parent_span_id"] == tracer.context.span_id
 
 
 class TestEngineTracing:
