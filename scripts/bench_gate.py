@@ -13,12 +13,13 @@ its JSON result to this script.  The script
    floor (>= 5x vs the 1.5.0 per-entry reference, measured in the same
    run so a slow runner cannot fake a regression).
 
-The optional ``--telemetry-result`` / ``--otel-result`` inputs take the
-JSON written by ``bench_telemetry_overhead.py`` and
-``bench_otel_overhead.py`` and fold their best-round overheads into the
-same trajectory entry, so the observability cost rides the same history
-as the kernel speedup.  Those benches enforce their own ceilings when
-they run; the gate records, it does not re-judge.
+The optional ``--telemetry-result`` / ``--otel-result`` /
+``--fleet-result`` inputs take the JSON written by
+``bench_telemetry_overhead.py``, ``bench_otel_overhead.py``, and
+``bench_fleet_overhead.py`` and fold their best-round overheads into the
+same trajectory entry, so the observability and serve-path costs ride
+the same history as the kernel speedup.  Those benches enforce their own
+ceilings when they run; the gate records, it does not re-judge.
 
 Usage (as in ``.github/workflows/ci.yml``)::
 
@@ -26,6 +27,7 @@ Usage (as in ``.github/workflows/ci.yml``)::
         --result bench-artifacts/fastpath.json \
         --telemetry-result bench-artifacts/telemetry_overhead.json \
         --otel-result bench-artifacts/otel_overhead.json \
+        --fleet-result bench-artifacts/fleet_overhead.json \
         --trajectory BENCH_trajectory.json
 """
 
@@ -74,6 +76,7 @@ def make_entry(
     result: dict,
     telemetry_result: dict | None = None,
     otel_result: dict | None = None,
+    fleet_result: dict | None = None,
 ) -> dict:
     kernel, ingest = result["kernel"], result["ingest"]
     entry = {
@@ -93,6 +96,9 @@ def make_entry(
     if otel_result is not None:
         entry["otel_overhead"] = round(otel_result["overhead_best"], 4)
         entry["otel_export_tps"] = round(otel_result["export_tps_best"])
+    if fleet_result is not None:
+        entry["fleet_overhead"] = round(fleet_result["overhead_best"], 4)
+        entry["fleet_tps"] = round(fleet_result["socket_tps_best"])
     return entry
 
 
@@ -105,7 +111,7 @@ def _print_tail(entries: list) -> None:
     print(f"benchmark trajectory ({len(entries)} entries, last {TAIL}):")
     print(
         f"  {'commit':<13} {'speedup':>8} {'ingest tps':>12} {'ratio':>6}"
-        f" {'telem':>7} {'otlp':>7}  backend"
+        f" {'telem':>7} {'otlp':>7} {'fleet':>7}  backend"
     )
     for entry in entries[-TAIL:]:
         print(
@@ -113,6 +119,7 @@ def _print_tail(entries: list) -> None:
             f" {entry['fastpath_tps']:>12,} {entry['ingest_ratio']:>5.2f}x"
             f" {_overhead_cell(entry, 'telemetry_overhead')}"
             f" {_overhead_cell(entry, 'otel_overhead')}"
+            f" {_overhead_cell(entry, 'fleet_overhead')}"
             f"  {entry['backend']}"
         )
 
@@ -127,6 +134,9 @@ def main(argv=None) -> int:
         "--otel-result", help="bench_otel_overhead.py JSON output (optional)"
     )
     parser.add_argument(
+        "--fleet-result", help="bench_fleet_overhead.py JSON output (optional)"
+    )
+    parser.add_argument(
         "--trajectory", required=True, help="persisted BENCH_trajectory.json path"
     )
     parser.add_argument("--floor", type=float, default=DEFAULT_FLOOR)
@@ -134,17 +144,20 @@ def main(argv=None) -> int:
 
     with open(args.result) as handle:
         result = json.load(handle)
-    telemetry_result = otel_result = None
+    telemetry_result = otel_result = fleet_result = None
     if args.telemetry_result:
         with open(args.telemetry_result) as handle:
             telemetry_result = json.load(handle)
     if args.otel_result:
         with open(args.otel_result) as handle:
             otel_result = json.load(handle)
+    if args.fleet_result:
+        with open(args.fleet_result) as handle:
+            fleet_result = json.load(handle)
 
     trajectory_path = Path(args.trajectory)
     trajectory = load_trajectory(trajectory_path)
-    entry = make_entry(result, telemetry_result, otel_result)
+    entry = make_entry(result, telemetry_result, otel_result, fleet_result)
     trajectory["entries"].append(entry)
     with trajectory_path.open("w") as handle:
         json.dump(trajectory, handle, indent=1)

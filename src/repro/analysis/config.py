@@ -68,6 +68,27 @@ DEFAULT_CONFIG: dict[str, Any] = {
         # Methods that must never mutate observer/engine state.
         "read-only-methods": ["answer", "estimate", "state_dict"],
     },
+    "executor-protocol": {
+        # Base classes whose subclasses must honour the executor protocol.
+        "base-classes": ["ShardExecutor"],
+        # Methods every executor must implement itself (the base raises
+        # NotImplementedError; broadcast/close have usable defaults).
+        "required-methods": ["start", "call", "scatter"],
+        # Protocol parameter names (after self) an override must keep, so
+        # keyword call sites stay valid for every executor.
+        "signatures": {
+            "start": ["num_shards", "seed", "telemetry"],
+            "call": ["shard", "method", "*args", "**kwargs"],
+            "broadcast": ["method", "*args", "**kwargs"],
+            "scatter": ["method", "per_shard"],
+            "close": [],
+        },
+        # Executor dispatch (.call/.scatter/.broadcast on an executor
+        # receiver) is only legitimate inside these layers; elsewhere it
+        # bypasses journaling, partitioning, and degradation policy.
+        "allowed-paths": ["src/repro/sharding", "src/repro/fleet"],
+        "dispatch-methods": ["call", "scatter", "broadcast"],
+    },
     "hot-path": {
         # Per-tuple hot-path methods: flag allocation-heavy idioms inside.
         "functions": ["on_op", "process", "_process_inner"],

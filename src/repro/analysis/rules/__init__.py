@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from .base import Rule
 from .checkpoints import CheckpointCoverageRule
+from .executors import ExecutorProtocolRule
 from .hotpath import HotPathPurityRule
 from .metrics import MetricCatalogRule
 from .numerics import NumericHygieneRule
@@ -23,6 +24,7 @@ from .sharding import ShardSafetyRule
 __all__ = [
     "ALL_RULES",
     "CheckpointCoverageRule",
+    "ExecutorProtocolRule",
     "HotPathPurityRule",
     "MetricCatalogRule",
     "NumericHygieneRule",
@@ -39,4 +41,5 @@ ALL_RULES: tuple[Rule, ...] = (
     NumericHygieneRule(),
     ObserverProtocolRule(),
     HotPathPurityRule(),
+    ExecutorProtocolRule(),
 )

@@ -1,0 +1,154 @@
+"""REP007: ShardExecutor subclasses must honour the executor protocol.
+
+:class:`repro.sharding.executor.ShardExecutor` is the placement seam the
+sharded engine — and now the supervised network fleet — depends on: four
+implementations must stay drop-in interchangeable for the executor
+matrix tests to mean anything.  Three drift modes pinned down
+statically:
+
+* a subclass missing one of the required methods (``start`` / ``call``
+  / ``scatter``) silently inherits the base's ``NotImplementedError``
+  and only fails at runtime, on whichever code path first exercises it;
+* an override whose parameters drift from the protocol (renamed or
+  reordered arguments, a dropped ``**kwargs``) breaks keyword call
+  sites for exactly one executor — the matrix passes wherever the
+  positional form happens to be used;
+* executor dispatch (``.call`` / ``.scatter`` / ``.broadcast`` on an
+  executor-named receiver) outside :mod:`repro.sharding` /
+  :mod:`repro.fleet` — bare dispatch bypasses the engine layer that
+  owns journaling, partitioning, and degradation policy, so crash
+  recovery guarantees quietly stop applying.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterator, Mapping, Sequence
+
+from ..core import Finding, SourceFile, SourceTree
+from .base import Rule, attr_chain, iter_classes, iter_methods, path_in
+
+__all__ = ["ExecutorProtocolRule"]
+
+
+def _signature_tokens(func: ast.FunctionDef) -> tuple[str, ...]:
+    """A method's parameter names after ``self``, with vararg markers."""
+    args = func.args
+    tokens: list[str] = [a.arg for a in args.posonlyargs + args.args]
+    if tokens and tokens[0] == "self":
+        tokens = tokens[1:]
+    if args.vararg is not None:
+        tokens.append(f"*{args.vararg.arg}")
+    for kwonly in args.kwonlyargs:
+        tokens.append(kwonly.arg)
+    if args.kwarg is not None:
+        tokens.append(f"**{args.kwarg.arg}")
+    return tuple(tokens)
+
+
+def _normalize(tokens: Sequence[str]) -> tuple[str, ...]:
+    """Compare vararg/kwarg by presence, named parameters by name."""
+    out: list[str] = []
+    for token in tokens:
+        if token.startswith("**"):
+            out.append("**")
+        elif token.startswith("*"):
+            out.append("*")
+        else:
+            out.append(token)
+    return tuple(out)
+
+
+class ExecutorProtocolRule(Rule):
+    code = "REP007"
+    name = "executor-protocol"
+    description = (
+        "ShardExecutor subclasses must implement start/call/scatter with "
+        "protocol-matching signatures; executor dispatch stays inside "
+        "repro.sharding / repro.fleet"
+    )
+
+    def check(self, tree: SourceTree, config: Mapping[str, Any]) -> list[Finding]:
+        options = self.options(config)
+        bases = tuple(str(b) for b in options.get("base-classes", ("ShardExecutor",)))
+        required = tuple(
+            str(m) for m in options.get("required-methods", ("start", "call", "scatter"))
+        )
+        signatures = {
+            str(name): tuple(str(t) for t in tokens)
+            for name, tokens in dict(options.get("signatures", {})).items()
+        }
+        allowed = tuple(str(p) for p in options.get("allowed-paths", ()))
+        dispatch = tuple(
+            str(m)
+            for m in options.get("dispatch-methods", ("call", "scatter", "broadcast"))
+        )
+        findings: list[Finding] = []
+        for source in tree:
+            for cls in iter_classes(source):
+                if not _subclasses(cls, bases):
+                    continue
+                findings.extend(
+                    self._check_class(source, cls, required, signatures)
+                )
+            if not path_in(source.rel_path, allowed):
+                findings.extend(self._check_dispatch(source, dispatch))
+        return findings
+
+    def _check_class(
+        self,
+        source: SourceFile,
+        cls: ast.ClassDef,
+        required: Sequence[str],
+        signatures: Mapping[str, tuple[str, ...]],
+    ) -> Iterator[Finding]:
+        methods = {m.name: m for m in iter_methods(cls)}
+        for name in required:
+            if name not in methods:
+                yield self.finding(
+                    source,
+                    cls,
+                    f"{cls.name} subclasses ShardExecutor but does not "
+                    f"implement {name}(); the base raises "
+                    "NotImplementedError at first use",
+                )
+        for name, expected in signatures.items():
+            method = methods.get(name)
+            if method is None:
+                continue  # inheriting the base implementation is conforming
+            got = _signature_tokens(method)
+            if _normalize(got) != _normalize(expected):
+                yield self.finding(
+                    source,
+                    method,
+                    f"{cls.name}.{name}({', '.join(got)}) drifts from the "
+                    f"executor protocol signature ({', '.join(expected)}); "
+                    "keyword call sites break for this executor only",
+                )
+
+    def _check_dispatch(
+        self, source: SourceFile, dispatch: Sequence[str]
+    ) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in dispatch:
+                continue
+            receiver = attr_chain(func.value)
+            if "executor" in receiver.lower():
+                yield self.finding(
+                    source,
+                    node,
+                    f"bare executor dispatch {receiver}.{func.attr}(...) "
+                    "outside repro.sharding/repro.fleet bypasses journaling "
+                    "and degradation policy; go through the engine surface",
+                )
+
+
+def _subclasses(cls: ast.ClassDef, bases: Sequence[str]) -> bool:
+    for base in cls.bases:
+        name = base.attr if isinstance(base, ast.Attribute) else getattr(base, "id", "")
+        if name in bases:
+            return True
+    return False

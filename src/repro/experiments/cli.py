@@ -476,6 +476,108 @@ _SWEEPS = {
 }
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived fleet serving daemon.
+
+    Starts an (initially empty) :class:`~repro.sharding.ShardedStreamEngine`
+    — by default behind the supervised ``socket`` executor, so crashed
+    shard workers restart and replay themselves — and serves it over the
+    newline-JSON protocol of :class:`~repro.fleet.FleetServer`.  Clients
+    create relations, register queries, ingest, and query concurrently;
+    ``--policy partial`` answers from surviving shards (flagged and
+    survivor-scaled) when a shard is lost beyond recovery instead of
+    erroring.  ``--max-seconds`` bounds the run for smoke tests and CI;
+    the default serves until interrupted.
+    """
+    import asyncio
+
+    from ..fleet import FleetServer
+    from ..sharding import ShardedStreamEngine
+
+    if args.executor == "socket":
+        from ..fleet.executor import SocketExecutor
+
+        executor: object = SocketExecutor(
+            max_restarts=args.max_restarts,
+            heartbeat_interval=args.heartbeat_interval,
+        )
+    else:
+        executor = args.executor
+    fleet = ShardedStreamEngine(
+        num_shards=args.shards, seed=args.seed, executor=executor
+    )
+    if args.dead_letter_capacity > 0:
+        fleet.enable_dead_lettering(args.dead_letter_capacity)
+    server = FleetServer(
+        fleet, host=args.host, port=args.port, policy=args.policy
+    )
+
+    async def run() -> None:
+        await server.start()
+        host, port = server.address
+        print(
+            f"serving {args.shards}-shard fleet at {host}:{port} "
+            f"(executor={args.executor}, policy={args.policy})",
+            flush=True,
+        )
+        try:
+            if args.max_seconds is not None:
+                try:
+                    await asyncio.wait_for(
+                        server.serve_forever(), timeout=args.max_seconds
+                    )
+                except asyncio.TimeoutError:
+                    pass
+            else:
+                await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(run())
+    finally:
+        fleet.close()
+    return 0
+
+
+def _cmd_deadletters(args: argparse.Namespace) -> int:
+    """Inspect — or with ``--replay``, re-ingest — a daemon's dead letters.
+
+    Talks to a running ``serve`` daemon.  Without flags, prints the
+    buffer's accounting and most recent entries.  With ``--replay``,
+    every buffered row is re-validated and re-ingested through the
+    normal partitioned path; rows that are still malformed stay
+    buffered, and the partial-success breakdown is printed per relation.
+    """
+    from ..fleet import FleetClient
+
+    with FleetClient(args.host, args.port) as client:
+        response = client.request("deadletters", replay=bool(args.replay))
+    if not response.get("ok"):
+        print(f"error: {response.get('error')}", file=sys.stderr)
+        return 2
+    if args.replay:
+        report = response["replay"]
+        print(
+            f"replayed {report['attempted']} dead letters: "
+            f"{report['ingested']} re-ingested, {report['still_dead']} still dead"
+        )
+        for relation, count in sorted(report["by_relation"].items()):
+            print(f"  {relation:<12} {count} re-ingested")
+    else:
+        snap = response["deadletters"]
+        print(
+            f"dead letters: {snap['held']} held / capacity {snap['capacity']} "
+            f"(total {snap['total']}, dropped {snap['dropped']})"
+        )
+        for letter in snap["tail"]:
+            print(
+                f"  {letter['relation']:<10} {letter['kind']:<7} "
+                f"{letter['reason']:<14} {letter['row']}"
+            )
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.axis == "bound":
         points = bound_tightness_sweep(trials=args.trials, seed=args.seed)
@@ -633,10 +735,73 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument(
         "--executor",
         default="serial",
-        choices=["serial", "thread", "process"],
+        choices=["serial", "thread", "process", "socket"],
         help="shard executor backend (with --shards > 1)",
     )
     monitor.set_defaults(func=_cmd_monitor)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the fleet serving daemon (newline-JSON over TCP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="port to bind (0 picks a free one)"
+    )
+    serve.add_argument("--shards", type=int, default=4)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--executor",
+        default="socket",
+        choices=["serial", "thread", "process", "socket"],
+        help="shard executor backend (socket = supervised worker processes)",
+    )
+    serve.add_argument(
+        "--policy",
+        default="raise",
+        choices=["raise", "partial"],
+        help="default query policy when shards are lost beyond recovery",
+    )
+    serve.add_argument(
+        "--max-restarts",
+        type=int,
+        default=5,
+        help="supervised restarts per shard before it is marked down",
+    )
+    serve.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="ping idle shard workers this often (default: command-path "
+        "detection only)",
+    )
+    serve.add_argument(
+        "--dead-letter-capacity",
+        type=int,
+        default=1024,
+        help="fleet dead-letter buffer size (0 disables dead-lettering)",
+    )
+    serve.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="exit after this many seconds (for smoke tests; default: forever)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    deadletters = sub.add_parser(
+        "deadletters",
+        help="inspect or replay a running serve daemon's dead-letter buffer",
+    )
+    deadletters.add_argument("--host", default="127.0.0.1")
+    deadletters.add_argument("--port", type=int, required=True)
+    deadletters.add_argument(
+        "--replay",
+        action="store_true",
+        help="re-validate and re-ingest every buffered row",
+    )
+    deadletters.set_defaults(func=_cmd_deadletters)
 
     resume = sub.add_parser(
         "resume",

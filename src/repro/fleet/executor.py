@@ -1,0 +1,102 @@
+"""``SocketExecutor``: the supervised network fleet as a ShardExecutor.
+
+The :class:`~repro.sharding.engine.ShardedStreamEngine` only ever talks
+to the :class:`~repro.sharding.executor.ShardExecutor` protocol, so
+moving shards out of process is entirely this adapter: ``call`` routes
+one command through the :class:`~repro.fleet.supervisor.ShardSupervisor`
+(which journals, detects crashes, and revives), and ``scatter`` fans
+commands out on one single-thread pool per shard — the same per-shard
+ordering guarantee :class:`~repro.sharding.executor.ThreadExecutor`
+gives, here overlapping network round-trips instead of GIL releases.
+
+Crash recovery is invisible at this layer by design: a revive happens
+inside ``supervisor.command`` and the caller just gets its result (or a
+:class:`~repro.sharding.executor.ShardError` once the shard is beyond
+recovery, which is what the engine's degradation policies key on).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Sequence
+
+from ..obs.metrics import MetricsRegistry
+from ..sharding.executor import ShardError, ShardExecutor
+from .supervisor import ShardSupervisor
+
+__all__ = ["SocketExecutor"]
+
+
+class SocketExecutor(ShardExecutor):
+    """One supervised worker process per shard, commands over TCP."""
+
+    def __init__(
+        self,
+        supervisor: ShardSupervisor | None = None,
+        restart: bool = True,
+        max_restarts: int = 5,
+        call_timeout: float | None = 30.0,
+        heartbeat_interval: float | None = None,
+        heartbeat_misses: int = 3,
+        registry: MetricsRegistry | None = None,
+        mp_context: str | None = None,
+    ) -> None:
+        if supervisor is None:
+            supervisor = ShardSupervisor(
+                restart=restart,
+                max_restarts=max_restarts,
+                call_timeout=call_timeout,
+                heartbeat_interval=heartbeat_interval,
+                heartbeat_misses=heartbeat_misses,
+                registry=registry,
+                mp_context=mp_context,
+            )
+        self.supervisor = supervisor
+        self._pools: list[ThreadPoolExecutor] = []
+
+    @property
+    def metrics_registry(self) -> MetricsRegistry:
+        """Supervisor-side fleet metrics (restarts, heartbeats, health)."""
+        return self.supervisor.registry
+
+    def start(self, num_shards: int, seed: int, telemetry: bool = True) -> None:
+        self.num_shards = num_shards
+        self.supervisor.start(num_shards, seed, telemetry)
+        self._pools = [
+            ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"fleet-shard-{i}")
+            for i in range(num_shards)
+        ]
+
+    def call(self, shard: int, method: str, *args: Any, **kwargs: Any) -> Any:
+        return self.supervisor.command(shard, method, args, kwargs)
+
+    def scatter(self, method: str, per_shard: Sequence[tuple | None]) -> list:
+        futures = []
+        for shard, item in enumerate(per_shard):
+            if item is None:
+                futures.append(None)
+                continue
+            args, kwargs = item
+            futures.append(
+                self._pools[shard].submit(
+                    self.supervisor.command, shard, method, args, kwargs
+                )
+            )
+        results: list = [None] * self.num_shards
+        errors: list[ShardError] = []
+        for shard, future in enumerate(futures):
+            if future is None:
+                continue
+            try:
+                results[shard] = future.result()
+            except ShardError as exc:
+                errors.append(exc)
+        if errors:
+            raise errors[0]
+        return results
+
+    def close(self) -> None:
+        for pool in self._pools:
+            pool.shutdown(wait=True)
+        self._pools = []
+        self.supervisor.stop()

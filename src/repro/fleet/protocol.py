@@ -1,0 +1,95 @@
+"""Length-prefixed pickle frames: the fleet's wire format.
+
+Every fleet connection — supervisor to shard worker — exchanges Python
+values as *frames*: an 8-byte big-endian length header followed by the
+pickled payload.  The explicit length makes message boundaries
+unambiguous over TCP's byte stream and lets the receiver pre-check a
+corrupt header before allocating, the classic failure mode of
+length-prefixed protocols fed a desynchronized stream.
+
+Error surface, chosen to match what the supervisor needs to distinguish:
+
+* a clean EOF mid-frame raises :exc:`EOFError` (the peer closed —
+  for a worker socket, the process died);
+* socket timeouts and transport failures surface as :exc:`OSError`
+  (``socket.timeout`` is an ``OSError`` subclass), which the supervisor
+  treats as a crashed worker;
+* a length header beyond :data:`MAX_FRAME_BYTES` raises
+  :exc:`ProtocolError` — the stream is desynchronized or hostile, and
+  reading on would only smear the corruption.
+
+Pickle is appropriate here because both ends are the same trusted
+codebase on the same machine (workers bind loopback only); this is an
+IPC format, not an internet-facing one.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any
+
+__all__ = ["MAX_FRAME_BYTES", "ProtocolError", "recv_frame", "send_frame"]
+
+#: Refuse frames larger than this (a desynchronized stream shows up as a
+#: garbage length; 1 GiB is far above any real command batch).
+MAX_FRAME_BYTES = 1 << 30
+
+_HEADER = struct.Struct(">Q")
+
+
+class ProtocolError(RuntimeError):
+    """The byte stream is not a well-formed frame sequence."""
+
+
+class _Socket:
+    """The duck type both ends use (a connected ``socket.socket``)."""
+
+    def sendall(self, data: bytes) -> None: ...  # pragma: no cover - typing
+
+    def recv(self, bufsize: int) -> bytes: ...  # pragma: no cover - typing
+
+
+def send_frame(sock: Any, obj: Any) -> None:
+    """Pickle ``obj`` and write it as one length-prefixed frame."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME_BYTES"
+        )
+    # One sendall keeps header+payload contiguous: a crash between two
+    # writes could otherwise leave the peer blocked on a half-frame.
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: Any, n: int) -> bytes:
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise EOFError(
+                f"connection closed mid-frame ({len(buf)}/{n} bytes read)"
+            )
+        buf.extend(chunk)
+    return bytes(buf)
+
+
+def recv_frame(sock: Any) -> Any:
+    """Read one frame and unpickle it.
+
+    Raises :exc:`EOFError` on a clean close *between* frames too — the
+    caller cannot tell "peer finished" from "peer died" at this layer,
+    and the supervisor treats both as the worker being gone.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame header claims {length} bytes (> MAX_FRAME_BYTES); "
+            "stream is desynchronized"
+        )
+    payload = _recv_exact(sock, length)
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:  # unpicklable payload = corrupt stream
+        raise ProtocolError(f"frame payload failed to unpickle: {exc}") from exc

@@ -1,0 +1,81 @@
+"""The shard worker process: one ``ShardWorker`` behind a TCP socket.
+
+:func:`shard_server_main` is the ``multiprocessing.Process`` entry point
+the supervisor launches (a top-level function, so it survives the
+``spawn`` start method's pickling).  Startup handshake:
+
+1. bind a loopback listener on an ephemeral port,
+2. send the port number back over the bootstrap pipe (the only use of
+   the pipe — commands travel over the socket),
+3. accept exactly one connection — the supervisor's — and serve
+   length-prefixed command frames until shutdown.
+
+Commands are ``(method, args, kwargs)`` against the shard's
+:class:`~repro.sharding.worker.ShardWorker`, answered with
+``("ok", result)`` or ``("err", message)`` — the same envelope the
+in-process :class:`~repro.sharding.executor.ProcessExecutor` pipes use,
+so worker semantics are identical across transports.  A ``None`` frame
+is the graceful-shutdown request; transport failure on the single
+supervisor connection ends the process (an orphaned worker must not
+outlive its supervisor).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from ..sharding.worker import ShardWorker
+from .protocol import recv_frame, send_frame
+
+__all__ = ["shard_server_main"]
+
+#: Loopback only: fleet workers are an IPC detail of one machine, never
+#: an externally reachable service.
+_BIND_HOST = "127.0.0.1"
+
+
+def shard_server_main(
+    bootstrap: Any, shard_index: int, seed: int, telemetry: bool
+) -> None:
+    """Worker-process entry point: serve one shard over one connection."""
+    worker = ShardWorker(shard_index, seed, telemetry)
+    listener = socket.create_server((_BIND_HOST, 0))
+    try:
+        bootstrap.send(listener.getsockname()[1])
+    finally:
+        bootstrap.close()
+    conn, _peer = listener.accept()
+    listener.close()
+    try:
+        _serve_connection(conn, worker)
+    finally:
+        conn.close()
+
+
+def _serve_connection(conn: socket.socket, worker: ShardWorker) -> None:
+    while True:
+        try:
+            message = recv_frame(conn)
+        except (EOFError, OSError):
+            # Supervisor gone (crash or abandon): nothing left to serve.
+            return
+        if message is None:
+            # Graceful shutdown: ack so the supervisor can join() without
+            # racing the process teardown, then exit.
+            try:
+                send_frame(conn, ("ok", None))
+            except OSError:  # pragma: no cover - peer raced the close
+                pass
+            return
+        method, args, kwargs = message
+        try:
+            result = getattr(worker, method)(*args, **kwargs)
+        except Exception as exc:
+            reply = ("err", f"{type(exc).__name__}: {exc}")
+        else:
+            reply = ("ok", result)
+        try:
+            send_frame(conn, reply)
+        except OSError:
+            return

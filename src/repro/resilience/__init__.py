@@ -4,8 +4,7 @@ The paper's continuous queries "run continuously" over unbounded
 streams; at production timescales that means the engine must survive
 process crashes, poisoned inputs, and misbehaving synopses without
 losing weeks of one-scan state that can never be rebuilt.  This package
-supplies the four mechanisms, each independent and individually
-testable:
+supplies the mechanisms, each independent and individually testable:
 
 * **Checkpoints** (:mod:`~repro.resilience.checkpoint`): versioned,
   SHA-256-verified, atomically written engine snapshots with last-K
@@ -19,6 +18,13 @@ testable:
 * **Dead-letter ingest** (:mod:`~repro.resilience.deadletter`): rows
   with wrong arity, NaN/inf, or out-of-domain values are rejected into
   a bounded ring with drop accounting instead of corrupting a batch.
+* **Command journal** (:mod:`~repro.resilience.journal`): the
+  append-before-dispatch log a :class:`~repro.fleet.supervisor.ShardSupervisor`
+  replays on top of a restored checkpoint, making a restarted shard
+  answer-identical to one that never crashed.
+* **Retry with backoff** (:mod:`~repro.resilience.retry`): capped
+  exponential backoff with optional full jitter and an overall deadline
+  for transient I/O failures, counted in ``repro_retries_total``.
 * **Chaos harness** (:mod:`~repro.resilience.chaos`): deterministic
   fault injectors (flaky observers, failing filesystems, crash-at-N)
   powering the ``tests/resilience`` suite's recovery properties.
@@ -39,13 +45,14 @@ from .checkpoint import (
     read_checkpoint,
     write_checkpoint,
 )
-from .deadletter import DeadLetter, DeadLetterBuffer, validate_rows
+from .deadletter import DeadLetter, DeadLetterBuffer, ReplayReport, validate_rows
 from .errors import (
     CheckpointError,
     CheckpointIntegrityError,
     DegradedQueryError,
     ResilienceError,
 )
+from .journal import CommandJournal, JournalEntry
 from .retry import RetryPolicy, retry_io
 
 __all__ = [
@@ -62,7 +69,10 @@ __all__ = [
     "write_checkpoint",
     "DeadLetter",
     "DeadLetterBuffer",
+    "ReplayReport",
     "validate_rows",
+    "CommandJournal",
+    "JournalEntry",
     "CheckpointError",
     "CheckpointIntegrityError",
     "DegradedQueryError",

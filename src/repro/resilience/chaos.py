@@ -24,9 +24,7 @@ chaos test that fails once fails every time.
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING, Callable, Sequence
-
-import numpy as np
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from ..streams.relation import StreamObserver
 from .checkpoint import CheckpointStore
@@ -88,12 +86,12 @@ class FlakyObserver(StreamObserver):
                 f"injected observer fault (call {self.calls}, fails from {self.fail_on})"
             )
 
-    def on_op(self, relation, op) -> None:
+    def on_op(self, relation: Any, op: Any) -> None:
         self._tick()
         if self.inner is not None:
             self.inner.on_op(relation, op)
 
-    def on_ops(self, relation, rows, kind) -> None:
+    def on_ops(self, relation: Any, rows: Any, kind: Any) -> None:
         self._tick()
         if self.inner is not None:
             self.inner.on_ops(relation, rows, kind)
@@ -108,7 +106,7 @@ class FlakyIO:
 
     def __init__(
         self,
-        fn: Callable,
+        fn: Callable[..., Any],
         fail_times: int,
         exc_factory: Callable[[], BaseException] | None = None,
     ) -> None:
@@ -120,7 +118,7 @@ class FlakyIO:
         self.calls = 0
         self.failures = 0
 
-    def __call__(self, *args, **kwargs):
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
         self.calls += 1
         if self.failures < self.fail_times:
             self.failures += 1
@@ -142,22 +140,24 @@ class FailingFilesystem:
             raise ValueError(f"fail_replaces must be >= 0, got {fail_replaces}")
         self.fail_replaces = fail_replaces
         self.replace_calls = 0
-        self._original_replace: Callable | None = None
+        self._original_replace: Callable[..., Any] | None = None
 
     def __enter__(self) -> "FailingFilesystem":
-        self._original_replace = os.replace
+        original = os.replace
+        self._original_replace = original
 
-        def flaky_replace(src, dst, **kwargs):
+        def flaky_replace(src: Any, dst: Any, **kwargs: Any) -> Any:
             self.replace_calls += 1
             if self.replace_calls <= self.fail_replaces:
                 raise OSError(f"injected rename failure #{self.replace_calls}")
-            return self._original_replace(src, dst, **kwargs)
+            return original(src, dst, **kwargs)
 
-        os.replace = flaky_replace
+        setattr(os, "replace", flaky_replace)
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        os.replace = self._original_replace
+    def __exit__(self, *exc_info: object) -> None:
+        if self._original_replace is not None:
+            setattr(os, "replace", self._original_replace)
         self._original_replace = None
 
 
@@ -189,7 +189,7 @@ class CrashingIngest:
         self.crash_at = crash_at
         self.batches_applied = 0
 
-    def run(self, batches: Sequence[tuple[str, np.ndarray]]) -> int:
+    def run(self, batches: Sequence[tuple[str, Any]]) -> int:
         for number, (relation_name, rows) in enumerate(batches, start=1):
             if self.crash_at is not None and number == self.crash_at:
                 raise SimulatedCrash(

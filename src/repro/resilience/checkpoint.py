@@ -40,9 +40,10 @@ import os
 import pickle
 import re
 from pathlib import Path
-from typing import Iterable
+from typing import Any, Callable, Iterator
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..core.normalization import Domain
 from .errors import CheckpointError, CheckpointIntegrityError
@@ -65,14 +66,14 @@ FORMAT_VERSION = 1
 _STORE_PATTERN = re.compile(r"^checkpoint-(\d{8})\.ckpt$")
 
 
-def domain_to_spec(domain: Domain) -> dict:
+def domain_to_spec(domain: Domain) -> dict[str, Any]:
     """Serialize a :class:`Domain` to plain JSON-compatible types."""
     if domain.is_categorical:
         return {"categories": list(domain._categories or ())}
     return {"low": domain.low, "size": domain.size}
 
 
-def domain_from_spec(spec: dict) -> Domain:
+def domain_from_spec(spec: dict[str, Any]) -> Domain:
     """Inverse of :func:`domain_to_spec`."""
     if "categories" in spec:
         return Domain.categorical(spec["categories"])
@@ -91,10 +92,10 @@ def _header_bytes(payload: bytes) -> bytes:
 
 def write_checkpoint(
     path: str | Path,
-    payload: dict,
+    payload: dict[str, Any],
     retry: RetryPolicy | None = None,
-    sleep=None,
-    on_retry=None,
+    sleep: Callable[[float], None] | None = None,
+    on_retry: Callable[[int, BaseException], None] | None = None,
 ) -> int:
     """Atomically write a checkpoint file; returns its size in bytes.
 
@@ -122,11 +123,12 @@ def write_checkpoint(
             raise
         return len(data)
 
-    kwargs = {} if sleep is None else {"sleep": sleep}
-    return retry_io(attempt, policy=retry, on_retry=on_retry, **kwargs)
+    if sleep is None:
+        return retry_io(attempt, policy=retry, on_retry=on_retry)
+    return retry_io(attempt, policy=retry, on_retry=on_retry, sleep=sleep)
 
 
-def read_checkpoint(path: str | Path) -> dict:
+def read_checkpoint(path: str | Path) -> dict[str, Any]:
     """Read and verify a checkpoint file, returning its payload dict.
 
     Raises :class:`CheckpointError` if the file is missing or unreadable
@@ -195,7 +197,7 @@ class CheckpointStore:
 
     def paths(self) -> list[Path]:
         """Existing checkpoint files, oldest first."""
-        found = []
+        found: list[tuple[int, Path]] = []
         for entry in self.directory.iterdir():
             match = _STORE_PATTERN.match(entry.name)
             if match:
@@ -213,10 +215,12 @@ class CheckpointStore:
         if not paths:
             sequence = 1
         else:
-            sequence = int(_STORE_PATTERN.match(paths[-1].name).group(1)) + 1
+            match = _STORE_PATTERN.match(paths[-1].name)
+            assert match is not None  # paths() only yields matching names
+            sequence = int(match.group(1)) + 1
         return self.directory / f"checkpoint-{sequence:08d}.ckpt"
 
-    def save(self, engine, **write_options) -> Path:
+    def save(self, engine: Any, **write_options: Any) -> Path:
         """Checkpoint an engine into the store and rotate old files."""
         path = self.next_path()
         engine.save_checkpoint(path, **write_options)
@@ -235,16 +239,16 @@ class CheckpointStore:
         return f"CheckpointStore({self.directory}, keep={self.keep}, n={len(self.paths())})"
 
 
-def payload_nbytes(payload: dict) -> int:
+def payload_nbytes(payload: dict[str, Any]) -> int:
     """Approximate in-memory size of a checkpoint payload's array state.
 
     Used by the checkpoint-overhead benchmark to report cost per MB of
     synopsis state.
     """
 
-    def sizeof(obj) -> int:
+    def sizeof(obj: Any) -> int:
         if isinstance(obj, np.ndarray):
-            return obj.nbytes
+            return int(obj.nbytes)
         if isinstance(obj, dict):
             return sum(sizeof(v) for v in obj.values())
         if isinstance(obj, (list, tuple)):
@@ -256,9 +260,9 @@ def payload_nbytes(payload: dict) -> int:
     return sizeof(payload)
 
 
-def iter_payload_arrays(payload: dict) -> Iterable[np.ndarray]:
+def iter_payload_arrays(payload: dict[str, Any]) -> Iterator[NDArray[Any]]:
     """Yield every numpy array nested anywhere in a payload (diagnostics)."""
-    stack = [payload]
+    stack: list[Any] = [payload]
     while stack:
         obj = stack.pop()
         if isinstance(obj, np.ndarray):

@@ -18,15 +18,16 @@ queues are how poison streams take whole processes down.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator, Protocol, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..streams.relation import StreamRelation
 
-__all__ = ["DeadLetter", "DeadLetterBuffer", "validate_rows"]
+__all__ = ["DeadLetter", "DeadLetterBuffer", "ReplayReport", "validate_rows"]
 
 #: Rejection reasons, stable strings used as metric label values.
 REASON_ARITY = "arity"
@@ -39,16 +40,48 @@ class DeadLetter:
     """One rejected row: where it was headed, what it was, and why."""
 
     relation: str
-    row: tuple
+    row: tuple[Any, ...]
     kind: str
     reason: str
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {
             "relation": self.relation,
             "row": list(self.row),
             "kind": self.kind,
             "reason": self.reason,
+        }
+
+
+class _ReplayTarget(Protocol):  # pragma: no cover - typing only
+    """What :meth:`DeadLetterBuffer.replay` needs from an engine.
+
+    Both :class:`~repro.streams.engine.StreamEngine` and
+    :class:`~repro.sharding.engine.ShardedStreamEngine` satisfy it: a
+    batch-ingest entry point plus an active ``dead_letters`` buffer so
+    rows that are *still* invalid are re-parked instead of raising.
+    """
+
+    dead_letters: "DeadLetterBuffer | None"
+
+    def ingest_batch(self, relation_name: str, rows: Any, kind: Any) -> None: ...
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of one :meth:`DeadLetterBuffer.replay` pass."""
+
+    attempted: int = 0
+    ingested: int = 0
+    still_dead: int = 0
+    by_relation: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "attempted": self.attempted,
+            "ingested": self.ingested,
+            "still_dead": self.still_dead,
+            "by_relation": dict(self.by_relation),
         }
 
 
@@ -92,7 +125,65 @@ class DeadLetterBuffer:
         """Drop all held entries (counters are preserved)."""
         self._ring.clear()
 
-    def as_dict(self) -> dict:
+    def replay(self, engine: "_ReplayTarget") -> ReplayReport:
+        """Drain the buffer back through ``engine``'s validated ingest.
+
+        Every held row is re-submitted to ``engine.ingest_batch`` in
+        original rejection order, grouped into maximal consecutive runs
+        with the same ``(relation, kind)`` so relative ordering — which
+        sample/sketch state depends on — is preserved.  The engine
+        re-validates: rows that are now clean (the operator widened a
+        domain, replay targets a corrected engine, an upstream producer
+        bug was fixed) are ingested; rows that are still malformed land
+        back in the engine's dead-letter buffer (counted again in
+        ``total``, like any rejection).  Returns a
+        :class:`ReplayReport`; on partial success the still-bad rows
+        remain buffered for the next attempt.
+
+        ``engine`` must have dead-lettering enabled — replaying known-bad
+        rows through an unguarded ingest path would abort mid-batch.
+        """
+        buffer = engine.dead_letters
+        if buffer is None:
+            raise ValueError(
+                "replay target must have dead-lettering enabled "
+                "(call enable_dead_lettering() first)"
+            )
+        from ..streams.tuples import OpKind
+
+        letters = list(self._ring)
+        self._ring.clear()
+        report = ReplayReport(attempted=len(letters))
+        if not letters:
+            return report
+        redeposited_before = buffer.total
+        start = 0
+        for i in range(1, len(letters) + 1):
+            boundary = i == len(letters) or (
+                (letters[i].relation, letters[i].kind)
+                != (letters[start].relation, letters[start].kind)
+            )
+            if not boundary:
+                continue
+            run = letters[start:i]
+            start = i
+            kind = OpKind.DELETE if run[0].kind == "delete" else OpKind.INSERT
+            engine.ingest_batch(run[0].relation, [letter.row for letter in run], kind)
+        report.still_dead = buffer.total - redeposited_before
+        report.ingested = report.attempted - report.still_dead
+        attempts: dict[str, int] = {}
+        for letter in letters:
+            attempts[letter.relation] = attempts.get(letter.relation, 0) + 1
+        returned: dict[str, int] = {}
+        if report.still_dead:
+            for letter in list(buffer)[-report.still_dead :]:
+                returned[letter.relation] = returned.get(letter.relation, 0) + 1
+        report.by_relation = {
+            name: attempts[name] - returned.get(name, 0) for name in attempts
+        }
+        return report
+
+    def as_dict(self) -> dict[str, Any]:
         """JSON-compatible snapshot (held entries plus accounting)."""
         return {
             "capacity": self.capacity,
@@ -109,18 +200,18 @@ class DeadLetterBuffer:
         )
 
 
-def _row_tuple(row) -> tuple:
+def _row_tuple(row: Any) -> tuple[Any, ...]:
     if np.isscalar(row):
         return (row,)
     return tuple(np.asarray(row).tolist()) if isinstance(row, np.ndarray) else tuple(row)
 
 
-def _finite_mask(arr: np.ndarray) -> np.ndarray:
+def _finite_mask(arr: NDArray[Any]) -> NDArray[Any]:
     """Per-row all-finite mask; non-numeric dtypes are vacuously finite."""
     if np.issubdtype(arr.dtype, np.floating):
-        return np.isfinite(arr).all(axis=1)
+        return np.asarray(np.isfinite(arr).all(axis=1), dtype=bool)
     if arr.dtype == object:
-        def ok(v) -> bool:
+        def ok(v: Any) -> bool:
             return not (isinstance(v, float) and not np.isfinite(v))
 
         return np.array([all(ok(v) for v in row) for row in arr], dtype=bool)
@@ -128,8 +219,8 @@ def _finite_mask(arr: np.ndarray) -> np.ndarray:
 
 
 def validate_rows(
-    relation: "StreamRelation", rows: Sequence[Sequence] | np.ndarray
-) -> tuple[np.ndarray, list[tuple[tuple, str]]]:
+    relation: "StreamRelation", rows: Sequence[Any] | NDArray[Any]
+) -> tuple[NDArray[Any], list[tuple[tuple[Any, ...], str]]]:
     """Split a raw batch into (clean rows, rejected rows with reasons).
 
     Checks, in order: arity (one value per attribute), finiteness
@@ -139,19 +230,19 @@ def validate_rows(
     :meth:`StreamRelation.insert_rows` / ``delete_rows`` unchanged.
     """
     ndim = relation.ndim
+    arr: NDArray[Any] | None
     try:
         arr = np.asarray(rows)
     except ValueError:  # ragged nested sequences refuse to coerce at all
         arr = None
-    structured = (
+    if (
         arr is not None
         and arr.dtype != object
         and (arr.ndim == 2 and arr.shape[1] == ndim or (arr.ndim == 1 and ndim == 1))
-    )
-    if structured:
+    ):
         if arr.ndim == 1:
             arr = arr[:, None]
-        rejects: list[tuple[tuple, str]] = []
+        rejects: list[tuple[tuple[Any, ...], str]] = []
         keep = _finite_mask(arr)
         for row in arr[~keep]:
             rejects.append((_row_tuple(row), REASON_NON_FINITE))
@@ -167,7 +258,7 @@ def validate_rows(
     source = rows if arr is None or arr.ndim == 0 else arr
     row_list = [_row_tuple(row) for row in source]
     rejects = []
-    good: list[tuple] = []
+    good: list[tuple[Any, ...]] = []
     for row in row_list:
         if len(row) != ndim:
             rejects.append((row, REASON_ARITY))

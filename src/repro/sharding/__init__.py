@@ -10,7 +10,7 @@ See :mod:`repro.sharding.merge` for the method taxonomy and
 ``docs/SHARDING.md`` for the design walk-through.
 """
 
-from .engine import ShardedStreamEngine
+from .engine import PartialAnswer, ShardedStreamEngine
 from .executor import (
     ProcessExecutor,
     SerialExecutor,
@@ -26,6 +26,7 @@ from .worker import ShardWorker
 __all__ = [
     "COORDINATOR_METHODS",
     "MERGEABLE_METHODS",
+    "PartialAnswer",
     "ProcessExecutor",
     "SerialExecutor",
     "ShardError",

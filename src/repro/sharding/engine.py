@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import json
 from contextlib import nullcontext
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
@@ -51,17 +52,57 @@ from ..resilience.checkpoint import (
     domain_from_spec,
     domain_to_spec,
 )
+from ..resilience.deadletter import (
+    DeadLetter,
+    DeadLetterBuffer,
+    ReplayReport,
+    validate_rows,
+)
 from ..resilience.errors import CheckpointError, DegradedQueryError
 from ..streams.engine import StreamEngine
 from ..streams.queries import JoinQuery
 from ..streams.tuples import OpKind
-from .executor import ShardExecutor, resolve_executor
+from .executor import ShardError, ShardExecutor, resolve_executor
 from .merge import COORDINATOR_METHODS, MERGEABLE_METHODS, merge_observer_states
 from .partition import split_rows
 
-__all__ = ["ShardedStreamEngine"]
+__all__ = ["PartialAnswer", "ShardedStreamEngine"]
 
 _MANIFEST_NAME = "fleet-manifest.json"
+
+
+@dataclass(frozen=True)
+class PartialAnswer:
+    """A query answer that may be missing crashed shards' contributions.
+
+    ``raw_value`` is the merged estimate over the surviving shards only;
+    ``value`` scales it by ``total_shards / surviving_shards`` — a valid
+    first-order correction because hash partitioning spreads every join
+    key's tuples (and hence the additive per-shard contributions) evenly
+    across shards in expectation.  ``degraded`` is True whenever any
+    shard's contribution is missing, so callers can surface the widened
+    uncertainty instead of silently serving a partial count.
+    """
+
+    value: float
+    raw_value: float
+    surviving_shards: int
+    total_shards: int
+    missing_shards: tuple[int, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        return self.surviving_shards < self.total_shards
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "value": self.value,
+            "raw_value": self.raw_value,
+            "surviving_shards": self.surviving_shards,
+            "total_shards": self.total_shards,
+            "missing_shards": list(self.missing_shards),
+            "degraded": self.degraded,
+        }
 
 
 class _RelationMeta:
@@ -113,6 +154,13 @@ class ShardedStreamEngine:
         #: the first ``sample`` / ``partitioned_sketch`` query registers.
         self._coordinator: StreamEngine | None = None
         self._fault_policy: str | None = None
+        #: Fleet-level dead-letter buffer (``None`` until
+        #: :meth:`enable_dead_lettering`): malformed rows are quarantined
+        #: *before* partitioning, so every shard only ever sees clean rows.
+        self.dead_letters: DeadLetterBuffer | None = None
+        #: Coordinator-side metrics (dead-letter accounting) merged into
+        #: :meth:`fleet_metrics` alongside the shard registries.
+        self._local_registry = MetricsRegistry()
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -189,9 +237,29 @@ class ShardedStreamEngine:
         in arrival order; each shard then applies its slice through the
         normal batched fast path.  Per-shard slices preserve the batch's
         relative order, so shard state is independent of batch framing.
+
+        With :meth:`enable_dead_lettering` active, malformed rows are
+        diverted into :attr:`dead_letters` *before* partitioning — the
+        shards (and the coordinator replica) only ever ingest clean rows,
+        so a poison row cannot crash a remote worker.
         """
         meta = self._relations[relation_name]
-        arr = self._merge_engine.relations[relation_name].rows_array(rows)
+        relation = self._merge_engine.relations[relation_name]
+        if self.dead_letters is not None:
+            rows, rejects = validate_rows(relation, rows)
+            if rejects:
+                counter = self._local_registry.counter(
+                    "repro_ingest_dead_letters_total",
+                    "Rows rejected into the dead-letter buffer.",
+                    labelnames=("relation", "reason"),
+                )
+                op_kind = kind.name.lower()
+                for row, reason in rejects:
+                    self.dead_letters.add(
+                        DeadLetter(relation_name, row, op_kind, reason)
+                    )
+                    counter.labels(relation_name, reason).inc()
+        arr = relation.rows_array(rows)
         if arr.shape[0] == 0:
             return
         span = (
@@ -290,6 +358,34 @@ class ShardedStreamEngine:
         }
         self._register_spec(name, spec, coordinator=False)
 
+    def register_query_spec(self, name: str, spec: dict) -> None:
+        """Register a query from its serialized spec (the wire/manifest form).
+
+        Accepts the same ``{"kind": "join" | "range" | "band", ...}``
+        dictionaries the fleet manifest and the serve daemon's newline-JSON
+        protocol carry, deriving the coordinator/mergeable placement from
+        the method exactly as :meth:`register_query` does.
+        """
+        kind = spec.get("kind")
+        if kind == "join":
+            method = str(spec.get("method", "cosine"))
+            if method in COORDINATOR_METHODS:
+                coordinator = True
+            elif method in MERGEABLE_METHODS:
+                coordinator = False
+            else:
+                raise ValueError(
+                    f"unknown method {method!r}; choose from "
+                    f"{sorted(MERGEABLE_METHODS | COORDINATOR_METHODS)}"
+                )
+        elif kind in ("range", "band"):
+            coordinator = False
+        else:
+            raise ValueError(
+                f"unknown query kind {kind!r}; choose from 'join', 'range', 'band'"
+            )
+        self._register_spec(name, dict(spec), coordinator)
+
     def _register_spec(self, name: str, spec: dict, coordinator: bool) -> None:
         if name in self._queries:
             raise ValueError(f"query {name!r} already registered")
@@ -386,6 +482,64 @@ class ShardedStreamEngine:
     def answers(self) -> dict[str, float]:
         return {name: self.answer(name) for name in self._queries}
 
+    def answer_partial(self, name: str) -> PartialAnswer:
+        """Answer from whichever shards still respond, flagged and scaled.
+
+        The graceful-degradation path for fleets that have lost shards
+        beyond recovery (a :class:`~repro.fleet.supervisor.ShardSupervisor`
+        past ``max_restarts``, or any executor raising
+        :class:`~repro.sharding.executor.ShardError`): each shard is asked
+        individually, unreachable or per-query-degraded shards are
+        dropped, and the survivors' merged estimate is scaled by
+        ``total / surviving`` (see :class:`PartialAnswer` for why that is
+        the right first-order correction under hash partitioning).
+
+        Coordinator-method queries answer from the replica, which no
+        shard crash can touch, so they come back undegraded.  A query
+        with *no* surviving shard raises
+        :class:`~repro.resilience.errors.DegradedQueryError`.
+        """
+        meta = self._queries[name]
+        if meta.coordinator:
+            value = self._coordinator.answer(name)
+            return PartialAnswer(value, value, self.num_shards, self.num_shards)
+        method = str(meta.spec.get("method", meta.spec.get("kind", "")))
+        span = (
+            self.tracer.propagated_span(
+                "estimate_partial", query=name, method=method
+            )
+            if self.tracer is not None
+            else nullcontext(None)
+        )
+        with span as traceparent:
+            survivors: dict[int, list] = {}
+            missing: list[int] = []
+            for shard in range(self.num_shards):
+                try:
+                    reason, states = self._executor.call(
+                        shard, "query_observers", name, traceparent
+                    )
+                except ShardError:
+                    missing.append(shard)
+                    continue
+                if reason:
+                    # Answered, but this query is quarantined on that
+                    # shard: its synopsis state is unusable, same as lost.
+                    missing.append(shard)
+                else:
+                    survivors[shard] = states
+            if not survivors:
+                raise DegradedQueryError(name, "no surviving shards")
+            state = self._merge_engine._queries[name]
+            per_observer = zip(*survivors.values())
+            for (_, observer), states in zip(state.attachments, per_observer):
+                observer.load_state(merge_observer_states(list(states)))
+            raw = float(state.estimate())
+        scale = self.num_shards / len(survivors)
+        return PartialAnswer(
+            raw * scale, raw, len(survivors), self.num_shards, tuple(missing)
+        )
+
     def exact_answer(self, name: str) -> float:
         """Ground-truth answer from the merged exact tensors."""
         meta = self._queries[name]
@@ -422,6 +576,32 @@ class ShardedStreamEngine:
         if self._coordinator is not None:
             self._coordinator.enable_fault_isolation(policy)
 
+    def enable_dead_lettering(self, capacity: int = 1024) -> DeadLetterBuffer:
+        """Quarantine malformed rows fleet-side instead of raising.
+
+        Validation runs on the coordinator before partitioning (see
+        :meth:`ingest_batch`); rejected rows land in the returned
+        :class:`~repro.resilience.deadletter.DeadLetterBuffer` (also
+        available as :attr:`dead_letters`), counted per relation and
+        reason in ``repro_ingest_dead_letters_total``.
+        """
+        self.dead_letters = DeadLetterBuffer(capacity)
+        return self.dead_letters
+
+    def replay_dead_letters(self) -> ReplayReport:
+        """Re-validate and re-ingest every buffered dead letter.
+
+        Rows that are now clean flow through the normal partitioned
+        ingest; rows that are still malformed land back in
+        :attr:`dead_letters`.  Raises ``ValueError`` when dead-lettering
+        was never enabled.
+        """
+        if self.dead_letters is None:
+            raise ValueError(
+                "dead-lettering is not enabled (call enable_dead_lettering() first)"
+            )
+        return self.dead_letters.replay(self)
+
     def degraded_queries(self) -> dict[str, dict[int, str]]:
         """Degraded queries mapped to ``{shard_index: reason}``."""
         out: dict[str, dict[int, str]] = {}
@@ -449,6 +629,10 @@ class ShardedStreamEngine:
             merged.merge(registry)
         if self._coordinator is not None:
             merged.merge(self._coordinator.telemetry.registry)
+        merged.merge(self._local_registry)
+        supervisor_registry = getattr(self._executor, "metrics_registry", None)
+        if isinstance(supervisor_registry, MetricsRegistry):
+            merged.merge(supervisor_registry)
         return merged
 
     def shard_stats(self) -> list[dict]:
@@ -506,6 +690,9 @@ class ShardedStreamEngine:
             "num_shards": self.num_shards,
             "seed": self._seed,
             "fault_policy": self._fault_policy,
+            "dead_letter_capacity": (
+                None if self.dead_letters is None else self.dead_letters.capacity
+            ),
             "has_coordinator": self._coordinator is not None,
             "relations": [
                 {
@@ -597,6 +784,10 @@ class ShardedStreamEngine:
             )
         if manifest.get("fault_policy") is not None:
             engine._fault_policy = manifest["fault_policy"]
+        if manifest.get("dead_letter_capacity") is not None:
+            # The buffer's *contents* are not checkpointed (letters are a
+            # quarantine, not state); only the guard itself is restored.
+            engine.enable_dead_lettering(int(manifest["dead_letter_capacity"]))
         return engine
 
     # ------------------------------------------------------------------ #

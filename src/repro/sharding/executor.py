@@ -25,6 +25,7 @@ methods.  A worker exception is re-raised in the caller as
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Sequence
 
@@ -155,8 +156,22 @@ class ThreadExecutor(ShardExecutor):
         self.workers = []
 
 
-def _process_worker_loop(conn, shard_index: int, seed: int, telemetry: bool) -> None:
-    """Worker-process entry point: apply piped commands until EOF/None."""
+def _process_worker_loop(
+    conn, shard_index: int, seed: int, telemetry: bool, inherited: tuple = ()
+) -> None:
+    """Worker-process entry point: apply piped commands until EOF/None.
+
+    ``inherited`` carries the parent-side connections of *earlier* shards
+    under the ``fork`` start method: the fork inherited those open file
+    descriptors, and while this process holds them an earlier worker's
+    death never surfaces as EOF to the coordinator.  Closing them first
+    restores the one-writer-per-pipe invariant EOF detection needs.
+    """
+    for other in inherited:
+        try:
+            other.close()
+        except OSError:  # pragma: no cover - already closed is fine
+            pass
     worker = ShardWorker(shard_index, seed, telemetry)
     while True:
         try:
@@ -176,10 +191,26 @@ def _process_worker_loop(conn, shard_index: int, seed: int, telemetry: bool) -> 
 
 
 class ProcessExecutor(ShardExecutor):
-    """One worker process per shard, commands over a duplex pipe."""
+    """One worker process per shard, commands over a duplex pipe.
 
-    def __init__(self, mp_context: str | None = None) -> None:
+    ``call_timeout`` bounds how long a command may go unanswered before
+    it fails as :class:`ShardError` (``None`` = wait forever as long as
+    the worker lives).  Independently of the timeout, a worker that
+    *dies* mid-command is detected by liveness polling, so a crashed
+    shard raises promptly instead of blocking the coordinator on a pipe
+    no one will ever write to.
+    """
+
+    #: Liveness poll granularity while waiting on a reply (seconds).
+    _POLL_INTERVAL = 0.05
+
+    def __init__(
+        self, mp_context: str | None = None, call_timeout: float | None = None
+    ) -> None:
+        if call_timeout is not None and call_timeout <= 0:
+            raise ValueError(f"call_timeout must be positive, got {call_timeout}")
         self._ctx_name = mp_context
+        self._call_timeout = call_timeout
         self._procs: list = []
         self._conns: list = []
 
@@ -191,9 +222,13 @@ class ProcessExecutor(ShardExecutor):
         ctx = mp.get_context(name)
         for i in range(num_shards):
             parent_conn, child_conn = ctx.Pipe(duplex=True)
+            # Under fork, this child inherits every earlier parent-side
+            # connection; hand them over so it closes them (see
+            # _process_worker_loop).  Spawned children inherit nothing.
+            inherited = tuple(self._conns) if name == "fork" else ()
             proc = ctx.Process(
                 target=_process_worker_loop,
-                args=(child_conn, i, seed, telemetry),
+                args=(child_conn, i, seed, telemetry, inherited),
                 daemon=True,
                 name=f"repro-shard-{i}",
             )
@@ -209,9 +244,26 @@ class ProcessExecutor(ShardExecutor):
             raise ShardError(shard, f"worker process is gone: {exc}") from exc
 
     def _recv(self, shard: int):
+        conn = self._conns[shard]
+        deadline = (
+            None
+            if self._call_timeout is None
+            else time.monotonic() + self._call_timeout
+        )
+        while not conn.poll(self._POLL_INTERVAL):
+            if not self._procs[shard].is_alive():
+                # One last race-free check: the reply may have landed
+                # between the poll and the liveness test.
+                if conn.poll(0):
+                    break
+                raise ShardError(shard, "worker process died mid-command")
+            if deadline is not None and time.monotonic() > deadline:
+                raise ShardError(
+                    shard, f"no reply within call_timeout={self._call_timeout}s"
+                )
         try:
-            status, payload = self._conns[shard].recv()
-        except EOFError as exc:
+            status, payload = conn.recv()
+        except (EOFError, OSError) as exc:
             raise ShardError(shard, "worker process exited mid-command") from exc
         if status == "err":
             raise ShardError(shard, payload)
@@ -248,10 +300,13 @@ class ProcessExecutor(ShardExecutor):
                 pass
             conn.close()
         for proc in self._procs:
-            proc.join(timeout=10)
-            if proc.is_alive():  # pragma: no cover - defensive cleanup
+            proc.join(timeout=5)
+            if proc.is_alive():
                 proc.terminate()
-                proc.join(timeout=5)
+                proc.join(timeout=2)
+            if proc.is_alive():  # pragma: no cover - terminate resisted
+                proc.kill()
+                proc.join(timeout=1)
         self._procs = []
         self._conns = []
 
@@ -264,12 +319,22 @@ _EXECUTORS = {
 
 
 def resolve_executor(executor: str | ShardExecutor) -> ShardExecutor:
-    """Coerce an executor name (``serial``/``thread``/``process``) or instance."""
+    """Coerce an executor name or instance.
+
+    Names: ``serial`` / ``thread`` / ``process`` (this module) plus
+    ``socket`` — the supervised network fleet, imported lazily because
+    :mod:`repro.fleet` builds on this module.
+    """
     if isinstance(executor, ShardExecutor):
         return executor
+    if executor == "socket":
+        from ..fleet.executor import SocketExecutor
+
+        return SocketExecutor()
     try:
         return _EXECUTORS[executor]()
     except KeyError:
         raise ValueError(
-            f"unknown executor {executor!r}; choose from {sorted(_EXECUTORS)}"
+            f"unknown executor {executor!r}; "
+            f"choose from {sorted([*_EXECUTORS, 'socket'])}"
         ) from None

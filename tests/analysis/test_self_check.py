@@ -31,6 +31,7 @@ def test_repo_tree_is_clean():
         "REP004",
         "REP005",
         "REP006",
+        "REP007",
     )
     assert report.files_scanned > 50
 

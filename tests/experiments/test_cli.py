@@ -201,3 +201,95 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestServe:
+    def test_serve_max_seconds_exits_cleanly(self, capsys):
+        code = main(
+            ["serve", "--shards", "2", "--executor", "serial",
+             "--max-seconds", "0.4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving 2-shard fleet" in out
+        assert "executor=serial" in out and "policy=raise" in out
+
+    def test_serve_socket_executor_smoke(self, capsys):
+        code = main(
+            ["serve", "--shards", "2", "--max-seconds", "0.4",
+             "--max-restarts", "1"]
+        )
+        assert code == 0
+        assert "executor=socket" in capsys.readouterr().out
+
+
+class TestDeadlettersCommand:
+    @pytest.fixture
+    def daemon(self):
+        """A live serve daemon with one dead-lettered row."""
+        import asyncio
+        import threading
+
+        from repro.core.normalization import Domain
+        from repro.fleet import FleetServer
+        from repro.sharding import ShardedStreamEngine
+
+        fleet = ShardedStreamEngine(num_shards=2, seed=0)
+        fleet.create_relation("R1", ["A"], [Domain.of_size(10)])
+        fleet.enable_dead_lettering()
+        fleet.ingest_batch("R1", [[1], [99]])  # 99 is out of domain
+
+        server = FleetServer(fleet)
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        asyncio.run_coroutine_threadsafe(server.start(), loop).result(10)
+        yield server.address
+        asyncio.run_coroutine_threadsafe(server.close(), loop).result(10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        loop.close()
+        fleet.close()
+
+    def test_inspect_prints_buffer_accounting(self, capsys, daemon):
+        host, port = daemon
+        code = main(["deadletters", "--host", host, "--port", str(port)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dead letters: 1 held" in out
+        assert "out_of_domain" in out and "[99]" in out
+
+    def test_replay_reports_partial_outcome(self, capsys, daemon):
+        host, port = daemon
+        code = main(
+            ["deadletters", "--host", host, "--port", str(port), "--replay"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # the row is still out of domain: attempted but not re-ingested
+        assert "replayed 1 dead letters: 0 re-ingested, 1 still dead" in out
+
+    def test_disabled_buffer_reports_error_exit(self, capsys):
+        import asyncio
+        import threading
+
+        from repro.fleet import FleetServer
+        from repro.sharding import ShardedStreamEngine
+
+        fleet = ShardedStreamEngine(num_shards=1, seed=0)  # no dead-lettering
+        server = FleetServer(fleet)
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        asyncio.run_coroutine_threadsafe(server.start(), loop).result(10)
+        try:
+            host, port = server.address
+            code = main(["deadletters", "--host", host, "--port", str(port)])
+            assert code == 2
+            assert "not enabled" in capsys.readouterr().err
+        finally:
+            asyncio.run_coroutine_threadsafe(server.close(), loop).result(10)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(10)
+            loop.close()
+            fleet.close()

@@ -1,0 +1,45 @@
+"""Shared fixtures for the supervised network fleet tests.
+
+The workload helpers are the same ones the in-process shard recovery
+suite uses (``tests/sharding/test_shard_recovery``): a two-relation
+join schema, every estimation method registered, and a deterministic
+zipf batch stream — so "socket fleet answers equal the serial fleet"
+is checked against the exact workload the rest of the suite trusts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fleet import SocketExecutor
+from tests.sharding.test_shard_recovery import (  # noqa: F401 - shared workload
+    ALL_METHODS,
+    DOMAIN,
+    EXACT_METHODS,
+    NUM_SHARDS,
+    assert_fleet_answers_equal,
+    build_fleet,
+    make_batches,
+)
+
+
+def build_socket_fleet(num_shards=NUM_SHARDS, seed=11, **supervisor_options):
+    """A socket-executor fleet with the shared schema and queries."""
+    executor = SocketExecutor(**supervisor_options)
+    return build_fleet(num_shards=num_shards, seed=seed, executor=executor)
+
+
+@pytest.fixture
+def serial_expected():
+    """Answers of an uninterrupted serial fleet over the shared batches."""
+    batches = make_batches()
+    control = build_fleet()
+    for name, rows in batches:
+        control.ingest_batch(name, rows)
+    expected = control.answers()
+    control.close()
+    return batches, expected
+
+
+def wide_rows(rng: np.random.Generator, n: int):
+    """Rows spread across the domain so every shard holds state."""
+    return rng.integers(0, DOMAIN, size=(n, 1))

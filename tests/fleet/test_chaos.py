@@ -1,0 +1,111 @@
+"""Chaos: SIGKILL a shard worker at any batch boundary, answers unchanged.
+
+The supervised-fleet acceptance property: a worker process killed with
+SIGKILL at *any* batch boundary — with or without checkpoints having
+been taken — is revived by the supervisor (checkpoint restore + journal
+replay) and the fleet's answers for every estimation method are
+identical to an uninterrupted serial fleet's.  Exactness, not
+approximation: replay reproduces the worker's state bit-for-bit.
+"""
+
+import os
+import signal
+
+import pytest
+
+from tests.fleet.conftest import assert_fleet_answers_equal, build_socket_fleet
+
+N_BATCHES = 8  # make_batches() default; boundaries cover every one
+
+
+def kill_worker(fleet, shard):
+    os.kill(fleet._executor.supervisor.pid(shard), signal.SIGKILL)
+
+
+class TestKillAtEveryBatchBoundary:
+    @pytest.mark.parametrize("boundary", range(1, N_BATCHES + 1))
+    def test_journal_replay_alone_recovers(self, serial_expected, boundary):
+        """No checkpoint ever taken: the whole journal replays."""
+        batches, expected = serial_expected
+        fleet = build_socket_fleet()
+        shard = boundary % fleet.num_shards
+        try:
+            for number, (name, rows) in enumerate(batches, start=1):
+                fleet.ingest_batch(name, rows)
+                if number == boundary:
+                    kill_worker(fleet, shard)
+            assert_fleet_answers_equal(fleet, expected)
+            assert fleet._executor.supervisor.restart_count(shard) == 1
+        finally:
+            fleet.close()
+
+    @pytest.mark.parametrize("boundary", [1, 3, 4, 6, 8])
+    def test_checkpoint_restore_plus_suffix_replay_recovers(
+        self, serial_expected, boundary, tmp_path
+    ):
+        """Checkpoints every 2 batches: revive = restore + short replay."""
+        batches, expected = serial_expected
+        fleet = build_socket_fleet()
+        shard = (boundary + 1) % fleet.num_shards
+        try:
+            for number, (name, rows) in enumerate(batches, start=1):
+                fleet.ingest_batch(name, rows)
+                if number % 2 == 0:
+                    fleet.save_checkpoints(tmp_path)
+                if number == boundary:
+                    kill_worker(fleet, shard)
+            assert_fleet_answers_equal(fleet, expected)
+            supervisor = fleet._executor.supervisor
+            assert supervisor.restart_count(shard) == 1
+            # checkpoints kept the replay suffix short: after the final
+            # save_checkpoint the journal holds at most the post-mark tail
+            assert supervisor.journal(shard).pending <= 4
+        finally:
+            fleet.close()
+
+    def test_two_kills_of_different_shards_both_recover(self, serial_expected):
+        batches, expected = serial_expected
+        fleet = build_socket_fleet()
+        try:
+            for number, (name, rows) in enumerate(batches, start=1):
+                fleet.ingest_batch(name, rows)
+                if number == 2:
+                    kill_worker(fleet, 0)
+                if number == 4:
+                    kill_worker(fleet, 2)
+            assert_fleet_answers_equal(fleet, expected)
+            supervisor = fleet._executor.supervisor
+            assert [supervisor.restart_count(s) for s in range(3)] == [1, 0, 1]
+        finally:
+            fleet.close()
+
+
+class TestDegradation:
+    def test_exhausted_shard_flags_partial_answers(self, serial_expected):
+        """A permanently lost shard degrades answers instead of lying."""
+        batches, expected = serial_expected
+        fleet = build_socket_fleet(max_restarts=0)
+        try:
+            for name, rows in batches:
+                fleet.ingest_batch(name, rows)
+            kill_worker(fleet, 1)
+            partial = fleet.answer_partial("q_basic_sketch")
+            assert partial.degraded
+            assert partial.missing_shards == (1,)
+            assert partial.surviving_shards == 2
+            # survivor scaling: value = raw * num_shards / survivors
+            assert partial.value == pytest.approx(partial.raw_value * 3 / 2)
+        finally:
+            fleet.close()
+
+    def test_healthy_fleet_partial_answer_is_the_answer(self, serial_expected):
+        batches, expected = serial_expected
+        fleet = build_socket_fleet()
+        try:
+            for name, rows in batches:
+                fleet.ingest_batch(name, rows)
+            partial = fleet.answer_partial("q_basic_sketch")
+            assert not partial.degraded
+            assert partial.value == pytest.approx(expected["q_basic_sketch"])
+        finally:
+            fleet.close()

@@ -162,3 +162,103 @@ class TestEngineDeadLettering:
         engine.ingest_batch("R1", [[1], [2]])
         assert letters.total == 0
         assert engine.relations["R1"].count == 2
+
+
+class TestReplay:
+    def make_engine(self, size=10):
+        engine = StreamEngine(seed=0)
+        engine.create_relation("R1", ["A"], [Domain.of_size(size)])
+        engine.create_relation("R2", ["A"], [Domain.of_size(size)])
+        return engine
+
+    def test_replay_into_a_corrected_engine_partial_success(self):
+        """Rows parked for a too-narrow domain ingest once it is widened."""
+        narrow = self.make_engine(size=10)
+        narrow.enable_dead_lettering()
+        narrow.ingest_batch("R1", [[99], [12], [float("nan")]])
+        narrow.ingest_batch("R2", [[55]])
+        assert narrow.dead_letters.total == 4
+
+        wide = self.make_engine(size=100)
+        wide.enable_dead_lettering()
+        report = narrow.dead_letters.replay(wide)
+
+        assert report.attempted == 4
+        assert report.ingested == 3  # 99, 12, 55 fit the wide domain
+        assert report.still_dead == 1  # NaN is bad in any domain
+        assert report.by_relation == {"R1": 2, "R2": 1}
+        assert wide.relations["R1"].count == 2
+        assert wide.relations["R2"].count == 1
+        # the still-bad row re-parked in the *target's* buffer...
+        assert len(wide.dead_letters) == 1
+        assert next(iter(wide.dead_letters)).reason == REASON_NON_FINITE
+        # ...and the source buffer was drained
+        assert len(narrow.dead_letters) == 0
+
+    def test_replay_preserves_ingest_order_within_a_relation(self):
+        narrow = self.make_engine(size=5)
+        narrow.enable_dead_lettering()
+        narrow.ingest_batch("R1", [[7], [8]])
+        narrow.ingest_batch("R2", [[9]])
+        narrow.ingest_batch("R1", [[6]])
+
+        wide = self.make_engine(size=100)
+        wide.enable_dead_lettering()
+        control = self.make_engine(size=100)
+        control.ingest_batch("R1", [[7], [8]])
+        control.ingest_batch("R2", [[9]])
+        control.ingest_batch("R1", [[6]])
+
+        report = narrow.dead_letters.replay(wide)
+        assert report.ingested == 4 and report.still_dead == 0
+        assert wide.relations["R1"].counts.tolist() == (
+            control.relations["R1"].counts.tolist()
+        )
+
+    def test_replay_of_empty_buffer_reports_zeroes(self):
+        engine = self.make_engine()
+        buffer = engine.enable_dead_lettering()
+        report = buffer.replay(engine)
+        assert report.as_dict() == {
+            "attempted": 0,
+            "ingested": 0,
+            "still_dead": 0,
+            "by_relation": {},
+        }
+
+    def test_replay_refuses_an_unguarded_target(self):
+        engine = self.make_engine()
+        engine.enable_dead_lettering()
+        engine.ingest_batch("R1", [[99]])
+        unguarded = self.make_engine(size=100)
+        with pytest.raises(ValueError, match="dead-lettering"):
+            engine.dead_letters.replay(unguarded)
+
+    def test_self_replay_reparks_rows_that_are_still_bad(self):
+        engine = self.make_engine(size=10)
+        buffer = engine.enable_dead_lettering()
+        engine.ingest_batch("R1", [[99]])
+        report = buffer.replay(engine)
+        assert report.attempted == 1 and report.still_dead == 1
+        assert len(buffer) == 1  # back in the ring for the next attempt
+        assert buffer.total == 2  # the re-rejection counts like any other
+
+    def test_sharded_engine_replay_entry_point(self):
+        from repro.sharding import ShardedStreamEngine
+
+        fleet = ShardedStreamEngine(num_shards=2, seed=1)
+        fleet.create_relation("R1", ["A"], [Domain.of_size(10)])
+        fleet.enable_dead_lettering()
+        fleet.ingest_batch("R1", [[1], [99]])
+        assert fleet.dead_letters.total == 1
+        report = fleet.replay_dead_letters()
+        assert report.attempted == 1 and report.still_dead == 1
+        fleet.close()
+
+    def test_sharded_engine_replay_requires_enablement(self):
+        from repro.sharding import ShardedStreamEngine
+
+        fleet = ShardedStreamEngine(num_shards=2, seed=1)
+        with pytest.raises(ValueError, match="not enabled"):
+            fleet.replay_dead_letters()
+        fleet.close()

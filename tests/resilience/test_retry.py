@@ -1,7 +1,10 @@
 """Retry/backoff policy tests (no real sleeping anywhere)."""
 
+import random
+
 import pytest
 
+from repro.obs.metrics import MetricsRegistry
 from repro.resilience.chaos import FlakyIO
 from repro.resilience.retry import RetryPolicy, retry_io
 
@@ -19,6 +22,103 @@ class TestRetryPolicy:
             RetryPolicy(attempts=0)
         with pytest.raises(ValueError):
             RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline=0)
+
+
+class TestJitter:
+    def test_jittered_delays_stay_within_the_exponential_caps(self):
+        policy = RetryPolicy(attempts=6, base_delay=0.5, max_delay=3.0, jitter=True)
+        caps = policy.backoff_caps()
+        assert caps == [0.5, 1.0, 2.0, 3.0, 3.0]
+        for seed in range(20):
+            delays = policy.delays(random.Random(seed))
+            assert all(0.0 <= d <= cap for d, cap in zip(delays, caps))
+
+    def test_jitter_decorrelates_two_shards(self):
+        """Same policy, different RNG state: different retry pacing."""
+        policy = RetryPolicy(attempts=5, base_delay=0.5, jitter=True)
+        assert policy.delays(random.Random(1)) != policy.delays(random.Random(2))
+
+    def test_jitter_draws_are_deterministic_given_the_rng(self):
+        policy = RetryPolicy(attempts=4, jitter=True)
+        assert policy.delays(random.Random(7)) == policy.delays(random.Random(7))
+
+    def test_without_jitter_delays_are_the_caps(self):
+        policy = RetryPolicy(attempts=4, base_delay=0.5, max_delay=3.0)
+        assert list(policy.delays(random.Random(3))) == list(policy.backoff_caps())
+
+
+class TestDeadline:
+    def test_deadline_reraises_instead_of_sleeping_past_the_budget(self):
+        """A worker must fail fast rather than back off past its heartbeat."""
+        flaky = FlakyIO(lambda: "ok", fail_times=10)
+        slept = []
+        now = [0.0]
+
+        def clock():
+            return now[0]
+
+        def sleep(seconds):
+            slept.append(seconds)
+            now[0] += seconds
+
+        with pytest.raises(OSError, match="injected transient"):
+            retry_io(
+                flaky,
+                policy=RetryPolicy(
+                    attempts=10, base_delay=1.0, max_delay=8.0, deadline=4.0
+                ),
+                sleep=sleep,
+                clock=clock,
+            )
+        # slept 1 + 2 = 3s; the next 4s delay would cross the 4s deadline,
+        # so the failure is re-raised without that sleep
+        assert slept == [1.0, 2.0]
+        assert flaky.calls == 3
+
+    def test_generous_deadline_changes_nothing(self):
+        flaky = FlakyIO(lambda: "ok", fail_times=2)
+        slept = []
+        result = retry_io(
+            flaky,
+            policy=RetryPolicy(attempts=4, base_delay=0.1, deadline=60.0),
+            sleep=slept.append,
+        )
+        assert result == "ok" and slept == [0.1, 0.2]
+
+
+class TestRetryMetrics:
+    def test_retries_are_counted_per_operation(self):
+        registry = MetricsRegistry()
+        retry_io(
+            FlakyIO(lambda: 1, fail_times=2),
+            policy=RetryPolicy(attempts=4),
+            sleep=lambda s: None,
+            operation="checkpoint_write",
+            registry=registry,
+        )
+        retry_io(
+            FlakyIO(lambda: 1, fail_times=1),
+            policy=RetryPolicy(attempts=4),
+            sleep=lambda s: None,
+            operation="telemetry_append",
+            registry=registry,
+        )
+        counts = registry.get("repro_retries_total").as_value_dict()
+        assert counts["checkpoint_write"] == 2
+        assert counts["telemetry_append"] == 1
+
+    def test_no_registry_means_no_counting_and_no_error(self):
+        assert (
+            retry_io(
+                FlakyIO(lambda: 5, fail_times=1),
+                policy=RetryPolicy(attempts=2),
+                sleep=lambda s: None,
+                operation="checkpoint_write",
+            )
+            == 5
+        )
 
 
 class TestRetryIO:

@@ -90,3 +90,55 @@ class TestResolve:
     def test_interface_is_abstract(self):
         with pytest.raises(NotImplementedError):
             ShardExecutor().start(1, 0)
+
+
+class TestProcessExecutorRobustness:
+    def test_dead_worker_raises_instead_of_blocking(self):
+        import os
+        import signal
+
+        ex = ProcessExecutor()
+        ex.start(2, seed=0, telemetry=False)
+        try:
+            os.kill(ex._procs[1].pid, signal.SIGKILL)
+            with pytest.raises(ShardError, match="worker process"):
+                ex.call(1, "ping")
+            # the surviving shard is unaffected
+            assert ex.call(0, "ping") == 0
+        finally:
+            ex.close()
+
+    def test_call_timeout_bounds_an_unresponsive_worker(self):
+        import signal
+
+        ex = ProcessExecutor(call_timeout=0.3)
+        ex.start(1, seed=0, telemetry=False)
+        try:
+            # wedge the worker: SIGSTOP leaves it alive but unable to reply
+            import os
+
+            os.kill(ex._procs[0].pid, signal.SIGSTOP)
+            try:
+                with pytest.raises(ShardError, match="call_timeout"):
+                    ex.call(0, "ping")
+            finally:
+                os.kill(ex._procs[0].pid, signal.SIGCONT)
+        finally:
+            ex.close()
+
+    def test_call_timeout_validation(self):
+        with pytest.raises(ValueError, match="call_timeout"):
+            ProcessExecutor(call_timeout=0)
+
+    def test_close_does_not_hang_after_a_worker_crash(self):
+        import os
+        import signal
+        import time
+
+        ex = ProcessExecutor()
+        ex.start(2, seed=0, telemetry=False)
+        os.kill(ex._procs[0].pid, signal.SIGKILL)
+        started = time.monotonic()
+        ex.close()
+        assert time.monotonic() - started < 10
+        assert ex._procs == [] and ex._conns == []
