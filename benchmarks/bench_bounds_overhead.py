@@ -1,0 +1,151 @@
+"""Bounds overhead: degree maintenance must be near-free on the ingest path.
+
+``register_query(..., bounds=True)`` attaches one
+:class:`~repro.bounds.degree.DegreeObserver` per (relation, join-slot)
+pair.  Each observer's batch update is a single ``np.bincount`` plus a
+vector add over the attribute's unified domain — O(batch + domain) work
+that must stay within 10% of the same ingest without bounds, or the
+"always maintain the sound bound" recommendation in ``docs/BOUNDS.md``
+stops being honest.
+
+Timing noise on shared CI runners is real, so the assertion takes the
+*best* overhead across several interleaved rounds: the claim is about
+the code, not about one noisy measurement.
+
+Runnable standalone for CI smoke checks::
+
+    python benchmarks/bench_bounds_overhead.py --smoke [--json out.json]
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.normalization import Domain
+from repro.obs import Telemetry
+from repro.streams import JoinQuery, StreamEngine
+
+DOMAIN = 2_000
+BATCH = 1_024
+BUDGET = 200
+OVERHEAD_CEILING = 0.10  # bounded ingest may cost at most 10% over unbounded
+ROUNDS = 5
+
+
+def _ingest_seconds(bounds: bool, tuples: int, batch: int = BATCH) -> float:
+    """Wall-clock seconds to batch-ingest ``tuples`` rows per relation.
+
+    Telemetry is disabled in both arms so the measured delta is the
+    degree maintenance alone, not metrics bookkeeping around it.
+    """
+    engine = StreamEngine(seed=0, telemetry=Telemetry.disabled())
+    domain = Domain.of_size(DOMAIN)
+    engine.create_relation("R1", ["A"], [domain])
+    engine.create_relation("R2", ["A"], [domain])
+    query = JoinQuery.parse(["R1", "R2"], ["R1.A = R2.A"])
+    engine.register_query("q", query, method="cosine", budget=BUDGET, bounds=bounds)
+    rows = ((np.random.default_rng(0).zipf(1.3, size=tuples) - 1) % DOMAIN)[:, None]
+    start = time.perf_counter()
+    for name in ("R1", "R2"):
+        for lo in range(0, tuples, batch):
+            engine.ingest_batch(name, rows[lo : lo + batch])
+    return time.perf_counter() - start
+
+
+def overhead_table(tuples: int = 32_768, rounds: int = ROUNDS) -> dict:
+    """Bounded-vs-plain ingest timings, interleaved; best-round overhead."""
+    bounded_times, plain_times, overheads = [], [], []
+    for _ in range(rounds):
+        plain = _ingest_seconds(False, tuples)
+        bounded = _ingest_seconds(True, tuples)
+        plain_times.append(plain)
+        bounded_times.append(bounded)
+        overheads.append(bounded / plain - 1.0)
+    return {
+        "tuples_per_relation": tuples,
+        "batch": BATCH,
+        "rounds": rounds,
+        "bounded_seconds": bounded_times,
+        "plain_seconds": plain_times,
+        "bounded_tps_best": 2 * tuples / min(bounded_times),
+        "plain_tps_best": 2 * tuples / min(plain_times),
+        "overhead_per_round": overheads,
+        "overhead_best": min(overheads),
+        "overhead_ceiling": OVERHEAD_CEILING,
+    }
+
+
+def _print_table(table: dict) -> None:
+    tuples = table["tuples_per_relation"]
+    print(
+        f"batched ingest of 2 x {tuples:,} tuples (batch {table['batch']}),"
+        f" {table['rounds']} interleaved rounds:"
+    )
+    print(f"  bounds=False        {table['plain_tps_best']:>12,.0f} tuples/s (best)")
+    print(f"  bounds=True         {table['bounded_tps_best']:>12,.0f} tuples/s (best)")
+    rounds = ", ".join(f"{o * 100:+.1f}%" for o in table["overhead_per_round"])
+    print(f"  overhead per round  {rounds}")
+    print(
+        f"  best-round overhead {table['overhead_best'] * 100:+.2f}%"
+        f"  (ceiling {table['overhead_ceiling'] * 100:.0f}%)"
+    )
+
+
+def test_bounds_ingest_overhead_under_ceiling(benchmark, capsys):
+    """Degree maintenance must cost < 10% over the same ingest without it."""
+    table = benchmark.pedantic(
+        lambda: overhead_table(tuples=16_384, rounds=3), iterations=1, rounds=1
+    )
+    with capsys.disabled():
+        print()
+        _print_table(table)
+    assert table["overhead_best"] < OVERHEAD_CEILING
+
+
+def test_bound_read_does_not_touch_the_ingest_path():
+    """upper_bound() is a pure read: repeated reads leave state unchanged."""
+    engine = StreamEngine(seed=0, telemetry=Telemetry.disabled())
+    domain = Domain.of_size(64)
+    engine.create_relation("R1", ["A"], [domain])
+    engine.create_relation("R2", ["A"], [domain])
+    query = JoinQuery.parse(["R1", "R2"], ["R1.A = R2.A"])
+    engine.register_query("q", query, method="basic_sketch", budget=16, bounds=True)
+    rows = np.arange(200)[:, None] % 64
+    engine.ingest_batch("R1", rows)
+    engine.ingest_batch("R2", rows)
+    first = engine.estimate("q", mode="upper_bound")
+    for _ in range(10):
+        assert engine.estimate("q", mode="upper_bound") == first
+
+
+def main(argv=None) -> int:
+    """Standalone entry point: bounds overhead smoke benchmark for CI."""
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small, CI-sized workload")
+    parser.add_argument("--tuples", type=int, default=None, help="tuples per relation")
+    parser.add_argument("--rounds", type=int, default=ROUNDS)
+    parser.add_argument("--json", help="write results to this JSON file")
+    args = parser.parse_args(argv)
+
+    tuples = args.tuples or (8_192 if args.smoke else 32_768)
+    table = overhead_table(tuples=tuples, rounds=args.rounds)
+    _print_table(table)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(table, handle, indent=1)
+        print(f"wrote {args.json}")
+    if table["overhead_best"] >= OVERHEAD_CEILING:
+        print(
+            f"FAIL: bounds=True ingest overhead"
+            f" {table['overhead_best'] * 100:.1f}% exceeds"
+            f" {OVERHEAD_CEILING * 100:.0f}% in every round"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,11 +14,12 @@ its JSON result to this script.  The script
    run so a slow runner cannot fake a regression).
 
 The optional ``--telemetry-result`` / ``--otel-result`` /
-``--fleet-result`` inputs take the JSON written by
-``bench_telemetry_overhead.py``, ``bench_otel_overhead.py``, and
-``bench_fleet_overhead.py`` and fold their best-round overheads into the
-same trajectory entry, so the observability and serve-path costs ride
-the same history as the kernel speedup.  Those benches enforce their own
+``--fleet-result`` / ``--bounds-result`` inputs take the JSON written by
+``bench_telemetry_overhead.py``, ``bench_otel_overhead.py``,
+``bench_fleet_overhead.py``, and ``bench_bounds_overhead.py`` and fold
+their best-round overheads into the same trajectory entry, so the
+observability, serve-path, and bound-maintenance costs ride the same
+history as the kernel speedup.  Those benches enforce their own
 ceilings when they run; the gate records, it does not re-judge.
 
 Usage (as in ``.github/workflows/ci.yml``)::
@@ -28,6 +29,7 @@ Usage (as in ``.github/workflows/ci.yml``)::
         --telemetry-result bench-artifacts/telemetry_overhead.json \
         --otel-result bench-artifacts/otel_overhead.json \
         --fleet-result bench-artifacts/fleet_overhead.json \
+        --bounds-result bench-artifacts/bounds_overhead.json \
         --trajectory BENCH_trajectory.json
 """
 
@@ -77,6 +79,7 @@ def make_entry(
     telemetry_result: dict | None = None,
     otel_result: dict | None = None,
     fleet_result: dict | None = None,
+    bounds_result: dict | None = None,
 ) -> dict:
     kernel, ingest = result["kernel"], result["ingest"]
     entry = {
@@ -99,6 +102,9 @@ def make_entry(
     if fleet_result is not None:
         entry["fleet_overhead"] = round(fleet_result["overhead_best"], 4)
         entry["fleet_tps"] = round(fleet_result["socket_tps_best"])
+    if bounds_result is not None:
+        entry["bounds_overhead"] = round(bounds_result["overhead_best"], 4)
+        entry["bounds_tps"] = round(bounds_result["bounded_tps_best"])
     return entry
 
 
@@ -111,7 +117,7 @@ def _print_tail(entries: list) -> None:
     print(f"benchmark trajectory ({len(entries)} entries, last {TAIL}):")
     print(
         f"  {'commit':<13} {'speedup':>8} {'ingest tps':>12} {'ratio':>6}"
-        f" {'telem':>7} {'otlp':>7} {'fleet':>7}  backend"
+        f" {'telem':>7} {'otlp':>7} {'fleet':>7} {'bound':>7}  backend"
     )
     for entry in entries[-TAIL:]:
         print(
@@ -120,6 +126,7 @@ def _print_tail(entries: list) -> None:
             f" {_overhead_cell(entry, 'telemetry_overhead')}"
             f" {_overhead_cell(entry, 'otel_overhead')}"
             f" {_overhead_cell(entry, 'fleet_overhead')}"
+            f" {_overhead_cell(entry, 'bounds_overhead')}"
             f"  {entry['backend']}"
         )
 
@@ -137,6 +144,9 @@ def main(argv=None) -> int:
         "--fleet-result", help="bench_fleet_overhead.py JSON output (optional)"
     )
     parser.add_argument(
+        "--bounds-result", help="bench_bounds_overhead.py JSON output (optional)"
+    )
+    parser.add_argument(
         "--trajectory", required=True, help="persisted BENCH_trajectory.json path"
     )
     parser.add_argument("--floor", type=float, default=DEFAULT_FLOOR)
@@ -144,7 +154,7 @@ def main(argv=None) -> int:
 
     with open(args.result) as handle:
         result = json.load(handle)
-    telemetry_result = otel_result = fleet_result = None
+    telemetry_result = otel_result = fleet_result = bounds_result = None
     if args.telemetry_result:
         with open(args.telemetry_result) as handle:
             telemetry_result = json.load(handle)
@@ -154,10 +164,15 @@ def main(argv=None) -> int:
     if args.fleet_result:
         with open(args.fleet_result) as handle:
             fleet_result = json.load(handle)
+    if args.bounds_result:
+        with open(args.bounds_result) as handle:
+            bounds_result = json.load(handle)
 
     trajectory_path = Path(args.trajectory)
     trajectory = load_trajectory(trajectory_path)
-    entry = make_entry(result, telemetry_result, otel_result, fleet_result)
+    entry = make_entry(
+        result, telemetry_result, otel_result, fleet_result, bounds_result
+    )
     trajectory["entries"].append(entry)
     with trajectory_path.open("w") as handle:
         json.dump(trajectory, handle, indent=1)

@@ -1,0 +1,45 @@
+"""Pessimistic upper bounds: guaranteed-sound join-size estimation.
+
+The paper's synopses (and every baseline around them) produce *point
+estimates* with probabilistic error — nothing stops a sketch from
+answering 10x the true join size on an unlucky stream.  This package
+adds the bounds-literature counterpart (Abo Khamis & Olteanu's Lp-norm
+degree-sequence bounds, the UES max-degree bound, AGM-style covers):
+statistics that are cheap to maintain incrementally and yield join-size
+*upper bounds that provably always hold*, plus a clamp combining the
+two — a point estimate that can never exceed a sound bound.
+
+Three layers:
+
+* :class:`~repro.bounds.degree.DegreeSketch` /
+  :class:`~repro.bounds.degree.DegreeObserver` — per join-attribute
+  frequency (degree) vectors maintained under inserts and deletes,
+  exposing max-degree and general Lp norms.  The state is a *linear*
+  function of the stream multiset, so per-shard copies merge exactly
+  (see :mod:`repro.sharding.merge`).
+* :class:`~repro.bounds.calculator.JoinBoundCalculator` — turns the
+  degree vectors of an n-ary equi-join's attributes into the minimum of
+  a family of provably sound upper bounds (spanning-tree max-degree
+  products with a Hölder Lp/Lq refinement on one edge).
+* :class:`~repro.bounds.clamp.ClampedEstimator` — wraps any registered
+  query of any estimation method so its answer is
+  ``min(estimate, upper_bound)``.
+
+Engine surface: ``register_query(..., bounds=True)`` attaches the
+observers, and ``StreamEngine.estimate(name, mode=...)`` serves the
+``"answer"`` / ``"upper_bound"`` / ``"clamped"`` modes (mirrored by
+:class:`~repro.sharding.ShardedStreamEngine` and the fleet serve
+daemon).  See ``docs/BOUNDS.md`` for the soundness contract.
+"""
+
+from .calculator import HOLDER_PAIRS, JoinBoundCalculator
+from .clamp import ClampedEstimator
+from .degree import DegreeObserver, DegreeSketch
+
+__all__ = [
+    "HOLDER_PAIRS",
+    "ClampedEstimator",
+    "DegreeObserver",
+    "DegreeSketch",
+    "JoinBoundCalculator",
+]

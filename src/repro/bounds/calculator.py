@@ -1,0 +1,230 @@
+"""Guaranteed upper bounds on n-ary equi-join sizes from degree norms.
+
+Given the engine's join spec — relations as vertices, equi-join
+predicates as edges of a join graph — and one :class:`DegreeSketch`
+per (relation, join-attribute) slot, :class:`JoinBoundCalculator`
+derives an upper bound on the exact join size that holds for *every*
+database consistent with the observed degree statistics.
+
+The bound is the minimum of a family of individually sound candidates,
+built per connected component of the join graph:
+
+* **Spanning-tree max-degree bound** (the UES shape).  Pick a root
+  relation ``r`` and a BFS spanning tree.  By induction on subtrees,
+
+  ``|join| <= N_r * prod_{v != r} maxdeg_v(axis_v)``
+
+  where ``axis_v`` is the attribute connecting ``v`` to its parent:
+  each tuple of the partial join extends to at most ``maxdeg_v``
+  tuples of ``v``.  Dropping non-tree predicates only enlarges the
+  join, so the tree bound holds for the full cyclic query too.
+
+* **Hölder Lp/Lq refinement** (Abo Khamis & Olteanu's degree-sequence
+  bounds, specialised to one edge).  For a root edge ``r —A— c``,
+
+  ``|R ⋈_A C| = sum_v deg_R(v) * deg_C(v) <= L_p(deg_R) * L_q(deg_C)``
+
+  for any Hölder pair ``1/p + 1/q = 1``; the remaining tree relations
+  still contribute their max-degree factors.  ``(p, q) = (1, ∞)``
+  recovers the max-degree bound and ``(2, 2)`` is Cauchy–Schwarz
+  (``L2(R) * L2(C)`` — exactly the self-join-size bound).
+
+Components multiply (their joins are independent cartesian factors),
+relations with no predicate contribute their cardinality ``N``, and
+self-loop predicates (both slots on one relation) are dropped —
+dropping a filter is always sound.
+
+Every candidate is a product of degree-sequence norms, each of which is
+nondecreasing under inserts; the candidate *set* depends only on the
+query structure.  The bound — a min over a fixed set of nondecreasing
+terms — is therefore monotone on insert-only streams, which the
+hypothesis suite (``tests/bounds/test_soundness.py``) enforces.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
+
+from .degree import DegreeSketch
+
+__all__ = ["HOLDER_PAIRS", "JoinBoundCalculator"]
+
+#: Slot identifier: (relation position in the query, attribute axis).
+Slot = Tuple[int, int]
+#: One equi-join predicate: a pair of slots constrained to be equal.
+Edge = Tuple[Slot, Slot]
+
+#: Hölder-conjugate exponent pairs tried on the root edge of each
+#: spanning tree.  (1, inf) reproduces the plain max-degree bound and
+#: (2, 2) is Cauchy–Schwarz; the asymmetric pairs win when one side is
+#: skewed and the other near-uniform.
+HOLDER_PAIRS: Tuple[Tuple[float, float], ...] = (
+    (1.0, math.inf),
+    (1.5, 3.0),
+    (2.0, 2.0),
+    (3.0, 1.5),
+    (math.inf, 1.0),
+)
+
+
+class JoinBoundCalculator:
+    """Derives upper bounds for one registered join query.
+
+    Parameters
+    ----------
+    num_relations:
+        Number of relations in the query (vertices ``0..n-1``).
+    edges:
+        Equi-join predicates as ``((rel_a, axis_a), (rel_b, axis_b))``
+        slot pairs (the engine's ``JoinQuery.slot_pairs`` format).
+        Self-loops are dropped: a same-relation equality only filters,
+        so ignoring it keeps every candidate sound.
+    sketches:
+        Live :class:`DegreeSketch` per slot.  Every relation must have
+        at least one sketch (unjoined relations carry a count-only
+        sketch on axis 0 so their cardinality is available).
+    """
+
+    def __init__(
+        self,
+        num_relations: int,
+        edges: Sequence[Edge],
+        sketches: Mapping[Slot, DegreeSketch],
+    ) -> None:
+        if num_relations <= 0:
+            raise ValueError("a join bound needs at least one relation")
+        self.num_relations = num_relations
+        self.edges: List[Edge] = [
+            (a, b) for a, b in edges if a[0] != b[0]
+        ]
+        self.sketches: Dict[Slot, DegreeSketch] = dict(sketches)
+        for rel in range(num_relations):
+            if not any(slot[0] == rel for slot in self.sketches):
+                raise ValueError(f"relation {rel} has no degree sketch")
+        for a, b in self.edges:
+            for slot in (a, b):
+                if slot not in self.sketches:
+                    raise ValueError(f"predicate slot {slot} has no degree sketch")
+        # Adjacency: rel -> [(neighbor, axis_here, axis_there)], in
+        # deterministic (sorted) order so every engine replica walks
+        # identical spanning trees.
+        adjacency: Dict[int, List[Tuple[int, int, int]]] = {
+            rel: [] for rel in range(num_relations)
+        }
+        for (rel_a, ax_a), (rel_b, ax_b) in self.edges:
+            adjacency[rel_a].append((rel_b, ax_a, ax_b))
+            adjacency[rel_b].append((rel_a, ax_b, ax_a))
+        for neighbors in adjacency.values():
+            neighbors.sort()
+        self._adjacency = adjacency
+
+    # ------------------------------------------------------------------ #
+
+    def _cardinality(self, rel: int) -> int:
+        """Live tuple count of one relation (L1 of any of its sketches)."""
+        for slot, sketch in self.sketches.items():
+            if slot[0] == rel:
+                return sketch.count
+        raise AssertionError(f"relation {rel} has no degree sketch")
+
+    def _components(self) -> List[List[int]]:
+        """Connected components of the join graph, in vertex order."""
+        seen: Set[int] = set()
+        components: List[List[int]] = []
+        for start in range(self.num_relations):
+            if start in seen:
+                continue
+            component = [start]
+            seen.add(start)
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for neighbor, _, _ in self._adjacency[node]:
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        component.append(neighbor)
+                        frontier.append(neighbor)
+            components.append(sorted(component))
+        return components
+
+    def _spanning_tree(self, root: int) -> Dict[int, List[Tuple[int, int, int]]]:
+        """BFS spanning tree from ``root``.
+
+        Returns, for each non-root vertex, the list of *parallel* edges
+        linking it to its BFS parent as ``(parent, axis_parent,
+        axis_child)`` triples (a relation pair may be joined on several
+        attribute pairs; any one of them yields a sound degree factor,
+        so the calculator gets to take the min over them).
+        """
+        parent: Dict[int, int] = {root: root}
+        order: List[int] = [root]
+        queue: List[int] = [root]
+        while queue:
+            node = queue.pop(0)
+            for neighbor, _, _ in self._adjacency[node]:
+                if neighbor not in parent:
+                    parent[neighbor] = node
+                    order.append(neighbor)
+                    queue.append(neighbor)
+        links: Dict[int, List[Tuple[int, int, int]]] = {}
+        for node in order[1:]:
+            links[node] = [
+                (parent[node], ax_there, ax_here)
+                for neighbor, ax_here, ax_there in self._adjacency[node]
+                if neighbor == parent[node]
+            ]
+        return links
+
+    def _component_bound(self, component: Sequence[int]) -> float:
+        """Minimum over root choices and Hölder pairs for one component."""
+        if len(component) == 1 and not self._adjacency[component[0]]:
+            return float(self._cardinality(component[0]))
+        best = math.inf
+        for root in component:
+            links = self._spanning_tree(root)
+            # Per non-root vertex: min over parallel parent edges of the
+            # child-side max degree (each single edge is itself sound).
+            delta: Dict[int, float] = {}
+            for node, parallel in links.items():
+                delta[node] = min(
+                    float(self.sketches[(node, ax_child)].max_degree)
+                    for _, _, ax_child in parallel
+                )
+            base = float(self._cardinality(root))
+            for node in links:
+                base *= delta[node]
+            best = min(best, base)
+            # Hölder refinement on each root->child edge: replace
+            # N_root * maxdeg_child with L_p(root) * L_q(child).
+            for child, parallel in links.items():
+                if parallel[0][0] != root:
+                    continue
+                rest = 1.0
+                for node in links:
+                    if node != child:
+                        rest *= delta[node]
+                for _, ax_root, ax_child in parallel:
+                    root_sketch = self.sketches[(root, ax_root)]
+                    child_sketch = self.sketches[(child, ax_child)]
+                    for p, q in HOLDER_PAIRS:
+                        candidate = root_sketch.lp(p) * child_sketch.lp(q) * rest
+                        best = min(best, candidate)
+        return best
+
+    # ------------------------------------------------------------------ #
+
+    def upper_bound(self) -> float:
+        """A join-size upper bound that provably always holds.
+
+        The product over connected components of each component's best
+        candidate.  Exact-zero components (an empty relation, or a
+        max degree of zero along every tree) zero the whole bound, which
+        is correct: the join is empty.
+        """
+        bound = 1.0
+        for component in self._components():
+            bound *= self._component_bound(component)
+            if bound <= 0.0:
+                return 0.0
+        return bound

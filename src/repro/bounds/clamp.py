@@ -1,0 +1,71 @@
+"""Clamped ensembles: a point estimate that never exceeds a sound bound.
+
+:class:`ClampedEstimator` combines any of the engine's estimation
+methods with the degree-sequence upper bound attached to the same
+query: its :meth:`~ClampedEstimator.answer` is
+``min(estimate, upper_bound)``.  The estimate carries the paper's
+probabilistic accuracy; the bound carries a worst-case guarantee; the
+clamp inherits both — it is never *worse* than the bound and usually
+as good as the estimate.
+
+The wrapper is engine-agnostic: anything exposing the
+``estimate(name, mode=...)`` / ``bound_report(name)`` surface works,
+which covers :class:`~repro.streams.engine.StreamEngine` and
+:class:`~repro.sharding.engine.ShardedStreamEngine` alike.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Protocol
+
+__all__ = ["BoundedEngine", "ClampedEstimator"]
+
+
+class BoundedEngine(Protocol):
+    """The estimation surface a clamped estimator needs from an engine."""
+
+    def estimate(self, name: str, mode: str = "answer") -> float:
+        ...  # pragma: no cover - protocol
+
+    def bound_report(self, name: str) -> Dict[str, object] | None:
+        ...  # pragma: no cover - protocol
+
+
+class ClampedEstimator:
+    """Answers one registered query as ``min(estimate, upper_bound)``.
+
+    The query must have been registered with ``bounds=True`` so the
+    engine maintains degree statistics for it; wrapping a bound-less
+    query raises immediately rather than silently degrading to an
+    unclamped estimate.
+    """
+
+    def __init__(self, engine: BoundedEngine, name: str) -> None:
+        if engine.bound_report(name) is None:
+            raise ValueError(
+                f"query {name!r} was not registered with bounds=True; "
+                "a clamped estimator needs degree statistics to clamp against"
+            )
+        self.engine = engine
+        self.name = name
+
+    def answer(self) -> float:
+        """``min(estimate, upper_bound)`` for the live stream state."""
+        return self.engine.estimate(self.name, mode="clamped")
+
+    def estimate(self) -> float:
+        """The unclamped point estimate of the wrapped method."""
+        return self.engine.estimate(self.name, mode="answer")
+
+    def upper_bound(self) -> float:
+        """The guaranteed join-size upper bound."""
+        return self.engine.estimate(self.name, mode="upper_bound")
+
+    def report(self) -> Dict[str, object]:
+        """Full bound metadata: estimate, bound, clamped value, clamp flag."""
+        report = self.engine.bound_report(self.name)
+        assert report is not None  # checked at construction
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ClampedEstimator({self.name!r})"

@@ -71,10 +71,17 @@ class FleetClient:
     ) -> dict[str, Any]:
         return self.check("ingest", relation=relation, rows=rows, kind=kind)
 
-    def query(self, name: str, policy: str | None = None) -> dict[str, Any]:
+    def query(
+        self,
+        name: str,
+        policy: str | None = None,
+        mode: str | None = None,
+    ) -> dict[str, Any]:
         fields: dict[str, Any] = {"name": name}
         if policy is not None:
             fields["policy"] = policy
+        if mode is not None:
+            fields["mode"] = mode
         return self.check("query", **fields)
 
     def stats(self) -> dict[str, Any]:

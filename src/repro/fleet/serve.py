@@ -270,10 +270,42 @@ class FleetServer:
                 raise ValueError(
                     f"unknown policy {policy!r}; choose from {_POLICIES}"
                 )
+            mode = str(request.get("mode", "answer"))
+            if mode not in ("answer", "upper_bound", "clamped"):
+                raise ValueError(
+                    f"unknown estimation mode {mode!r}; "
+                    "choose from 'answer', 'upper_bound', 'clamped'"
+                )
             if policy == "partial":
+                # A partial answer is already missing shards' state, so
+                # no sound bound exists for it; bound modes must not
+                # silently serve a partial count as a "guarantee".
+                if mode != "answer":
+                    raise ValueError(
+                        "bound modes are not available under the 'partial' "
+                        "policy (a partial merge has no sound bound)"
+                    )
                 partial = fleet.answer_partial(name)
                 return partial.as_dict()
-            return {"value": fleet.answer(name), "degraded": False}
+            report = fleet.bound_report(name)
+            if report is None:
+                if mode != "answer":
+                    raise ValueError(
+                        f"query {name!r} was not registered with bounds=True; "
+                        f"mode {mode!r} needs degree statistics"
+                    )
+                return {"value": fleet.answer(name), "degraded": False}
+            value = report["estimate" if mode == "answer" else mode]
+            return {
+                "value": value,
+                "degraded": False,
+                "mode": mode,
+                "bound": {
+                    "upper_bound": report["upper_bound"],
+                    "clamped": report["clamped"],
+                    "clamp_fired": report["clamp_fired"],
+                },
+            }
         if op == "deadletters":
             if fleet.dead_letters is None:
                 raise ValueError("dead-lettering is not enabled on this fleet")

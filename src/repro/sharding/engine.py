@@ -40,9 +40,10 @@ import json
 from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Sequence
+from typing import Any, Sequence, cast
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..obs.metrics import MetricsRegistry
 from ..obs.telemetry import Telemetry
@@ -108,7 +109,13 @@ class PartialAnswer:
 class _RelationMeta:
     """Fleet-side schema record for one partitioned relation."""
 
-    def __init__(self, name, attributes, domains, partition_axis) -> None:
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        domains: Sequence[Any],
+        partition_axis: int,
+    ) -> None:
         self.name = name
         self.attributes = tuple(attributes)
         self.domains = tuple(domains)
@@ -118,7 +125,7 @@ class _RelationMeta:
 class _QueryMeta:
     """Fleet-side record of one registered query."""
 
-    def __init__(self, name: str, spec: dict, coordinator: bool) -> None:
+    def __init__(self, name: str, spec: dict[str, Any], coordinator: bool) -> None:
         self.name = name
         self.spec = spec
         self.coordinator = coordinator
@@ -173,7 +180,7 @@ class ShardedStreamEngine:
     def __enter__(self) -> "ShardedStreamEngine":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------ #
@@ -184,7 +191,7 @@ class ShardedStreamEngine:
         self,
         name: str,
         attributes: Sequence[str],
-        domains: Sequence,
+        domains: Sequence[Any],
         partition_by: str | None = None,
     ) -> None:
         """Declare a relation on every shard, partitioned by one attribute.
@@ -214,12 +221,12 @@ class ShardedStreamEngine:
             raise KeyError(f"no relation named {relation_name!r}")
         return int(sum(self._executor.broadcast("relation_count", relation_name)))
 
-    def merged_counts(self, relation_name: str) -> np.ndarray:
+    def merged_counts(self, relation_name: str) -> NDArray[Any]:
         """The relation's exact tensor, reduced across shards."""
         if self._coordinator is not None:
-            return self._coordinator.relations[relation_name].counts.copy()
+            return np.array(self._coordinator.relations[relation_name].counts)
         parts = self._executor.broadcast("relation_counts", relation_name)
-        return np.sum(np.stack(parts), axis=0)
+        return np.asarray(np.sum(np.stack(parts), axis=0))
 
     # ------------------------------------------------------------------ #
     # ingest
@@ -228,7 +235,7 @@ class ShardedStreamEngine:
     def ingest_batch(
         self,
         relation_name: str,
-        rows: Sequence[Sequence] | np.ndarray,
+        rows: Sequence[Sequence[Any]] | NDArray[Any],
         kind: OpKind = OpKind.INSERT,
     ) -> None:
         """Partition a same-kind batch by routing hash and fan it out.
@@ -283,10 +290,10 @@ class ShardedStreamEngine:
                 ],
             )
 
-    def insert(self, relation_name: str, values: Sequence) -> None:
+    def insert(self, relation_name: str, values: Sequence[Any]) -> None:
         self.ingest_batch(relation_name, [tuple(values)], OpKind.INSERT)
 
-    def delete(self, relation_name: str, values: Sequence) -> None:
+    def delete(self, relation_name: str, values: Sequence[Any]) -> None:
         self.ingest_batch(relation_name, [tuple(values)], OpKind.DELETE)
 
     # ------------------------------------------------------------------ #
@@ -299,7 +306,7 @@ class ShardedStreamEngine:
         query: JoinQuery,
         method: str = "cosine",
         budget: int = 200,
-        **options,
+        **options: Any,
     ) -> None:
         """Register a continuous join-COUNT query across the fleet.
 
@@ -328,8 +335,8 @@ class ShardedStreamEngine:
         self._register_spec(name, spec, coordinator)
 
     def register_range_query(
-        self, name: str, relation_name: str, attribute: str, low, high,
-        budget: int = 200, **options,
+        self, name: str, relation_name: str, attribute: str, low: Any, high: Any,
+        budget: int = 200, **options: Any,
     ) -> None:
         """Register a range-COUNT query (cosine marginal; always mergeable)."""
         spec = {
@@ -345,7 +352,7 @@ class ShardedStreamEngine:
 
     def register_band_query(
         self, name: str, left: tuple[str, str], right: tuple[str, str],
-        width: int, budget: int = 200, **options,
+        width: int, budget: int = 200, **options: Any,
     ) -> None:
         """Register a band-join COUNT query (cosine marginals; mergeable)."""
         spec = {
@@ -358,7 +365,7 @@ class ShardedStreamEngine:
         }
         self._register_spec(name, spec, coordinator=False)
 
-    def register_query_spec(self, name: str, spec: dict) -> None:
+    def register_query_spec(self, name: str, spec: dict[str, Any]) -> None:
         """Register a query from its serialized spec (the wire/manifest form).
 
         Accepts the same ``{"kind": "join" | "range" | "band", ...}``
@@ -386,11 +393,12 @@ class ShardedStreamEngine:
             )
         self._register_spec(name, dict(spec), coordinator)
 
-    def _register_spec(self, name: str, spec: dict, coordinator: bool) -> None:
+    def _register_spec(self, name: str, spec: dict[str, Any], coordinator: bool) -> None:
         if name in self._queries:
             raise ValueError(f"query {name!r} already registered")
         if coordinator:
             self._ensure_coordinator()
+            assert self._coordinator is not None
             self._coordinator._register_from_spec(name, spec)
         else:
             # The template registration validates the spec before any shard
@@ -427,6 +435,7 @@ class ShardedStreamEngine:
         if meta is None:
             raise KeyError(f"no query named {name!r}")
         if meta.coordinator:
+            assert self._coordinator is not None
             self._coordinator.unregister_query(name)
         else:
             self._merge_engine.unregister_query(name)
@@ -450,7 +459,8 @@ class ShardedStreamEngine:
         """
         meta = self._queries[name]
         if meta.coordinator:
-            return self._coordinator.answer(name)
+            assert self._coordinator is not None
+            return float(self._coordinator.answer(name))
         method = str(meta.spec.get("method", meta.spec.get("kind", "")))
         span = (
             self.tracer.propagated_span("estimate", query=name, method=method)
@@ -461,7 +471,7 @@ class ShardedStreamEngine:
             replies = self._executor.broadcast("query_observers", name, traceparent)
             return self._merge_answer(name, replies)
 
-    def _merge_answer(self, name: str, replies: list) -> float:
+    def _merge_answer(self, name: str, replies: list[Any]) -> float:
         degraded = {
             shard: reason for shard, (reason, _) in enumerate(replies) if reason
         }
@@ -474,10 +484,14 @@ class ShardedStreamEngine:
                 return float("nan")
             return self.exact_answer(name)
         state = self._merge_engine._queries[name]
+        self._load_merged_states(state, replies)
+        return float(state.estimate())
+
+    def _load_merged_states(self, state: Any, replies: list[Any]) -> None:
+        """Sum per-shard observer states into the template's observers."""
         per_observer = zip(*[states for _, states in replies])
         for (_, observer), states in zip(state.attachments, per_observer):
             observer.load_state(merge_observer_states(list(states)))
-        return state.estimate()
 
     def answers(self) -> dict[str, float]:
         return {name: self.answer(name) for name in self._queries}
@@ -501,7 +515,8 @@ class ShardedStreamEngine:
         """
         meta = self._queries[name]
         if meta.coordinator:
-            value = self._coordinator.answer(name)
+            assert self._coordinator is not None
+            value = float(self._coordinator.answer(name))
             return PartialAnswer(value, value, self.num_shards, self.num_shards)
         method = str(meta.spec.get("method", meta.spec.get("kind", "")))
         span = (
@@ -512,7 +527,7 @@ class ShardedStreamEngine:
             else nullcontext(None)
         )
         with span as traceparent:
-            survivors: dict[int, list] = {}
+            survivors: dict[int, Any] = {}
             missing: list[int] = []
             for shard in range(self.num_shards):
                 try:
@@ -540,20 +555,118 @@ class ShardedStreamEngine:
             raw * scale, raw, len(survivors), self.num_shards, tuple(missing)
         )
 
+    def estimate(self, name: str, mode: str = "answer") -> float:
+        """Answer one query in a chosen estimation mode (fleet surface).
+
+        Mirrors :meth:`repro.streams.engine.StreamEngine.estimate`:
+        ``"answer"`` is the merged point estimate, ``"upper_bound"`` the
+        guaranteed degree-sequence bound, ``"clamped"`` their minimum.
+        The bound modes require ``bounds=True`` at registration.
+        """
+        if mode == "answer":
+            return self.answer(name)
+        if mode not in ("upper_bound", "clamped"):
+            raise ValueError(
+                f"unknown estimation mode {mode!r}; "
+                "choose from 'answer', 'upper_bound', 'clamped'"
+            )
+        if mode == "upper_bound":
+            return self._merged_upper_bound(name)
+        report = self.bound_report(name)
+        if report is None:
+            raise ValueError(
+                f"query {name!r} was not registered with bounds=True; "
+                f"mode {mode!r} needs degree statistics"
+            )
+        return float(report["clamped"])
+
+    def _merged_upper_bound(self, name: str) -> float:
+        """The fleet bound alone: no point estimate is computed, so it
+        works even where the method's estimator cannot answer yet."""
+        meta = self._queries[name]
+        if meta.coordinator:
+            assert self._coordinator is not None
+            return float(self._coordinator.estimate(name, mode="upper_bound"))
+        state = self._merge_engine._queries[name]
+        if state.bound_calc is None:
+            raise ValueError(
+                f"query {name!r} was not registered with bounds=True; "
+                "mode 'upper_bound' needs degree statistics"
+            )
+        replies = self._executor.broadcast("query_observers", name, None)
+        if any(reason for reason, _ in replies):
+            return float("nan")
+        self._load_merged_states(state, replies)
+        return float(state.bound_calc.upper_bound())
+
+    def bound_report(self, name: str) -> dict[str, Any] | None:
+        """Bound metadata for one query, or ``None`` when bounds are off.
+
+        Coordinator-method queries delegate to the full-stream replica.
+        Mergeable queries sum per-shard degree vectors (exact ``int64``
+        sums, see :mod:`repro.sharding.merge`) into the template engine,
+        so the fleet bound is *identical* to a single unsharded engine's
+        — the parity the sharded soundness tests pin down.  A query
+        degraded on any shard answers per the fault policy and reports a
+        NaN bound (its degree state on that shard is unusable).
+        """
+        meta = self._queries[name]
+        if meta.coordinator:
+            assert self._coordinator is not None
+            return cast("dict[str, Any] | None", self._coordinator.bound_report(name))
+        state = self._merge_engine._queries[name]
+        if state.bound_calc is None:
+            return None
+        replies = self._executor.broadcast("query_observers", name, None)
+        estimate = self._merge_answer(name, replies)
+        if any(reason for reason, _ in replies):
+            return {
+                "estimate": estimate,
+                "upper_bound": float("nan"),
+                "clamped": estimate,
+                "clamp_fired": False,
+            }
+        # _merge_answer loaded every observer's merged state — including
+        # the degree sketches the template's calculator reads.
+        bound = float(state.bound_calc.upper_bound())
+        clamped = estimate if estimate <= bound else bound
+        fired = bool(estimate > bound)
+        if fired:
+            self._local_registry.counter(
+                "repro_bound_clamps_total",
+                "Answers clamped because the point estimate exceeded the "
+                "guaranteed upper bound, per query.",
+                labelnames=("query",),
+            ).labels(name).inc()
+        tightness = 1.0 if bound <= 0 else min(1.0, max(clamped, 0.0) / bound)
+        self._local_registry.gauge(
+            "repro_bound_tightness_ratio",
+            "Clamped estimate as a fraction of its guaranteed upper bound, "
+            "per query (1.0 = estimate at or above the bound).",
+            labelnames=("query",),
+        ).labels(name).set(tightness)
+        return {
+            "estimate": estimate,
+            "upper_bound": bound,
+            "clamped": clamped,
+            "clamp_fired": fired,
+        }
+
     def exact_answer(self, name: str) -> float:
         """Ground-truth answer from the merged exact tensors."""
         meta = self._queries[name]
         if meta.coordinator:
-            return self._coordinator.exact_answer(name)
+            assert self._coordinator is not None
+            return float(self._coordinator.exact_answer(name))
         template = self._merge_engine
-        saved = {}
+        saved: dict[str, tuple[Any, Any]] = {}
         for rel_name, relation in template.relations.items():
             saved[rel_name] = (relation.counts, relation._count)
             merged = self.merged_counts(rel_name)
             relation.counts = merged
             relation._count = int(merged.sum())
         try:
-            return template.exact_answer(name)
+            return float(template.exact_answer(name))
         finally:
             for rel_name, (counts, count) in saved.items():
                 relation = template.relations[rel_name]
@@ -635,7 +748,7 @@ class ShardedStreamEngine:
             merged.merge(supervisor_registry)
         return merged
 
-    def shard_stats(self) -> list[dict]:
+    def shard_stats(self) -> list[dict[str, Any]]:
         """Each shard's ``EngineStats.as_dict()`` snapshot, in shard order."""
         return self._executor.broadcast("stats_dict")
 
@@ -720,8 +833,10 @@ class ShardedStreamEngine:
         """
         if not 0 <= shard < self.num_shards:
             raise ValueError(f"shard {shard} out of range for {self.num_shards} shards")
-        return self._executor.call(
-            shard, "load_latest_checkpoint", str(self._shard_dir(directory, shard))
+        return str(
+            self._executor.call(
+                shard, "load_latest_checkpoint", str(self._shard_dir(directory, shard))
+            )
         )
 
     @classmethod

@@ -26,10 +26,13 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import time
-from concurrent.futures import ThreadPoolExecutor
-from typing import Sequence
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Sequence, cast
 
 from .worker import ShardWorker
+
+#: One shard's ``(args, kwargs)`` pair in a :meth:`ShardExecutor.scatter`.
+CallSpec = tuple[tuple[Any, ...], dict[str, Any]]
 
 __all__ = [
     "ProcessExecutor",
@@ -57,15 +60,15 @@ class ShardExecutor:
     def start(self, num_shards: int, seed: int, telemetry: bool = True) -> None:
         raise NotImplementedError
 
-    def call(self, shard: int, method: str, *args, **kwargs):
+    def call(self, shard: int, method: str, *args: Any, **kwargs: Any) -> Any:
         """Run one command on one shard and return its result."""
         raise NotImplementedError
 
-    def broadcast(self, method: str, *args, **kwargs) -> list:
+    def broadcast(self, method: str, *args: Any, **kwargs: Any) -> list[Any]:
         """Run the same command on every shard; results in shard order."""
         return self.scatter(method, [(args, kwargs)] * self.num_shards)
 
-    def scatter(self, method: str, per_shard: Sequence[tuple | None]) -> list:
+    def scatter(self, method: str, per_shard: Sequence[CallSpec | None]) -> list[Any]:
         """Run per-shard argument sets concurrently; ``None`` skips a shard.
 
         ``per_shard[i]`` is an ``(args, kwargs)`` pair for shard ``i``.
@@ -79,11 +82,17 @@ class ShardExecutor:
     def __enter__(self) -> "ShardExecutor":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
-def _wrap_call(shard: int, worker: ShardWorker, method: str, args, kwargs):
+def _wrap_call(
+    shard: int,
+    worker: ShardWorker,
+    method: str,
+    args: tuple[Any, ...],
+    kwargs: dict[str, Any],
+) -> Any:
     try:
         return getattr(worker, method)(*args, **kwargs)
     except ShardError:
@@ -102,11 +111,11 @@ class SerialExecutor(ShardExecutor):
         self.num_shards = num_shards
         self.workers = [ShardWorker(i, seed, telemetry) for i in range(num_shards)]
 
-    def call(self, shard: int, method: str, *args, **kwargs):
+    def call(self, shard: int, method: str, *args: Any, **kwargs: Any) -> Any:
         return _wrap_call(shard, self.workers[shard], method, args, kwargs)
 
-    def scatter(self, method: str, per_shard: Sequence[tuple | None]) -> list:
-        results: list = [None] * self.num_shards
+    def scatter(self, method: str, per_shard: Sequence[CallSpec | None]) -> list[Any]:
+        results: list[Any] = [None] * self.num_shards
         for shard, item in enumerate(per_shard):
             if item is not None:
                 args, kwargs = item
@@ -129,14 +138,14 @@ class ThreadExecutor(ShardExecutor):
             for i in range(num_shards)
         ]
 
-    def call(self, shard: int, method: str, *args, **kwargs):
+    def call(self, shard: int, method: str, *args: Any, **kwargs: Any) -> Any:
         future = self._pools[shard].submit(
             _wrap_call, shard, self.workers[shard], method, args, kwargs
         )
         return future.result()
 
-    def scatter(self, method: str, per_shard: Sequence[tuple | None]) -> list:
-        futures = []
+    def scatter(self, method: str, per_shard: Sequence[CallSpec | None]) -> list[Any]:
+        futures: list[Future[Any] | None] = []
         for shard, item in enumerate(per_shard):
             if item is None:
                 futures.append(None)
@@ -157,7 +166,7 @@ class ThreadExecutor(ShardExecutor):
 
 
 def _process_worker_loop(
-    conn, shard_index: int, seed: int, telemetry: bool, inherited: tuple = ()
+    conn: Any, shard_index: int, seed: int, telemetry: bool, inherited: tuple[Any, ...] = ()
 ) -> None:
     """Worker-process entry point: apply piped commands until EOF/None.
 
@@ -211,8 +220,8 @@ class ProcessExecutor(ShardExecutor):
             raise ValueError(f"call_timeout must be positive, got {call_timeout}")
         self._ctx_name = mp_context
         self._call_timeout = call_timeout
-        self._procs: list = []
-        self._conns: list = []
+        self._procs: list[Any] = []
+        self._conns: list[Any] = []
 
     def start(self, num_shards: int, seed: int, telemetry: bool = True) -> None:
         self.num_shards = num_shards
@@ -237,13 +246,15 @@ class ProcessExecutor(ShardExecutor):
             self._procs.append(proc)
             self._conns.append(parent_conn)
 
-    def _send(self, shard: int, method: str, args, kwargs) -> None:
+    def _send(
+        self, shard: int, method: str, args: tuple[Any, ...], kwargs: dict[str, Any]
+    ) -> None:
         try:
             self._conns[shard].send((method, args, kwargs))
         except (BrokenPipeError, OSError) as exc:
             raise ShardError(shard, f"worker process is gone: {exc}") from exc
 
-    def _recv(self, shard: int):
+    def _recv(self, shard: int) -> Any:
         conn = self._conns[shard]
         deadline = (
             None
@@ -269,19 +280,19 @@ class ProcessExecutor(ShardExecutor):
             raise ShardError(shard, payload)
         return payload
 
-    def call(self, shard: int, method: str, *args, **kwargs):
+    def call(self, shard: int, method: str, *args: Any, **kwargs: Any) -> Any:
         self._send(shard, method, args, kwargs)
         return self._recv(shard)
 
-    def scatter(self, method: str, per_shard: Sequence[tuple | None]) -> list:
-        active = []
+    def scatter(self, method: str, per_shard: Sequence[CallSpec | None]) -> list[Any]:
+        active: list[int] = []
         for shard, item in enumerate(per_shard):
             if item is None:
                 continue
             args, kwargs = item
             self._send(shard, method, args, kwargs)
             active.append(shard)
-        results: list = [None] * self.num_shards
+        results: list[Any] = [None] * self.num_shards
         errors: list[ShardError] = []
         for shard in active:
             try:
@@ -311,7 +322,7 @@ class ProcessExecutor(ShardExecutor):
         self._conns = []
 
 
-_EXECUTORS = {
+_EXECUTORS: dict[str, type[ShardExecutor]] = {
     "serial": SerialExecutor,
     "thread": ThreadExecutor,
     "process": ProcessExecutor,
@@ -330,7 +341,7 @@ def resolve_executor(executor: str | ShardExecutor) -> ShardExecutor:
     if executor == "socket":
         from ..fleet.executor import SocketExecutor
 
-        return SocketExecutor()
+        return cast(ShardExecutor, SocketExecutor())
     try:
         return _EXECUTORS[executor]()
     except KeyError:

@@ -37,6 +37,8 @@ recombine into the single-engine state, is the correctness core of
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 __all__ = [
@@ -53,7 +55,7 @@ MERGEABLE_METHODS = frozenset({"cosine", "basic_sketch", "skimmed_sketch", "hist
 COORDINATOR_METHODS = frozenset({"sample", "partitioned_sketch", "wavelet"})
 
 
-def merge_observer_states(states: list[dict]) -> dict:
+def merge_observer_states(states: list[dict[str, Any]]) -> dict[str, Any]:
     """Combine per-shard ``state_dict()`` payloads of one observer.
 
     Array-valued fields are summed (coefficients, atoms, buckets) and
@@ -63,7 +65,7 @@ def merge_observer_states(states: list[dict]) -> dict:
     """
     if not states:
         raise ValueError("cannot merge an empty state list")
-    merged: dict = {}
+    merged: dict[str, Any] = {}
     for key, first in states[0].items():
         if isinstance(first, np.ndarray):
             total = first.copy()

@@ -17,15 +17,17 @@ per-shard checkpoints independently restorable.
 from __future__ import annotations
 
 import zlib
+from typing import Any
 
 import numpy as np
+from numpy.typing import NDArray
 
 __all__ = ["hash_values", "shard_of_values", "split_rows"]
 
 _MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
 
 
-def hash_values(values: np.ndarray) -> np.ndarray:
+def hash_values(values: NDArray[Any]) -> NDArray[Any]:
     """Stable 64-bit hashes of a 1-d value column.
 
     Integer columns go through the splitmix64 finalizer (vectorized);
@@ -48,7 +50,7 @@ def hash_values(values: np.ndarray) -> np.ndarray:
     )
 
 
-def shard_of_values(values: np.ndarray, num_shards: int) -> np.ndarray:
+def shard_of_values(values: NDArray[Any], num_shards: int) -> NDArray[Any]:
     """Shard index (``0..num_shards-1``) for each value in a column."""
     if num_shards < 1:
         raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -58,8 +60,8 @@ def shard_of_values(values: np.ndarray, num_shards: int) -> np.ndarray:
 
 
 def split_rows(
-    rows: np.ndarray, axis: int, num_shards: int
-) -> list[np.ndarray]:
+    rows: NDArray[Any], axis: int, num_shards: int
+) -> list[NDArray[Any]]:
     """Split a ``(B, ndim)`` row batch into per-shard sub-batches.
 
     Rows are routed by the hash of column ``axis``; within each shard the

@@ -27,8 +27,10 @@ buffered spans back as picklable values for the fleet's OTLP export.
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Any, cast
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..obs.metrics import MetricsRegistry
 from ..obs.telemetry import Telemetry
@@ -68,21 +70,23 @@ class ShardWorker:
     def ping(self) -> int:
         return self.shard_index
 
-    def create_relation(self, name: str, attributes: list, domain_specs: list) -> None:
+    def create_relation(
+        self, name: str, attributes: list[str], domain_specs: list[dict[str, Any]]
+    ) -> None:
         from ..resilience.checkpoint import domain_from_spec
 
         self.engine.create_relation(
             name, attributes, [domain_from_spec(s) for s in domain_specs]
         )
 
-    def register_query(self, name: str, spec: dict) -> None:
+    def register_query(self, name: str, spec: dict[str, Any]) -> None:
         self.engine._register_from_spec(name, spec)
 
     def unregister_query(self, name: str) -> None:
         self.engine.unregister_query(name)
 
     def ingest(
-        self, relation: str, rows: np.ndarray, kind: OpKind, traceparent: str | None = None
+        self, relation: str, rows: NDArray[Any], kind: OpKind, traceparent: str | None = None
     ) -> int:
         self._adopt(traceparent)
         self.engine.ingest_batch(relation, rows, kind)
@@ -90,7 +94,7 @@ class ShardWorker:
 
     def query_observers(
         self, name: str, traceparent: str | None = None
-    ) -> tuple[str | None, list[dict]]:
+    ) -> tuple[str | None, list[dict[str, Any]]]:
         """This shard's (degraded_reason, per-observer state dicts) for a query."""
         self._adopt(traceparent)
         tracer = self.engine.telemetry.tracer
@@ -103,26 +107,28 @@ class ShardWorker:
     def drain_spans(self) -> list[SpanEvent]:
         """Hand over (and clear) this shard's buffered spans, oldest-first."""
         tracer = self.engine.telemetry.tracer
-        return [] if tracer is None else tracer.drain()
+        if tracer is None:
+            return []
+        return list(tracer.drain())
 
-    def relation_counts(self, name: str) -> np.ndarray:
-        return self.engine.relations[name].counts.copy()
+    def relation_counts(self, name: str) -> NDArray[Any]:
+        return np.array(self.engine.relations[name].counts)
 
     def relation_count(self, name: str) -> int:
-        return self.engine.relations[name].count
+        return int(self.engine.relations[name].count)
 
     def enable_fault_isolation(self, policy: str) -> None:
         self.engine.enable_fault_isolation(policy)
 
     def degraded_queries(self) -> dict[str, str]:
-        return self.engine.degraded_queries()
+        return dict(self.engine.degraded_queries())
 
     def registry(self) -> MetricsRegistry:
         """The shard's metrics registry (a picklable value object)."""
-        return self.engine.telemetry.registry
+        return cast(MetricsRegistry, self.engine.telemetry.registry)
 
-    def stats_dict(self) -> dict:
-        return self.engine.stats().as_dict()
+    def stats_dict(self) -> dict[str, Any]:
+        return dict(self.engine.stats().as_dict())
 
     # ------------------------------------------------------------------ #
     # checkpoint / recovery

@@ -55,7 +55,7 @@ def equi_mass_partition(pilot_counts: np.ndarray, num_partitions: int) -> np.nda
     boundaries = np.minimum(boundaries, n)
     # trailing duplicates mean fewer effective partitions; dedupe keeps the
     # estimator correct (empty partitions contribute zero)
-    return boundaries.astype(np.int64)
+    return np.unique(boundaries).astype(np.int64)
 
 
 class PartitionedSketch:

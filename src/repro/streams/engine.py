@@ -104,6 +104,11 @@ class _QueryState:
         #: Degradation reason, set when one of this query's observers was
         #: quarantined after raising; ``None`` while healthy.
         self.degraded: str | None = None
+        #: Pessimistic bound calculator, set when the query was registered
+        #: with ``bounds=True``; shares its degree sketches with the
+        #: attached :class:`repro.bounds.degree.DegreeObserver` instances,
+        #: so it is rebuilt (not serialized) on re-registration.
+        self.bound_calc = None
 
 
 class ContinuousQueryEngine:
@@ -321,6 +326,13 @@ class ContinuousQueryEngine:
         self._pending_attachments = []
         try:
             state = builders[method](query, method, budget, options)
+            if options.get("bounds"):
+                # Attached inside the same pending window so a failure
+                # rolls back the method's observers too, and the degree
+                # observers land in ``state.attachments`` in a fixed
+                # order after the synopsis observers — checkpoint restore
+                # and sharded merges both rely on that ordering.
+                state.bound_calc = self._attach_bounds(query)
         except Exception:
             # roll back partial attachments so a failed registration leaves
             # no orphan observers slowing the relations down
@@ -331,7 +343,11 @@ class ContinuousQueryEngine:
         state.attachments = self._pending_attachments
         self._pending_attachments = []
         for _, observer in state.attachments:
-            observer.stats_key = method  # per-method time attribution
+            # per-method time attribution; degree maintenance is bounds
+            # work whatever the synopsis method, so it reports separately
+            observer.stats_key = (
+                "bounds" if getattr(observer, "is_bound_observer", False) else method
+            )
         state.spec = {
             "kind": "join",
             "relations": list(query.relations),
@@ -369,6 +385,8 @@ class ContinuousQueryEngine:
         """
         if name in self._queries:
             raise ValueError(f"query {name!r} already registered")
+        if options.get("bounds"):
+            raise ValueError("bounds=True is only supported for join queries")
         if relation_name not in self.relations:
             raise ValueError(f"relation {relation_name!r} not registered")
         relation = self.relations[relation_name]
@@ -441,6 +459,8 @@ class ContinuousQueryEngine:
 
         if name in self._queries:
             raise ValueError(f"query {name!r} already registered")
+        if options.get("bounds"):
+            raise ValueError("bounds=True is only supported for join queries")
         join_query = JoinQuery.parse(
             [left[0], right[0]], [f"{left[0]}.{left[1]} = {right[0]}.{right[1]}"]
         )
@@ -571,6 +591,130 @@ class ContinuousQueryEngine:
     def space_report(self) -> dict[str, dict[str, int]]:
         """Per-query, per-relation synopsis space (paper units)."""
         return {name: dict(s.space_per_relation) for name, s in self._queries.items()}
+
+    # ------------------------------------------------------------------ #
+    # pessimistic bounds
+    # ------------------------------------------------------------------ #
+
+    def _attach_bounds(self, query: JoinQuery):
+        """Attach degree observers for every join slot; build the calculator.
+
+        One :class:`repro.bounds.degree.DegreeSketch` per (relation
+        position, joined axis), fed from the relation's stream and
+        initialized from the already-ingested history by marginalizing
+        the exact count tensor onto the slot's unified domain.  A
+        relation with no predicate gets a count-only sketch on axis 0 so
+        its cardinality survives sharded merges (where the coordinator
+        template's relations are empty).
+        """
+        from ..bounds.calculator import JoinBoundCalculator
+        from ..bounds.degree import DegreeObserver, DegreeSketch
+
+        unified = self._unified(query)
+        schemas = {r: self.relations[r].attributes for r in query.relations}
+        joined = self._joined_axes(query)
+        sketches: dict[Slot, DegreeSketch] = {}
+        for rel_pos, rel_name in enumerate(query.relations):
+            relation = self.relations[rel_name]
+            axes = sorted(set(joined[rel_name])) or [0]
+            embedded = embed_counts_tensor(
+                relation.counts, relation.domains, unified[rel_name]
+            )
+            for axis in axes:
+                domain = unified[rel_name][axis]
+                sketch = DegreeSketch(domain.size)
+                sketch.load_counts(_marginalize(embedded, keep_axes=[axis]))
+                self._attach(relation, DegreeObserver(sketch, domain, axis))
+                sketches[(rel_pos, axis)] = sketch
+        return JoinBoundCalculator(
+            len(query.relations), query.slot_pairs(schemas), sketches
+        )
+
+    def estimate(self, name: str, mode: str = "answer") -> float:
+        """Answer one registered query in a chosen estimation mode.
+
+        ``"answer"`` is the method's point estimate (identical to
+        :meth:`answer`); ``"upper_bound"`` is the guaranteed
+        degree-sequence join-size bound; ``"clamped"`` is
+        ``min(estimate, upper_bound)``.  The bound modes require the
+        query to have been registered with ``bounds=True``.
+        """
+        if mode == "answer":
+            return self.answer(name)
+        if mode not in ("upper_bound", "clamped"):
+            raise ValueError(
+                f"unknown estimation mode {mode!r}; "
+                "choose from 'answer', 'upper_bound', 'clamped'"
+            )
+        state = self._queries[name]
+        if state.bound_calc is None:
+            raise ValueError(
+                f"query {name!r} was not registered with bounds=True; "
+                f"mode {mode!r} needs degree statistics"
+            )
+        if mode == "upper_bound":
+            # a pure bound read: no point estimate is computed, so it
+            # works even where the method's estimator cannot answer yet
+            if state.degraded is not None:
+                return float("nan")
+            return float(state.bound_calc.upper_bound())
+        report = self.bound_report(name)
+        assert report is not None
+        return float(report["clamped"])
+
+    def bound_report(self, name: str) -> dict | None:
+        """Bound metadata for one query, or ``None`` when bounds are off.
+
+        Returns ``{"estimate", "upper_bound", "clamped", "clamp_fired"}``
+        where ``clamped`` is ``min(estimate, upper_bound)`` (a NaN
+        estimate clamps to the bound — the bound is the only sound
+        number available).  A *degraded* query answers per the fault
+        policy and reports a NaN bound: its quarantined observer may be
+        the degree observer itself, so no sound bound exists.  Clamp
+        events and bound tightness are recorded in the telemetry
+        registry per query.
+        """
+        state = self._queries[name]
+        if state.bound_calc is None:
+            return None
+        estimate = self.answer(name)
+        if state.degraded is not None:
+            return {
+                "estimate": estimate,
+                "upper_bound": float("nan"),
+                "clamped": estimate,
+                "clamp_fired": False,
+            }
+        bound = float(state.bound_calc.upper_bound())
+        clamped = estimate if estimate <= bound else bound
+        fired = bool(estimate > bound)
+        if self.telemetry.enabled:
+            self._record_bound_metrics(name, bound, clamped, fired)
+        return {
+            "estimate": estimate,
+            "upper_bound": bound,
+            "clamped": clamped,
+            "clamp_fired": fired,
+        }
+
+    def _record_bound_metrics(
+        self, name: str, bound: float, clamped: float, fired: bool
+    ) -> None:
+        registry = self.telemetry.registry
+        if fired:
+            registry.counter(
+                "repro_bound_clamps_total",
+                "Answers clamped because the point estimate exceeded the "
+                "guaranteed upper bound, per query.",
+                labelnames=("query",),
+            ).labels(name).inc()
+        tightness = 1.0 if bound <= 0 else min(1.0, max(clamped, 0.0) / bound)
+        registry.gauge(
+            "repro_bound_tightness_ratio",
+            "Clamped estimate as a fraction of its guaranteed upper bound, "
+            "per query (1.0 = estimate at or above the bound).",
+            labelnames=("query",),
+        ).labels(name).set(tightness)
 
     # ------------------------------------------------------------------ #
     # fault tolerance

@@ -1,0 +1,247 @@
+"""The estimation-mode surface: modes, clamps, metrics, and the daemon.
+
+Everything around the bound math itself: the ``estimate(mode=...)``
+dispatch and its error contract, ``ClampedEstimator`` as the ensemble
+wrapper, the ``repro_bound_clamps_total`` / ``repro_bound_tightness_ratio``
+telemetry, degraded-query NaN semantics, and the fleet daemon's
+per-query bound metadata (including the partial-policy refusal — a
+partial merge has no sound bound).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bounds import ClampedEstimator
+from repro.core.normalization import Domain
+from repro.streams import JoinQuery, StreamEngine
+
+from ..fleet.test_serve import ServeHarness, connect
+from .test_soundness import build_engine, feed, make_stream
+
+DOMAIN_SPEC = {"low": 0, "size": 48}
+
+
+def small_engine(**options):
+    engine = StreamEngine(seed=0)
+    domain = Domain.of_size(16)
+    engine.create_relation("R", ["A"], [domain])
+    engine.create_relation("S", ["A"], [domain])
+    query = JoinQuery.parse(["R", "S"], ["R.A = S.A"])
+    engine.register_query("q", query, method="basic_sketch", budget=16, **options)
+    rng = np.random.default_rng(1)
+    engine.ingest_batch("R", rng.integers(0, 16, (60, 1)))
+    engine.ingest_batch("S", rng.integers(0, 16, (60, 1)))
+    return engine
+
+
+class TestEstimateModes:
+    def test_answer_mode_matches_answer(self):
+        engine = small_engine(bounds=True)
+        assert engine.estimate("q") == engine.answer("q")
+        assert engine.estimate("q", mode="answer") == engine.answer("q")
+
+    def test_mode_dispatch_is_consistent_with_the_report(self):
+        engine = small_engine(bounds=True)
+        report = engine.bound_report("q")
+        assert engine.estimate("q", mode="upper_bound") == report["upper_bound"]
+        assert engine.estimate("q", mode="clamped") == report["clamped"]
+
+    def test_unknown_mode_is_rejected(self):
+        engine = small_engine(bounds=True)
+        with pytest.raises(ValueError, match="unknown estimation mode"):
+            engine.estimate("q", mode="lower_bound")
+
+    def test_bound_modes_require_registration_opt_in(self):
+        engine = small_engine()
+        assert engine.bound_report("q") is None
+        for mode in ("upper_bound", "clamped"):
+            with pytest.raises(ValueError, match="bounds=True"):
+                engine.estimate("q", mode=mode)
+
+    def test_upper_bound_works_before_any_ingest(self):
+        engine = StreamEngine(seed=0)
+        domain = Domain.of_size(8)
+        engine.create_relation("R", ["A"], [domain])
+        engine.create_relation("S", ["A"], [domain])
+        query = JoinQuery.parse(["R", "S"], ["R.A = S.A"])
+        engine.register_query("q", query, method="cosine", budget=8, bounds=True)
+        # the cosine estimator cannot answer an empty synopsis, but the
+        # bound alone is well-defined (an empty join: zero)
+        assert engine.estimate("q", mode="upper_bound") == 0.0
+
+    def test_range_and_band_queries_reject_bounds(self):
+        engine = StreamEngine(seed=0)
+        domain = Domain.of_size(16)
+        engine.create_relation("R", ["A"], [domain])
+        engine.create_relation("S", ["A"], [domain])
+        with pytest.raises(ValueError, match="only supported for join"):
+            engine.register_range_query("r", "R", "A", 2, 9, budget=8, bounds=True)
+        with pytest.raises(ValueError, match="only supported for join"):
+            engine.register_band_query(
+                "b", ("R", "A"), ("S", "A"), width=2, budget=8, bounds=True
+            )
+
+
+class TestClampSemantics:
+    def test_overshooting_estimate_is_clamped(self):
+        engine = small_engine(bounds=True)
+        # a test double standing in for a wildly overshooting estimator
+        engine._queries["q"].estimate = lambda: 1e18
+        report = engine.bound_report("q")
+        assert report["clamp_fired"] is True
+        assert report["clamped"] == report["upper_bound"] < 1e18
+        assert engine.estimate("q", mode="clamped") == report["upper_bound"]
+
+    def test_nan_estimate_clamps_to_the_bound(self):
+        engine = small_engine(bounds=True)
+        engine._queries["q"].estimate = lambda: float("nan")
+        report = engine.bound_report("q")
+        # NaN compares False with everything: the bound is the only
+        # sound number available, so that is the clamped answer
+        assert report["clamped"] == report["upper_bound"]
+        assert report["clamp_fired"] is False
+
+    def test_degraded_query_reports_nan_bound(self):
+        engine = small_engine(bounds=True)
+        engine.enable_fault_isolation("nan")
+        _, observer = engine._queries["q"].attachments[0]
+
+        def exploding(relation, rows, kind):
+            raise RuntimeError("synopsis exploded")
+
+        observer.on_ops = exploding
+        engine.ingest_batch("R", np.array([[1]]))
+        report = engine.bound_report("q")
+        assert math.isnan(report["upper_bound"])
+        assert report["clamp_fired"] is False
+        assert math.isnan(engine.estimate("q", mode="upper_bound"))
+
+
+class TestClampedEstimator:
+    def test_wraps_any_bounded_query(self):
+        engine = small_engine(bounds=True)
+        wrapped = ClampedEstimator(engine, "q")
+        report = engine.bound_report("q")
+        assert wrapped.answer() == report["clamped"]
+        assert wrapped.estimate() == report["estimate"]
+        assert wrapped.upper_bound() == report["upper_bound"]
+        assert wrapped.report()["clamp_fired"] == report["clamp_fired"]
+
+    def test_rejects_queries_without_bounds(self):
+        engine = small_engine()
+        with pytest.raises(ValueError, match="bounds=True"):
+            ClampedEstimator(engine, "q")
+
+    def test_wraps_sharded_engines_too(self):
+        with build_engine(2, ["basic_sketch"], sharded=2) as sharded:
+            feed(sharded, make_stream(2, 17, 4, with_deletes=False))
+            wrapped = ClampedEstimator(sharded, "q_basic_sketch")
+            report = sharded.bound_report("q_basic_sketch")
+            assert wrapped.answer() == report["clamped"]
+
+
+class TestBoundMetrics:
+    def test_clamp_counter_counts_fired_clamps_only(self):
+        engine = small_engine(bounds=True)
+        registry = engine.telemetry.registry
+        engine.bound_report("q")  # honest estimate: no clamp
+        assert registry.get("repro_bound_clamps_total") is None
+
+        engine._queries["q"].estimate = lambda: 1e18
+        engine.bound_report("q")
+        engine.bound_report("q")
+        counter = registry.get("repro_bound_clamps_total")
+        assert counter.labels("q").value == 2
+
+    def test_tightness_gauge_tracks_clamped_over_bound(self):
+        engine = small_engine(bounds=True)
+        registry = engine.telemetry.registry
+        report = engine.bound_report("q")
+        gauge = registry.get("repro_bound_tightness_ratio")
+        expected = report["clamped"] / report["upper_bound"]
+        assert gauge.labels("q").value == pytest.approx(expected)
+        assert 0.0 <= gauge.labels("q").value <= 1.0
+
+        engine._queries["q"].estimate = lambda: 1e18
+        engine.bound_report("q")
+        assert gauge.labels("q").value == 1.0
+
+    def test_disabled_telemetry_records_nothing(self):
+        from repro.obs.telemetry import Telemetry
+
+        engine = StreamEngine(seed=0, telemetry=Telemetry.disabled())
+        domain = Domain.of_size(8)
+        engine.create_relation("R", ["A"], [domain])
+        engine.create_relation("S", ["A"], [domain])
+        query = JoinQuery.parse(["R", "S"], ["R.A = S.A"])
+        engine.register_query("q", query, method="basic_sketch", budget=8, bounds=True)
+        engine.ingest_batch("R", np.array([[1], [2]]))
+        engine.ingest_batch("S", np.array([[1], [1]]))
+        engine.bound_report("q")
+        assert engine.telemetry.registry.get("repro_bound_tightness_ratio") is None
+
+
+BOUNDED_JOIN_SPEC = {
+    "kind": "join",
+    "relations": ["R1", "R2"],
+    "predicates": ["R1.A = R2.A"],
+    "method": "basic_sketch",
+    "budget": 24,
+    "options": {"bounds": True},
+}
+PLAIN_JOIN_SPEC = {**BOUNDED_JOIN_SPEC, "options": {}}
+
+
+class TestServeBoundMetadata:
+    @pytest.fixture
+    def harness(self):
+        from repro.sharding import ShardedStreamEngine
+
+        fleet = ShardedStreamEngine(num_shards=2, seed=3)
+        harness = ServeHarness(fleet)
+        yield harness
+        harness.close()
+        fleet.close()
+
+    def register_and_feed(self, client, spec=BOUNDED_JOIN_SPEC):
+        client.create_relation("R1", ["A"], [DOMAIN_SPEC])
+        client.create_relation("R2", ["A"], [DOMAIN_SPEC])
+        client.register("qj", spec)
+        client.ingest("R1", [[1], [2], [15], [15]])
+        client.ingest("R2", [[1], [15], [15]])
+
+    def test_query_reports_bound_metadata(self, harness):
+        with connect(harness) as client:
+            self.register_and_feed(client)
+            for mode in ("answer", "upper_bound", "clamped"):
+                reply = client.query("qj", mode=mode)
+                assert reply["mode"] == mode
+                bound = reply["bound"]
+                assert bound["clamped"] <= bound["upper_bound"]
+                assert bound["clamp_fired"] in (False, True)
+            assert client.query("qj", mode="upper_bound")["value"] == (
+                client.query("qj")["bound"]["upper_bound"]
+            )
+
+    def test_boundless_queries_keep_the_old_shape(self, harness):
+        with connect(harness) as client:
+            self.register_and_feed(client, spec=PLAIN_JOIN_SPEC)
+            reply = client.query("qj")
+            assert "bound" not in reply
+            error = client.request("query", name="qj", mode="clamped")
+            assert error["ok"] is False and "bounds=True" in error["error"]
+
+    def test_partial_policy_refuses_bound_modes(self, harness):
+        with connect(harness) as client:
+            self.register_and_feed(client)
+            error = client.request("query", name="qj", mode="clamped", policy="partial")
+            assert error["ok"] is False
+            assert "no sound bound" in error["error"]
+
+    def test_unknown_mode_is_a_clean_error(self, harness):
+        with connect(harness) as client:
+            self.register_and_feed(client)
+            error = client.request("query", name="qj", mode="psychic")
+            assert error["ok"] is False and "unknown estimation mode" in error["error"]

@@ -109,3 +109,60 @@ class TestDegradation:
             assert partial.value == pytest.approx(expected["q_basic_sketch"])
         finally:
             fleet.close()
+
+
+def build_bounded_fleet(executor):
+    """A fleet whose join queries all carry degree statistics."""
+    from repro.core.normalization import Domain
+    from repro.sharding import ShardedStreamEngine
+    from tests.sharding.test_shard_recovery import DOMAIN, QUERY
+
+    fleet = ShardedStreamEngine(num_shards=3, seed=11, executor=executor)
+    domain = Domain.of_size(DOMAIN)
+    fleet.create_relation("R1", ["A"], [domain])
+    fleet.create_relation("R2", ["A"], [domain])
+    for method in ("cosine", "basic_sketch", "sample"):
+        options = {"probability": 0.25} if method == "sample" else {}
+        fleet.register_query(
+            f"q_{method}", QUERY, method=method, budget=24, bounds=True, **options
+        )
+    return fleet
+
+
+class TestBoundsSurviveKills:
+    """Revival keeps the *bounds* answer-identical, not just the estimates."""
+
+    @pytest.mark.parametrize("boundary", [2, 5, 8])
+    def test_bound_reports_identical_after_sigkill_revival(self, boundary):
+        from repro.fleet import SocketExecutor
+        from tests.sharding.test_shard_recovery import make_batches
+
+        batches = make_batches()
+        control = build_bounded_fleet(executor="serial")
+        for name, rows in batches:
+            control.ingest_batch(name, rows)
+        expected = {
+            name: control.bound_report(name) for name in control.query_names()
+        }
+        control.close()
+
+        fleet = build_bounded_fleet(executor=SocketExecutor())
+        shard = boundary % fleet.num_shards
+        try:
+            for number, (name, rows) in enumerate(batches, start=1):
+                fleet.ingest_batch(name, rows)
+                if number == boundary:
+                    kill_worker(fleet, shard)
+            for name, want in expected.items():
+                got = fleet.bound_report(name)
+                # degree vectors replay bit-for-bit; cosine's estimate is a
+                # reordered float sum, so it matches to tolerance
+                assert got["upper_bound"] == want["upper_bound"], name
+                assert got["clamp_fired"] == want["clamp_fired"], name
+                for key in ("estimate", "clamped"):
+                    assert got[key] == pytest.approx(want[key], rel=1e-9), name
+            # the first query after the kill detected the dead worker and
+            # revived it (checkpoint restore + journal replay)
+            assert fleet._executor.supervisor.restart_count(shard) == 1
+        finally:
+            fleet.close()

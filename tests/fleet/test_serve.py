@@ -150,6 +150,73 @@ class TestOps:
             assert two.ping()["ok"] is True
 
 
+BOUNDED_SPEC = {
+    "kind": "join",
+    "relations": ["R1", "R2"],
+    "predicates": ["R1.A = R2.A"],
+    "method": "basic_sketch",
+    "budget": 24,
+    "options": {"bounds": True},
+}
+
+
+class TestBoundMetadata:
+    """The `mode` field and `bound` reply block docs/BOUNDS.md promises."""
+
+    def _setup(self, client):
+        client.create_relation("R1", ["A"], [DOMAIN_SPEC])
+        client.create_relation("R2", ["A"], [DOMAIN_SPEC])
+        client.register("qb", BOUNDED_SPEC)
+        for relation in ("R1", "R2"):
+            client.ingest(relation, [[v % 48] for v in range(120)])
+
+    def test_bounded_query_replies_carry_bound_metadata(self, harness):
+        with connect(harness) as client:
+            self._setup(client)
+            answer = client.query("qb")
+            upper = client.query("qb", mode="upper_bound")
+            clamped = client.query("qb", mode="clamped")
+            for reply in (answer, upper, clamped):
+                assert set(reply["bound"]) == {
+                    "upper_bound",
+                    "clamped",
+                    "clamp_fired",
+                }
+            assert upper["mode"] == "upper_bound"
+            assert upper["value"] == answer["bound"]["upper_bound"]
+            assert clamped["value"] == answer["bound"]["clamped"]
+            assert clamped["value"] <= upper["value"]
+            assert answer["bound"]["clamp_fired"] == (
+                answer["value"] > upper["value"]
+            )
+
+    def test_unknown_mode_is_rejected_but_survivable(self, harness):
+        with connect(harness) as client:
+            self._setup(client)
+            response = client.request("query", name="qb", mode="sideways")
+            assert response["ok"] is False
+            assert "unknown estimation mode" in response["error"]
+            assert client.ping()["ok"] is True
+
+    def test_mode_on_unbounded_query_is_rejected(self, harness):
+        with connect(harness) as client:
+            client.create_relation("R1", ["A"], [DOMAIN_SPEC])
+            client.create_relation("R2", ["A"], [DOMAIN_SPEC])
+            client.register("qj", JOIN_SPEC)
+            response = client.request("query", name="qj", mode="upper_bound")
+            assert response["ok"] is False
+            assert "bounds=True" in response["error"]
+
+    def test_partial_policy_refuses_bound_modes(self, harness):
+        with connect(harness) as client:
+            self._setup(client)
+            response = client.request(
+                "query", name="qb", policy="partial", mode="upper_bound"
+            )
+            assert response["ok"] is False
+            assert "no sound bound" in response["error"]
+
+
 class TestDegradation:
     @pytest.fixture
     def wounded(self):

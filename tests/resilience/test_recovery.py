@@ -188,3 +188,26 @@ class TestMultiAttributeAndBand:
         original = engine.answers()
         for name, value in restored.answers().items():
             assert value == pytest.approx(original[name], rel=1e-9), name
+
+
+class TestBoundObserversRideAlong:
+    """Degree statistics are regular observer state: checkpoints carry them."""
+
+    def test_degree_observers_restore_with_the_query(self, tmp_path):
+        engine = StreamEngine(seed=3)
+        domain = Domain.of_size(DOMAIN_SIZE)
+        engine.create_relation("R1", ["A"], [domain])
+        engine.create_relation("R2", ["A"], [domain])
+        query = JoinQuery.parse(["R1", "R2"], ["R1.A = R2.A"])
+        engine.register_query("q", query, method="basic_sketch", budget=24, bounds=True)
+        for name, rows in make_batches(n_batches=4):
+            engine.ingest_batch(name, rows)
+        engine.save_checkpoint(tmp_path / "x.ckpt")
+        restored = StreamEngine.load_checkpoint(tmp_path / "x.ckpt")
+        assert restored.bound_report("q") == engine.bound_report("q")
+        # the restored observers are live, not a frozen snapshot: future
+        # ingest moves both engines' bounds in lockstep
+        for name, rows in make_batches(n_batches=2, seed=33):
+            engine.ingest_batch(name, rows)
+            restored.ingest_batch(name, rows)
+        assert restored.bound_report("q") == engine.bound_report("q")
