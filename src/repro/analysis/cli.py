@@ -1,7 +1,10 @@
 """Command-line front end: ``python -m repro.analysis [paths...]``.
 
-Exit codes: 0 = clean (or artifact updated / baseline written), 1 =
-findings reported, 2 = usage or generation error.
+Exit codes: 0 = clean (or artifact updated / baseline written or
+pruned), 1 = findings reported, 2 = usage error, generation error, or
+internal analyzer error.  CI keys off the distinction: 1 means the
+*code under analysis* is in violation; 2 means the *analyzer itself*
+failed and the result must not be trusted as clean.
 """
 
 from __future__ import annotations
@@ -73,6 +76,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="snapshot current findings into the baseline file and exit 0",
     )
     parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="drop baseline entries that no longer match any finding",
+    )
+    parser.add_argument(
         "--update-metric-catalog",
         action="store_true",
         help="regenerate the metric catalog from registration sites",
@@ -123,19 +131,39 @@ def main(argv: Sequence[str] | None = None) -> int:
     if ignore:
         overrides["ignore"] = ignore
 
-    report = run_analysis(
-        root, paths, overrides=overrides, baseline_path=args.baseline
+    try:
+        report = run_analysis(
+            root, paths, overrides=overrides, baseline_path=args.baseline
+        )
+    except (OSError, SyntaxError, ValueError) as exc:
+        # The analyzer itself failed (unreadable tree, corrupt baseline,
+        # bad config): exit 2, distinct from "violations found" (1), so
+        # CI never mistakes a crashed run for a clean one.
+        print(f"internal analyzer error: {exc}", file=sys.stderr)
+        return 2
+
+    config = load_config(root, overrides)
+    baseline_path = args.baseline or root / str(
+        config.get("baseline", "analysis-baseline.json")
     )
 
     if args.write_baseline:
-        config = load_config(root, overrides)
-        baseline_path = args.baseline or root / str(
-            config.get("baseline", "analysis-baseline.json")
-        )
         pairs = list(zip(report.findings, report.fingerprints)) + report.baselined
         Baseline.from_findings(pairs).save(baseline_path)
         print(f"wrote {baseline_path} ({len(pairs)} findings baselined)")
         return 0
+
+    if args.prune_baseline:
+        baseline = Baseline.load(baseline_path)
+        for fingerprint in report.stale_baseline:
+            baseline.entries.pop(fingerprint, None)
+        baseline.save(baseline_path)
+        print(
+            f"pruned {len(report.stale_baseline)} stale "
+            f"entr{'y' if len(report.stale_baseline) == 1 else 'ies'} from "
+            f"{baseline_path} ({len(baseline)} kept)"
+        )
+        report.stale_baseline = []
 
     rendered = RENDERERS[args.format](report)
     if args.output is not None:

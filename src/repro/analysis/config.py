@@ -89,6 +89,40 @@ DEFAULT_CONFIG: dict[str, Any] = {
         "allowed-paths": ["src/repro/sharding", "src/repro/fleet"],
         "dispatch-methods": ["call", "scatter", "broadcast"],
     },
+    "concurrency-discipline": {
+        # Entry points the graph cannot discover statically: the HTTP
+        # handler class is instantiated by socketserver per request, on
+        # the metrics-server thread.
+        "thread-roots": ["repro.obs.server._Handler"],
+        # Telemetry objects every engine thread calls into concurrently;
+        # all their methods count as concurrent entry points.
+        "hot-path-classes": [
+            "repro.obs.metrics.MetricsRegistry",
+            "repro.obs.tracing.Tracer",
+        ],
+        # Modules where a lock-order inversion is reported (the repo's
+        # multi-lock modules); inversions entirely outside are ignored.
+        "lock-order-modules": [
+            "src/repro/fleet/supervisor.py",
+            "src/repro/obs/otel/export.py",
+            "src/repro/obs/server.py",
+        ],
+    },
+    "metric-drift": {
+        "prefix": "repro_",
+        "catalog": "src/repro/obs/catalog.py",
+        # Full metric-name literals that are legitimately not catalogued
+        # (e.g. negative fixtures in docs).
+        "allow": [],
+    },
+    "checkpoint-completeness": {
+        "exempt-attribute": "_checkpoint_exempt",
+    },
+    "async-safety": {
+        # Coroutine bodies under these prefixes must not block the loop.
+        "paths": ["src/repro"],
+        "extra-blocking": [],
+    },
     "hot-path": {
         # Per-tuple hot-path methods: flag allocation-heavy idioms inside.
         "functions": ["on_op", "process", "_process_inner"],

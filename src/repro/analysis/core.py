@@ -20,6 +20,7 @@ from typing import Iterator, Sequence
 
 __all__ = [
     "Finding",
+    "RelatedLocation",
     "SourceFile",
     "SourceTree",
     "iter_py_files",
@@ -32,8 +33,31 @@ _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s-]+)\])?")
 
 
 @dataclass(frozen=True)
+class RelatedLocation:
+    """A secondary location a cross-module finding points at.
+
+    The primary location is where the violation must be fixed; related
+    locations explain *why* it is a violation (the thread entry point
+    that reaches a mutation, the inherited ``state_dict`` that misses an
+    attribute, the conflicting lock ordering in another module).
+    """
+
+    path: str
+    line: int
+    note: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+
+@dataclass(frozen=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one primary source location.
+
+    Cross-module rules attach :class:`RelatedLocation` evidence spanning
+    other files; the fingerprint stays a function of the primary location
+    only, so baselines survive edits to the evidence files.
+    """
 
     code: str
     rule: str
@@ -41,6 +65,7 @@ class Finding:
     line: int
     col: int
     message: str
+    related: tuple[RelatedLocation, ...] = ()
 
     def fingerprint(self, line_text: str) -> str:
         """Stable identity for baselining: rule + file + offending text."""
@@ -74,11 +99,18 @@ class SourceFile:
         codes = self.noqa.get(lineno, frozenset())
         return codes is None or code in (codes or frozenset())
 
-    def finding(self, code: str, rule: str, node: ast.AST, message: str) -> Finding:
+    def finding(
+        self,
+        code: str,
+        rule: str,
+        node: ast.AST,
+        message: str,
+        related: tuple[RelatedLocation, ...] = (),
+    ) -> Finding:
         """Build a finding anchored at an AST node of this file."""
         lineno = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
-        return Finding(code, rule, self.rel_path, int(lineno), int(col), message)
+        return Finding(code, rule, self.rel_path, int(lineno), int(col), message, related)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SourceFile({self.rel_path})"

@@ -26,6 +26,8 @@ def render_text(report: "AnalysisReport") -> str:
     lines: list[str] = []
     for finding in report.findings:
         lines.append(f"{finding.location()}: {finding.code} {finding.message}")
+        for related in finding.related:
+            lines.append(f"    {related.location()}: {related.note}")
     if report.findings:
         lines.append("")
     parts = [
@@ -47,21 +49,29 @@ def render_text(report: "AnalysisReport") -> str:
 
 
 def render_json(report: "AnalysisReport") -> str:
+    findings: list[dict[str, Any]] = []
+    for finding, fingerprint in zip(report.findings, report.fingerprints):
+        entry: dict[str, Any] = {
+            "rule": finding.code,
+            "name": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "col": finding.col,
+            "message": finding.message,
+            "fingerprint": fingerprint,
+        }
+        if finding.related:
+            # Cross-module evidence; absent for single-file findings so
+            # pre-existing golden outputs stay byte-stable.
+            entry["related"] = [
+                {"path": rel.path, "line": rel.line, "note": rel.note}
+                for rel in finding.related
+            ]
+        findings.append(entry)
     payload: dict[str, Any] = {
         "version": REPORT_VERSION,
         "tool": _TOOL_NAME,
-        "findings": [
-            {
-                "rule": finding.code,
-                "name": finding.rule,
-                "path": finding.path,
-                "line": finding.line,
-                "col": finding.col,
-                "message": finding.message,
-                "fingerprint": fingerprint,
-            }
-            for finding, fingerprint in zip(report.findings, report.fingerprints)
-        ],
+        "findings": findings,
         "summary": {
             "files_scanned": report.files_scanned,
             "rules_run": list(report.rules_run),
@@ -89,29 +99,42 @@ def render_sarif(report: "AnalysisReport") -> str:
         )
     results: list[dict[str, Any]] = []
     for finding, fingerprint in zip(report.findings, report.fingerprints):
-        results.append(
-            {
-                "ruleId": finding.code,
-                "ruleIndex": rule_index.get(finding.code, -1),
-                "level": "error",
-                "message": {"text": finding.message},
-                "partialFingerprints": {"reproAnalysis/v1": fingerprint},
-                "locations": [
-                    {
-                        "physicalLocation": {
-                            "artifactLocation": {
-                                "uri": finding.path,
-                                "uriBaseId": "SRCROOT",
-                            },
-                            "region": {
-                                "startLine": finding.line,
-                                "startColumn": finding.col + 1,
-                            },
-                        }
+        result: dict[str, Any] = {
+            "ruleId": finding.code,
+            "ruleIndex": rule_index.get(finding.code, -1),
+            "level": "error",
+            "message": {"text": finding.message},
+            "partialFingerprints": {"reproAnalysis/v1": fingerprint},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
                     }
-                ],
-            }
-        )
+                }
+            ],
+        }
+        if finding.related:
+            result["relatedLocations"] = [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": rel.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": rel.line},
+                    },
+                    "message": {"text": rel.note},
+                }
+                for rel in finding.related
+            ]
+        results.append(result)
     log: dict[str, Any] = {
         "$schema": (
             "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"

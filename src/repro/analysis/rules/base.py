@@ -5,7 +5,7 @@ from __future__ import annotations
 import ast
 from typing import Any, ClassVar, Iterator, Mapping
 
-from ..core import Finding, SourceFile, SourceTree
+from ..core import Finding, RelatedLocation, SourceFile, SourceTree
 
 __all__ = [
     "Rule",
@@ -35,8 +35,14 @@ class Rule:
         section = config.get(self.name, {})
         return section if isinstance(section, Mapping) else {}
 
-    def finding(self, source: SourceFile, node: ast.AST, message: str) -> Finding:
-        return source.finding(self.code, self.name, node, message)
+    def finding(
+        self,
+        source: SourceFile,
+        node: ast.AST,
+        message: str,
+        related: tuple[RelatedLocation, ...] = (),
+    ) -> Finding:
+        return source.finding(self.code, self.name, node, message, related)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}({self.code})"

@@ -1,0 +1,98 @@
+"""REP010: checkpoint completeness across the inheritance graph.
+
+REP002 audits classes that define ``state_dict`` *and* ``load_state`` in
+their own body — a per-file check by construction.  It is blind to the
+dangerous variant: a subclass in another module adds mutable ``__init__``
+state while *inheriting* its serialization.  ``DegreeObserver`` and
+``FlakyObserver`` subclass ``StreamObserver`` across package boundaries;
+a field added there would silently revert to its constructor default on
+every restore, and no per-file rule can see it.
+
+This rule walks the :class:`~repro.analysis.graph.ProjectGraph` MRO:
+for every class whose checkpoint protocol is at least partly inherited,
+each attribute assigned in the class's *own* ``__init__`` must be read
+by some ``state_dict`` in the MRO (a ``return self.inner.state_dict()``
+delegation counts — the delegate attribute is read) or listed in a
+``_checkpoint_exempt`` tuple anywhere in the MRO.  Findings carry a
+related location pointing at the inherited ``state_dict`` that misses
+the attribute.  Classes that define both methods themselves are left to
+REP002, so no site is reported twice.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Mapping
+
+from ..core import Finding, RelatedLocation, SourceTree
+from ..graph import ClassInfo, ProjectGraph
+from .base import Rule, is_self_attribute
+from .checkpoints import _ALWAYS_EXEMPT
+
+__all__ = ["CheckpointGraphRule"]
+
+_PROTOCOL = ("state_dict", "load_state")
+
+
+class CheckpointGraphRule(Rule):
+    code = "REP010"
+    name = "checkpoint-completeness"
+    description = (
+        "subclasses inheriting the checkpoint protocol must have every own "
+        "__init__ attribute serialized by an inherited state_dict or listed "
+        "in _checkpoint_exempt"
+    )
+
+    def check(self, tree: SourceTree, config: Mapping[str, Any]) -> list[Finding]:
+        options = self.options(config)
+        exempt_attr = str(options.get("exempt-attribute", "_checkpoint_exempt"))
+        graph = ProjectGraph.for_tree(tree)
+        findings: list[Finding] = []
+        for cls in graph.classes.values():
+            owners = {
+                method: graph.method_owner(cls, method) for method in _PROTOCOL
+            }
+            if any(owner is None for owner in owners.values()):
+                continue  # not a checkpoint-protocol class
+            if all(owner is not None and owner.qualname == cls.qualname
+                   for owner in owners.values()):
+                continue  # defines both itself: REP002's per-file jurisdiction
+            serialized = self._serialized_attrs(graph, cls)
+            exempt = set(graph.class_tuple(cls, exempt_attr)) | _ALWAYS_EXEMPT
+            state_owner = owners["state_dict"]
+            assert state_owner is not None
+            for attr in sorted(set(cls.init_attrs) - serialized - exempt):
+                store = cls.init_attrs[attr]
+                findings.append(
+                    self.finding(
+                        cls.source,
+                        store,
+                        f"{cls.name}.{attr} is assigned in __init__ but the "
+                        f"checkpoint protocol inherited from "
+                        f"{state_owner.qualname} never serializes it; a "
+                        "restore would silently reset it — serialize it, "
+                        f"override state_dict, or list it in {exempt_attr}",
+                        related=(
+                            RelatedLocation(
+                                state_owner.source.rel_path,
+                                int(state_owner.methods["state_dict"].node.lineno),
+                                f"inherited state_dict defined here omits "
+                                f"{attr!r}",
+                            ),
+                        ),
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _serialized_attrs(graph: ProjectGraph, cls: ClassInfo) -> set[str]:
+        """Every ``self.<attr>`` read by any ``state_dict`` in the MRO."""
+        out: set[str] = set()
+        for owner in graph.mro(cls):
+            method = owner.methods.get("state_dict")
+            if method is None:
+                continue
+            for node in ast.walk(method.node):
+                if isinstance(node, ast.Attribute) and is_self_attribute(node):
+                    out.add(node.attr)
+        return out

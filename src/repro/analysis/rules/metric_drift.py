@@ -1,0 +1,76 @@
+"""REP009: every metric-name literal anywhere must exist in the catalog.
+
+REP001 checks *registration* sites (``.counter("repro_...")``) against
+the generated catalog.  But metric names also appear far from their
+registration: dashboards fetch them by name, tests assert on them,
+exporters and docs embed them.  A renamed metric leaves those references
+silently pointing at nothing — queries return empty series instead of
+failing.  This rule closes the loop: any string literal in the tree that
+*is* a full metric name (matches ``<prefix>[a-z0-9_]+``) must be a
+catalog entry.  The reverse direction — catalog entries with no
+registration site — is REP001's stale-entry check, so the two rules
+together enforce exact bidirectional agreement.
+
+Registration sites themselves are skipped here (REP001 reports them with
+richer kind/label diagnostics), as is the generated catalog module.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Any, Mapping
+
+from ..core import Finding, SourceTree
+from .base import Rule
+from .metrics import load_catalog, scan_metric_sites
+
+__all__ = ["MetricDriftRule"]
+
+
+class MetricDriftRule(Rule):
+    code = "REP009"
+    name = "metric-drift"
+    description = (
+        "string literals naming repro_* metrics must refer to catalogued "
+        "metrics, wherever in the tree they appear"
+    )
+
+    def check(self, tree: SourceTree, config: Mapping[str, Any]) -> list[Finding]:
+        options = self.options(config)
+        prefix = str(options.get("prefix", "repro_"))
+        catalog_rel = str(options.get("catalog", "src/repro/obs/catalog.py"))
+        allow = {str(name) for name in options.get("allow", ())}
+        catalog = load_catalog(tree.root / catalog_rel) or {}
+        name_re = re.compile(re.escape(prefix) + r"[a-z0-9]+(?:_[a-z0-9]+)*\Z")
+
+        # Registration call sites are REP001's jurisdiction: remember the
+        # exact string nodes so the same literal is not double-reported.
+        registration_nodes = {
+            id(site.node.args[0]) for site in scan_metric_sites(tree, prefix)
+        }
+
+        findings: list[Finding] = []
+        for source in tree:
+            if source.rel_path == catalog_rel:
+                continue
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.Constant) or not isinstance(node.value, str):
+                    continue
+                if id(node) in registration_nodes:
+                    continue
+                if not name_re.fullmatch(node.value):
+                    continue
+                if node.value in catalog or node.value in allow:
+                    continue
+                findings.append(
+                    self.finding(
+                        source,
+                        node,
+                        f"string {node.value!r} looks like a metric name but "
+                        f"is not in the catalog {catalog_rel}; fix the "
+                        "reference, register the metric, or allow-list it "
+                        "under [tool.repro-analysis.metric-drift]",
+                    )
+                )
+        return findings

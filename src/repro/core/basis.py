@@ -24,9 +24,10 @@ the unit interval:
 
 from __future__ import annotations
 
-from typing import Literal
+from typing import Any, Literal
 
 import numpy as np
+from numpy.typing import NDArray
 from scipy.fft import dct
 
 GridKind = Literal["midpoint", "endpoint"]
@@ -35,14 +36,14 @@ GridKind = Literal["midpoint", "endpoint"]
 SQRT2 = float(np.sqrt(2.0))
 
 
-def midpoint_grid(n: int) -> np.ndarray:
+def midpoint_grid(n: int) -> NDArray[Any]:
     """Return the DCT-II midpoint grid ``(2j+1)/(2n)``, ``j = 0..n-1``."""
     if n < 1:
         raise ValueError(f"domain size must be >= 1, got {n}")
     return (2.0 * np.arange(n) + 1.0) / (2.0 * n)
 
 
-def endpoint_grid(n: int) -> np.ndarray:
+def endpoint_grid(n: int) -> NDArray[Any]:
     """Return the endpoint grid ``j/(n-1)`` (section 3.1 normalization).
 
     For ``n == 1`` the single point maps to 0.5 so that a degenerate domain
@@ -55,7 +56,7 @@ def endpoint_grid(n: int) -> np.ndarray:
     return np.arange(n) / (n - 1.0)
 
 
-def make_grid(n: int, kind: GridKind = "midpoint") -> np.ndarray:
+def make_grid(n: int, kind: GridKind = "midpoint") -> NDArray[Any]:
     """Return the grid of ``n`` normalized positions for the given kind."""
     if kind == "midpoint":
         return midpoint_grid(n)
@@ -64,7 +65,7 @@ def make_grid(n: int, kind: GridKind = "midpoint") -> np.ndarray:
     raise ValueError(f"unknown grid kind: {kind!r}")
 
 
-def phi(k: np.ndarray | int, x: np.ndarray | float) -> np.ndarray:
+def phi(k: NDArray[Any] | int, x: NDArray[Any] | float) -> NDArray[Any]:
     """Evaluate ``phi_k(x)`` with numpy broadcasting over ``k`` and ``x``.
 
     ``phi_0(x) = 1`` and ``phi_k(x) = sqrt(2) cos(k pi x)`` for ``k >= 1``.
@@ -76,7 +77,7 @@ def phi(k: np.ndarray | int, x: np.ndarray | float) -> np.ndarray:
     return np.where(k_arr == 0, 1.0, values)
 
 
-def basis_matrix(orders: np.ndarray, positions: np.ndarray) -> np.ndarray:
+def basis_matrix(orders: NDArray[Any], positions: NDArray[Any]) -> NDArray[Any]:
     """Return the matrix ``P[i, j] = phi_{orders[i]}(positions[j])``.
 
     ``orders`` is a 1-d integer array of basis orders, ``positions`` a 1-d
@@ -89,10 +90,10 @@ def basis_matrix(orders: np.ndarray, positions: np.ndarray) -> np.ndarray:
 
 
 def coefficients_from_counts(
-    counts: np.ndarray,
-    orders: np.ndarray | None = None,
+    counts: NDArray[Any],
+    orders: NDArray[Any] | None = None,
     grid: GridKind = "midpoint",
-) -> np.ndarray:
+) -> NDArray[Any]:
     """Compute cosine coefficients of a 1-d frequency vector (paper Eq. 3.2).
 
     ``counts[j]`` is the number of stream elements holding the j-th domain
@@ -116,7 +117,7 @@ def coefficients_from_counts(
     return basis_matrix(np.asarray(orders), positions) @ counts / total
 
 
-def coefficients_via_scipy_dct(counts: np.ndarray) -> np.ndarray:
+def coefficients_via_scipy_dct(counts: NDArray[Any]) -> NDArray[Any]:
     """Compute the full midpoint-grid coefficient vector via ``scipy.fft.dct``.
 
     scipy's type-II DCT returns ``y_k = 2 * sum_j counts[j] cos(pi k (2j+1) / (2n))``,
@@ -137,11 +138,11 @@ def coefficients_via_scipy_dct(counts: np.ndarray) -> np.ndarray:
 
 
 def reconstruct_frequencies(
-    coefficients: np.ndarray,
-    orders: np.ndarray,
+    coefficients: NDArray[Any],
+    orders: NDArray[Any],
     n: int,
     grid: GridKind = "midpoint",
-) -> np.ndarray:
+) -> NDArray[Any]:
     """Reconstruct the (relative) frequency function from coefficients.
 
     Inverts the expansion on the discrete grid:
@@ -154,7 +155,7 @@ def reconstruct_frequencies(
     return coefficients @ basis_matrix(np.asarray(orders), positions) / n
 
 
-def orthogonality_gram(n: int, grid: GridKind = "midpoint") -> np.ndarray:
+def orthogonality_gram(n: int, grid: GridKind = "midpoint") -> NDArray[Any]:
     """Return the Gram matrix ``G[k,l] = (1/n) sum_j phi_k(x_j) phi_l(x_j)``.
 
     On the midpoint grid this is the identity; on the endpoint grid it is

@@ -21,9 +21,10 @@ degenerates to the ordinary synopsis.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from .basis import GridKind
 from .normalization import Domain
@@ -98,7 +99,9 @@ class DecayedCosineSynopsis:
         self._weighted_count *= factor
         self._clock = timestamp
 
-    def insert(self, values, timestamp: float) -> None:
+    def insert(
+        self, values: Sequence[Any] | NDArray[Any] | object, timestamp: float
+    ) -> None:
         """Process one arrival at the given (non-decreasing) timestamp."""
         self.advance_to(timestamp)
         # the inner synopsis accumulates the tuple's basis products into its
@@ -107,13 +110,13 @@ class DecayedCosineSynopsis:
         self._inner.insert(values)
         self._weighted_count += 1.0
 
-    def coefficients(self) -> np.ndarray:
+    def coefficients(self) -> NDArray[Any]:
         """Decayed coefficients ``a_k = S_k / W`` at the current clock."""
         if self._weighted_count <= 0:
             raise ValueError("synopsis holds no (undecayed) mass")
         return self._inner._sums / self._weighted_count
 
-    def reconstruct_decayed_counts(self) -> np.ndarray:
+    def reconstruct_decayed_counts(self) -> NDArray[Any]:
         """Decayed frequency tensor implied by the synopsis (diagnostic).
 
         ``CosineSynopsis.reconstruct_counts`` inverts the transform of the

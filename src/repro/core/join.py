@@ -24,9 +24,10 @@ from __future__ import annotations
 
 import string
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..fastpath import phi_block
 from .synopsis import CosineSynopsis
@@ -129,7 +130,7 @@ def estimate_multijoin_size(
         n = synopses[pred.left[0]].domains[pred.left[1]].size
         scale /= n
 
-    operands: list[np.ndarray] = []
+    operands: list[NDArray[Any]] = []
     subscripts: list[str] = []
     for rel, syn in enumerate(synopses):
         tensor = syn.dense_tensor(order)
@@ -212,7 +213,7 @@ def estimate_join_size_by_group(
     grouped: CosineSynopsis,
     other: CosineSynopsis,
     group_axis: int = 0,
-) -> np.ndarray:
+) -> NDArray[Any]:
     """Per-group equi-join sizes: ``GROUP BY`` one attribute of a 2-d stream.
 
     For a two-attribute synopsis of R1(G, A) joined with a one-attribute

@@ -14,9 +14,10 @@ normalized grid (see :mod:`repro.core.basis` for the two grid kinds).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Sequence
+from typing import Any, Hashable, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from .basis import GridKind, make_grid
 
@@ -74,7 +75,7 @@ class Domain:
             return None
         return self.low + self.size - 1
 
-    def indices_of(self, values: np.ndarray | Sequence[Hashable]) -> np.ndarray:
+    def indices_of(self, values: NDArray[Any] | Sequence[Hashable]) -> NDArray[Any]:
         """Map raw attribute values to domain indices ``0..size-1``.
 
         Raises ``ValueError`` on any value outside the domain.
@@ -111,7 +112,7 @@ class Domain:
         """Map a single raw value to its domain index."""
         return int(self.indices_of([value])[0])
 
-    def contains(self, values: np.ndarray | Sequence[Hashable]) -> np.ndarray:
+    def contains(self, values: NDArray[Any] | Sequence[Hashable]) -> NDArray[Any]:
         """Boolean membership mask for a batch of raw values.
 
         The non-raising counterpart of :meth:`indices_of`, used by the
@@ -122,7 +123,7 @@ class Domain:
         if self._categories is not None:
             known = set(self._categories)
 
-            def member(v) -> bool:
+            def member(v: Any) -> bool:
                 try:
                     return v in known
                 except TypeError:  # unhashable values are never members
@@ -150,13 +151,13 @@ class Domain:
         mask &= (values_int >= self.low) & (values_int <= self.high)
         return mask
 
-    def grid(self, kind: GridKind = "midpoint") -> np.ndarray:
+    def grid(self, kind: GridKind = "midpoint") -> NDArray[Any]:
         """Normalized positions of all domain values on the given grid."""
         return make_grid(self.size, kind)
 
     def positions_of(
-        self, values: np.ndarray | Sequence[Hashable], kind: GridKind = "midpoint"
-    ) -> np.ndarray:
+        self, values: NDArray[Any] | Sequence[Hashable], kind: GridKind = "midpoint"
+    ) -> NDArray[Any]:
         """Normalized [0, 1] positions of raw values (section 3.1)."""
         idx = self.indices_of(values)
         if kind == "midpoint":
@@ -185,7 +186,7 @@ def unify_domains(a: Domain, b: Domain) -> Domain:
     return Domain.integer_range(min(a.low, b.low), max(a.high, b.high))
 
 
-def embed_counts(counts: np.ndarray, original: Domain, unified: Domain) -> np.ndarray:
+def embed_counts(counts: NDArray[Any], original: Domain, unified: Domain) -> NDArray[Any]:
     """Re-index a frequency vector from its original domain into a unified one.
 
     Positions outside the original domain get frequency zero, per the

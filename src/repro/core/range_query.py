@@ -16,14 +16,17 @@ cosine sum identity
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
+from numpy.typing import NDArray
 
 from ..fastpath import phi_block
 from .basis import SQRT2
 from .synopsis import CosineSynopsis
 
 
-def basis_range_sums(order: int, n: int, lo: int, hi: int) -> np.ndarray:
+def basis_range_sums(order: int, n: int, lo: int, hi: int) -> NDArray[Any]:
     """Closed-form ``sum_{j=lo}^{hi} phi_k(x_j)`` on the midpoint grid.
 
     Returns the length-``order`` vector for ``k = 0..order-1``.
@@ -74,7 +77,7 @@ def estimate_range_selectivity(synopsis: CosineSynopsis, lo_index: int, hi_index
     return estimate_range_count(synopsis, lo_index, hi_index) / synopsis.count
 
 
-def estimate_cdf(synopsis: CosineSynopsis) -> np.ndarray:
+def estimate_cdf(synopsis: CosineSynopsis) -> NDArray[Any]:
     """Estimated cumulative distribution over the domain indices.
 
     ``cdf[j]`` estimates the fraction of the stream with value index

@@ -21,9 +21,10 @@ triangular set ``k1 + ... + kd <= m - 1`` (the default, section 3.2).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..fastpath import phi_block
 from .basis import GridKind
@@ -124,7 +125,7 @@ class CosineSynopsis:
         return self.indices.shape[0]
 
     @property
-    def coefficients(self) -> np.ndarray:
+    def coefficients(self) -> NDArray[Any]:
         """Current coefficient values ``a_k = S_k / N`` (paper Eq. 3.3)."""
         if self._count == 0:
             raise ValueError("synopsis is empty; coefficients are undefined")
@@ -141,7 +142,7 @@ class CosineSynopsis:
     # maintenance (paper Eqs. 3.4 / 3.5)
     # ------------------------------------------------------------------ #
 
-    def _contributions(self, rows: np.ndarray) -> np.ndarray:
+    def _contributions(self, rows: NDArray[Any]) -> NDArray[Any]:
         """Sum of per-tuple basis products for a batch of raw tuples.
 
         ``rows`` has shape ``(B, ndim)``; returns the length-``K`` vector
@@ -165,7 +166,7 @@ class CosineSynopsis:
                 table = phi_block(self.order, positions)
                 total += table @ weights
                 continue
-            prod: np.ndarray | None = None
+            prod: NDArray[Any] | None = None
             for j, domain in enumerate(self.domains):
                 positions = domain.positions_of(chunk[:, j], self.grid)
                 table = phi_block(self.order, positions)
@@ -175,15 +176,15 @@ class CosineSynopsis:
             total += prod @ weights
         return total
 
-    def insert(self, values: Sequence | np.ndarray | object) -> None:
+    def insert(self, values: Sequence[Any] | NDArray[Any] | object) -> None:
         """Process the arrival of one tuple (paper Eq. 3.4)."""
         self.insert_batch(self._as_rows(values))
 
-    def delete(self, values: Sequence | np.ndarray | object) -> None:
+    def delete(self, values: Sequence[Any] | NDArray[Any] | object) -> None:
         """Process the deletion of one tuple (paper Eq. 3.5)."""
         self.delete_batch(self._as_rows(values))
 
-    def insert_batch(self, rows: np.ndarray | Sequence) -> None:
+    def insert_batch(self, rows: NDArray[Any] | Sequence[Any]) -> None:
         """Process a batch of arrivals at once (section 3.2, batch update).
 
         The result is identical to inserting each tuple individually; the
@@ -195,7 +196,7 @@ class CosineSynopsis:
         self._sums += self._contributions(rows)
         self._count += rows.shape[0]
 
-    def delete_batch(self, rows: np.ndarray | Sequence) -> None:
+    def delete_batch(self, rows: NDArray[Any] | Sequence[Any]) -> None:
         """Process a batch of deletions at once."""
         rows = self._as_rows(rows)
         if rows.shape[0] == 0:
@@ -205,7 +206,7 @@ class CosineSynopsis:
         self._sums -= self._contributions(rows)
         self._count -= rows.shape[0]
 
-    def _as_rows(self, values) -> np.ndarray:
+    def _as_rows(self, values: Any) -> NDArray[Any]:
         """Coerce tuple / sequence-of-tuples input into a ``(B, ndim)`` array."""
         if self.ndim == 1 and np.isscalar(values):
             return np.asarray([[values]])
@@ -233,7 +234,7 @@ class CosineSynopsis:
     def from_counts(
         cls,
         domains: Sequence[Domain] | Domain,
-        counts: np.ndarray,
+        counts: NDArray[Any],
         order: int | None = None,
         budget: int | None = None,
         truncation: str = "triangular",
@@ -322,7 +323,7 @@ class CosineSynopsis:
         smaller._count = self._count
         return smaller
 
-    def dense_tensor(self, order: int | None = None) -> np.ndarray:
+    def dense_tensor(self, order: int | None = None) -> NDArray[Any]:
         """Coefficients scattered into a dense ``(order,)*ndim`` tensor.
 
         Truncated-away entries are zero.  ``order`` may shrink the tensor
@@ -336,7 +337,7 @@ class CosineSynopsis:
         keep = np.all(self.indices < order, axis=1)
         return scatter_to_dense(self.indices[keep], self.coefficients[keep], order)
 
-    def reconstruct_counts(self) -> np.ndarray:
+    def reconstruct_counts(self) -> NDArray[Any]:
         """Approximate joint frequency tensor implied by the synopsis.
 
         Inverts the truncated transform on the grid; with a full coefficient
@@ -351,7 +352,7 @@ class CosineSynopsis:
             tensor = tensor / domain.size
         return tensor * self._count
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         """Mutable state only (sums + count), for engine checkpoints.
 
         Unlike :meth:`to_dict` this omits the structural parameters —
@@ -361,7 +362,7 @@ class CosineSynopsis:
         """
         return {"sums": self._sums.copy(), "count": self._count}
 
-    def load_state(self, state: dict) -> None:
+    def load_state(self, state: dict[str, Any]) -> None:
         """Restore state captured by :meth:`state_dict`, in place."""
         sums = np.asarray(state["sums"], dtype=float)
         if sums.shape != self._sums.shape:
@@ -372,7 +373,7 @@ class CosineSynopsis:
         self._sums = sums.copy()
         self._count = int(state["count"])
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """Serialize to plain Python types (JSON-compatible)."""
         return {
             "ndim": self.ndim,
@@ -390,7 +391,7 @@ class CosineSynopsis:
         }
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "CosineSynopsis":
+    def from_dict(cls, payload: dict[str, Any]) -> "CosineSynopsis":
         """Inverse of :meth:`to_dict`."""
         domains = []
         for spec in payload["domains"]:

@@ -21,14 +21,15 @@ estimates — are exact (property-tested), mirroring Eq. 4.3 for equi-joins.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
 import numpy as np
+from numpy.typing import NDArray
 
 from .synopsis import CosineSynopsis
 
 
-def _reconstructed_counts(synopsis: CosineSynopsis) -> np.ndarray:
+def _reconstructed_counts(synopsis: CosineSynopsis) -> NDArray[Any]:
     if synopsis.ndim != 1:
         raise ValueError("theta-join estimation expects single-attribute synopses")
     return synopsis.reconstruct_counts()
@@ -134,7 +135,7 @@ def estimate_selected_join_size(
 def estimate_theta_join_size(
     a: CosineSynopsis,
     b: CosineSynopsis,
-    predicate: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    predicate: Callable[[NDArray[Any], NDArray[Any]], NDArray[Any]],
     chunk: int = 512,
 ) -> float:
     """Estimate a join under an arbitrary predicate on domain indices.

@@ -13,9 +13,12 @@ no index needs to be stored alongside the values.
 
 from __future__ import annotations
 
+from typing import Any
+
 from math import comb
 
 import numpy as np
+from numpy.typing import NDArray
 
 
 def triangular_count(order: int, ndim: int) -> int:
@@ -37,7 +40,7 @@ def full_count(order: int, ndim: int) -> int:
     return order**ndim
 
 
-def triangular_indices(order: int, ndim: int) -> np.ndarray:
+def triangular_indices(order: int, ndim: int) -> NDArray[Any]:
     """Enumerate the triangular index set in lexicographic order.
 
     Returns an ``(count, ndim)`` int64 array.  The enumeration order is
@@ -50,7 +53,7 @@ def triangular_indices(order: int, ndim: int) -> np.ndarray:
         raise ValueError(f"ndim must be >= 1, got {ndim}")
     if ndim == 1:
         return np.arange(order, dtype=np.int64)[:, None]
-    rows: list[np.ndarray] = []
+    rows: list[NDArray[Any]] = []
     for first in range(order):
         tail = triangular_indices(order - first, ndim - 1)
         block = np.empty((tail.shape[0], ndim), dtype=np.int64)
@@ -60,7 +63,7 @@ def triangular_indices(order: int, ndim: int) -> np.ndarray:
     return np.concatenate(rows, axis=0)
 
 
-def full_indices(order: int, ndim: int) -> np.ndarray:
+def full_indices(order: int, ndim: int) -> NDArray[Any]:
     """Enumerate the full ``order^ndim`` grid in lexicographic order."""
     if order < 1 or ndim < 1:
         raise ValueError("order and ndim must be >= 1")
@@ -88,8 +91,8 @@ def order_for_budget(budget: int, ndim: int, truncation: str = "triangular") -> 
 
 
 def scatter_to_dense(
-    indices: np.ndarray, values: np.ndarray, order: int
-) -> np.ndarray:
+    indices: NDArray[Any], values: NDArray[Any], order: int
+) -> NDArray[Any]:
     """Scatter retained coefficients into a dense ``(order,)*ndim`` tensor.
 
     Entries outside the retained set are zero — exactly the truncation the

@@ -16,7 +16,7 @@ approximate recency without the buffer, use
 from __future__ import annotations
 
 from collections import deque
-from typing import Sequence
+from typing import Any, Sequence
 
 from .basis import GridKind
 from .normalization import Domain
@@ -41,7 +41,7 @@ class SlidingWindowSynopsis:
         self.synopsis = CosineSynopsis(
             domains, order=order, budget=budget, truncation=truncation, grid=grid
         )
-        self._window: deque[tuple] = deque()
+        self._window: deque[tuple[Any, ...]] = deque()
 
     @property
     def count(self) -> int:
@@ -52,7 +52,7 @@ class SlidingWindowSynopsis:
     def num_coefficients(self) -> int:
         return self.synopsis.num_coefficients
 
-    def insert(self, values) -> tuple | None:
+    def insert(self, values: Sequence[Any]) -> tuple[Any, ...] | None:
         """Add an arrival; returns the expired tuple once the window is full."""
         values = tuple(values) if not isinstance(values, tuple) else values
         self.synopsis.insert(values)
@@ -63,7 +63,7 @@ class SlidingWindowSynopsis:
             return expired
         return None
 
-    def contents(self) -> list[tuple]:
+    def contents(self) -> list[tuple[Any, ...]]:
         """The live window, oldest first (for inspection/testing)."""
         return list(self._window)
 

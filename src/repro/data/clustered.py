@@ -22,9 +22,12 @@ lists: 1-attribute end relations and 2-attribute inner relations, e.g.
 
 from __future__ import annotations
 
+from typing import Any
+
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import NDArray
 
 from .zipf import apportion, zipf_probabilities
 
@@ -50,7 +53,7 @@ class ClusteredConfig:
 
 def _region_geometry(
     config: ClusteredConfig, ndim: int, rng: np.random.Generator
-) -> tuple[np.ndarray, np.ndarray]:
+) -> tuple[NDArray[Any], NDArray[Any]]:
     """Anchor centers and side lengths of the shared cluster rectangles.
 
     Returns ``(centers, sides)`` with shape ``(num_clusters, ndim)``.  Side
@@ -69,11 +72,11 @@ def _region_geometry(
 
 
 def _perturbed_centers(
-    centers: np.ndarray,
-    sides: np.ndarray,
+    centers: NDArray[Any],
+    sides: NDArray[Any],
     config: ClusteredConfig,
     rng: np.random.Generator,
-) -> np.ndarray:
+) -> NDArray[Any]:
     """One relation's private copy of the shared anchors (Dobra's p)."""
     p = rng.uniform(*config.perturbation, size=centers.shape)
     offsets = rng.uniform(-0.5, 0.5, size=centers.shape) * p * sides
@@ -81,8 +84,8 @@ def _perturbed_centers(
 
 
 def _region_cell_slices(
-    center: np.ndarray, side: np.ndarray, n: int
-) -> list[np.ndarray]:
+    center: NDArray[Any], side: NDArray[Any], n: int
+) -> list[NDArray[Any]]:
     """Per-dimension index arrays of a region's rectangle, clamped to [0, n)."""
     slices = []
     for c, s in zip(center, side):
@@ -99,10 +102,10 @@ def _region_cell_slices(
 def clustered_counts(
     config: ClusteredConfig,
     ndim: int,
-    centers: np.ndarray,
+    centers: NDArray[Any],
     rng: np.random.Generator,
-    sides: np.ndarray,
-) -> np.ndarray:
+    sides: NDArray[Any],
+) -> NDArray[Any]:
     """Materialize one relation's joint count tensor from its regions."""
     n = config.domain_size
     counts = np.zeros((n,) * ndim, dtype=np.int64)
@@ -130,7 +133,7 @@ def make_clustered_chain(
     config: ClusteredConfig,
     num_joins: int,
     rng: np.random.Generator,
-) -> list[np.ndarray]:
+) -> list[NDArray[Any]]:
     """Generate the relations of a ``num_joins``-join chain query.
 
     Returns ``num_joins + 1`` count tensors: 1-d ends and 2-d inner
@@ -145,7 +148,7 @@ def make_clustered_chain(
     # centers are the anchors of its attributes, privately perturbed.
     attr_geometry = [_region_geometry(config, 1, rng) for _ in range(num_joins)]
 
-    relations: list[np.ndarray] = []
+    relations: list[NDArray[Any]] = []
     for rel in range(num_relations):
         if rel == 0:
             attrs = [0]

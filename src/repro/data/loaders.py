@@ -12,11 +12,15 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Iterator, Literal, Sequence, TextIO
+from typing import TYPE_CHECKING, Any, Iterator, Literal, Sequence, TextIO
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..core.normalization import Domain
+
+if TYPE_CHECKING:
+    from ..streams.relation import StreamRelation
 
 OutOfDomain = Literal["error", "skip", "clip"]
 
@@ -24,7 +28,7 @@ OutOfDomain = Literal["error", "skip", "clip"]
 def iter_csv_rows(
     source: Path | str | TextIO,
     columns: Sequence[str],
-) -> Iterator[tuple]:
+) -> Iterator[tuple[Any, ...]]:
     """Yield value tuples for the selected columns of a CSV file.
 
     Values are parsed as integers where possible, else kept as strings
@@ -56,7 +60,7 @@ def counts_from_csv(
     columns: Sequence[str],
     domains: Sequence[Domain],
     out_of_domain: OutOfDomain = "error",
-) -> np.ndarray:
+) -> NDArray[Any]:
     """Build a joint count tensor from CSV columns.
 
     ``out_of_domain`` controls rows with values outside the declared
@@ -94,7 +98,7 @@ def relation_from_csv(
     columns: Sequence[str],
     domains: Sequence[Domain],
     out_of_domain: OutOfDomain = "error",
-):
+) -> StreamRelation:
     """Build a :class:`~repro.streams.relation.StreamRelation` from a CSV.
 
     The relation's exact state is bulk-loaded, so queries registered on it

@@ -25,9 +25,12 @@ the paper's figures.
 
 from __future__ import annotations
 
+from typing import Any
+
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..core.normalization import Domain
 from .zipf import zipf_probabilities
@@ -40,7 +43,7 @@ class RealLikeRelation:
     name: str
     attributes: tuple[str, ...]
     domains: tuple[Domain, ...]
-    counts: np.ndarray
+    counts: NDArray[Any]
 
     @property
     def size(self) -> int:
@@ -48,8 +51,8 @@ class RealLikeRelation:
 
 
 def _jittered_sample(
-    base: np.ndarray, total: int, rng: np.random.Generator, jitter: float = 0.05
-) -> np.ndarray:
+    base: NDArray[Any], total: int, rng: np.random.Generator, jitter: float = 0.05
+) -> NDArray[Any]:
     """Multinomial sample of ``total`` tuples around a jittered base pmf.
 
     The jitter models period-to-period drift (months of the CPS, years of
@@ -70,7 +73,7 @@ def _jittered_sample(
 CPS_MONTH_SIZES = {1: 133_696, 2: 143_598, 3: 135_872}
 
 
-def _cps_age_pmf(n_age: int) -> np.ndarray:
+def _cps_age_pmf(n_age: int) -> NDArray[Any]:
     """A population-pyramid age density over ``1..n_age``."""
     ages = np.arange(1, n_age + 1, dtype=float)
     pyramid = (
@@ -81,7 +84,7 @@ def _cps_age_pmf(n_age: int) -> np.ndarray:
     return pyramid / pyramid.sum()
 
 
-def _cps_education_given_age(n_age: int, n_edu: int) -> np.ndarray:
+def _cps_education_given_age(n_age: int, n_edu: int) -> NDArray[Any]:
     """Conditional education pmf per age: rises with age then saturates."""
     ages = np.arange(1, n_age + 1, dtype=float)
     edus = np.arange(1, n_edu + 1, dtype=float)
@@ -214,7 +217,7 @@ TRAFFIC_UDP_WEIGHTS = {1: 0.214, 2: 0.214, 3: 0.269}
 
 def _subnet_popularity(
     n_hosts: int, rng: np.random.Generator, num_subnets: int, roughness: float
-) -> np.ndarray:
+) -> NDArray[Any]:
     """Piecewise-smooth host popularity: hot subnets over a mild background.
 
     Host identifiers in packet traces cluster by address block, so activity
@@ -237,7 +240,7 @@ def _subnet_popularity(
 
 def _traffic_host_pmfs(
     n_hosts: int, rng: np.random.Generator
-) -> tuple[np.ndarray, np.ndarray]:
+) -> tuple[NDArray[Any], NDArray[Any]]:
     """Source and destination host popularity (hot-subnet structure)."""
     src = _subnet_popularity(n_hosts, rng, num_subnets=8, roughness=0.3)
     dst = _subnet_popularity(n_hosts, rng, num_subnets=12, roughness=0.3)

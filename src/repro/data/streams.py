@@ -8,14 +8,17 @@ tuples for relations whose domains do not start at zero).
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
+from numpy.typing import NDArray
 
 from ..core.normalization import Domain
 
 
 def rows_from_counts(
-    counts: np.ndarray, rng: np.random.Generator, shuffle: bool = True
-) -> np.ndarray:
+    counts: NDArray[Any], rng: np.random.Generator, shuffle: bool = True
+) -> NDArray[Any]:
     """Expand a joint count tensor into an ``(N, ndim)`` array of index rows.
 
     Each cell ``(j1..jd)`` with count ``c`` contributes ``c`` identical
@@ -34,11 +37,11 @@ def rows_from_counts(
 
 
 def raw_rows_from_counts(
-    counts: np.ndarray,
+    counts: NDArray[Any],
     domains: tuple[Domain, ...] | list[Domain],
     rng: np.random.Generator,
     shuffle: bool = True,
-) -> np.ndarray:
+) -> NDArray[Any]:
     """Like :func:`rows_from_counts` but in raw attribute values.
 
     Only integer-range domains are supported (indices shift by each

@@ -19,10 +19,13 @@ experimental knobs:
 
 from __future__ import annotations
 
+from typing import Any
+
 import enum
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import NDArray
 
 
 class Correlation(enum.Enum):
@@ -34,7 +37,7 @@ class Correlation(enum.Enum):
     NEGATIVE = "negative"
 
 
-def zipf_probabilities(n: int, z: float) -> np.ndarray:
+def zipf_probabilities(n: int, z: float) -> NDArray[Any]:
     """The Zipf(z) probability vector over ranks ``1..n`` (paper's f_z)."""
     if n < 1:
         raise ValueError(f"n must be >= 1, got {n}")
@@ -44,7 +47,7 @@ def zipf_probabilities(n: int, z: float) -> np.ndarray:
     return weights / weights.sum()
 
 
-def apportion(probabilities: np.ndarray, total: int) -> np.ndarray:
+def apportion(probabilities: NDArray[Any], total: int) -> NDArray[Any]:
     """Integer counts summing exactly to ``total`` (largest-remainder).
 
     Keeps synthetic relations at their nominal size so ground-truth join
@@ -62,7 +65,7 @@ def apportion(probabilities: np.ndarray, total: int) -> np.ndarray:
     return counts
 
 
-def zipf_counts(n: int, z: float, total: int) -> np.ndarray:
+def zipf_counts(n: int, z: float, total: int) -> NDArray[Any]:
     """Zipfian rank counts: ``apportion(zipf_probabilities(n, z), total)``."""
     return apportion(zipf_probabilities(n, z), total)
 
@@ -82,7 +85,7 @@ class TypeIConfig:
 
 def make_type1_pair(
     config: TypeIConfig, rng: np.random.Generator
-) -> tuple[np.ndarray, np.ndarray]:
+) -> tuple[NDArray[Any], NDArray[Any]]:
     """Generate the two frequency vectors of a Type I single-join dataset.
 
     Returns ``(counts1, counts2)``, each of length ``config.domain_size``
@@ -126,8 +129,8 @@ def make_type1_pair(
 
 
 def _permute_fraction(
-    mapping: np.ndarray, fraction: float, rng: np.random.Generator
-) -> np.ndarray:
+    mapping: NDArray[Any], fraction: float, rng: np.random.Generator
+) -> NDArray[Any]:
     """Displace the destinations of the top ``fraction`` of ranks.
 
     This is the paper's Figure 2 construction ("permuting only 10% of the

@@ -21,7 +21,11 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+if TYPE_CHECKING:
+    from ..obs.metrics import MetricsRegistry
+    from ..obs.otel import OtelPushLoop, SpanSource
 
 from .figures import FIGURES
 from .harness import run_experiment
@@ -192,7 +196,12 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_otel_loop(args: argparse.Namespace, metrics, spans, registry=None):
+def _build_otel_loop(
+    args: argparse.Namespace,
+    metrics: MetricsRegistry | Callable[[], MetricsRegistry] | None,
+    spans: SpanSource | None,
+    registry: MetricsRegistry | None = None,
+) -> OtelPushLoop | None:
     """An OTLP push loop from ``--otlp-endpoint``/``--otlp-file``, or ``None``.
 
     ``--otlp-endpoint`` wins when both are given (a collector is the
@@ -211,7 +220,7 @@ def _build_otel_loop(args: argparse.Namespace, metrics, spans, registry=None):
     )
 
 
-def _finish_otel(otel, args: argparse.Namespace) -> None:
+def _finish_otel(otel: OtelPushLoop | None, args: argparse.Namespace) -> None:
     """Final flush plus a one-line export/drop account."""
     if otel is None:
         return
@@ -293,7 +302,7 @@ def _monitor_sharded(args: argparse.Namespace, methods: list[str]) -> int:
         )
         print(f"           {occupancy}")
 
-    def snapshot() -> dict:
+    def snapshot() -> dict[str, Any]:
         return {"shards": fleet.shard_stats(), "answers": fleet.answers()}
 
     rng = np.random.default_rng(args.seed)
@@ -410,7 +419,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         spans=(lambda: [({}, tracer.drain())]) if tracer is not None else None,
     )
 
-    def snapshot() -> dict:
+    def snapshot() -> dict[str, Any]:
         return {"stats": engine.stats().as_dict(), "accuracy": tracker.as_dict()}
 
     clear_screen = _sys.stdout.isatty() and not args.no_clear

@@ -36,7 +36,7 @@ from ..data.reallike import (
     traffic_pairs,
 )
 from ..data.zipf import Correlation, TypeIConfig, make_type1_pair
-from .harness import ChainDataset, ExperimentConfig
+from .harness import ChainDataset, DataGen, ExperimentConfig
 
 
 @dataclass(frozen=True)
@@ -106,7 +106,7 @@ def make_figures(scales: FigureScales | None = None) -> dict[str, ExperimentConf
 
     # ---------------- Figures 1-6: Type I single joins ----------------- #
 
-    def type1_gen(correlation: Correlation, z2: float, smooth: bool):
+    def type1_gen(correlation: Correlation, z2: float, smooth: bool) -> DataGen:
         config = TypeIConfig(
             domain_size=s.type1_domain,
             relation_size=s.type1_size,
@@ -179,7 +179,7 @@ def make_figures(scales: FigureScales | None = None) -> dict[str, ExperimentConf
 
     # ---------------- Figures 7-12: Type II clustered ------------------ #
 
-    def clustered_gen(domain: int, clusters: int, num_joins: int):
+    def clustered_gen(domain: int, clusters: int, num_joins: int) -> DataGen:
         config = ClusteredConfig(
             domain_size=domain,
             num_clusters=clusters,
@@ -321,7 +321,7 @@ def make_figures(scales: FigureScales | None = None) -> dict[str, ExperimentConf
 
     # ---------------- Figures 17-20: Real data III (traffic-like) ------ #
 
-    def traffic_single_gen(field: str):
+    def traffic_single_gen(field: str) -> DataGen:
         def gen(rng: np.random.Generator) -> ChainDataset:
             structure_seed = int(rng.integers(1 << 31))
             r1 = traffic_hosts(
@@ -355,7 +355,7 @@ def make_figures(scales: FigureScales | None = None) -> dict[str, ExperimentConf
         expectation="Same story as Figure 17 on the destination attribute.",
     )
 
-    def traffic_two_join_gen(udp: bool, scale: float):
+    def traffic_two_join_gen(udp: bool, scale: float) -> DataGen:
         def gen(rng: np.random.Generator) -> ChainDataset:
             structure_seed = int(rng.integers(1 << 31))
             r1 = traffic_hosts(

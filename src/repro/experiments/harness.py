@@ -15,9 +15,10 @@ state (exact truncation / prefix slicing — see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..core.normalization import Domain
 from ..streams.exact import exact_multijoin_size, relative_error
@@ -33,7 +34,7 @@ def chain_slot_pairs(arities: Sequence[int]) -> list[tuple[tuple[int, int], tupl
     return [((i, arities[i] - 1), (i + 1, 0)) for i in range(len(arities) - 1)]
 
 
-def exact_chain_join_size(relations: Sequence[np.ndarray]) -> float:
+def exact_chain_join_size(relations: Sequence[NDArray[Any]]) -> float:
     """Ground-truth chain join size of a generated dataset."""
     return exact_multijoin_size(
         list(relations), chain_slot_pairs([np.asarray(r).ndim for r in relations])

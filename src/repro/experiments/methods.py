@@ -17,9 +17,10 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Protocol, Sequence
+from typing import Any, Protocol, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..core.join import estimate_chain_join_size
 from ..core.normalization import Domain
@@ -33,7 +34,7 @@ from ..sketches.basic import estimate_multijoin_size as sketch_chain
 from ..sketches.hashing import SignFamily
 from ..sketches.skimmed import estimate_multijoin_size_skimmed
 
-ChainData = Sequence[np.ndarray]
+ChainData = Sequence[NDArray[Any]]
 ChainDomains = Sequence[Sequence[Domain]]
 
 
@@ -170,7 +171,13 @@ class BasicSketchMethod:
     name: str = "basic_sketch"
     num_medians: int | None = None
 
-    def prepare(self, relations, domains, max_budget, rng) -> "PreparedSketch":
+    def prepare(
+        self,
+        relations: ChainData,
+        domains: ChainDomains,
+        max_budget: int,
+        rng: np.random.Generator,
+    ) -> "PreparedSketch":
         sketches = _build_chain_sketches(
             relations, domains, max_budget, rng, self.num_medians
         )
@@ -185,7 +192,13 @@ class SkimmedSketchMethod:
     num_medians: int | None = None
     threshold_factor: float = 2.0
 
-    def prepare(self, relations, domains, max_budget, rng) -> "PreparedSketch":
+    def prepare(
+        self,
+        relations: ChainData,
+        domains: ChainDomains,
+        max_budget: int,
+        rng: np.random.Generator,
+    ) -> "PreparedSketch":
         sketches = _build_chain_sketches(
             relations, domains, max_budget, rng, self.num_medians
         )
@@ -222,7 +235,13 @@ class SamplingMethod:
 
     name: str = "sample"
 
-    def prepare(self, relations, domains, max_budget, rng) -> "PreparedSample":
+    def prepare(
+        self,
+        relations: ChainData,
+        domains: ChainDomains,
+        max_budget: int,
+        rng: np.random.Generator,
+    ) -> "PreparedSample":
         _check_chain(relations, domains)
         return PreparedSample(
             [np.asarray(t) for t in relations], int(rng.integers(1 << 31))
@@ -231,7 +250,7 @@ class SamplingMethod:
 
 @dataclass
 class PreparedSample:
-    relations: list[np.ndarray]
+    relations: list[NDArray[Any]]
     seed: int
     _cache: dict[int, float] = field(default_factory=dict)
 
@@ -244,12 +263,12 @@ class PreparedSample:
             return self._cache[budget]
         rng = np.random.default_rng(self.seed + budget)
         samples: list[BernoulliSample] = []
-        counters: list[Counter] = []
+        counters: list[Counter[Any]] = []
         for tensor in self.relations:
             total = int(tensor.sum())
             probability = min(1.0, budget / max(total, 1))
             sample = BernoulliSample(probability, seed=int(rng.integers(1 << 31)))
-            counter: Counter = Counter()
+            counter: Counter[Any] = Counter()
             flat = tensor.ravel()
             nz = np.flatnonzero(flat)
             kept = rng.binomial(flat[nz].astype(np.int64), probability)
@@ -278,7 +297,13 @@ class HistogramMethod:
 
     name: str = "histogram"
 
-    def prepare(self, relations, domains, max_budget, rng) -> "PreparedHistogram":
+    def prepare(
+        self,
+        relations: ChainData,
+        domains: ChainDomains,
+        max_budget: int,
+        rng: np.random.Generator,
+    ) -> "PreparedHistogram":
         _check_chain(relations, domains)
         if len(relations) != 2:
             raise ValueError("the histogram baseline supports single joins only")
@@ -290,7 +315,7 @@ class HistogramMethod:
 
 @dataclass
 class PreparedHistogram:
-    counts: list[np.ndarray]
+    counts: list[NDArray[Any]]
     domains: list[Domain]
 
     def estimate(self, budget: int) -> float:
@@ -318,7 +343,13 @@ class WaveletMethod:
 
     name: str = "wavelet"
 
-    def prepare(self, relations, domains, max_budget, rng) -> "PreparedWavelet":
+    def prepare(
+        self,
+        relations: ChainData,
+        domains: ChainDomains,
+        max_budget: int,
+        rng: np.random.Generator,
+    ) -> "PreparedWavelet":
         _check_chain(relations, domains)
         if len(relations) != 2:
             raise ValueError("the wavelet baseline supports single joins only")
@@ -330,7 +361,7 @@ class WaveletMethod:
 
 @dataclass
 class PreparedWavelet:
-    counts: list[np.ndarray]
+    counts: list[NDArray[Any]]
     domains: list[Domain]
 
     def estimate(self, budget: int) -> float:

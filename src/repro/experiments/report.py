@@ -6,6 +6,8 @@ one column per method — the same series the paper plots.
 
 from __future__ import annotations
 
+from typing import Any
+
 from .harness import ExperimentResult
 
 
@@ -40,7 +42,7 @@ def format_result(result: ExperimentResult, reference: str = "cosine") -> str:
     return "\n".join(lines)
 
 
-def result_to_dict(result: ExperimentResult) -> dict:
+def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
     """Serialize an experiment result to plain JSON-compatible types.
 
     For piping results into external plotting or archival: figure metadata,

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -59,7 +60,7 @@ class SpeedReport:
         )
 
 
-def _time(callable_, repeats: int) -> float:
+def _time(callable_: Callable[[], object], repeats: int) -> float:
     start = time.perf_counter()
     for _ in range(repeats):
         callable_()

@@ -29,7 +29,7 @@ import numpy as np
 from ..core.error import relative_error_bound
 from ..core.normalization import Domain
 from ..data.zipf import Correlation, TypeIConfig, make_type1_pair
-from .harness import ExperimentConfig, run_experiment
+from .harness import ChainDataset, DataGen, ExperimentConfig, run_experiment
 from .methods import Method, default_methods
 
 
@@ -42,7 +42,7 @@ class SweepPoint:
 
 
 def _mean_errors(
-    datagen, budget: int, trials: int, seed: int, methods: Sequence[Method]
+    datagen: DataGen, budget: int, trials: int, seed: int, methods: Sequence[Method]
 ) -> dict[str, float]:
     config = ExperimentConfig(
         name="sweep-point",
@@ -76,7 +76,9 @@ def skew_sweep(
             correlation=Correlation.INDEPENDENT,
         )
 
-        def gen(rng, config=config):
+        def gen(
+            rng: np.random.Generator, config: TypeIConfig = config
+        ) -> ChainDataset:
             c1, c2 = make_type1_pair(config, rng)
             d = [[Domain.of_size(domain_size)], [Domain.of_size(domain_size)]]
             return [c1, c2], d
@@ -115,7 +117,9 @@ def correlation_sweep(
             permute_fraction=fraction,
         )
 
-        def gen(rng, config=config):
+        def gen(
+            rng: np.random.Generator, config: TypeIConfig = config
+        ) -> ChainDataset:
             c1, c2 = make_type1_pair(config, rng)
             d = [[Domain.of_size(domain_size)], [Domain.of_size(domain_size)]]
             return [c1, c2], d
@@ -151,7 +155,9 @@ def domain_size_sweep(
         )
         budget = max(8, int(n * coefficient_fraction))
 
-        def gen(rng, config=config, n=n):
+        def gen(
+            rng: np.random.Generator, config: TypeIConfig = config, n: int = n
+        ) -> ChainDataset:
             c1, c2 = make_type1_pair(config, rng)
             return [c1, c2], [[Domain.of_size(n)], [Domain.of_size(n)]]
 

@@ -16,9 +16,12 @@ over basis orders and the ``(S, B)`` sign intermediates of AGMS updates.
 
 from __future__ import annotations
 
+from typing import Any
+
 import math
 
 import numpy as np
+from numpy.typing import NDArray
 
 __all__ = ["HAVE_NUMBA", "phi_block_kernel", "agms_update_kernel"]
 
@@ -36,7 +39,7 @@ _MERSENNE_P = np.uint64((1 << 31) - 1)
 if HAVE_NUMBA:  # pragma: no cover - numba absent in the pinned CI image
 
     @numba.njit(cache=True)
-    def phi_block_kernel(order: int, positions: np.ndarray, out: np.ndarray) -> None:
+    def phi_block_kernel(order: int, positions: NDArray[Any], out: NDArray[Any]) -> None:
         """Chebyshev-recurrence basis table, one cos() per batch column."""
         cols = positions.shape[0]
         for b in range(cols):
@@ -57,7 +60,7 @@ if HAVE_NUMBA:  # pragma: no cover - numba absent in the pinned CI image
 
     @numba.njit(cache=True)
     def agms_update_kernel(
-        coeffs: np.ndarray, indices: np.ndarray, weight: float, atoms: np.ndarray
+        coeffs: NDArray[Any], indices: NDArray[Any], weight: float, atoms: NDArray[Any]
     ) -> None:
         """Single-attribute AGMS batch update without sign intermediates.
 

@@ -32,12 +32,18 @@ can depend on it without cycles.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any
+
 import os
 
 import numpy as np
+from numpy.typing import NDArray
 
 from . import _numba
 from .recurrence import phi_block_numpy, phi_block_reference
+
+if TYPE_CHECKING:
+    from ..obs.metrics import MetricFamily, MetricsRegistry
 
 __all__ = [
     "BACKENDS",
@@ -55,7 +61,7 @@ BACKENDS: tuple[str, ...] = ("numba", "numpy", "reference")
 
 #: Gauge families registered via :func:`register_backend_gauge`, kept in
 #: sync whenever the active backend changes.
-_GAUGE_FAMILIES: list = []
+_GAUGE_FAMILIES: list[Any] = []
 
 
 def available_backends() -> tuple[str, ...]:
@@ -108,8 +114,8 @@ def set_backend(name: str) -> str:
 
 
 def _phi_block_numba(
-    order: int, positions: np.ndarray, out: np.ndarray | None
-) -> np.ndarray:  # pragma: no cover - requires numba
+    order: int, positions: NDArray[Any], out: NDArray[Any] | None
+) -> NDArray[Any]:  # pragma: no cover - requires numba
     positions = np.ascontiguousarray(positions, dtype=np.float64)
     if out is None:
         out = np.empty((order, positions.shape[0]), dtype=np.float64)
@@ -117,7 +123,7 @@ def _phi_block_numba(
     return out
 
 
-def phi_block(order: int, positions: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+def phi_block(order: int, positions: NDArray[Any], out: NDArray[Any] | None = None) -> NDArray[Any]:
     """Basis table ``P[k, b] = phi_k(positions[b])`` on the active backend.
 
     The drop-in fast replacement for
@@ -132,7 +138,7 @@ def phi_block(order: int, positions: np.ndarray, out: np.ndarray | None = None) 
 
 
 def agms_update_1d(
-    coeffs: np.ndarray, indices: np.ndarray, weight: float, atoms: np.ndarray
+    coeffs: NDArray[Any], indices: NDArray[Any], weight: float, atoms: NDArray[Any]
 ) -> bool:
     """Compiled single-attribute AGMS batch update, if available.
 
@@ -152,13 +158,13 @@ def agms_update_1d(
     return True  # pragma: no cover - requires numba
 
 
-def _sync_gauge(family) -> None:
+def _sync_gauge(family: MetricFamily) -> None:
     """Point one registered gauge family at the active backend."""
     for name in BACKENDS:
         family.labels(name).set(1.0 if name == _backend else 0.0)
 
 
-def register_backend_gauge(registry) -> None:
+def register_backend_gauge(registry: MetricsRegistry) -> None:
     """Expose the active backend through a telemetry registry.
 
     Registers the ``repro_fastpath_backend`` gauge family (one child per
@@ -177,7 +183,7 @@ def register_backend_gauge(registry) -> None:
     _sync_gauge(family)
 
 
-def describe() -> dict:
+def describe() -> dict[str, Any]:
     """Diagnostic summary of the backend state (JSON-compatible)."""
     return {
         "backend": _backend,

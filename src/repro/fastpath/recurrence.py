@@ -32,9 +32,12 @@ around 64 batch columns on one core.  Below that (notably the per-tuple
 
 from __future__ import annotations
 
+from typing import Any
+
 import math
 
 import numpy as np
+from numpy.typing import NDArray
 
 __all__ = [
     "RECURRENCE_MIN_COLS",
@@ -54,8 +57,8 @@ RECURRENCE_MIN_COLS = 64
 
 
 def _prepare(
-    order: int, positions: np.ndarray, out: np.ndarray | None
-) -> tuple[np.ndarray, np.ndarray]:
+    order: int, positions: NDArray[Any], out: NDArray[Any] | None
+) -> tuple[NDArray[Any], NDArray[Any]]:
     """Validate arguments and return ``(positions, out)`` as float64 arrays."""
     if order < 1:
         raise ValueError(f"order must be >= 1, got {order}")
@@ -72,7 +75,7 @@ def _prepare(
     return positions, out
 
 
-def _phi_direct(order: int, positions: np.ndarray, out: np.ndarray) -> np.ndarray:
+def _phi_direct(order: int, positions: NDArray[Any], out: NDArray[Any]) -> NDArray[Any]:
     """Direct vectorized evaluation — one ``np.cos`` per table entry.
 
     Bit-identical to the reference ``basis_matrix`` (same operation order),
@@ -86,7 +89,7 @@ def _phi_direct(order: int, positions: np.ndarray, out: np.ndarray) -> np.ndarra
     return out
 
 
-def _phi_recurrence(order: int, positions: np.ndarray, out: np.ndarray) -> np.ndarray:
+def _phi_recurrence(order: int, positions: NDArray[Any], out: NDArray[Any]) -> NDArray[Any]:
     """Three-term recurrence — one ``np.cos`` call total, then FMA rows."""
     t = np.cos(np.pi * positions)
     np.multiply(SQRT2, t, out=out[1])
@@ -101,7 +104,9 @@ def _phi_recurrence(order: int, positions: np.ndarray, out: np.ndarray) -> np.nd
     return out
 
 
-def phi_block_numpy(order: int, positions: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+def phi_block_numpy(
+    order: int, positions: NDArray[Any], out: NDArray[Any] | None = None
+) -> NDArray[Any]:
     """Basis table ``P[k, b] = phi_k(positions[b])`` via the fast numpy path.
 
     Returns a C-contiguous float64 array of shape ``(order, len(positions))``
@@ -115,8 +120,8 @@ def phi_block_numpy(order: int, positions: np.ndarray, out: np.ndarray | None = 
 
 
 def phi_block_reference(
-    order: int, positions: np.ndarray, out: np.ndarray | None = None
-) -> np.ndarray:
+    order: int, positions: NDArray[Any], out: NDArray[Any] | None = None
+) -> NDArray[Any]:
     """The 1.5.0 per-entry evaluation, kept as the parity/benchmark baseline.
 
     Bit-identical to ``basis_matrix(np.arange(order), positions)`` — this is

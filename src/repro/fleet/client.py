@@ -51,8 +51,8 @@ class FleetClient:
     def create_relation(
         self,
         name: str,
-        attributes: list,
-        domains: list,
+        attributes: list[Any],
+        domains: list[Any],
         partition_by: str | None = None,
     ) -> dict[str, Any]:
         return self.check(
@@ -63,11 +63,11 @@ class FleetClient:
             partition_by=partition_by,
         )
 
-    def register(self, name: str, spec: dict) -> dict[str, Any]:
+    def register(self, name: str, spec: dict[str, Any]) -> dict[str, Any]:
         return self.check("register", name=name, spec=spec)
 
     def ingest(
-        self, relation: str, rows: list, kind: str = "insert"
+        self, relation: str, rows: list[Any], kind: str = "insert"
     ) -> dict[str, Any]:
         return self.check("ingest", relation=relation, rows=rows, kind=kind)
 

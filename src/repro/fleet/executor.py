@@ -70,7 +70,7 @@ class SocketExecutor(ShardExecutor):
     def call(self, shard: int, method: str, *args: Any, **kwargs: Any) -> Any:
         return self.supervisor.command(shard, method, args, kwargs)
 
-    def scatter(self, method: str, per_shard: Sequence[tuple | None]) -> list:
+    def scatter(self, method: str, per_shard: Sequence[tuple[Any, ...] | None]) -> list[Any]:
         futures = []
         for shard, item in enumerate(per_shard):
             if item is None:
@@ -82,7 +82,7 @@ class SocketExecutor(ShardExecutor):
                     self.supervisor.command, shard, method, args, kwargs
                 )
             )
-        results: list = [None] * self.num_shards
+        results: list[Any] = [None] * self.num_shards
         errors: list[ShardError] = []
         for shard, future in enumerate(futures):
             if future is None:

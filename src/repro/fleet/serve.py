@@ -130,7 +130,9 @@ class FleetServer:
             task.cancel()
         if self._client_tasks:
             await asyncio.gather(*self._client_tasks, return_exceptions=True)
-        self._pool.shutdown(wait=True)
+        # shutdown(wait=True) drains the apply lane; run it off-loop so a
+        # slow in-flight command cannot stall the whole event loop.
+        await asyncio.get_running_loop().run_in_executor(None, self._pool.shutdown)
 
     # ------------------------------------------------------------------ #
     # per-client loop
@@ -181,7 +183,7 @@ class FleetServer:
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
 
-    async def _send(self, writer: asyncio.StreamWriter, response: dict) -> None:
+    async def _send(self, writer: asyncio.StreamWriter, response: dict[str, Any]) -> None:
         writer.write(json.dumps(response).encode() + b"\n")
         # The backpressure point: past the write high-water mark this
         # suspends until the client reads, pausing *this* client's loop.
@@ -210,7 +212,7 @@ class FleetServer:
             response["id"] = request["id"]
         return response
 
-    def _apply(self, op: str, request: dict) -> dict[str, Any]:
+    def _apply(self, op: str, request: dict[str, Any]) -> dict[str, Any]:
         """Run one op on the engine (single apply lane, traced)."""
         tracer = self.fleet.tracer
         if tracer is None:
@@ -225,7 +227,7 @@ class FleetServer:
         finally:
             tracer.context = saved
 
-    def _run_op(self, op: str, request: dict) -> dict[str, Any]:
+    def _run_op(self, op: str, request: dict[str, Any]) -> dict[str, Any]:
         fleet = self.fleet
         if op == "ping":
             supervisor = getattr(fleet._executor, "supervisor", None)
@@ -314,7 +316,7 @@ class FleetServer:
             return {"deadletters": fleet.dead_letters.as_dict()}
         if op == "stats":
             supervisor = getattr(fleet._executor, "supervisor", None)
-            shards: list[dict | None] = []
+            shards: list[dict[str, Any] | None] = []
             for shard in range(fleet.num_shards):
                 try:
                     shards.append(fleet._executor.call(shard, "stats_dict"))

@@ -125,7 +125,7 @@ class _ShardProcess:
         self._proc = proc
         self._sock = sock
 
-    def request(self, method: str, args: Sequence, kwargs: dict) -> Any:
+    def request(self, method: str, args: Sequence[Any], kwargs: dict[str, Any]) -> Any:
         """One command round-trip; raises :class:`WorkerGone` on transport loss.
 
         A timed-out call also raises :class:`WorkerGone`: the connection
@@ -283,8 +283,8 @@ class ShardSupervisor:
         self,
         shard: int,
         method: str,
-        args: Sequence = (),
-        kwargs: dict | None = None,
+        args: Sequence[Any] = (),
+        kwargs: dict[str, Any] | None = None,
     ) -> Any:
         """Run one worker command with journaling and crash recovery.
 

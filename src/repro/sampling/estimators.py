@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -35,7 +35,7 @@ class SampleJoinEstimate:
         return (self.estimate - z * self.std_error, self.estimate + z * self.std_error)
 
 
-def _sample_cross_count(a: Counter, b: Counter) -> float:
+def _sample_cross_count(a: Counter[Any], b: Counter[Any]) -> float:
     """``sum_v a(v) * b(v)`` iterating the smaller counter."""
     small, large = (a, b) if len(a) <= len(b) else (b, a)
     return float(sum(c * large.get(v, 0) for v, c in small.items()))
@@ -79,7 +79,7 @@ def estimate_join_size_reservoir(a: ReservoirSample, b: ReservoirSample) -> Samp
 
 def estimate_chain_join_size_samples(
     samples: Sequence[BernoulliSample],
-    sample_tuples: Sequence[Counter],
+    sample_tuples: Sequence[Counter[Any]],
 ) -> float:
     """Chain multi-join estimate from per-relation Bernoulli samples.
 
@@ -94,12 +94,12 @@ def estimate_chain_join_size_samples(
 
     # Dynamic-programming pass over the chain: partial[v] is the number of
     # sample-tuple combinations ending with join value v.
-    partial: Counter = Counter()
+    partial: Counter[Any] = Counter()
     for value, count in sample_tuples[0].items():
         key = value[-1] if isinstance(value, tuple) else value
         partial[key] += count
     for tuples in sample_tuples[1:-1]:
-        nxt: Counter = Counter()
+        nxt: Counter[Any] = Counter()
         for value, count in tuples.items():
             if not isinstance(value, tuple) or len(value) != 2:
                 raise ValueError("inner relations of a chain must have two attributes")

@@ -11,9 +11,10 @@ top of them.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Hashable, Iterable, Sequence
+from typing import Any, Hashable, Iterable, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 
 class BernoulliSample:
@@ -30,7 +31,7 @@ class BernoulliSample:
             raise ValueError(f"sampling probability must be in (0, 1], got {probability}")
         self.probability = probability
         self._rng = np.random.default_rng(seed)
-        self.counts: Counter = Counter()
+        self.counts: Counter[Any] = Counter()
         self.sampled_size = 0
         self.stream_size = 0
 
@@ -45,7 +46,7 @@ class BernoulliSample:
         for value in values:
             self.insert(value)
 
-    def insert_batch(self, values: Sequence[Hashable]) -> np.ndarray:
+    def insert_batch(self, values: Sequence[Hashable]) -> NDArray[Any]:
         """Offer a batch of tuples; returns the boolean acceptance mask.
 
         Draws all coins in one vectorized call.  Because numpy generators
@@ -65,7 +66,7 @@ class BernoulliSample:
         self.sampled_size += int(mask.sum())
         return mask
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         """Full mutable state, including the generator's bit state.
 
         Capturing ``bit_generator.state`` is what makes recovery exact:
@@ -81,7 +82,7 @@ class BernoulliSample:
             "stream_size": self.stream_size,
         }
 
-    def load_state(self, state: dict) -> None:
+    def load_state(self, state: dict[str, Any]) -> None:
         """Restore state captured by :meth:`state_dict`, in place.
 
         Mutates ``self.counts`` rather than replacing it, because the
@@ -141,6 +142,6 @@ class ReservoirSample:
     def sampled_size(self) -> int:
         return len(self.items)
 
-    def value_counts(self) -> Counter:
+    def value_counts(self) -> Counter[Any]:
         """Multiplicities of the sampled values."""
         return Counter(self.items)

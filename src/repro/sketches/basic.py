@@ -20,9 +20,10 @@ number of coefficients.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..core.normalization import Domain
 from ..fastpath import agms_update_1d
@@ -114,9 +115,9 @@ class AGMSSketch:
     # maintenance
     # ------------------------------------------------------------------ #
 
-    def _batch_signs(self, rows: np.ndarray) -> np.ndarray:
+    def _batch_signs(self, rows: NDArray[Any]) -> NDArray[Any]:
         """Product of per-attribute signs for a batch: ``(S, B)`` ±1 ints."""
-        prod: np.ndarray | None = None
+        prod: NDArray[Any] | None = None
         for j, fam in enumerate(self.families):
             s = fam.signs(rows[:, j])
             prod = s.astype(np.int64) if prod is None else prod * s
@@ -138,7 +139,7 @@ class AGMSSketch:
         self.atoms += weight * self._batch_signs(rows)[:, 0]
         self._count += weight
 
-    def update_batch(self, rows: np.ndarray, weight: int = 1, chunk: int = 4096) -> None:
+    def update_batch(self, rows: NDArray[Any], weight: int = 1, chunk: int = 4096) -> None:
         """Process a batch of arrivals/deletions of domain-index tuples.
 
         Single-attribute batches route through the compiled
@@ -165,11 +166,11 @@ class AGMSSketch:
             self.atoms += weight * self._batch_signs(part).sum(axis=1)
         self._count += weight * rows.shape[0]
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         """Mutable state only (atoms + count), for engine checkpoints."""
         return {"atoms": self.atoms.copy(), "count": self._count}
 
-    def load_state(self, state: dict) -> None:
+    def load_state(self, state: dict[str, Any]) -> None:
         """Restore state captured by :meth:`state_dict`, in place."""
         atoms = np.asarray(state["atoms"], dtype=float)
         if atoms.shape != self.atoms.shape:
@@ -184,7 +185,7 @@ class AGMSSketch:
     def from_counts(
         cls,
         families: Sequence[SignFamily] | SignFamily,
-        counts: np.ndarray,
+        counts: NDArray[Any],
         num_means: int,
         num_medians: int,
     ) -> "AGMSSketch":
@@ -217,7 +218,7 @@ class AGMSSketch:
     # estimation
     # ------------------------------------------------------------------ #
 
-    def _grouped(self, values: np.ndarray) -> np.ndarray:
+    def _grouped(self, values: NDArray[Any]) -> NDArray[Any]:
         return values.reshape(self.num_medians, self.num_means)
 
     def compatible_with(self, other: "AGMSSketch", self_axis: int, other_axis: int) -> bool:
@@ -229,7 +230,7 @@ class AGMSSketch:
         )
 
 
-def median_of_means(products: np.ndarray, num_means: int, num_medians: int) -> float:
+def median_of_means(products: NDArray[Any], num_means: int, num_medians: int) -> float:
     """The AGMS estimate: median over ``s2`` groups of ``s1``-means."""
     if products.shape[0] != num_means * num_medians:
         raise ValueError("product vector does not match the sketch geometry")

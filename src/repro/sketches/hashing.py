@@ -15,7 +15,10 @@ the ``(S, B)`` matrix of ±1 values all atomic sketches need for a batch of
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
+from numpy.typing import NDArray
 
 #: Mersenne prime 2^31 - 1; coefficients and values live in [0, p).
 MERSENNE_P = np.uint64((1 << 31) - 1)
@@ -50,7 +53,7 @@ class SignFamily:
         self._coeffs[zero_lead, 0] = 1
 
     @property
-    def coefficients(self) -> np.ndarray:
+    def coefficients(self) -> NDArray[Any]:
         """The ``(S, 4)`` uint64 polynomial table, as a read-only view.
 
         Exposed so the compiled AGMS kernel in :mod:`repro.fastpath` can
@@ -70,7 +73,7 @@ class SignFamily:
             and self.seed == other.seed
         )
 
-    def hash_values(self, indices: np.ndarray) -> np.ndarray:
+    def hash_values(self, indices: NDArray[Any]) -> NDArray[Any]:
         """Evaluate all ``S`` polynomials at the given domain indices.
 
         Returns a ``(S, B)`` uint64 array of values in ``[0, p)``.
@@ -84,11 +87,11 @@ class SignFamily:
             acc = (acc * x + self._coeffs[:, degree][:, None]) % MERSENNE_P
         return acc
 
-    def signs(self, indices: np.ndarray) -> np.ndarray:
+    def signs(self, indices: NDArray[Any]) -> NDArray[Any]:
         """±1 sign matrix ``(S, B)`` for a batch of domain indices."""
         return (self.hash_values(indices) & np.uint64(1)).astype(np.int8) * 2 - 1
 
-    def sign_matrix(self, chunk: int = 1 << 14) -> np.ndarray:
+    def sign_matrix(self, chunk: int = 1 << 14) -> NDArray[Any]:
         """Dense ``(S, n)`` sign matrix over the whole domain, chunked.
 
         Used by batch construction from frequency vectors and by the

@@ -19,15 +19,16 @@ prior knowledge buys.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from .basic import AGMSSketch, median_of_means, split_budget
 from .hashing import SignFamily
 
 
-def equi_mass_partition(pilot_counts: np.ndarray, num_partitions: int) -> np.ndarray:
+def equi_mass_partition(pilot_counts: NDArray[Any], num_partitions: int) -> NDArray[Any]:
     """Boundaries splitting the domain into ~equal-mass contiguous ranges.
 
     ``pilot_counts`` is the a-priori distribution knowledge Dobra's method
@@ -127,7 +128,7 @@ class PartitionedSketch:
         p = self.partition_of(index)
         self.sketches[p].update(int(index - self.boundaries[p]), weight=weight)
 
-    def update_batch(self, indices: np.ndarray, weight: int = 1) -> None:
+    def update_batch(self, indices: NDArray[Any], weight: int = 1) -> None:
         indices = np.asarray(indices, dtype=np.int64)
         partitions = np.searchsorted(self.boundaries, indices, side="right") - 1
         for p in range(self.num_partitions):
@@ -137,7 +138,7 @@ class PartitionedSketch:
                     indices[mask] - self.boundaries[p], weight=weight
                 )
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         """Full mutable state, including the partition structure.
 
         Boundaries are part of the state (not just the per-partition
@@ -155,7 +156,7 @@ class PartitionedSketch:
             "sketches": [sk.state_dict() for sk in self.sketches],
         }
 
-    def load_state(self, state: dict) -> None:
+    def load_state(self, state: dict[str, Any]) -> None:
         """Restore state captured by :meth:`state_dict`, in place.
 
         Rebuilds the partition structure (boundaries, sign families, one
@@ -193,7 +194,7 @@ class PartitionedSketch:
     @classmethod
     def from_counts(
         cls,
-        counts: np.ndarray,
+        counts: NDArray[Any],
         boundaries: Sequence[int],
         budget: int,
         seed: int,

@@ -24,9 +24,12 @@ experiment harness can account for it.
 
 from __future__ import annotations
 
+from typing import Any
+
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import NDArray
 
 from .basic import AGMSSketch, estimate_self_join_size, median_of_means
 
@@ -56,7 +59,7 @@ class SkimmedJoinEstimate:
         return self.dense_values_a + self.dense_values_b
 
 
-def estimate_frequencies(sketch: AGMSSketch, sign_matrix: np.ndarray) -> np.ndarray:
+def estimate_frequencies(sketch: AGMSSketch, sign_matrix: NDArray[Any]) -> NDArray[Any]:
     """Per-value frequency estimates ``f_hat(v)`` from an AGMS sketch.
 
     ``E[X_i * xi_i(v)] = f(v)``; the median of group means over the sketch
@@ -84,10 +87,10 @@ def skim_threshold(sketch: AGMSSketch, factor: float = 2.0) -> float:
 
 def skim_dense_frequencies(
     sketch: AGMSSketch,
-    sign_matrix: np.ndarray,
+    sign_matrix: NDArray[Any],
     threshold: float | None = None,
     threshold_factor: float = 2.0,
-) -> tuple[np.ndarray, np.ndarray]:
+) -> tuple[NDArray[Any], NDArray[Any]]:
     """Extract the dense frequency vector and the residual atomic sketches.
 
     Returns ``(dense, residual_atoms)`` where ``dense`` is a length-``n``

@@ -29,10 +29,12 @@ Supported estimation methods mirror the paper's experimental cast:
 from __future__ import annotations
 
 from collections import Counter
+from pathlib import Path
 from time import perf_counter
-from typing import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..core.join import estimate_multijoin_size as cosine_multijoin
 from ..obs.accuracy import AccuracyTracker
@@ -61,14 +63,19 @@ from .relation import StreamObserver, StreamRelation
 from .stats import EngineStats
 from .tuples import OpKind, StreamOp
 
+if TYPE_CHECKING:
+    from ..bounds.calculator import JoinBoundCalculator
+    from ..sketches.partitioned import PartitionedSketch
+    from ..wavelets.haar import HaarSynopsis
+
 Slot = tuple[int, int]
 
 
 def embed_counts_tensor(
-    tensor: np.ndarray,
+    tensor: NDArray[Any],
     originals: Sequence[Domain],
     unifieds: Sequence[Domain],
-) -> np.ndarray:
+) -> NDArray[Any]:
     """Embed a joint count tensor into unified per-axis domains (section 4.1)."""
     out = np.asarray(tensor)
     for axis, (orig, uni) in enumerate(zip(originals, unifieds)):
@@ -100,7 +107,7 @@ class _QueryState:
         self.attachments: list[tuple[StreamRelation, object]] = []
         #: Registration spec (kind/method/budget/options), recorded so
         #: checkpoints can re-register the query on a restored engine.
-        self.spec: dict | None = None
+        self.spec: dict[str, Any] | None = None
         #: Degradation reason, set when one of this query's observers was
         #: quarantined after raising; ``None`` while healthy.
         self.degraded: str | None = None
@@ -143,7 +150,7 @@ class ContinuousQueryEngine:
         #: malformed batches raise, as before.
         self.dead_letters: DeadLetterBuffer | None = None
 
-    def _attach(self, relation: StreamRelation, observer) -> None:
+    def _attach(self, relation: StreamRelation, observer: StreamObserver) -> None:
         """Attach an observer and record it for query unregistration."""
         relation.attach(observer)
         self._pending_attachments.append((relation, observer))
@@ -223,12 +230,12 @@ class ContinuousQueryEngine:
         if self._accuracy is not None:
             self._accuracy.maybe_sample()
 
-    def insert(self, relation_name: str, values: Sequence) -> None:
+    def insert(self, relation_name: str, values: Sequence[Any]) -> None:
         self.relations[relation_name].insert(values)
         if self._accuracy is not None:
             self._accuracy.maybe_sample()
 
-    def delete(self, relation_name: str, values: Sequence) -> None:
+    def delete(self, relation_name: str, values: Sequence[Any]) -> None:
         self.relations[relation_name].delete(values)
         if self._accuracy is not None:
             self._accuracy.maybe_sample()
@@ -236,7 +243,7 @@ class ContinuousQueryEngine:
     def ingest_batch(
         self,
         relation_name: str,
-        rows: Sequence[Sequence] | np.ndarray,
+        rows: Sequence[Sequence[Any]] | NDArray[Any],
         kind: OpKind = OpKind.INSERT,
     ) -> None:
         """Ingest a same-kind batch of raw tuples through the fast path.
@@ -296,7 +303,7 @@ class ContinuousQueryEngine:
         query: JoinQuery,
         method: str = "cosine",
         budget: int = 200,
-        **options,
+        **options: Any,
     ) -> None:
         """Register a continuous query under a per-relation space budget.
 
@@ -371,10 +378,10 @@ class ContinuousQueryEngine:
         name: str,
         relation_name: str,
         attribute: str,
-        low,
-        high,
+        low: Any,
+        high: Any,
         budget: int = 200,
-        **options,
+        **options: Any,
     ) -> None:
         """Register a continuous range-COUNT query over one attribute.
 
@@ -447,7 +454,7 @@ class ContinuousQueryEngine:
         right: tuple[str, str],
         width: int,
         budget: int = 200,
-        **options,
+        **options: Any,
     ) -> None:
         """Register a continuous band-join COUNT query (section 6 extension).
 
@@ -596,7 +603,7 @@ class ContinuousQueryEngine:
     # pessimistic bounds
     # ------------------------------------------------------------------ #
 
-    def _attach_bounds(self, query: JoinQuery):
+    def _attach_bounds(self, query: JoinQuery) -> "JoinBoundCalculator":
         """Attach degree observers for every join slot; build the calculator.
 
         One :class:`repro.bounds.degree.DegreeSketch` per (relation
@@ -662,7 +669,7 @@ class ContinuousQueryEngine:
         assert report is not None
         return float(report["clamped"])
 
-    def bound_report(self, name: str) -> dict | None:
+    def bound_report(self, name: str) -> dict[str, Any] | None:
         """Bound metadata for one query, or ``None`` when bounds are off.
 
         Returns ``{"estimate", "upper_bound", "clamped", "clamp_fired"}``
@@ -755,7 +762,7 @@ class ContinuousQueryEngine:
         }
 
     def _handle_observer_fault(
-        self, relation: StreamRelation, observer, exc: BaseException
+        self, relation: StreamRelation, observer: StreamObserver, exc: BaseException
     ) -> bool:
         """Relation fault-handler hook: quarantine and account, never raise."""
         try:
@@ -800,7 +807,7 @@ class ContinuousQueryEngine:
     # checkpoint / recovery
     # ------------------------------------------------------------------ #
 
-    def save_checkpoint(self, path, **write_options) -> int:
+    def save_checkpoint(self, path: Path | str, **write_options: Any) -> int:
         """Atomically write the engine's full state to a checkpoint file.
 
         The checkpoint captures every relation's exact count tensor, every
@@ -852,7 +859,7 @@ class ContinuousQueryEngine:
 
     @classmethod
     def load_checkpoint(
-        cls, path, telemetry: Telemetry | None = None, shard: str | None = None
+        cls, path: Path | str, telemetry: Telemetry | None = None, shard: str | None = None
     ) -> "ContinuousQueryEngine":
         """Restore an engine from a checkpoint written by :meth:`save_checkpoint`.
 
@@ -896,7 +903,7 @@ class ContinuousQueryEngine:
             ) from exc
         return engine
 
-    def _register_from_spec(self, name: str, spec: dict) -> None:
+    def _register_from_spec(self, name: str, spec: dict[str, Any]) -> None:
         """Re-register a checkpointed query from its recorded spec."""
         kind = spec.get("kind")
         options = dict(spec.get("options", {}))
@@ -949,7 +956,7 @@ class ContinuousQueryEngine:
         return {r: sorted(a) for r, a in axes.items()}
 
     def _build_cosine(
-        self, query: JoinQuery, method: str, budget: int, options: dict
+        self, query: JoinQuery, method: str, budget: int, options: dict[str, Any]
     ) -> _QueryState:
         unified = self._unified(query)
         schemas = {r: self.relations[r].attributes for r in query.relations}
@@ -973,7 +980,7 @@ class ContinuousQueryEngine:
         return _QueryState(query, method, estimate, space)
 
     def _build_sketch(
-        self, query: JoinQuery, method: str, budget: int, options: dict
+        self, query: JoinQuery, method: str, budget: int, options: dict[str, Any]
     ) -> _QueryState:
         unified = self._unified(query)
         schemas = {r: self.relations[r].attributes for r in query.relations}
@@ -1027,13 +1034,13 @@ class ContinuousQueryEngine:
         return _QueryState(query, method, estimate, space)
 
     def _build_sample(
-        self, query: JoinQuery, method: str, budget: int, options: dict
+        self, query: JoinQuery, method: str, budget: int, options: dict[str, Any]
     ) -> _QueryState:
         _require_chain(query, self.relations)
         joined = self._joined_axes(query)
         rng = np.random.default_rng(options.get("seed", self._seed))
         samples: list[BernoulliSample] = []
-        tuple_counts: list[Counter] = []
+        tuple_counts: list[Counter[Any]] = []
         for rel_name in query.relations:
             relation = self.relations[rel_name]
             # Budget = expected sample size; derive the Bernoulli rate from
@@ -1044,7 +1051,7 @@ class ContinuousQueryEngine:
                 "probability", min(1.0, budget / max(relation.count, budget))
             )
             sample = BernoulliSample(probability, seed=int(rng.integers(1 << 31)))
-            counter: Counter = Counter()
+            counter: Counter[Any] = Counter()
             axes = joined[rel_name]
             # Replay history distributionally: binomial thinning per cell.
             marginal = _marginalize(relation.counts, keep_axes=axes)
@@ -1067,7 +1074,7 @@ class ContinuousQueryEngine:
         return _QueryState(query, method, estimate, space)
 
     def _build_histogram(
-        self, query: JoinQuery, method: str, budget: int, options: dict
+        self, query: JoinQuery, method: str, budget: int, options: dict[str, Any]
     ) -> _QueryState:
         if query.num_joins != 1:
             raise ValueError("the histogram baseline supports single-join queries only")
@@ -1094,7 +1101,7 @@ class ContinuousQueryEngine:
         return _QueryState(query, method, estimate, space)
 
     def _build_wavelet(
-        self, query: JoinQuery, method: str, budget: int, options: dict
+        self, query: JoinQuery, method: str, budget: int, options: dict[str, Any]
     ) -> _QueryState:
         from ..wavelets.haar import HaarSynopsis
         from ..wavelets.haar import estimate_join_size as haar_join
@@ -1104,7 +1111,7 @@ class ContinuousQueryEngine:
         unified = self._unified(query)
         schemas = {r: self.relations[r].attributes for r in query.relations}
         ((rel_a, ax_a), (rel_b, ax_b)) = query.slot_pairs(schemas)[0]
-        synopses: list = []
+        synopses: list[Any] = []
         for rel_pos, axis in ((rel_a, ax_a), (rel_b, ax_b)):
             rel_name = query.relations[rel_pos]
             relation = self.relations[rel_name]
@@ -1122,7 +1129,7 @@ class ContinuousQueryEngine:
         return _QueryState(query, method, estimate, space)
 
     def _build_partitioned(
-        self, query: JoinQuery, method: str, budget: int, options: dict
+        self, query: JoinQuery, method: str, budget: int, options: dict[str, Any]
     ) -> _QueryState:
         from ..sketches.partitioned import (
             PartitionedSketch,
@@ -1192,10 +1199,10 @@ class _CosineMarginalObserver(StreamObserver):
         self.synopsis = synopsis
         self.axis = axis
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         return self.synopsis.state_dict()
 
-    def load_state(self, state: dict) -> None:
+    def load_state(self, state: dict[str, Any]) -> None:
         self.synopsis.load_state(state)
 
     def on_op(self, relation: StreamRelation, op: StreamOp) -> None:
@@ -1205,7 +1212,7 @@ class _CosineMarginalObserver(StreamObserver):
         else:
             self.synopsis.delete(value)
 
-    def on_ops(self, relation: StreamRelation, rows: np.ndarray, kind: OpKind) -> None:
+    def on_ops(self, relation: StreamRelation, rows: NDArray[Any], kind: OpKind) -> None:
         column = rows[:, self.axis][:, None]
         if kind is OpKind.INSERT:
             self.synopsis.insert_batch(column)
@@ -1219,10 +1226,10 @@ class _CosineObserver(StreamObserver):
     def __init__(self, synopsis: CosineSynopsis) -> None:
         self.synopsis = synopsis
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         return self.synopsis.state_dict()
 
-    def load_state(self, state: dict) -> None:
+    def load_state(self, state: dict[str, Any]) -> None:
         self.synopsis.load_state(state)
 
     def on_op(self, relation: StreamRelation, op: StreamOp) -> None:
@@ -1231,7 +1238,7 @@ class _CosineObserver(StreamObserver):
         else:
             self.synopsis.delete(op.values)
 
-    def on_ops(self, relation: StreamRelation, rows: np.ndarray, kind: OpKind) -> None:
+    def on_ops(self, relation: StreamRelation, rows: NDArray[Any], kind: OpKind) -> None:
         if kind is OpKind.INSERT:
             self.synopsis.insert_batch(rows)
         else:
@@ -1251,10 +1258,10 @@ class _SketchObserver(StreamObserver):
         self.domains = list(domains)
         self.axes = list(axes)
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         return self.sketch.state_dict()
 
-    def load_state(self, state: dict) -> None:
+    def load_state(self, state: dict[str, Any]) -> None:
         self.sketch.load_state(state)
 
     def on_op(self, relation: StreamRelation, op: StreamOp) -> None:
@@ -1262,7 +1269,7 @@ class _SketchObserver(StreamObserver):
         indices = [d.index_of(op.values[ax]) for d, ax in zip(self.domains, self.axes)]  # repro: noqa[REP006]
         self.sketch.update(indices, weight=op.weight)
 
-    def on_ops(self, relation: StreamRelation, rows: np.ndarray, kind: OpKind) -> None:
+    def on_ops(self, relation: StreamRelation, rows: NDArray[Any], kind: OpKind) -> None:
         indices = np.stack(
             [d.indices_of(rows[:, ax]) for d, ax in zip(self.domains, self.axes)],
             axis=1,
@@ -1279,7 +1286,7 @@ class _SampleObserver(StreamObserver):
     def __init__(
         self,
         sample: BernoulliSample,
-        counter: Counter,
+        counter: Counter[Any],
         relation: StreamRelation,
         axes: Sequence[int],
     ) -> None:
@@ -1287,10 +1294,10 @@ class _SampleObserver(StreamObserver):
         self.counter = counter
         self.axes = list(axes)
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         return {"sample": self.sample.state_dict(), "counter": dict(self.counter)}
 
-    def load_state(self, state: dict) -> None:
+    def load_state(self, state: dict[str, Any]) -> None:
         # The estimate closure shares this Counter object; mutate in place.
         self.sample.load_state(state["sample"])
         self.counter.clear()
@@ -1308,7 +1315,7 @@ class _SampleObserver(StreamObserver):
         if self.sample.sampled_size > before:
             self.counter[key if len(key) > 1 else key[0]] += 1
 
-    def on_ops(self, relation: StreamRelation, rows: np.ndarray, kind: OpKind) -> None:
+    def on_ops(self, relation: StreamRelation, rows: NDArray[Any], kind: OpKind) -> None:
         if kind is OpKind.DELETE:
             self.sample.delete(tuple(rows[0]))  # raises: documented limitation
             return
@@ -1326,22 +1333,22 @@ class _PartitionedObserver(StreamObserver):
     # Structural: rebuilt from the query spec, not restored from checkpoints.
     _checkpoint_exempt = ("axis", "domain")
 
-    def __init__(self, sketch, domain: Domain, axis: int) -> None:
+    def __init__(self, sketch: "PartitionedSketch", domain: Domain, axis: int) -> None:
         self.sketch = sketch
         self.domain = domain
         self.axis = axis
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         return self.sketch.state_dict()
 
-    def load_state(self, state: dict) -> None:
+    def load_state(self, state: dict[str, Any]) -> None:
         self.sketch.load_state(state)
 
     def on_op(self, relation: StreamRelation, op: StreamOp) -> None:
         index = self.domain.index_of(op.values[self.axis])
         self.sketch.update(index, weight=op.weight)
 
-    def on_ops(self, relation: StreamRelation, rows: np.ndarray, kind: OpKind) -> None:
+    def on_ops(self, relation: StreamRelation, rows: NDArray[Any], kind: OpKind) -> None:
         indices = self.domain.indices_of(rows[:, self.axis])
         self.sketch.update_batch(indices, weight=kind.value)
 
@@ -1352,20 +1359,20 @@ class _WaveletObserver(StreamObserver):
     # Structural: rebuilt from the query spec, not restored from checkpoints.
     _checkpoint_exempt = ("axis",)
 
-    def __init__(self, synopsis, axis: int) -> None:
+    def __init__(self, synopsis: "HaarSynopsis", axis: int) -> None:
         self.synopsis = synopsis
         self.axis = axis
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         return self.synopsis.state_dict()
 
-    def load_state(self, state: dict) -> None:
+    def load_state(self, state: dict[str, Any]) -> None:
         self.synopsis.load_state(state)
 
     def on_op(self, relation: StreamRelation, op: StreamOp) -> None:
         self.synopsis.update(op.values[self.axis], weight=op.weight)
 
-    def on_ops(self, relation: StreamRelation, rows: np.ndarray, kind: OpKind) -> None:
+    def on_ops(self, relation: StreamRelation, rows: NDArray[Any], kind: OpKind) -> None:
         self.synopsis.update_batch(rows[:, self.axis], weight=kind.value)
 
 
@@ -1379,16 +1386,16 @@ class _HistogramObserver(StreamObserver):
         self.histogram = histogram
         self.axis = axis
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         return self.histogram.state_dict()
 
-    def load_state(self, state: dict) -> None:
+    def load_state(self, state: dict[str, Any]) -> None:
         self.histogram.load_state(state)
 
     def on_op(self, relation: StreamRelation, op: StreamOp) -> None:
         self.histogram.update(op.values[self.axis], weight=op.weight)
 
-    def on_ops(self, relation: StreamRelation, rows: np.ndarray, kind: OpKind) -> None:
+    def on_ops(self, relation: StreamRelation, rows: NDArray[Any], kind: OpKind) -> None:
         self.histogram.update_batch(rows[:, self.axis], weight=kind.value)
 
 
@@ -1397,7 +1404,7 @@ class _HistogramObserver(StreamObserver):
 # ---------------------------------------------------------------------- #
 
 
-def _marginalize(tensor: np.ndarray, keep_axes: Sequence[int]) -> np.ndarray:
+def _marginalize(tensor: NDArray[Any], keep_axes: Sequence[int]) -> NDArray[Any]:
     """Sum out all axes except ``keep_axes`` (order preserved)."""
     tensor = np.asarray(tensor)
     drop = tuple(ax for ax in range(tensor.ndim) if ax not in set(keep_axes))

@@ -13,14 +13,15 @@ joined axes share an einsum symbol; unjoined axes get a fresh symbol each
 from __future__ import annotations
 
 import string
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 Slot = tuple[int, int]
 
 
-def exact_join_size(counts_a: np.ndarray, counts_b: np.ndarray) -> float:
+def exact_join_size(counts_a: NDArray[Any], counts_b: NDArray[Any]) -> float:
     """Exact single equi-join size ``sum_v c_a(v) c_b(v)`` (paper Eq. 4.1)."""
     counts_a = np.asarray(counts_a, dtype=float)
     counts_b = np.asarray(counts_b, dtype=float)
@@ -31,14 +32,14 @@ def exact_join_size(counts_a: np.ndarray, counts_b: np.ndarray) -> float:
     return float(np.dot(counts_a, counts_b))
 
 
-def exact_self_join_size(counts: np.ndarray) -> float:
+def exact_self_join_size(counts: NDArray[Any]) -> float:
     """Exact self-join size (second frequency moment)."""
     counts = np.asarray(counts, dtype=float)
     return float(np.dot(counts.ravel(), counts.ravel()))
 
 
 def exact_multijoin_size(
-    count_tensors: Sequence[np.ndarray],
+    count_tensors: Sequence[NDArray[Any]],
     slot_pairs: Sequence[tuple[Slot, Slot]],
 ) -> float:
     """Exact size of a multi-equi-join COUNT query.

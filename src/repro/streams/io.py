@@ -14,12 +14,18 @@ means insertion).  Blank lines and ``#`` comments are skipped.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, Iterator, TextIO
+from typing import Iterable, Iterator, Protocol, TextIO
 
 from .tuples import OpKind, StreamOp
 
 
-def _parse_value(token: str):
+class _ProcessTarget(Protocol):
+    """Anything with a ``process(op)`` method — relations and engine proxies."""
+
+    def process(self, op: StreamOp) -> object: ...  # pragma: no cover - protocol
+
+
+def _parse_value(token: str) -> int | str:
     """Integers stay integers; anything else is kept as a string."""
     token = token.strip()
     try:
@@ -76,7 +82,7 @@ def write_ops(destination: Path | str | TextIO, ops: Iterable[StreamOp]) -> int:
     return written
 
 
-def replay_into(relation, source: Path | str | TextIO) -> int:
+def replay_into(relation: _ProcessTarget, source: Path | str | TextIO) -> int:
     """Feed a log file's operations into a stream relation (or engine proxy).
 
     ``relation`` needs a ``process(op)`` method —

@@ -22,9 +22,10 @@ two protocols coexist on one relation.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import Any, Iterable, Sequence, TYPE_CHECKING
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..core.normalization import Domain
 from .tuples import OpKind, StreamOp
@@ -51,7 +52,7 @@ class StreamObserver:
         """Called once per stream operation, after exact state is updated."""
         raise NotImplementedError
 
-    def on_ops(self, relation: "StreamRelation", rows: np.ndarray, kind: OpKind) -> None:
+    def on_ops(self, relation: "StreamRelation", rows: NDArray[Any], kind: OpKind) -> None:
         """Called once per same-kind batch, after exact state is updated.
 
         ``rows`` is a ``(B, ndim)`` array of raw tuples.  The default
@@ -126,7 +127,7 @@ class StreamRelation:
 
     # ------------------------------------------------------------------ #
 
-    def indices_of(self, values: Sequence) -> tuple[int, ...]:
+    def indices_of(self, values: Sequence[Any]) -> tuple[int, ...]:
         """Map one raw tuple to per-attribute domain indices."""
         if len(values) != self.ndim:
             raise ValueError(
@@ -134,7 +135,7 @@ class StreamRelation:
             )
         return tuple(d.index_of(v) for d, v in zip(self.domains, values))
 
-    def rows_array(self, rows: Sequence[Sequence] | np.ndarray) -> np.ndarray:
+    def rows_array(self, rows: Sequence[Sequence[Any]] | NDArray[Any]) -> NDArray[Any]:
         """Coerce a batch of raw tuples into a ``(B, ndim)`` array.
 
         A 1-d input is accepted for single-attribute relations (a batch of
@@ -159,7 +160,7 @@ class StreamRelation:
             )
         return arr
 
-    def indices_of_rows(self, rows: Sequence[Sequence] | np.ndarray) -> np.ndarray:
+    def indices_of_rows(self, rows: Sequence[Sequence[Any]] | NDArray[Any]) -> NDArray[Any]:
         """Map a batch of raw tuples to a ``(B, ndim)`` index array.
 
         When every domain is a 0-based integer range and the rows already
@@ -239,11 +240,11 @@ class StreamRelation:
             if stats is not None:
                 stats.record_observer(_stats_key(observer), perf_counter() - start, 1)
 
-    def insert(self, values: Sequence) -> None:
+    def insert(self, values: Sequence[Any]) -> None:
         """Convenience: process an insertion of one raw tuple."""
         self.process(StreamOp(tuple(values), OpKind.INSERT))
 
-    def delete(self, values: Sequence) -> None:
+    def delete(self, values: Sequence[Any]) -> None:
         """Convenience: process a deletion of one raw tuple."""
         self.process(StreamOp(tuple(values), OpKind.DELETE))
 
@@ -251,7 +252,7 @@ class StreamRelation:
     # batch path
     # ------------------------------------------------------------------ #
 
-    def insert_rows(self, rows: Sequence[Sequence] | np.ndarray) -> None:
+    def insert_rows(self, rows: Sequence[Sequence[Any]] | NDArray[Any]) -> None:
         """Process a batch of insertions with one scatter-add and one notify.
 
         The final state is identical to inserting each row individually;
@@ -261,7 +262,7 @@ class StreamRelation:
         if arr.shape[0]:
             self._apply_rows(arr, OpKind.INSERT)
 
-    def delete_rows(self, rows: Sequence[Sequence] | np.ndarray) -> None:
+    def delete_rows(self, rows: Sequence[Sequence[Any]] | NDArray[Any]) -> None:
         """Process a batch of deletions (validated before any state change)."""
         arr = self.rows_array(rows)
         if arr.shape[0]:
@@ -274,7 +275,7 @@ class StreamRelation:
         application each, so a mixed insert/delete stream preserves its
         relative order while still amortizing observer updates.
         """
-        run: list[tuple] = []
+        run: list[tuple[Any, ...]] = []
         run_kind: OpKind | None = None
         for op in ops:
             if run_kind is not None and op.kind is not run_kind:
@@ -286,7 +287,7 @@ class StreamRelation:
             assert run_kind is not None
             self._apply_rows(self.rows_array(run), run_kind)
 
-    def _apply_rows(self, arr: np.ndarray, kind: OpKind) -> None:
+    def _apply_rows(self, arr: NDArray[Any], kind: OpKind) -> None:
         """Vectorized core: update exact counts, then notify once.
 
         With a :attr:`tracer` attached, the whole apply is wrapped in an
@@ -306,7 +307,7 @@ class StreamRelation:
             ):
                 self._apply_rows_inner(arr, kind)
 
-    def _apply_rows_inner(self, arr: np.ndarray, kind: OpKind) -> None:
+    def _apply_rows_inner(self, arr: NDArray[Any], kind: OpKind) -> None:
         idx = self.indices_of_rows(arr)
         cells = tuple(idx[:, j] for j in range(self.ndim))
         if kind is OpKind.DELETE:
@@ -367,7 +368,7 @@ class StreamRelation:
 
     # ------------------------------------------------------------------ #
 
-    def load_counts(self, counts: np.ndarray) -> None:
+    def load_counts(self, counts: NDArray[Any]) -> None:
         """Bulk-load an initial frequency tensor (no observer notification).
 
         Meant for experiment setup *before* observers are attached; attached

@@ -20,6 +20,8 @@ observer's class name otherwise.  All counters are monotonic between
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..obs.metrics import Counter, LatencyHistogram, MetricsRegistry
 from .tuples import OpKind
 
@@ -217,7 +219,7 @@ class EngineStats:
         """Estimate evaluations served, per query name."""
         return {key[0]: int(child.value) for key, child in self._query_estimates.items()}
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         """Snapshot as plain Python types (JSON-compatible)."""
         observer_time = self.observer_time
         observer_ops = self.observer_ops

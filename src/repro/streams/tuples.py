@@ -9,9 +9,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 
 class OpKind(enum.Enum):
@@ -25,7 +26,7 @@ class OpKind(enum.Enum):
 class StreamOp:
     """One stream element: a tuple of raw attribute values plus its kind."""
 
-    values: tuple
+    values: tuple[Any, ...]
     kind: OpKind = OpKind.INSERT
 
     @property
@@ -34,7 +35,7 @@ class StreamOp:
         return self.kind.value
 
 
-def inserts(rows: Iterable[Sequence] | np.ndarray) -> Iterator[StreamOp]:
+def inserts(rows: Iterable[Sequence[Any]] | NDArray[Any]) -> Iterator[StreamOp]:
     """Wrap raw tuples as insertion operations."""
     for row in rows:
         if np.isscalar(row):
@@ -43,7 +44,7 @@ def inserts(rows: Iterable[Sequence] | np.ndarray) -> Iterator[StreamOp]:
             yield StreamOp(tuple(row), OpKind.INSERT)
 
 
-def deletes(rows: Iterable[Sequence] | np.ndarray) -> Iterator[StreamOp]:
+def deletes(rows: Iterable[Sequence[Any]] | NDArray[Any]) -> Iterator[StreamOp]:
     """Wrap raw tuples as deletion operations."""
     for row in rows:
         if np.isscalar(row):

@@ -21,7 +21,10 @@ the comparison is reproducible:
 
 from __future__ import annotations
 
+from typing import Any, Sequence
+
 import numpy as np
+from numpy.typing import NDArray
 
 from ..core.normalization import Domain
 
@@ -33,7 +36,7 @@ def _padded_size(n: int) -> int:
     return size
 
 
-def haar_transform(values: np.ndarray) -> np.ndarray:
+def haar_transform(values: NDArray[Any]) -> NDArray[Any]:
     """Orthonormal Haar transform of a vector (zero-padded to 2^k).
 
     Returns the full coefficient vector; ``inverse_haar_transform``
@@ -58,7 +61,7 @@ def haar_transform(values: np.ndarray) -> np.ndarray:
     return data
 
 
-def inverse_haar_transform(coefficients: np.ndarray, n: int | None = None) -> np.ndarray:
+def inverse_haar_transform(coefficients: NDArray[Any], n: int | None = None) -> NDArray[Any]:
     """Invert :func:`haar_transform`; optionally trim padding back to ``n``."""
     coefficients = np.asarray(coefficients, dtype=float)
     size = coefficients.shape[0]
@@ -113,7 +116,7 @@ class HaarSynopsis:
         return kept, kept
 
     @classmethod
-    def from_counts(cls, domain: Domain, counts: np.ndarray, budget: int) -> "HaarSynopsis":
+    def from_counts(cls, domain: Domain, counts: NDArray[Any], budget: int) -> "HaarSynopsis":
         """Build from a frequency vector (transform + threshold lazily)."""
         counts = np.asarray(counts, dtype=float)
         if counts.shape != (domain.size,):
@@ -123,11 +126,11 @@ class HaarSynopsis:
         synopsis._count = int(round(counts.sum()))
         return synopsis
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         """Mutable state only (full coefficient vector + count)."""
         return {"coefficients": self._coefficients.copy(), "count": self._count}
 
-    def load_state(self, state: dict) -> None:
+    def load_state(self, state: dict[str, Any]) -> None:
         """Restore state captured by :meth:`state_dict`, in place."""
         coefficients = np.asarray(state["coefficients"], dtype=float)
         if coefficients.shape != self._coefficients.shape:
@@ -138,7 +141,7 @@ class HaarSynopsis:
         self._coefficients = coefficients.copy()
         self._count = int(state["count"])
 
-    def update(self, value, weight: int = 1) -> None:
+    def update(self, value: Any, weight: int = 1) -> None:
         """Process one insertion/deletion.
 
         A unit change at position ``j`` touches exactly one coefficient per
@@ -166,7 +169,7 @@ class HaarSynopsis:
             length = half
         self._count += weight
 
-    def update_batch(self, values, weight: int = 1) -> None:
+    def update_batch(self, values: Sequence[Any] | NDArray[Any], weight: int = 1) -> None:
         """Process a batch of insertions (``weight=1``) or deletions (-1).
 
         Identical final state to calling :meth:`update` per value (up to
@@ -195,12 +198,12 @@ class HaarSynopsis:
             length = half
         self._count += weight * int(indices.shape[0])
 
-    def top_coefficients(self) -> tuple[np.ndarray, np.ndarray]:
+    def top_coefficients(self) -> tuple[NDArray[Any], NDArray[Any]]:
         """(indices, values) of the ``budget`` largest-|.| coefficients."""
         order = np.argsort(np.abs(self._coefficients))[::-1][: self.budget]
         return order, self._coefficients[order]
 
-    def reconstruct_counts(self) -> np.ndarray:
+    def reconstruct_counts(self) -> NDArray[Any]:
         """Frequency vector implied by the thresholded synopsis."""
         kept = np.zeros(self._size)
         idx, vals = self.top_coefficients()

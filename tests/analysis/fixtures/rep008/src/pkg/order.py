@@ -1,0 +1,21 @@
+"""A two-lock class acquiring its locks in both orders (REP008 fixture)."""
+
+import threading
+
+
+class Pair:
+    def __init__(self) -> None:
+        self._first = threading.Lock()
+        self._second = threading.Lock()
+        self.forwarded = 0
+        self.reversed = 0
+
+    def forward(self) -> None:
+        with self._first:
+            with self._second:
+                self.forwarded += 1
+
+    def backward(self) -> None:
+        with self._second:
+            with self._first:
+                self.reversed += 1

@@ -1,0 +1,22 @@
+"""Shared state mutated from another module's thread (REP008 fixture)."""
+
+import threading
+
+
+class SharedCounter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.total = 0
+        self.safe_total = 0
+        self.quiet_total = 0
+
+    def bump(self) -> None:
+        # Seeded regression: unguarded mutation on a thread path.
+        self.total += 1
+
+    def bump_safely(self) -> None:
+        with self._lock:
+            self.safe_total += 1
+
+    def bump_quietly(self) -> None:
+        self.quiet_total += 1  # repro: noqa[REP008]

@@ -1,0 +1,20 @@
+"""Thread entry point in a different module from the state it reaches."""
+
+import threading
+
+from .state import SharedCounter
+
+
+class Runner:
+    def __init__(self) -> None:
+        self.counter = SharedCounter()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+
+    def _loop(self) -> None:
+        self.counter.bump()
+        self.counter.bump_safely()
+        self.counter.bump_quietly()

@@ -1,0 +1,10 @@
+"""Stand-in for the generated metric catalog (REP009 fixture)."""
+
+METRIC_CATALOG = {
+    "repro_good_total": {
+        "kind": "counter",
+        "labels": [],
+        "shard_suffix": False,
+        "help": "a catalogued metric",
+    },
+}

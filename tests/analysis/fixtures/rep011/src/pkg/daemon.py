@@ -1,0 +1,30 @@
+"""Coroutines with and without blocking calls (REP011 fixture)."""
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+
+def warm_up() -> None:
+    time.sleep(0.01)
+
+
+class Daemon:
+    def __init__(self) -> None:
+        self._pool = ThreadPoolExecutor(max_workers=1)
+
+    async def tick(self) -> None:
+        time.sleep(0.01)
+
+    async def relay(self) -> None:
+        warm_up()
+
+    async def drain(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    async def quiet(self) -> None:
+        time.sleep(0.01)  # repro: noqa[REP011]
+
+    async def clean(self) -> None:
+        await asyncio.sleep(0.01)
+        await asyncio.get_running_loop().run_in_executor(self._pool, warm_up)

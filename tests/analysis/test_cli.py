@@ -1,0 +1,106 @@
+"""The CLI exit-code contract and baseline maintenance flags.
+
+The contract CI keys off (documented in ``repro.analysis.cli``):
+
+* ``0`` — clean run (or maintenance flag succeeded);
+* ``1`` — the *code under analysis* has violations;
+* ``2`` — usage error, generation error, or the *analyzer itself*
+  failed, so the run must not be trusted as clean.
+"""
+
+import json
+
+from repro.analysis.cli import main
+
+from .conftest import MINIMAL_PYPROJECT
+
+PYPROJECT = MINIMAL_PYPROJECT + '\n[tool.repro-analysis]\nselect = ["REP003"]\n'
+DIRTY = "cache = {}\n"  # one REP003 finding
+CLEAN = "CACHE = {}\n"
+
+
+def dirty_project(project):
+    return project({"src/pkg/app.py": DIRTY}, pyproject=PYPROJECT)
+
+
+class TestExitCodeContract:
+    def test_clean_is_zero(self, project, capsys):
+        root = project({"src/pkg/app.py": CLEAN}, pyproject=PYPROJECT)
+        assert main([str(root / "src")]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_violations_are_one(self, project, capsys):
+        root = dirty_project(project)
+        assert main([str(root / "src")]) == 1
+        assert "REP003" in capsys.readouterr().out
+
+    def test_corrupt_baseline_is_an_internal_error(self, project, capsys):
+        root = dirty_project(project)
+        (root / "analysis-baseline.json").write_text("{not json", encoding="utf-8")
+        assert main([str(root / "src")]) == 2
+        err = capsys.readouterr().err
+        assert "internal analyzer error" in err
+
+    def test_wrong_baseline_version_is_an_internal_error(self, project, capsys):
+        root = dirty_project(project)
+        (root / "analysis-baseline.json").write_text(
+            '{"version": 99, "findings": {}}', encoding="utf-8"
+        )
+        assert main([str(root / "src")]) == 2
+        assert "version-1" in capsys.readouterr().err
+
+    def test_internal_error_is_not_mistaken_for_clean(self, project, capsys):
+        # Even a tree with zero findings must exit 2 when the analyzer
+        # cannot complete — a crashed run is not a clean run.
+        root = project({"src/pkg/app.py": CLEAN}, pyproject=PYPROJECT)
+        (root / "analysis-baseline.json").write_text("[]", encoding="utf-8")
+        assert main([str(root / "src")]) == 2
+        capsys.readouterr()
+
+
+class TestPruneBaseline:
+    def stale_project(self, project):
+        """Baseline the finding, then fix it, leaving one stale entry."""
+        root = dirty_project(project)
+        assert main([str(root / "src"), "--write-baseline"]) == 0
+        (root / "src/pkg/app.py").write_text(CLEAN, encoding="utf-8")
+        return root
+
+    def test_stale_entry_warns_until_pruned(self, project, capsys):
+        root = self.stale_project(project)
+        capsys.readouterr()
+        assert main([str(root / "src")]) == 0
+        assert "no longer matches any finding" in capsys.readouterr().out
+
+    def test_prune_removes_stale_entries(self, project, capsys):
+        root = self.stale_project(project)
+        capsys.readouterr()
+        assert main([str(root / "src"), "--prune-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 stale entry" in out
+        assert "no longer matches any finding" not in out
+
+        data = json.loads((root / "analysis-baseline.json").read_text())
+        assert data["findings"] == {}
+
+        # The next plain run is quiet: nothing left to warn about.
+        assert main([str(root / "src")]) == 0
+        assert "no longer matches any finding" not in capsys.readouterr().out
+
+    def test_prune_keeps_live_entries(self, project, capsys):
+        root = project(
+            {"src/pkg/app.py": DIRTY, "src/pkg/other.py": "state = {}\n"},
+            pyproject=PYPROJECT,
+        )
+        assert main([str(root / "src"), "--write-baseline"]) == 0
+        (root / "src/pkg/other.py").write_text("STATE = {}\n", encoding="utf-8")
+        capsys.readouterr()
+        assert main([str(root / "src"), "--prune-baseline"]) == 0
+        assert "(1 kept)" in capsys.readouterr().out
+        data = json.loads((root / "analysis-baseline.json").read_text())
+        assert len(data["findings"]) == 1
+
+    def test_prune_on_fresh_tree_is_a_no_op(self, project, capsys):
+        root = project({"src/pkg/app.py": CLEAN}, pyproject=PYPROJECT)
+        assert main([str(root / "src"), "--prune-baseline"]) == 0
+        assert "pruned 0 stale entries" in capsys.readouterr().out

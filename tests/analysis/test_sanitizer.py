@@ -1,0 +1,147 @@
+"""The runtime lock-order sanitizer: seeded inversions must be caught.
+
+The fixture-level counterpart of REP008's static lock-order check: an
+ABBA pattern planted under the sanitizer must surface as an inversion
+even though no schedule actually deadlocks, and disciplined code —
+consistent order, reentrancy, condition waits — must stay silent.
+"""
+
+import threading
+
+import pytest
+
+from tests.analysis.sanitizer import LockOrderError, lock_order_sanitizer
+
+
+class TestSeededInversion:
+    def test_abba_on_one_thread_is_caught(self):
+        with lock_order_sanitizer() as sanitizer:
+            a = threading.Lock()
+            b = threading.Lock()
+            with a:
+                with b:
+                    pass
+            with b:
+                with a:
+                    pass
+        inversions = sanitizer.inversions()
+        assert len(inversions) == 1
+        assert "test_sanitizer.py" in inversions[0].forward_site
+        with pytest.raises(LockOrderError, match="1 lock-order inversion"):
+            sanitizer.assert_no_inversions()
+
+    def test_abba_across_threads_is_caught_without_deadlocking(self):
+        with lock_order_sanitizer() as sanitizer:
+            a = threading.Lock()
+            b = threading.Lock()
+            gate = threading.Semaphore(1)  # serialize: detect, don't hang
+
+            def forward():
+                with gate:
+                    with a:
+                        with b:
+                            pass
+
+            def reverse():
+                with gate:
+                    with b:
+                        with a:
+                            pass
+
+            threads = [
+                threading.Thread(target=forward),
+                threading.Thread(target=reverse),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert len(sanitizer.inversions()) == 1
+
+    def test_seeded_supervisor_style_regression(self):
+        """The exact shape REP008 guards: shard lock vs registry lock."""
+        with lock_order_sanitizer() as sanitizer:
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def merge_under_shard(self, shard_lock):
+                    with shard_lock:  # supervisor path: shard then registry
+                        with self._lock:
+                            pass
+
+                def snapshot_then_shard(self, shard_lock):
+                    with self._lock:  # regression: registry then shard
+                        with shard_lock:
+                            pass
+
+            registry = Registry()
+            shard_lock = threading.Lock()
+            registry.merge_under_shard(shard_lock)
+            registry.snapshot_then_shard(shard_lock)
+        assert len(sanitizer.inversions()) == 1
+
+
+class TestDisciplinedCodeIsSilent:
+    def test_consistent_order_is_clean(self):
+        with lock_order_sanitizer() as sanitizer:
+            a = threading.Lock()
+            b = threading.Lock()
+            for _ in range(3):
+                with a:
+                    with b:
+                        pass
+            assert sanitizer.edge_count() == 1
+        sanitizer.assert_no_inversions()
+
+    def test_rlock_reentrancy_adds_no_ordering_fact(self):
+        with lock_order_sanitizer() as sanitizer:
+            lock = threading.RLock()
+            with lock:
+                with lock:
+                    pass
+            assert sanitizer.edge_count() == 0
+        sanitizer.assert_no_inversions()
+
+    def test_condition_wait_releases_the_held_set(self):
+        """A lock given up inside wait() must not order later acquires."""
+        with lock_order_sanitizer() as sanitizer:
+            other = threading.Lock()
+            cond = threading.Condition(threading.RLock())
+            done = threading.Event()
+
+            def waiter():
+                with cond:
+                    cond.wait(timeout=5)
+                done.set()
+
+            thread = threading.Thread(target=waiter)
+            thread.start()
+            # While the waiter sleeps inside wait() (condition lock
+            # released), take other -> cond; the waiter re-acquires cond
+            # while *we* are not holding anything.  No inversion.
+            with other:
+                with cond:
+                    cond.notify_all()
+            thread.join()
+            assert done.is_set()
+        sanitizer.assert_no_inversions()
+
+    def test_nonblocking_failure_records_nothing(self):
+        with lock_order_sanitizer() as sanitizer:
+            a = threading.Lock()
+            b = threading.Lock()
+            with b:
+                with a:
+                    assert b.locked()
+                    # a is held; a failed try-acquire of an already-held
+                    # lock must not invent an edge
+                    assert not b.acquire(blocking=False)
+        assert sanitizer.inversions() == []
+
+    def test_patch_is_reverted_on_exit(self):
+        original = threading.Lock
+        with lock_order_sanitizer():
+            assert threading.Lock is not original
+        assert threading.Lock is original

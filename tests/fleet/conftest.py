@@ -11,6 +11,7 @@ import numpy as np
 import pytest
 
 from repro.fleet import SocketExecutor
+from tests.analysis.sanitizer import lock_order_sanitizer
 from tests.sharding.test_shard_recovery import (  # noqa: F401 - shared workload
     ALL_METHODS,
     DOMAIN,
@@ -20,6 +21,20 @@ from tests.sharding.test_shard_recovery import (  # noqa: F401 - shared workload
     build_fleet,
     make_batches,
 )
+
+
+@pytest.fixture(autouse=True)
+def lock_sanitizer():
+    """Run every fleet test under the runtime lock-order sanitizer.
+
+    The dynamic confirmation of REP008: supervisor revival, registry
+    merges, and OTel pushes all take their locks while this fixture
+    records the acquisition order; any ABBA pair observed during the
+    chaos schedule fails the test even though no schedule deadlocked.
+    """
+    with lock_order_sanitizer() as sanitizer:
+        yield sanitizer
+    sanitizer.assert_no_inversions()
 
 
 def build_socket_fleet(num_shards=NUM_SHARDS, seed=11, **supervisor_options):
